@@ -1,0 +1,40 @@
+//! Baseline platforms: the Intel i7 and NVIDIA Jetson TX1 comparators.
+//!
+//! The paper compares its FPGA SoCs against software executions of the
+//! same applications on (a) an Intel i7-8700K and (b) an NVIDIA Jetson TX1
+//! (quad Cortex-A57 + 256-core Maxwell GPU), using datasheet power values:
+//! 78.6 W TDP for the Intel core, 1.5 W for the ARM cores and 10 W for the
+//! GPU.
+//!
+//! Neither platform is available here, so this crate provides analytic
+//! performance models calibrated to the paper's own measurements:
+//! throughput follows from per-frame operation counts (taken from the real
+//! workloads in [`Workload`]) divided by each platform's *effective*
+//! compute rate for that kind of work — dense NN inference (BLAS/cuDNN
+//! path) versus branchy scalar pixel processing (the single-threaded
+//! Night-Vision code). Energy efficiency is throughput divided by the same
+//! datasheet powers the paper uses.
+//!
+//! # Example
+//!
+//! ```
+//! use esp4ml_baseline::{Platform, Workload};
+//!
+//! let i7 = Platform::intel_i7_8700k();
+//! let classifier = Workload::classifier();
+//! let fps = i7.frames_per_second(&classifier);
+//! assert!(fps > 10_000.0);
+//! let fpj = i7.frames_per_joule(&classifier);
+//! assert!(fpj < fps); // 78.6 W burns a lot of joules
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod platform;
+mod software;
+mod workload;
+
+pub use platform::Platform;
+pub use software::SoftwareApp;
+pub use workload::Workload;

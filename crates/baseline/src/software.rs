@@ -1,0 +1,120 @@
+//! Software execution of the case-study applications.
+//!
+//! Functional reference paths: the exact computation the baselines run,
+//! used by the benchmarks to validate that the accelerated pipelines
+//! produce the same results as the software they are compared against.
+
+use crate::Workload;
+use esp4ml_nn::{Matrix, Sequential};
+use esp4ml_vision::kernels::night_vision;
+
+/// A software application runner over trained float models.
+#[derive(Debug, Clone)]
+pub struct SoftwareApp {
+    classifier: Option<Sequential>,
+    denoiser: Option<Sequential>,
+}
+
+impl SoftwareApp {
+    /// Builds a runner from the (optional) trained models.
+    pub fn new(classifier: Option<Sequential>, denoiser: Option<Sequential>) -> Self {
+        SoftwareApp {
+            classifier,
+            denoiser,
+        }
+    }
+
+    /// NightVision & Classifier on one dark frame: returns the predicted
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classifier was provided.
+    pub fn night_vision_classify(&self, dark_image: &[f32]) -> usize {
+        let clf = self.classifier.as_ref().expect("classifier model");
+        let restored = night_vision(dark_image);
+        let x = Matrix::from_vec(1, restored.len(), restored);
+        clf.predict_classes(&x)[0]
+    }
+
+    /// Denoiser & Classifier on one noisy frame: returns the predicted
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a model is missing.
+    pub fn denoise_classify(&self, noisy_image: &[f32]) -> usize {
+        let den = self.denoiser.as_ref().expect("denoiser model");
+        let clf = self.classifier.as_ref().expect("classifier model");
+        let x = Matrix::from_vec(1, noisy_image.len(), noisy_image.to_vec());
+        let cleaned = den.forward(&x);
+        clf.predict_classes(&cleaned)[0]
+    }
+
+    /// Plain classification of one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classifier was provided.
+    pub fn classify(&self, image: &[f32]) -> usize {
+        let clf = self.classifier.as_ref().expect("classifier model");
+        let x = Matrix::from_vec(1, image.len(), image.to_vec());
+        clf.predict_classes(&x)[0]
+    }
+
+    /// The workload of the full pipeline this runner executes per frame
+    /// (for feeding the platform models with the *actual* model sizes).
+    pub fn workload(&self, with_night_vision: bool) -> Workload {
+        let mut w = Workload::default();
+        if with_night_vision {
+            w = w.then(Workload::night_vision());
+        }
+        if let Some(d) = &self.denoiser {
+            w = w.then(Workload::from_model(d));
+        }
+        if let Some(c) = &self.classifier {
+            w = w.then(Workload::from_model(c));
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp4ml_vision::SvhnGenerator;
+
+    #[test]
+    fn pipelines_run_end_to_end() {
+        let app = SoftwareApp::new(
+            Some(Sequential::svhn_classifier()),
+            Some(Sequential::svhn_denoiser()),
+        );
+        let mut gen = SvhnGenerator::new(11);
+        let s = gen.sample();
+        let dark = SvhnGenerator::darken(&s.image, 0.3);
+        let noisy = gen.add_noise(&s.image, 0.1);
+        // Untrained models: just verify the plumbing produces a class.
+        assert!(app.night_vision_classify(&dark) < 10);
+        assert!(app.denoise_classify(&noisy) < 10);
+        assert!(app.classify(&s.image) < 10);
+    }
+
+    #[test]
+    fn workload_reflects_models() {
+        let app = SoftwareApp::new(Some(Sequential::svhn_classifier()), None);
+        assert_eq!(app.workload(false), Workload::classifier());
+        assert_eq!(
+            app.workload(true),
+            Workload::night_vision().then(Workload::classifier())
+        );
+        let both = SoftwareApp::new(
+            Some(Sequential::svhn_classifier()),
+            Some(Sequential::svhn_denoiser()),
+        );
+        assert_eq!(
+            both.workload(false),
+            Workload::denoiser().then(Workload::classifier())
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-frame operation counts of the case-study applications.
+
+use esp4ml_nn::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Per-frame computational work of an application, split by kind: dense NN
+/// multiply-accumulates (which CPUs/GPUs execute through optimized BLAS or
+/// cuDNN paths) and branchy scalar pixel operations (the Night-Vision
+/// kernels, which the paper notes run single-threaded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Dense multiply-accumulate operations per frame.
+    pub nn_macs: u64,
+    /// Scalar pixel-processing operations per frame (window sorts,
+    /// histogram updates, table lookups).
+    pub scalar_ops: u64,
+}
+
+impl Workload {
+    /// Per-pixel cost of the three Night-Vision kernels: a 9-element
+    /// median (~30 compare/swap steps with window update), a histogram
+    /// increment, and an equalization lookup, plus the CDF scan amortized
+    /// over the frame.
+    const NV_OPS_PER_PIXEL: u64 = 35;
+
+    /// The work of an arbitrary dense model (summing its layer MACs).
+    pub fn from_model(model: &Sequential) -> Self {
+        let macs = model
+            .dense_layers()
+            .iter()
+            .map(|l| (l.n_in() * l.n_out()) as u64)
+            .sum();
+        Workload {
+            nn_macs: macs,
+            scalar_ops: 0,
+        }
+    }
+
+    /// The paper's MLP classifier (1024×256×128×64×32×10).
+    pub fn classifier() -> Self {
+        Workload {
+            nn_macs: 1024 * 256 + 256 * 128 + 128 * 64 + 64 * 32 + 32 * 10,
+            scalar_ops: 0,
+        }
+    }
+
+    /// The paper's denoising autoencoder (1024×256×128×1024).
+    pub fn denoiser() -> Self {
+        Workload {
+            nn_macs: 1024 * 256 + 256 * 128 + 128 * 1024,
+            scalar_ops: 0,
+        }
+    }
+
+    /// The Night-Vision pre-processing pipeline on one 32×32 frame.
+    pub fn night_vision() -> Self {
+        Workload {
+            nn_macs: 0,
+            scalar_ops: 1024 * Self::NV_OPS_PER_PIXEL,
+        }
+    }
+
+    /// Sequential composition: both parts of the pipeline run per frame.
+    pub fn then(self, next: Workload) -> Workload {
+        Workload {
+            nn_macs: self.nn_macs + next.nn_macs,
+            scalar_ops: self.scalar_ops + next.scalar_ops,
+        }
+    }
+
+    /// The three evaluated applications, in Table I column order.
+    pub fn table1_apps() -> [(&'static str, Workload); 3] {
+        [
+            (
+                "NightVision & Classifier",
+                Workload::night_vision().then(Workload::classifier()),
+            ),
+            (
+                "Denoiser & Classifier",
+                Workload::denoiser().then(Workload::classifier()),
+            ),
+            ("Multi-tile Classifier", Workload::classifier()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_macs_match_paper_dims() {
+        assert_eq!(Workload::classifier().nn_macs, 305_472);
+    }
+
+    #[test]
+    fn denoiser_macs_match_paper_dims() {
+        assert_eq!(Workload::denoiser().nn_macs, 425_984);
+    }
+
+    #[test]
+    fn from_model_matches_hand_count() {
+        let m = Sequential::svhn_classifier();
+        assert_eq!(Workload::from_model(&m), Workload::classifier());
+        let d = Sequential::svhn_denoiser();
+        assert_eq!(Workload::from_model(&d), Workload::denoiser());
+    }
+
+    #[test]
+    fn composition_adds() {
+        let w = Workload::night_vision().then(Workload::classifier());
+        assert_eq!(w.nn_macs, 305_472);
+        assert_eq!(w.scalar_ops, 1024 * 35);
+    }
+
+    #[test]
+    fn table1_apps_cover_three_columns() {
+        let apps = Workload::table1_apps();
+        assert_eq!(apps.len(), 3);
+        assert!(apps[0].1.scalar_ops > 0);
+        assert_eq!(apps[2].1.scalar_ops, 0);
+    }
+}

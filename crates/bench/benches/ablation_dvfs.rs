@@ -1,0 +1,74 @@
+//! Ablation: per-tile DVFS (ESP's fine-grained frequency scaling, the
+//! paper's reference [21]). In the Night-Vision-like two-stage pipeline
+//! the consumer is much faster than the producer; halving the consumer's
+//! datapath clock should cost (almost) no pipeline throughput — the DVFS
+//! free-lunch the infrastructure exists to harvest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_noc::Coord;
+use esp4ml_soc::{AccelConfig, ScaleKernel, Soc, SocBuilder};
+
+fn build() -> Soc {
+    SocBuilder::new(3, 2)
+        .processor(Coord::new(0, 0))
+        .memory(Coord::new(1, 0))
+        // Slow producer (the NV-like stage)…
+        .accelerator(
+            Coord::new(0, 1),
+            Box::new(ScaleKernel::new("slow", 1024, 2).with_cycles_per_value(8)),
+        )
+        // …feeding a fast consumer (the classifier-like stage).
+        .accelerator(
+            Coord::new(1, 1),
+            Box::new(ScaleKernel::new("fast", 1024, 3).with_cycles_per_value(1)),
+        )
+        .build()
+        .expect("valid floorplan")
+}
+
+fn run(consumer_divider: u64, frames: u64) -> u64 {
+    let mut soc = build();
+    let (p, c) = (Coord::new(0, 1), Coord::new(1, 1));
+    for f in 0..frames {
+        soc.dram_write_values(f * 256, &vec![1; 1024], 16).expect("init");
+    }
+    for t in [p, c] {
+        soc.map_contiguous(t, 0, 1 << 20).expect("map");
+    }
+    soc.configure_accel(p, &AccelConfig::dma_to_p2p(0, frames)).expect("cfg");
+    soc.configure_accel(
+        c,
+        &AccelConfig::p2p_to_dma(vec![p], 100_000, frames).with_dvfs_divider(consumer_divider),
+    )
+    .expect("cfg");
+    let start = soc.cycle();
+    soc.start_accel(p).expect("start");
+    soc.start_accel(c).expect("start");
+    soc.run_until_idle(100_000_000);
+    soc.cycle() - start
+}
+
+fn bench_dvfs(c: &mut Criterion) {
+    let full = run(1, 8);
+    for divider in [2u64, 4, 8] {
+        let scaled = run(divider, 8);
+        println!(
+            "consumer at f/{divider}: {scaled:>7} cycles vs {full:>7} at full speed \
+             ({:+.1}% throughput cost)",
+            100.0 * (scaled as f64 - full as f64) / full as f64
+        );
+    }
+    let mut group = c.benchmark_group("ablation_dvfs");
+    group.sample_size(10);
+    for divider in [1u64, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("div{divider}")),
+            &divider,
+            |b, &d| b.iter(|| run(d, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dvfs);
+criterion_main!(benches);

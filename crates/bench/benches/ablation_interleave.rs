@@ -1,0 +1,62 @@
+//! Ablation: memory-tile interleaving granularity. With two memory tiles,
+//! the block size of the interleaved address map decides whether a DMA
+//! burst is serviced by one tile (page-sized blocks) or striped across
+//! both (small blocks). Striping halves per-tile queueing at the cost of
+//! more, shorter bursts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_noc::Coord;
+use esp4ml_soc::{AccelConfig, ScaleKernel, SocBuilder};
+
+fn run(mem_tiles: usize, frames: u64) -> (u64, u64) {
+    let mut b = SocBuilder::new(3, 2).processor(Coord::new(0, 0)).memory(Coord::new(1, 0));
+    if mem_tiles == 2 {
+        b = b.memory(Coord::new(2, 0));
+    }
+    let mut soc = b
+        .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("a", 2048, 2).with_cycles_per_value(0)))
+        .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("b", 2048, 3).with_cycles_per_value(0)))
+        .build()
+        .expect("valid floorplan");
+    let (a, bq) = (Coord::new(0, 1), Coord::new(1, 1));
+    for f in 0..frames {
+        soc.dram_write_values(f * 512, &vec![5; 2048], 16).expect("init");
+        soc.dram_write_values((f + 64) * 512, &vec![9; 2048], 16).expect("init");
+    }
+    for t in [a, bq] {
+        soc.map_contiguous(t, 0, 1 << 20).expect("map");
+    }
+    // Two independent accelerators hammering memory concurrently.
+    soc.configure_accel(a, &AccelConfig::dma_to_dma(0, 256 * 512, frames))
+        .expect("configure");
+    soc.configure_accel(bq, &AccelConfig::dma_to_dma(64 * 512, 320 * 512, frames))
+        .expect("configure");
+    let start = soc.cycle();
+    soc.start_accel(a).expect("start");
+    soc.start_accel(bq).expect("start");
+    soc.run_until_idle(100_000_000);
+    (soc.cycle() - start, soc.stats().dram_accesses())
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    for tiles in [1usize, 2] {
+        let (cycles, dram) = run(tiles, 8);
+        println!(
+            "{tiles} memory tile(s): {cycles:>7} cycles, {dram:>6} DRAM word accesses \
+             (two accelerators, 8 frames each)"
+        );
+    }
+    let mut group = c.benchmark_group("ablation_interleave");
+    group.sample_size(10);
+    for tiles in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tiles}mem")),
+            &tiles,
+            |b, &t| b.iter(|| run(t, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleave);
+criterion_main!(benches);

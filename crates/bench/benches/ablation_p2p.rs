@@ -1,0 +1,59 @@
+//! Ablation: the receiver-initiated p2p service (DESIGN.md ablation 1).
+//!
+//! Compares the DMA-through-memory pipeline against the p2p pipeline on a
+//! synthetic two-stage workload, printing the cycle and DRAM-access
+//! deltas and benching both simulation paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_noc::Coord;
+use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunMetrics};
+use esp4ml_soc::{ScaleKernel, SocBuilder};
+
+fn run(mode: ExecMode, frames: u64) -> RunMetrics {
+    let soc = SocBuilder::new(3, 2)
+        .processor(Coord::new(0, 0))
+        .memory(Coord::new(1, 0))
+        .accelerator(
+            Coord::new(0, 1),
+            Box::new(ScaleKernel::new("a", 1024, 2).with_cycles_per_value(2)),
+        )
+        .accelerator(
+            Coord::new(1, 1),
+            Box::new(ScaleKernel::new("b", 1024, 3).with_cycles_per_value(2)),
+        )
+        .build()
+        .expect("valid floorplan");
+    let mut rt = EspRuntime::new(soc).expect("runtime boots");
+    let df = Dataflow::linear(&[&["a"], &["b"]]);
+    let buf = rt.prepare(&df, frames).expect("buffers fit");
+    for f in 0..frames {
+        rt.write_frame(&buf, f, &vec![1; 1024]).expect("write");
+    }
+    rt.esp_run(&df, &buf, mode).expect("run succeeds")
+}
+
+fn bench_p2p_ablation(c: &mut Criterion) {
+    for mode in [ExecMode::Pipe, ExecMode::P2p] {
+        let m = run(mode, 8);
+        println!(
+            "{:<5}: {:>8} cycles, {:>6} DRAM accesses, {:>8} flit-hops for 8 frames",
+            mode.label(),
+            m.cycles,
+            m.dram_accesses,
+            m.noc_flit_hops
+        );
+    }
+    let mut group = c.benchmark_group("ablation_p2p");
+    group.sample_size(10);
+    for mode in [ExecMode::Pipe, ExecMode::P2p] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| b.iter(|| run(mode, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p_ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: the HLS4ML reuse factor. Sweeps R and benches the fixed-point
+//! inference path, printing the latency/II/resource trade-off the knob
+//! controls (DESIGN.md ablation 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_hls4ml::{Hls4mlCompiler, Hls4mlConfig};
+use esp4ml_nn::Sequential;
+
+fn bench_reuse_sweep(c: &mut Criterion) {
+    let model = Sequential::svhn_classifier();
+    let mut group = c.benchmark_group("ablation_reuse");
+    group.sample_size(20);
+    for reuse in [16u64, 64, 256, 1024, 4096] {
+        let nn = Hls4mlCompiler::compile(&model, &Hls4mlConfig::with_reuse(reuse))
+            .expect("compiles");
+        let est = nn.estimate();
+        println!(
+            "reuse={reuse:>5}: latency {:>6} cyc, II {:>5} cyc, {} (frames/s at 78 MHz: {:.0})",
+            est.latency,
+            est.initiation_interval,
+            est.resources,
+            78.0e6 / est.latency as f64,
+        );
+        let input = vec![0.1f32; 1024];
+        group.bench_with_input(BenchmarkId::from_parameter(reuse), &nn, |b, nn| {
+            b.iter(|| nn.infer(&input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse_sweep);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the NoC substrate: per-cycle simulation cost under
+//! idle and loaded conditions, and end-to-end packet delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esp4ml_noc::{Coord, Mesh, MeshConfig, MsgKind, Packet, Plane};
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc");
+    for size in [3usize, 5, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("delivery", format!("{size}x{size}")),
+            &size,
+            |b, &size| {
+                b.iter(|| {
+                    let mut mesh = Mesh::new(MeshConfig::new(size, size)).expect("mesh");
+                    let dst = Coord::new(size as u8 - 1, size as u8 - 1);
+                    for y in 0..size as u8 {
+                        mesh.inject(Packet::new(
+                            Coord::new(0, y),
+                            dst,
+                            Plane::DmaRsp,
+                            MsgKind::DmaData,
+                            vec![0; 64],
+                        ))
+                        .expect("inject");
+                    }
+                    let mut delivered = 0;
+                    while delivered < size {
+                        mesh.tick();
+                        while mesh.eject(dst, Plane::DmaRsp).is_some() {
+                            delivered += 1;
+                        }
+                    }
+                    mesh.cycle()
+                })
+            },
+        );
+    }
+    group.bench_function("idle_tick_5x5", |b| {
+        let mut mesh = Mesh::new(MeshConfig::new(5, 5)).expect("mesh");
+        b.iter(|| mesh.tick());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

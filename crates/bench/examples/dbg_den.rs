@@ -1,0 +1,14 @@
+use esp4ml_nn::*;
+use esp4ml_vision::SvhnGenerator;
+fn main() {
+    let mut gen = SvhnGenerator::new(7);
+    let den_data = gen.denoising_dataset(2000, 0.1);
+    let (train, test) = den_data.split(0.2);
+    for lr in [0.001f32, 0.003, 0.01] {
+        let mut m = Sequential::svhn_denoiser();
+        let mut cfg = TrainConfig::autoencoder(30);
+        cfg.optimizer = OptimizerKind::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-7 };
+        let rep = Trainer::new(cfg).fit(&mut m, &train);
+        println!("lr {}: loss {:.4} err {:.3}", lr, rep.final_loss(), reconstruction_error(&m, &test));
+    }
+}

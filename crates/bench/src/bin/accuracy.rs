@@ -1,0 +1,29 @@
+//! The application-level accuracy experiment: how much classification
+//! accuracy the Night-Vision and Denoiser stages recover on dark/noisy
+//! images, in float software and on the fixed-point SoC pipelines.
+//!
+//! ```text
+//! cargo run --release -p esp4ml-bench --bin accuracy -- --samples 6000 --epochs 30 --frames 200
+//! ```
+
+use esp4ml::experiments::AccuracyReport;
+use esp4ml_bench::HarnessArgs;
+
+fn main() {
+    let mut args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    args.train = true;
+    let models = args.models();
+    match AccuracyReport::generate(&models, args.frames) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("accuracy experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates the paper's Fig. 7: energy efficiency (frames/J) of
+//! base/pipe/p2p execution for every accelerator configuration, with the
+//! i7 and Jetson baseline lines.
+//!
+//! ```text
+//! cargo run --release -p esp4ml-bench --bin fig7 -- --frames 64
+//! ```
+
+use esp4ml::experiments::Fig7;
+use esp4ml_bench::HarnessArgs;
+
+fn main() {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let models = args.models();
+    match Fig7::generate(&models, args.frames) {
+        Ok(fig) => {
+            println!("{fig}");
+            println!();
+            println!("{}", esp4ml_bench::chart::render_fig7(&fig));
+            println!("(measured over {} frames per bar)", args.frames);
+            println!(
+                "paper shape: pipe > base within every cluster; p2p ≈ pipe in f/s; \
+                 ESP4ML beats both baselines in f/J everywhere, by >100x in some cases"
+            );
+        }
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates the paper's Fig. 8: relative DRAM accesses with and
+//! without p2p communication for the three applications.
+//!
+//! ```text
+//! cargo run --release -p esp4ml-bench --bin fig8 -- --frames 64
+//! ```
+
+use esp4ml::experiments::Fig8;
+use esp4ml_bench::HarnessArgs;
+
+fn main() {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let models = args.models();
+    match Fig8::generate(&models, args.frames) {
+        Ok(fig) => {
+            println!("{fig}");
+            println!("(measured over {} frames per application)", args.frames);
+            println!("paper shape: p2p reduces DRAM accesses by 2x-3x for all three apps");
+        }
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

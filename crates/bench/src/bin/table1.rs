@@ -1,0 +1,36 @@
+//! Regenerates the paper's Table I: resource utilization, power and
+//! frames/s for the three applications, against the i7 and Jetson
+//! baselines.
+//!
+//! ```text
+//! cargo run --release -p esp4ml-bench --bin table1 -- --frames 64
+//! ```
+
+use esp4ml::experiments::Table1;
+use esp4ml_bench::HarnessArgs;
+
+fn main() {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let models = args.models();
+    match Table1::generate(&models, args.frames) {
+        Ok(table) => {
+            println!("{table}");
+            println!("(measured over {} frames per application)", args.frames);
+            println!(
+                "paper reference: LUTS 48/48/19%, FFS 24/24/11%, BRAMS 57/57/21%, \
+                 POWER 1.70/1.70/0.98 W, ESP4ML 35572/5220/28376 f/s, \
+                 I7 1858/30435/82476 f/s, JETSON 377/2798/6750 f/s"
+            );
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Text rendering of the paper's figures: log-scale horizontal bar charts
+//! with baseline marker lines, so the harness output visually mirrors
+//! Fig. 7.
+
+use esp4ml::experiments::Fig7;
+
+/// Renders a horizontal log-scale bar of `value` against `max`, `width`
+/// characters wide, with `markers` (label, value) drawn as `|` ticks.
+///
+/// The scale starts one decade below the smallest positive value involved.
+pub fn log_bar(value: f64, lo: f64, hi: f64, width: usize) -> String {
+    if value <= 0.0 || hi <= lo {
+        return String::new();
+    }
+    let pos = ((value.log10() - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let filled = (pos * width as f64).round() as usize;
+    "█".repeat(filled)
+}
+
+/// Character position of a marker value on the same scale.
+pub fn marker_pos(value: f64, lo: f64, hi: f64, width: usize) -> Option<usize> {
+    if value <= 0.0 || hi <= lo {
+        return None;
+    }
+    let pos = ((value.log10() - lo) / (hi - lo)).clamp(0.0, 1.0);
+    Some((pos * width as f64).round() as usize)
+}
+
+/// Renders a Fig. 7 report as log-scale bar clusters with the i7 (`i`) and
+/// Jetson (`j`) baseline ticks overlaid, mirroring the paper's figure.
+pub fn render_fig7(fig: &Fig7) -> String {
+    const WIDTH: usize = 56;
+    let mut all: Vec<f64> = Vec::new();
+    for c in &fig.clusters {
+        all.push(c.i7_line);
+        all.push(c.jetson_line);
+        all.extend(c.bars.iter().map(|b| b.frames_per_joule));
+    }
+    let lo = all
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .fold(f64::INFINITY, f64::min)
+        .log10()
+        .floor()
+        - 0.2;
+    let hi = all.iter().copied().fold(0.0f64, f64::max).log10().ceil();
+    let mut out = String::new();
+    for c in &fig.clusters {
+        out.push_str(&format!("[{}]  (log scale, frames/J)\n", c.app));
+        for bar in &c.bars {
+            let mut line: Vec<char> = log_bar(bar.frames_per_joule, lo, hi, WIDTH)
+                .chars()
+                .collect();
+            line.resize(WIDTH + 1, ' ');
+            for (ch, v) in [('i', c.i7_line), ('j', c.jetson_line)] {
+                if let Some(p) = marker_pos(v, lo, hi, WIDTH) {
+                    line[p] = ch;
+                }
+            }
+            let rendered: String = line.into_iter().collect();
+            out.push_str(&format!(
+                "  {:>10} {:>5} {rendered} {:.0}\n",
+                bar.config, bar.mode, bar.frames_per_joule
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str("  markers: i = Intel i7-8700K line, j = Jetson TX1 line\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_length_is_monotone_in_value() {
+        let (lo, hi) = (0.0, 4.0);
+        let short = log_bar(10.0, lo, hi, 40).chars().count();
+        let long = log_bar(1000.0, lo, hi, 40).chars().count();
+        assert!(long > short);
+        assert!(long <= 40);
+    }
+
+    #[test]
+    fn zero_or_negative_values_render_empty() {
+        assert_eq!(log_bar(0.0, 0.0, 4.0, 40), "");
+        assert_eq!(log_bar(-5.0, 0.0, 4.0, 40), "");
+        assert_eq!(marker_pos(0.0, 0.0, 4.0, 40), None);
+    }
+
+    #[test]
+    fn log_scale_compresses_decades_evenly() {
+        let (lo, hi) = (0.0, 3.0);
+        let a = log_bar(10.0, lo, hi, 60).chars().count();
+        let b = log_bar(100.0, lo, hi, 60).chars().count();
+        let c = log_bar(1000.0, lo, hi, 60).chars().count();
+        assert_eq!(b - a, c - b, "equal decades must be equal widths");
+    }
+
+    #[test]
+    fn marker_clamps_into_range() {
+        assert_eq!(marker_pos(1e12, 0.0, 3.0, 40), Some(40));
+        assert_eq!(marker_pos(1e-12, 0.0, 3.0, 40), Some(0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared helpers for the benchmark harness binaries and Criterion
+//! benches.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | Binary     | Artifact |
+//! |------------|----------|
+//! | `table1`   | Table I — utilization, power, frames/s vs i7/Jetson |
+//! | `fig7`     | Fig. 7 — frames/J for base/pipe/p2p vs baselines |
+//! | `fig8`     | Fig. 8 — DRAM accesses with/without p2p |
+//! | `training` | §VI accuracy targets (92 % classifier, 3.1 % denoiser) |
+//!
+//! All binaries accept `--frames N` (simulated frames per measurement),
+//! `--train` (train the models on the synthetic dataset instead of using
+//! untrained weights), `--samples N` and `--epochs N` (training budget).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+
+use esp4ml::apps::TrainedModels;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Frames to simulate per measurement point.
+    pub frames: u64,
+    /// Whether to train the models first.
+    pub train: bool,
+    /// Training samples.
+    pub samples: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            frames: 64,
+            train: false,
+            samples: 6000,
+            epochs: 30,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`-style options; unknown options are
+    /// rejected with a message listing the supported ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage string when parsing fails.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<HarnessArgs, String> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            let mut grab = |name: &str| -> Result<u64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match arg.as_str() {
+                "--frames" => out.frames = grab("--frames")?,
+                "--samples" => out.samples = grab("--samples")? as usize,
+                "--epochs" => out.epochs = grab("--epochs")? as usize,
+                "--train" => out.train = true,
+                "--no-train" => out.train = false,
+                other => {
+                    return Err(format!(
+                        "unknown option {other}; supported: --frames N --train --no-train --samples N --epochs N"
+                    ))
+                }
+            }
+        }
+        if out.frames == 0 {
+            return Err("--frames must be at least 1".into());
+        }
+        Ok(out)
+    }
+
+    /// Builds the models per the options (training prints its progress).
+    pub fn models(&self) -> TrainedModels {
+        if self.train {
+            eprintln!(
+                "training models on {} synthetic samples for {} epochs...",
+                self.samples, self.epochs
+            );
+            let m = TrainedModels::train(self.samples, self.epochs, 1);
+            if let Some(acc) = m.classifier_accuracy {
+                eprintln!("classifier test accuracy: {:.1}% (paper: 92%)", 100.0 * acc);
+            }
+            if let Some(err) = m.denoiser_error {
+                eprintln!(
+                    "denoiser reconstruction error: {:.1}% (paper: 3.1%)",
+                    100.0 * err
+                );
+            }
+            m
+        } else {
+            TrainedModels::untrained()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.frames, 64);
+        assert!(!a.train);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&["--frames", "8", "--train", "--samples", "100", "--epochs", "2"])
+            .unwrap();
+        assert_eq!(a.frames, 8);
+        assert!(a.train);
+        assert_eq!(a.samples, 100);
+        assert_eq!(a.epochs, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--frames"]).is_err());
+        assert!(parse(&["--frames", "abc"]).is_err());
+        assert!(parse(&["--frames", "0"]).is_err());
+    }
+}

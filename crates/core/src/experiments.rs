@@ -1,0 +1,637 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! * [`Table1`] — resource utilization, power and frames/s for the three
+//!   application columns (paper Table I).
+//! * [`Fig7`] — energy efficiency (frames/J) of base/pipe/p2p execution
+//!   across the five accelerator configurations, against the i7 and
+//!   Jetson baselines (paper Fig. 7).
+//! * [`Fig8`] — DRAM accesses with and without p2p communication (paper
+//!   Fig. 8).
+//!
+//! The same drivers back the `esp4ml-bench` binaries and the integration
+//! tests, so the printed artifacts and the asserted behaviours cannot
+//! drift apart.
+
+use crate::apps::{argmax, decode_values, encode_image, CaseApp, TrainedModels};
+use crate::flow::Esp4mlFlow;
+use esp4ml_baseline::{Platform, Workload};
+use esp4ml_runtime::{EspRuntime, ExecMode, RunMetrics, RuntimeError};
+use esp4ml_vision::SvhnGenerator;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Seed used for experiment input data (fixed for reproducibility).
+const DATA_SEED: u64 = 0xE5F4;
+
+/// Errors from experiment execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// SoC construction failed.
+    Build(crate::apps::BuildError),
+    /// Runtime execution failed.
+    Run(RuntimeError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Build(e) => write!(f, "build failed: {e}"),
+            ExperimentError::Run(e) => write!(f, "run failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Build(e) => Some(e),
+            ExperimentError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<crate::apps::BuildError> for ExperimentError {
+    fn from(e: crate::apps::BuildError) -> Self {
+        ExperimentError::Build(e)
+    }
+}
+
+impl From<RuntimeError> for ExperimentError {
+    fn from(e: RuntimeError) -> Self {
+        ExperimentError::Run(e)
+    }
+}
+
+/// One measured execution of a case-study application on its SoC.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Which application configuration ran.
+    pub label: String,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Runtime metrics (cycles, DRAM accesses, throughput).
+    pub metrics: RunMetrics,
+    /// SoC average dynamic power in watts (whole SoC, as the paper
+    /// conservatively reports).
+    pub watts: f64,
+    /// Predicted class per frame.
+    pub predictions: Vec<usize>,
+    /// Ground-truth label per frame.
+    pub labels: Vec<usize>,
+}
+
+impl AppRun {
+    /// Builds the SoC, loads the inputs, runs the dataflow and collects
+    /// predictions.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn execute(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+    ) -> Result<AppRun, ExperimentError> {
+        let soc = app.build_soc(models)?;
+        let flow = Esp4mlFlow::new();
+        let watts = flow.estimate_power(&soc).total_watts();
+        let mut rt = EspRuntime::new(soc)?;
+        let dataflow = app.dataflow();
+        let buf = rt.prepare(&dataflow, frames)?;
+        let mut gen = SvhnGenerator::new(DATA_SEED);
+        let mut labels = Vec::with_capacity(frames as usize);
+        for f in 0..frames {
+            let (image, label) = app.input_frame(&mut gen);
+            rt.write_frame(&buf, f, &encode_image(&image))?;
+            labels.push(label);
+        }
+        let metrics = rt.esp_run(&dataflow, &buf, mode)?;
+        let mut predictions = Vec::with_capacity(frames as usize);
+        for f in 0..frames {
+            let logits = decode_values(&rt.read_frame(&buf, f)?);
+            predictions.push(argmax(&logits));
+        }
+        Ok(AppRun {
+            label: app.label(),
+            mode,
+            metrics,
+            watts,
+            predictions,
+            labels,
+        })
+    }
+
+    /// Classification accuracy of the run against ground truth.
+    pub fn accuracy(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .predictions
+            .iter()
+            .zip(&self.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        correct as f64 / self.labels.len() as f64
+    }
+
+    /// Energy efficiency in frames per joule.
+    pub fn frames_per_joule(&self) -> f64 {
+        self.metrics.frames_per_joule(self.watts)
+    }
+}
+
+/// One column of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Column {
+    /// Application name.
+    pub app: String,
+    /// LUT utilization (percent of the target device).
+    pub lut_pct: f64,
+    /// FF utilization.
+    pub ff_pct: f64,
+    /// BRAM utilization.
+    pub bram_pct: f64,
+    /// Whole-SoC dynamic power in watts.
+    pub power_watts: f64,
+    /// ESP4ML frames/s (best configuration, p2p pipeline).
+    pub fps_esp4ml: f64,
+    /// Intel i7-8700K frames/s (software baseline model).
+    pub fps_i7: f64,
+    /// Jetson TX1 frames/s (software baseline model).
+    pub fps_jetson: f64,
+}
+
+/// Table I: summary of results using the best-case configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// The three application columns.
+    pub columns: Vec<Table1Column>,
+}
+
+impl Table1 {
+    /// The best-case configuration per column, as the paper's caption
+    /// states.
+    pub fn best_configs() -> [CaseApp; 3] {
+        [
+            CaseApp::NightVisionClassifier { nv: 4, cl: 4 },
+            CaseApp::DenoiserClassifier,
+            CaseApp::MultiTileClassifier,
+        ]
+    }
+
+    /// Generates the table by running each best-case configuration in p2p
+    /// mode over `frames` frames.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate(models: &TrainedModels, frames: u64) -> Result<Table1, ExperimentError> {
+        let flow = Esp4mlFlow::new();
+        let i7 = Platform::intel_i7_8700k();
+        let tx1 = Platform::jetson_tx1();
+        let workloads = Workload::table1_apps();
+        let mut columns = Vec::new();
+        for (app, (_, workload)) in Self::best_configs().iter().zip(workloads.iter()) {
+            let soc = app.build_soc(models)?;
+            let util = flow.utilization(&soc);
+            let power = flow.estimate_power(&soc).total_watts();
+            let run = AppRun::execute(app, models, frames, ExecMode::P2p)?;
+            columns.push(Table1Column {
+                app: app.app_name().to_string(),
+                lut_pct: util.lut_pct,
+                ff_pct: util.ff_pct,
+                bram_pct: util.bram_pct,
+                power_watts: power,
+                fps_esp4ml: run.metrics.frames_per_second(),
+                fps_i7: i7.frames_per_second(workload),
+                fps_jetson: tx1.frames_per_second(workload),
+            });
+        }
+        Ok(Table1 { columns })
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE I — SUMMARY OF RESULTS (BEST-CASE CONFIGURATION)")?;
+        write!(f, "{:<18}", "")?;
+        for c in &self.columns {
+            write!(f, "{:>24}", c.app.replace(" & ", "&"))?;
+        }
+        writeln!(f)?;
+        let row = |f: &mut fmt::Formatter<'_>,
+                   name: &str,
+                   vals: Vec<String>|
+         -> fmt::Result {
+            write!(f, "{name:<18}")?;
+            for v in vals {
+                write!(f, "{v:>24}")?;
+            }
+            writeln!(f)
+        };
+        row(
+            f,
+            "LUTS",
+            self.columns.iter().map(|c| format!("{:.0}%", c.lut_pct)).collect(),
+        )?;
+        row(
+            f,
+            "FFS",
+            self.columns.iter().map(|c| format!("{:.0}%", c.ff_pct)).collect(),
+        )?;
+        row(
+            f,
+            "BRAMS",
+            self.columns.iter().map(|c| format!("{:.0}%", c.bram_pct)).collect(),
+        )?;
+        row(
+            f,
+            "POWER (W)",
+            self.columns
+                .iter()
+                .map(|c| format!("{:.2}", c.power_watts))
+                .collect(),
+        )?;
+        row(
+            f,
+            "FRAMES/S ESP4ML",
+            self.columns
+                .iter()
+                .map(|c| format!("{:.0}", c.fps_esp4ml))
+                .collect(),
+        )?;
+        row(
+            f,
+            "FRAMES/S INTEL I7",
+            self.columns.iter().map(|c| format!("{:.0}", c.fps_i7)).collect(),
+        )?;
+        row(
+            f,
+            "FRAMES/S JETSON",
+            self.columns
+                .iter()
+                .map(|c| format!("{:.0}", c.fps_jetson))
+                .collect(),
+        )
+    }
+}
+
+/// One bar of Fig. 7: an execution mode of one accelerator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Bar {
+    /// Configuration label ("4NV+1Cl", …).
+    pub config: String,
+    /// Execution mode label ("base", "pipe", "p2p").
+    pub mode: String,
+    /// Absolute energy efficiency in frames/J.
+    pub frames_per_joule: f64,
+    /// Throughput in frames/s (context for the bar).
+    pub frames_per_second: f64,
+}
+
+/// One cluster of Fig. 7: an application with its configurations and the
+/// two baseline lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Cluster {
+    /// Application name.
+    pub app: String,
+    /// Bars, in (config, mode) order.
+    pub bars: Vec<Fig7Bar>,
+    /// The i7 horizontal line (frames/J).
+    pub i7_line: f64,
+    /// The Jetson horizontal line (frames/J).
+    pub jetson_line: f64,
+}
+
+/// Fig. 7: energy efficiency of ESP4ML execution modes vs CPU/GPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// The three application clusters.
+    pub clusters: Vec<Fig7Cluster>,
+}
+
+impl Fig7 {
+    /// Generates the figure data by running every configuration in every
+    /// mode over `frames` frames.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate(models: &TrainedModels, frames: u64) -> Result<Fig7, ExperimentError> {
+        let i7 = Platform::intel_i7_8700k();
+        let tx1 = Platform::jetson_tx1();
+        let apps = Workload::table1_apps();
+        let mut clusters: Vec<Fig7Cluster> = apps
+            .iter()
+            .map(|(name, w)| Fig7Cluster {
+                app: name.to_string(),
+                bars: Vec::new(),
+                i7_line: i7.frames_per_joule(w),
+                jetson_line: tx1.frames_per_joule(w),
+            })
+            .collect();
+        for app in CaseApp::all_fig7_configs() {
+            let cluster = clusters
+                .iter_mut()
+                .find(|c| c.app == app.app_name())
+                .expect("cluster exists");
+            for mode in ExecMode::ALL {
+                let run = AppRun::execute(&app, models, frames, mode)?;
+                cluster.bars.push(Fig7Bar {
+                    config: app.label(),
+                    mode: mode.label().to_string(),
+                    frames_per_joule: run.frames_per_joule(),
+                    frames_per_second: run.metrics.frames_per_second(),
+                });
+            }
+        }
+        Ok(Fig7 { clusters })
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FIG. 7 — ENERGY EFFICIENCY (frames/J), ESP4ML base/pipe/p2p vs baselines"
+        )?;
+        for c in &self.clusters {
+            writeln!(f, "\n[{}]", c.app)?;
+            writeln!(
+                f,
+                "  baseline lines: i7 8700K = {:.1} f/J, Jetson TX1 = {:.1} f/J",
+                c.i7_line, c.jetson_line
+            )?;
+            for bar in &c.bars {
+                writeln!(
+                    f,
+                    "  {:>10} {:>5}: {:>10.1} f/J  ({:>9.0} f/s)  [{:+.1}x vs i7, {:+.1}x vs Jetson]",
+                    bar.config,
+                    bar.mode,
+                    bar.frames_per_joule,
+                    bar.frames_per_second,
+                    bar.frames_per_joule / c.i7_line,
+                    bar.frames_per_joule / c.jetson_line,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One pair of Fig. 8 bars: DRAM accesses without and with p2p.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Application name.
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// DRAM word accesses without p2p (pipelined through memory).
+    pub accesses_no_p2p: u64,
+    /// DRAM word accesses with p2p.
+    pub accesses_p2p: u64,
+}
+
+impl Fig8Row {
+    /// The p2p bar normalized to the no-p2p bar (percent).
+    pub fn p2p_pct(&self) -> f64 {
+        if self.accesses_no_p2p == 0 {
+            return 0.0;
+        }
+        100.0 * self.accesses_p2p as f64 / self.accesses_no_p2p as f64
+    }
+
+    /// The reduction factor (no-p2p / p2p).
+    pub fn reduction(&self) -> f64 {
+        if self.accesses_p2p == 0 {
+            return 0.0;
+        }
+        self.accesses_no_p2p as f64 / self.accesses_p2p as f64
+    }
+}
+
+/// Fig. 8: relative number of DRAM accesses with and without p2p.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// One row per application.
+    pub rows: Vec<Fig8Row>,
+}
+
+impl Fig8 {
+    /// Generates the figure data over `frames` frames per application.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate(models: &TrainedModels, frames: u64) -> Result<Fig8, ExperimentError> {
+        let mut rows = Vec::new();
+        for app in Table1::best_configs() {
+            let no_p2p = AppRun::execute(&app, models, frames, ExecMode::Pipe)?;
+            let p2p = AppRun::execute(&app, models, frames, ExecMode::P2p)?;
+            rows.push(Fig8Row {
+                app: app.app_name().to_string(),
+                config: app.label(),
+                accesses_no_p2p: no_p2p.metrics.dram_accesses,
+                accesses_p2p: p2p.metrics.dram_accesses,
+            });
+        }
+        Ok(Fig8 { rows })
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FIG. 8 — DRAM ACCESSES, no-p2p vs p2p (normalized)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<26} ({:>9}): no-p2p 100% ({} words) | p2p {:>5.1}% ({} words) | {:.2}x reduction",
+                r.app,
+                r.config,
+                r.accesses_no_p2p,
+                r.p2p_pct(),
+                r.accesses_p2p,
+                r.reduction(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> TrainedModels {
+        TrainedModels::untrained()
+    }
+
+    #[test]
+    fn app_run_denoiser_classifier_p2p() {
+        let run = AppRun::execute(&CaseApp::DenoiserClassifier, &models(), 3, ExecMode::P2p)
+            .unwrap();
+        assert_eq!(run.metrics.frames, 3);
+        assert_eq!(run.predictions.len(), 3);
+        assert!(run.metrics.frames_per_second() > 0.0);
+        assert!(run.watts > 0.2);
+        assert!(run.predictions.iter().all(|&p| p < 10));
+    }
+
+    #[test]
+    fn app_run_multi_tile_all_modes_agree() {
+        let m = models();
+        let mut preds = Vec::new();
+        for mode in ExecMode::ALL {
+            let run =
+                AppRun::execute(&CaseApp::MultiTileClassifier, &m, 3, mode).unwrap();
+            preds.push(run.predictions.clone());
+        }
+        assert_eq!(preds[0], preds[1]);
+        assert_eq!(preds[1], preds[2]);
+    }
+
+    #[test]
+    fn fig8_shows_reduction_for_denoiser() {
+        let m = models();
+        let no_p2p =
+            AppRun::execute(&CaseApp::DenoiserClassifier, &m, 3, ExecMode::Pipe).unwrap();
+        let p2p =
+            AppRun::execute(&CaseApp::DenoiserClassifier, &m, 3, ExecMode::P2p).unwrap();
+        let row = Fig8Row {
+            app: "x".into(),
+            config: "y".into(),
+            accesses_no_p2p: no_p2p.metrics.dram_accesses,
+            accesses_p2p: p2p.metrics.dram_accesses,
+        };
+        assert!(
+            row.reduction() > 2.0 && row.reduction() < 3.5,
+            "reduction {:.2} outside the paper's 2-3x band",
+            row.reduction()
+        );
+    }
+
+    #[test]
+    fn night_vision_pipeline_runs_p2p() {
+        let run = AppRun::execute(
+            &CaseApp::NightVisionClassifier { nv: 2, cl: 2 },
+            &models(),
+            4,
+            ExecMode::P2p,
+        )
+        .unwrap();
+        assert_eq!(run.metrics.frames, 4);
+        // p2p carries the NV output directly: DRAM sees input + labels only.
+        let expected = 4 * 256 + 4 * 3;
+        assert_eq!(run.metrics.dram_accesses, expected);
+    }
+}
+
+/// The application-level accuracy experiment: how much classification
+/// accuracy the Night-Vision and Denoiser pre-processing stages recover,
+/// in float software and on the fixed-point SoC pipelines.
+///
+/// The paper motivates both pipelines qualitatively (dark/noisy street
+/// images are "significantly more laborious"); this report quantifies the
+/// mechanism end to end, including the HLS4ML quantization and the real
+/// accelerator datapath.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Samples evaluated per row.
+    pub n: u64,
+    /// Float classifier on clean images.
+    pub clean_float: f64,
+    /// Float classifier applied directly to darkened images.
+    pub dark_direct_float: f64,
+    /// Float Night-Vision + classifier on darkened images.
+    pub dark_nv_float: f64,
+    /// The on-SoC fixed-point NV + classifier p2p pipeline.
+    pub dark_soc_fixed: f64,
+    /// Float classifier applied directly to noisy images.
+    pub noisy_direct_float: f64,
+    /// Float denoiser + classifier on noisy images.
+    pub noisy_denoised_float: f64,
+    /// The on-SoC fixed-point denoiser + classifier p2p pipeline.
+    pub noisy_soc_fixed: f64,
+}
+
+impl AccuracyReport {
+    /// Generates the report over `n` samples (the SoC rows simulate `n`
+    /// frames each).
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate(models: &TrainedModels, n: u64) -> Result<AccuracyReport, ExperimentError> {
+        use esp4ml_baseline::SoftwareApp;
+        use esp4ml_nn::Matrix;
+
+        let app_sw = SoftwareApp::new(Some(models.classifier.clone()), Some(models.denoiser.clone()));
+        let classify_float = |image: &[f32]| -> usize {
+            let x = Matrix::from_vec(1, image.len(), image.to_vec());
+            models.classifier.predict_classes(&x)[0]
+        };
+
+        // Replicate the exact frame sequences the SoC runs see.
+        let nv_app = CaseApp::NightVisionClassifier { nv: 4, cl: 4 };
+        let de_app = CaseApp::DenoiserClassifier;
+
+        let mut hits = [0u64; 5]; // clean, dark-direct, dark-nv, noisy-direct, noisy-denoised
+        let mut gen_nv = SvhnGenerator::new(DATA_SEED);
+        let mut gen_de = SvhnGenerator::new(DATA_SEED);
+        for _ in 0..n {
+            let (dark, label_nv) = nv_app.input_frame(&mut gen_nv);
+            // The clean image is the darkened one un-scaled (darken is a
+            // pure multiplication by 0.25).
+            let clean: Vec<f32> = dark.iter().map(|&v| (v / 0.25).min(1.0)).collect();
+            if classify_float(&clean) == label_nv {
+                hits[0] += 1;
+            }
+            if classify_float(&dark) == label_nv {
+                hits[1] += 1;
+            }
+            if app_sw.night_vision_classify(&dark) == label_nv {
+                hits[2] += 1;
+            }
+            let (noisy, label_de) = de_app.input_frame(&mut gen_de);
+            if classify_float(&noisy) == label_de {
+                hits[3] += 1;
+            }
+            if app_sw.denoise_classify(&noisy) == label_de {
+                hits[4] += 1;
+            }
+        }
+        let frac = |h: u64| h as f64 / n as f64;
+
+        let soc_nv = AppRun::execute(&nv_app, models, n, ExecMode::P2p)?;
+        let soc_de = AppRun::execute(&de_app, models, n, ExecMode::P2p)?;
+
+        Ok(AccuracyReport {
+            n,
+            clean_float: frac(hits[0]),
+            dark_direct_float: frac(hits[1]),
+            dark_nv_float: frac(hits[2]),
+            dark_soc_fixed: soc_nv.accuracy(),
+            noisy_direct_float: frac(hits[3]),
+            noisy_denoised_float: frac(hits[4]),
+            noisy_soc_fixed: soc_de.accuracy(),
+        })
+    }
+}
+
+impl fmt::Display for AccuracyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "APPLICATION ACCURACY over {} samples", self.n)?;
+        let pct = |v: f64| format!("{:.1}%", 100.0 * v);
+        writeln!(f, "  clean images, float classifier:              {:>7}", pct(self.clean_float))?;
+        writeln!(f, "  darkened, float classifier (no NV):          {:>7}", pct(self.dark_direct_float))?;
+        writeln!(f, "  darkened, float NV + classifier:             {:>7}", pct(self.dark_nv_float))?;
+        writeln!(f, "  darkened, on-SoC fixed NV + classifier:      {:>7}", pct(self.dark_soc_fixed))?;
+        writeln!(f, "  noisy, float classifier (no denoiser):       {:>7}", pct(self.noisy_direct_float))?;
+        writeln!(f, "  noisy, float denoiser + classifier:          {:>7}", pct(self.noisy_denoised_float))?;
+        writeln!(f, "  noisy, on-SoC fixed denoiser + classifier:   {:>7}", pct(self.noisy_soc_fixed))
+    }
+}

@@ -1,0 +1,84 @@
+//! FPGA device database.
+
+use serde::{Deserialize, Serialize};
+
+/// An FPGA part: the denominator of Table I's utilization percentages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Part name.
+    pub name: String,
+    /// Available 6-input LUTs.
+    pub luts: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+    /// Available BRAM36 blocks.
+    pub bram36: u64,
+    /// Available DSP48 slices.
+    pub dsps: u64,
+    /// Device static power in watts (excluded from the paper's *dynamic*
+    /// power numbers but kept for completeness).
+    pub static_watts: f64,
+}
+
+impl FpgaDevice {
+    /// Creates a device entry.
+    pub fn new(
+        name: &str,
+        luts: u64,
+        ffs: u64,
+        bram36: u64,
+        dsps: u64,
+        static_watts: f64,
+    ) -> Self {
+        FpgaDevice {
+            name: name.to_string(),
+            luts,
+            ffs,
+            bram36,
+            dsps,
+            static_watts,
+        }
+    }
+
+    /// Xilinx Virtex Ultrascale+ XCVU9P (VCU118 board) — the "particularly
+    /// large FPGA" class of Ultrascale+ device the paper prototypes on.
+    pub fn xcvu9p() -> Self {
+        FpgaDevice::new("xcvu9p-flga2104", 1_182_240, 2_364_480, 2_160, 6_840, 3.0)
+    }
+
+    /// Xilinx Zynq Ultrascale+ XCZU9EG (ZCU102 board), a mid-size
+    /// Ultrascale+ alternative.
+    pub fn xczu9eg() -> Self {
+        FpgaDevice::new("xczu9eg-ffvb1156", 274_080, 548_160, 912, 2_520, 0.6)
+    }
+
+    /// Xilinx Virtex-7 XC7V2000T, the legacy ESP target (proFPGA systems).
+    pub fn xc7v2000t() -> Self {
+        FpgaDevice::new("xc7v2000t-flg1925", 1_221_600, 2_443_200, 1_292, 2_160, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_entries_are_plausible() {
+        let vu9p = FpgaDevice::xcvu9p();
+        assert_eq!(vu9p.ffs, 2 * vu9p.luts); // Ultrascale+ slice structure
+        let zu9 = FpgaDevice::xczu9eg();
+        assert!(zu9.luts < vu9p.luts);
+        assert!(zu9.dsps < vu9p.dsps);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            FpgaDevice::xcvu9p().name,
+            FpgaDevice::xczu9eg().name,
+            FpgaDevice::xc7v2000t().name,
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

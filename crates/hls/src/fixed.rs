@@ -1,0 +1,240 @@
+//! `ap_fixed<W, I>`-style fixed-point arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing a fixed-point specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FixedError {
+    /// Width constraints violated (`0 < int_bits <= total_bits <= 32`).
+    InvalidWidths {
+        /// Requested total width.
+        total_bits: u32,
+        /// Requested integer width.
+        int_bits: u32,
+    },
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::InvalidWidths {
+                total_bits,
+                int_bits,
+            } => write!(
+                f,
+                "invalid fixed-point widths: total {total_bits}, integer {int_bits}"
+            ),
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+/// A signed fixed-point format: `total_bits` wide with `int_bits` integer
+/// bits (sign included), i.e. Vivado HLS `ap_fixed<total_bits, int_bits>`.
+///
+/// Values are carried as raw `i64` with `total_bits - int_bits` fractional
+/// bits. All operations saturate (HLS4ML configures `AP_SAT` for inference
+/// datapaths) and round to nearest on quantization.
+///
+/// # Example
+///
+/// ```
+/// use esp4ml_hls::FixedSpec;
+/// let q = FixedSpec::HLS4ML_DEFAULT; // ap_fixed<16, 6>
+/// let raw = q.quantize(1.5);
+/// assert_eq!(q.dequantize(raw), 1.5);
+/// let prod = q.mul(q.quantize(0.5), q.quantize(3.0));
+/// assert!((q.dequantize(prod) - 1.5).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FixedSpec {
+    total_bits: u32,
+    int_bits: u32,
+}
+
+impl FixedSpec {
+    /// The HLS4ML default inference precision, `ap_fixed<16, 6>`.
+    pub const HLS4ML_DEFAULT: FixedSpec = FixedSpec {
+        total_bits: 16,
+        int_bits: 6,
+    };
+
+    /// Creates a specification.
+    ///
+    /// # Errors
+    ///
+    /// [`FixedError::InvalidWidths`] unless
+    /// `0 < int_bits <= total_bits <= 32`.
+    pub fn new(total_bits: u32, int_bits: u32) -> Result<Self, FixedError> {
+        if total_bits == 0 || total_bits > 32 || int_bits == 0 || int_bits > total_bits {
+            return Err(FixedError::InvalidWidths {
+                total_bits,
+                int_bits,
+            });
+        }
+        Ok(FixedSpec {
+            total_bits,
+            int_bits,
+        })
+    }
+
+    /// Total width in bits.
+    pub fn total_bits(self) -> u32 {
+        self.total_bits
+    }
+
+    /// Integer bits (sign included).
+    pub fn int_bits(self) -> u32 {
+        self.int_bits
+    }
+
+    /// Fractional bits.
+    pub fn frac_bits(self) -> u32 {
+        self.total_bits - self.int_bits
+    }
+
+    /// Largest representable raw value.
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest representable raw value.
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Quantizes a real value (round to nearest, saturate).
+    pub fn quantize(self, value: f64) -> i64 {
+        let scaled = (value * (1i64 << self.frac_bits()) as f64).round();
+        
+        if scaled >= self.max_raw() as f64 {
+            self.max_raw()
+        } else if scaled <= self.min_raw() as f64 {
+            self.min_raw()
+        } else {
+            scaled as i64
+        }
+    }
+
+    /// Converts a raw value back to a real number.
+    pub fn dequantize(self, raw: i64) -> f64 {
+        raw as f64 / (1i64 << self.frac_bits()) as f64
+    }
+
+    /// Saturating addition of two raw values.
+    pub fn add(self, a: i64, b: i64) -> i64 {
+        self.saturate(a + b)
+    }
+
+    /// Saturating multiplication of two raw values (the product is rescaled
+    /// back to this format, truncating like the HLS datapath does).
+    pub fn mul(self, a: i64, b: i64) -> i64 {
+        let wide = a as i128 * b as i128;
+        let rescaled = (wide >> self.frac_bits()) as i64;
+        self.saturate(rescaled)
+    }
+
+    /// Saturates an out-of-range raw value into the representable range.
+    pub fn saturate(self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+
+    /// The quantization step (value of one LSB).
+    pub fn resolution(self) -> f64 {
+        1.0 / (1i64 << self.frac_bits()) as f64
+    }
+}
+
+impl Default for FixedSpec {
+    fn default() -> Self {
+        FixedSpec::HLS4ML_DEFAULT
+    }
+}
+
+impl fmt::Display for FixedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ap_fixed<{}, {}>", self.total_bits, self.int_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_16_6() {
+        let q = FixedSpec::default();
+        assert_eq!(q.total_bits(), 16);
+        assert_eq!(q.int_bits(), 6);
+        assert_eq!(q.frac_bits(), 10);
+        assert_eq!(q.to_string(), "ap_fixed<16, 6>");
+    }
+
+    #[test]
+    fn invalid_widths_rejected() {
+        assert!(FixedSpec::new(0, 0).is_err());
+        assert!(FixedSpec::new(16, 0).is_err());
+        assert!(FixedSpec::new(16, 17).is_err());
+        assert!(FixedSpec::new(33, 6).is_err());
+        assert!(FixedSpec::new(8, 8).is_ok());
+    }
+
+    #[test]
+    fn quantize_roundtrip_exact_values() {
+        let q = FixedSpec::HLS4ML_DEFAULT;
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 31.0, -32.0] {
+            assert_eq!(q.dequantize(q.quantize(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = FixedSpec::HLS4ML_DEFAULT;
+        assert_eq!(q.quantize(1000.0), q.max_raw());
+        assert_eq!(q.quantize(-1000.0), q.min_raw());
+        assert!(q.dequantize(q.max_raw()) < 32.0);
+        assert_eq!(q.dequantize(q.min_raw()), -32.0);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let q = FixedSpec::HLS4ML_DEFAULT;
+        for i in -1000..1000 {
+            let v = i as f64 * 0.017;
+            if v.abs() < 31.0 {
+                let err = (q.dequantize(q.quantize(v)) - v).abs();
+                assert!(err <= q.resolution() / 2.0 + 1e-12, "v={v} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_real_arithmetic_within_resolution() {
+        let q = FixedSpec::HLS4ML_DEFAULT;
+        let a = 1.625;
+        let b = -2.375;
+        let prod = q.dequantize(q.mul(q.quantize(a), q.quantize(b)));
+        assert!((prod - a * b).abs() <= 2.0 * q.resolution());
+    }
+
+    #[test]
+    fn add_saturates() {
+        let q = FixedSpec::HLS4ML_DEFAULT;
+        let big = q.quantize(31.9);
+        assert_eq!(q.add(big, big), q.max_raw());
+        let small = q.quantize(-31.9);
+        assert_eq!(q.add(small, small), q.min_raw());
+    }
+
+    #[test]
+    fn narrow_format_behaves() {
+        let q = FixedSpec::new(8, 4).unwrap();
+        assert_eq!(q.dequantize(q.quantize(2.5)), 2.5);
+        assert_eq!(q.quantize(100.0), q.max_raw());
+        assert_eq!(q.resolution(), 1.0 / 16.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Resource-proportional dynamic-power estimation.
+
+use crate::Resources;
+use serde::{Deserialize, Serialize};
+
+/// A dynamic-power estimate for an SoC, broken down by contributor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimate {
+    /// Logic (LUT + FF) dynamic power in watts.
+    pub logic_watts: f64,
+    /// BRAM dynamic power in watts.
+    pub bram_watts: f64,
+    /// DSP dynamic power in watts.
+    pub dsp_watts: f64,
+    /// Clock-tree, NoC and platform infrastructure power in watts.
+    pub infrastructure_watts: f64,
+}
+
+impl PowerEstimate {
+    /// Total dynamic power in watts.
+    pub fn total_watts(&self) -> f64 {
+        self.logic_watts + self.bram_watts + self.dsp_watts + self.infrastructure_watts
+    }
+}
+
+/// The analog of the Vivado vector-less power report: dynamic power as a
+/// function of resource usage, clock frequency and an activity factor.
+///
+/// The paper reports the *average dynamic power for the whole SoC* as
+/// estimated by Vivado (1.70 W and 0.98 W for its two SoCs); this model is
+/// calibrated so that SoC-scale designs on an Ultrascale+ at 78 MHz land in
+/// that range. Coefficients are per-resource energy at 100 MHz with
+/// activity 0.125 (Vivado's default toggle rate), scaled linearly in both.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Watts per LUT at the reference frequency and activity.
+    pub watts_per_lut: f64,
+    /// Watts per flip-flop.
+    pub watts_per_ff: f64,
+    /// Watts per BRAM36.
+    pub watts_per_bram: f64,
+    /// Watts per DSP48.
+    pub watts_per_dsp: f64,
+    /// Baseline infrastructure power (clock tree, I/O, memory controller)
+    /// in watts, independent of design size.
+    pub infrastructure_watts: f64,
+    /// Reference clock frequency in MHz for the per-resource coefficients.
+    pub reference_mhz: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            watts_per_lut: 0.95e-6,
+            watts_per_ff: 0.29e-6,
+            watts_per_bram: 3.0e-4,
+            watts_per_dsp: 2.3e-4,
+            infrastructure_watts: 0.50,
+            reference_mhz: 100.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Estimates dynamic power for a design using `resources` clocked at
+    /// `clock_mhz` with the given switching-activity factor relative to
+    /// Vivado's default (1.0 = default toggle rates).
+    pub fn estimate(
+        &self,
+        resources: Resources,
+        clock_mhz: f64,
+        activity: f64,
+    ) -> PowerEstimate {
+        let f = clock_mhz / self.reference_mhz * activity;
+        PowerEstimate {
+            logic_watts: (resources.luts as f64 * self.watts_per_lut
+                + resources.ffs as f64 * self.watts_per_ff)
+                * f,
+            bram_watts: resources.brams as f64 * self.watts_per_bram * f,
+            dsp_watts: resources.dsps as f64 * self.watts_per_dsp * f,
+            infrastructure_watts: self.infrastructure_watts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let m = PowerModel::default();
+        let r = Resources::new(100_000, 150_000, 500, 1000);
+        let slow = m.estimate(r, 50.0, 1.0);
+        let fast = m.estimate(r, 100.0, 1.0);
+        assert!(
+            (fast.logic_watts - 2.0 * slow.logic_watts).abs() < 1e-9,
+            "logic power should scale linearly with clock"
+        );
+        // Infrastructure does not scale.
+        assert_eq!(fast.infrastructure_watts, slow.infrastructure_watts);
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let m = PowerModel::default();
+        let r = Resources::new(10_000, 10_000, 10, 10);
+        let idle = m.estimate(r, 78.0, 0.5);
+        let busy = m.estimate(r, 78.0, 1.0);
+        assert!(busy.total_watts() > idle.total_watts());
+    }
+
+    #[test]
+    fn soc_scale_design_lands_near_paper_range() {
+        // A design the size of the paper's SoC-1 (48% LUTs etc. of a VU9P).
+        let m = PowerModel::default();
+        let r = Resources::new(567_000, 567_000, 1_231, 2_500);
+        let p = m.estimate(r, 78.0, 1.0).total_watts();
+        assert!(p > 1.0 && p < 2.5, "SoC-1-scale power {p:.2} W out of range");
+    }
+
+    #[test]
+    fn zero_design_is_infrastructure_only() {
+        let m = PowerModel::default();
+        let p = m.estimate(Resources::zero(), 78.0, 1.0);
+        assert_eq!(p.total_watts(), m.infrastructure_watts);
+    }
+}

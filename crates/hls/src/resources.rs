@@ -1,0 +1,174 @@
+//! FPGA resource accounting.
+
+use crate::FpgaDevice;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// FPGA resource usage: look-up tables, flip-flops, block RAMs and DSP
+/// slices. These are the four columns Vivado reports and the paper's
+/// Table I summarizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resources {
+    /// 6-input look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM36 blocks (a BRAM18 counts as half, rounded up by producers).
+    pub brams: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+}
+
+impl Resources {
+    /// Creates a resource vector.
+    pub const fn new(luts: u64, ffs: u64, brams: u64, dsps: u64) -> Self {
+        Resources {
+            luts,
+            ffs,
+            brams,
+            dsps,
+        }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        Resources::new(0, 0, 0, 0)
+    }
+
+    /// Utilization of this vector against a device.
+    pub fn utilization(&self, device: &FpgaDevice) -> Utilization {
+        let pct = |used: u64, avail: u64| {
+            if avail == 0 {
+                0.0
+            } else {
+                100.0 * used as f64 / avail as f64
+            }
+        };
+        Utilization {
+            lut_pct: pct(self.luts, device.luts),
+            ff_pct: pct(self.ffs, device.ffs),
+            bram_pct: pct(self.brams, device.bram36),
+            dsp_pct: pct(self.dsps, device.dsps),
+        }
+    }
+
+    /// Whether this usage fits within a device.
+    pub fn fits(&self, device: &FpgaDevice) -> bool {
+        self.luts <= device.luts
+            && self.ffs <= device.ffs
+            && self.brams <= device.bram36
+            && self.dsps <= device.dsps
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: u64) -> Resources {
+        Resources {
+            luts: self.luts * k,
+            ffs: self.ffs * k,
+            brams: self.brams * k,
+            dsps: self.dsps * k,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::zero(), Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT, {} FF, {} BRAM, {} DSP",
+            self.luts, self.ffs, self.brams, self.dsps
+        )
+    }
+}
+
+/// Utilization percentages against a specific device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// LUT utilization in percent.
+    pub lut_pct: f64,
+    /// FF utilization in percent.
+    pub ff_pct: f64,
+    /// BRAM utilization in percent.
+    pub bram_pct: f64,
+    /// DSP utilization in percent.
+    pub dsp_pct: f64,
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}% LUT, {:.0}% FF, {:.0}% BRAM, {:.0}% DSP",
+            self.lut_pct, self.ff_pct, self.bram_pct, self.dsp_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(10, 20, 2, 4);
+        let b = Resources::new(1, 2, 3, 4);
+        assert_eq!(a + b, Resources::new(11, 22, 5, 8));
+        assert_eq!(a * 3, Resources::new(30, 60, 6, 12));
+        let sum: Resources = vec![a, b, b].into_iter().sum();
+        assert_eq!(sum, Resources::new(12, 24, 8, 12));
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let dev = FpgaDevice::new("test", 1000, 2000, 100, 50, 0.5);
+        let r = Resources::new(480, 480, 57, 10);
+        let u = r.utilization(&dev);
+        assert!((u.lut_pct - 48.0).abs() < 1e-9);
+        assert!((u.ff_pct - 24.0).abs() < 1e-9);
+        assert!((u.bram_pct - 57.0).abs() < 1e-9);
+        assert!((u.dsp_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_checks_every_axis() {
+        let dev = FpgaDevice::new("t", 100, 100, 10, 10, 0.1);
+        assert!(Resources::new(100, 100, 10, 10).fits(&dev));
+        assert!(!Resources::new(101, 0, 0, 0).fits(&dev));
+        assert!(!Resources::new(0, 0, 11, 0).fits(&dev));
+    }
+
+    #[test]
+    fn zero_device_axis_is_zero_pct() {
+        let dev = FpgaDevice::new("t", 100, 100, 0, 10, 0.1);
+        let u = Resources::new(1, 1, 1, 1).utilization(&dev);
+        assert_eq!(u.bram_pct, 0.0);
+    }
+}

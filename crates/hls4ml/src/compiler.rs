@@ -1,0 +1,246 @@
+//! The compilation entry points.
+
+use crate::{CompiledNn, Hls4mlConfig, QuantizedDense};
+use esp4ml_nn::{LayerSpec, ModelFile, Sequential};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Errors raised by the HLS4ML-analog compiler.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The model has no dense layers.
+    EmptyModel,
+    /// A per-layer reuse list does not match the dense-layer count.
+    ReuseListMismatch {
+        /// Entries provided.
+        provided: usize,
+        /// Dense layers in the model.
+        layers: usize,
+    },
+    /// A reuse factor of zero was requested.
+    ZeroReuse,
+    /// Failure loading the model files.
+    Model(esp4ml_nn::SerializeError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyModel => f.write_str("model has no dense layers"),
+            CompileError::ReuseListMismatch { provided, layers } => write!(
+                f,
+                "per-layer reuse list has {provided} entries for {layers} dense layers"
+            ),
+            CompileError::ZeroReuse => f.write_str("reuse factor must be at least 1"),
+            CompileError::Model(e) => write!(f, "model load failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<esp4ml_nn::SerializeError> for CompileError {
+    fn from(e: esp4ml_nn::SerializeError) -> Self {
+        CompileError::Model(e)
+    }
+}
+
+/// The HLS4ML-analog compiler.
+///
+/// "We encapsulated HLS4ML into a fully automated design flow that takes an
+/// ML application developed with Keras TensorFlow and the reuse factor
+/// parameter [...] and returns an accelerator that can be integrated within
+/// a complete SoC" (paper, §I contribution 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hls4mlCompiler;
+
+impl Hls4mlCompiler {
+    /// Compiles a trained model into a fixed-point accelerator.
+    ///
+    /// Dropout and noise layers are inference-time no-ops and are dropped,
+    /// exactly as Keras/HLS4ML drop them when exporting for inference.
+    /// Per-layer reuse factors are clamped to each layer's multiplier
+    /// count (HLS4ML cannot reuse a multiplier more times than there are
+    /// multiplications).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(
+        model: &Sequential,
+        config: &Hls4mlConfig,
+    ) -> Result<CompiledNn, CompileError> {
+        if config.reuse_factor == 0 {
+            return Err(CompileError::ZeroReuse);
+        }
+        let dense = model.dense_layers();
+        if dense.is_empty() {
+            return Err(CompileError::EmptyModel);
+        }
+        if let Some(list) = &config.per_layer_reuse {
+            if list.len() != dense.len() {
+                return Err(CompileError::ReuseListMismatch {
+                    provided: list.len(),
+                    layers: dense.len(),
+                });
+            }
+            if list.contains(&0) {
+                return Err(CompileError::ZeroReuse);
+            }
+        }
+        // Sanity: specs other than dense are inference no-ops.
+        debug_assert!(model
+            .specs()
+            .iter()
+            .all(|s| matches!(
+                s,
+                LayerSpec::Dense { .. } | LayerSpec::Dropout { .. } | LayerSpec::GaussianNoise { .. }
+            )));
+
+        let layers: Vec<QuantizedDense> = dense
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let ops = (l.n_in() * l.n_out()) as u64;
+                let reuse = config.reuse_for_layer(i).min(ops);
+                QuantizedDense::quantize(
+                    l.weights.as_slice(),
+                    &l.bias,
+                    l.n_in(),
+                    l.n_out(),
+                    l.activation,
+                    config.precision,
+                    reuse,
+                )
+            })
+            .collect();
+        Ok(CompiledNn::new(config.name.clone(), layers, config.precision))
+    }
+
+    /// Compiles directly from the serialized `(model.json, weights)` pair —
+    /// the exact interface of Fig. 3 in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-loading failures and [`Hls4mlCompiler::compile`]
+    /// errors.
+    pub fn compile_files(
+        topology: &Path,
+        weights: &Path,
+        config: &Hls4mlConfig,
+    ) -> Result<CompiledNn, CompileError> {
+        let model = ModelFile::load(topology, weights)?;
+        Self::compile(&model, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp4ml_nn::{Activation, Matrix};
+
+    fn model() -> Sequential {
+        let mut m = Sequential::with_seed(8, 21);
+        m.push(LayerSpec::dense(16, Activation::Relu));
+        m.push(LayerSpec::Dropout { rate: 0.2 });
+        m.push(LayerSpec::dense(4, Activation::Softmax));
+        m
+    }
+
+    #[test]
+    fn compile_produces_matching_dims() {
+        let acc = Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(4)).unwrap();
+        assert_eq!(acc.input_dim(), 8);
+        assert_eq!(acc.output_dim(), 4);
+        assert_eq!(acc.layers().len(), 2); // dropout dropped
+    }
+
+    #[test]
+    fn quantized_network_tracks_float_network() {
+        let m = model();
+        let acc = Hls4mlCompiler::compile(&m, &Hls4mlConfig::with_reuse(1)).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) * 0.2).collect();
+        let float_out = m.forward(&Matrix::from_vec(1, 8, x.clone()));
+        let fixed_out = acc.infer(&x);
+        // Compare argmax (softmax vs logits both argmax-stable).
+        let argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(argmax(float_out.row(0)), argmax(&fixed_out));
+    }
+
+    #[test]
+    fn reuse_is_clamped_to_ops() {
+        let acc =
+            Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(1_000_000)).unwrap();
+        // Layer 1 has 16*4 = 64 ops; its reuse must be clamped there.
+        assert_eq!(acc.layers()[1].reuse(), 64);
+        assert_eq!(acc.layers()[0].reuse(), 8 * 16);
+    }
+
+    #[test]
+    fn per_layer_reuse_must_match() {
+        let cfg = Hls4mlConfig::with_reuse(4).with_per_layer_reuse(vec![2]);
+        let err = Hls4mlCompiler::compile(&model(), &cfg).unwrap_err();
+        assert!(matches!(err, CompileError::ReuseListMismatch { .. }));
+    }
+
+    #[test]
+    fn zero_reuse_rejected() {
+        assert!(matches!(
+            Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(0)),
+            Err(CompileError::ZeroReuse)
+        ));
+        let cfg = Hls4mlConfig::with_reuse(4).with_per_layer_reuse(vec![1, 0]);
+        assert!(matches!(
+            Hls4mlCompiler::compile(&model(), &cfg),
+            Err(CompileError::ZeroReuse)
+        ));
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let m = Sequential::new(8);
+        assert!(matches!(
+            Hls4mlCompiler::compile(&m, &Hls4mlConfig::default()),
+            Err(CompileError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn compile_files_roundtrip() {
+        let dir = std::env::temp_dir().join("esp4ml_hls4ml_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = dir.join("model.json");
+        let weights = dir.join("model.espw");
+        let m = model();
+        ModelFile::save(&m, &topo, &weights).unwrap();
+        let acc =
+            Hls4mlCompiler::compile_files(&topo, &weights, &Hls4mlConfig::with_reuse(8))
+                .unwrap();
+        let direct = Hls4mlCompiler::compile(&m, &Hls4mlConfig::with_reuse(8)).unwrap();
+        let x = vec![0.1f32; 8];
+        assert_eq!(acc.infer(&x), direct.infer(&x));
+    }
+
+    #[test]
+    fn higher_reuse_uses_fewer_resources() {
+        let fast = Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(1)).unwrap();
+        let slow = Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(64)).unwrap();
+        assert!(fast.resources().dsps > slow.resources().dsps);
+        assert!(fast.initiation_interval() < slow.initiation_interval());
+    }
+}

@@ -1,0 +1,84 @@
+//! Compiler configuration.
+
+use esp4ml_hls::FixedSpec;
+use serde::{Deserialize, Serialize};
+
+/// Tuning inputs of the HLS4ML stage: precision and reuse factor.
+///
+/// The reuse factor is "a single configuration parameter that specifies the
+/// number of times a multiplier is used in the computation of a layer of
+/// neurons" (paper, §II). A global value applies to every layer unless a
+/// per-layer override is given; each layer clamps the value to its own
+/// multiplier count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hls4mlConfig {
+    /// Fixed-point format of weights, activations and accumulating
+    /// datapath output.
+    pub precision: FixedSpec,
+    /// Global reuse factor.
+    pub reuse_factor: u64,
+    /// Optional per-dense-layer reuse factors (overrides the global one;
+    /// must match the number of dense layers when present).
+    pub per_layer_reuse: Option<Vec<u64>>,
+    /// Name given to the generated accelerator IP.
+    pub name: String,
+}
+
+impl Hls4mlConfig {
+    /// Default configuration with the given global reuse factor.
+    pub fn with_reuse(reuse_factor: u64) -> Self {
+        Hls4mlConfig {
+            precision: FixedSpec::HLS4ML_DEFAULT,
+            reuse_factor,
+            per_layer_reuse: None,
+            name: "hls4ml_acc".to_string(),
+        }
+    }
+
+    /// Sets the IP name (builder style).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Sets per-layer reuse factors (builder style).
+    pub fn with_per_layer_reuse(mut self, reuse: Vec<u64>) -> Self {
+        self.per_layer_reuse = Some(reuse);
+        self
+    }
+
+    /// The reuse factor for dense layer `i`.
+    pub fn reuse_for_layer(&self, i: usize) -> u64 {
+        self.per_layer_reuse
+            .as_ref()
+            .and_then(|v| v.get(i).copied())
+            .unwrap_or(self.reuse_factor)
+    }
+}
+
+impl Default for Hls4mlConfig {
+    fn default() -> Self {
+        Hls4mlConfig::with_reuse(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_layer_overrides_global() {
+        let c = Hls4mlConfig::with_reuse(64).with_per_layer_reuse(vec![8, 16]);
+        assert_eq!(c.reuse_for_layer(0), 8);
+        assert_eq!(c.reuse_for_layer(1), 16);
+        // Missing entries fall back to the global factor.
+        assert_eq!(c.reuse_for_layer(2), 64);
+    }
+
+    #[test]
+    fn builder_name() {
+        let c = Hls4mlConfig::default().named("classifier");
+        assert_eq!(c.name, "classifier");
+        assert_eq!(c.reuse_factor, 64);
+    }
+}

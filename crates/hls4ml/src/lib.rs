@@ -1,0 +1,53 @@
+//! The HLS4ML-analog compiler: trained models → SoC-ready accelerators.
+//!
+//! HLS4ML translates a trained Keras/PyTorch/ONNX model (a JSON topology
+//! plus an HDF5 weight file) into a C++ accelerator specification that
+//! Vivado HLS synthesizes for FPGAs, with a single parallelization knob —
+//! the **reuse factor** — balancing latency, initiation interval and
+//! resource usage. The ESP4ML flow wraps that compiler so that the
+//! generated accelerator drops into an ESP tile unmodified.
+//!
+//! This crate reproduces the compiler stage:
+//!
+//! * [`Hls4mlConfig`] — precision (`ap_fixed<16,6>` by default) and reuse
+//!   factor, exactly the tuning inputs of Fig. 3 in the paper.
+//! * [`Hls4mlCompiler::compile`] — ingests an [`esp4ml_nn::Sequential`]
+//!   model (or its serialized `model.json`/weights pair), quantizes weights
+//!   to fixed point, schedules each layer through the
+//!   [`esp4ml_hls::DenseLayerHls`] model, and emits a [`CompiledNn`].
+//! * [`CompiledNn`] — a behavioural fixed-point inference engine with the
+//!   HLS latency/II/resource report attached; the `esp4ml-soc` crate wraps
+//!   it into an accelerator tile.
+//! * [`AcceleratorDescriptor`] — the `acc.xml` analog: the register list
+//!   and metadata the ESP integration flow needs.
+//!
+//! # Example
+//!
+//! ```
+//! use esp4ml_nn::{Sequential, LayerSpec, Activation};
+//! use esp4ml_hls4ml::{Hls4mlCompiler, Hls4mlConfig};
+//!
+//! # fn main() -> Result<(), esp4ml_hls4ml::CompileError> {
+//! let mut model = Sequential::new(16);
+//! model.push(LayerSpec::dense(8, Activation::Relu));
+//! model.push(LayerSpec::dense(4, Activation::Softmax));
+//! let acc = Hls4mlCompiler::compile(&model, &Hls4mlConfig::with_reuse(8))?;
+//! let out = acc.infer(&vec![0.1; 16]);
+//! assert_eq!(out.len(), 4);
+//! assert!(acc.initiation_interval() >= 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiler;
+mod config;
+mod descriptor;
+mod quantized;
+
+pub use compiler::{CompileError, Hls4mlCompiler};
+pub use config::Hls4mlConfig;
+pub use descriptor::{AcceleratorDescriptor, RegisterDesc};
+pub use quantized::{CompiledNn, QuantizedDense};

@@ -1,0 +1,375 @@
+//! The compiled fixed-point accelerator: behavioural model + HLS report.
+
+use esp4ml_hls::{DenseLayerHls, FixedSpec, HlsEstimate, Resources};
+use esp4ml_nn::Activation;
+use serde::{Deserialize, Serialize};
+
+/// One quantized dense layer of a compiled network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedDense {
+    n_in: usize,
+    n_out: usize,
+    /// Row-major `n_in x n_out` weights as raw fixed-point values.
+    weights: Vec<i64>,
+    /// Raw fixed-point biases.
+    bias: Vec<i64>,
+    activation: Activation,
+    spec: FixedSpec,
+    reuse: u64,
+}
+
+impl QuantizedDense {
+    /// Quantizes a float layer.
+    pub(crate) fn quantize(
+        weights: &[f32],
+        bias: &[f32],
+        n_in: usize,
+        n_out: usize,
+        activation: Activation,
+        spec: FixedSpec,
+        reuse: u64,
+    ) -> Self {
+        QuantizedDense {
+            n_in,
+            n_out,
+            weights: weights.iter().map(|&w| spec.quantize(w as f64)).collect(),
+            bias: bias.iter().map(|&b| spec.quantize(b as f64)).collect(),
+            activation,
+            spec,
+            reuse,
+        }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output dimension.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Effective reuse factor (after clamping to the op count).
+    pub fn reuse(&self) -> u64 {
+        self.reuse
+    }
+
+    /// The fixed-point format.
+    pub fn spec(&self) -> FixedSpec {
+        self.spec
+    }
+
+    /// The HLS scheduling model of this layer.
+    pub fn hls_model(&self) -> DenseLayerHls {
+        DenseLayerHls::new(self.n_in as u64, self.n_out as u64, self.reuse, self.spec)
+    }
+
+    /// Fixed-point forward pass on raw values.
+    ///
+    /// The multiply-accumulate runs at full precision (as the HLS datapath
+    /// does with a wide accumulator) and the result is rescaled, saturated
+    /// and activated in the layer's own format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n_in`.
+    pub fn forward_fixed(&self, input: &[i64]) -> Vec<i64> {
+        assert_eq!(input.len(), self.n_in, "input width mismatch");
+        let frac = self.spec.frac_bits();
+        let mut out = Vec::with_capacity(self.n_out);
+        for j in 0..self.n_out {
+            // Wide accumulator: i128 cannot overflow for any realistic layer.
+            let mut acc: i128 = (self.bias[j] as i128) << frac;
+            for (i, &x) in input.iter().enumerate() {
+                acc += x as i128 * self.weights[i * self.n_out + j] as i128;
+            }
+            let raw = self.spec.saturate((acc >> frac) as i64);
+            out.push(self.apply_activation(raw));
+        }
+        out
+    }
+
+    fn apply_activation(&self, raw: i64) -> i64 {
+        match self.activation {
+            Activation::Linear => raw,
+            // Softmax is monotone; HLS4ML computes it with a LUT only when
+            // calibrated probabilities are needed. For argmax-consuming
+            // pipelines the logits pass through unchanged, which preserves
+            // the classification decision exactly.
+            Activation::Softmax => raw,
+            Activation::Relu => raw.max(0),
+            Activation::Sigmoid => {
+                // Piecewise LUT evaluation, as HLS4ML generates: the float
+                // sigmoid of the dequantized value, re-quantized.
+                let x = self.spec.dequantize(raw);
+                self.spec.quantize(1.0 / (1.0 + (-x).exp()))
+            }
+            Activation::Tanh => {
+                let x = self.spec.dequantize(raw);
+                self.spec.quantize(x.tanh())
+            }
+        }
+    }
+}
+
+/// A compiled neural-network accelerator: the output of the HLS4ML stage.
+///
+/// Functionally it is a fixed-point inference engine; architecturally it
+/// carries the per-layer HLS reports that the SoC integration flow uses for
+/// floorplanning (resources) and that the simulator uses for timing
+/// (latency, initiation interval).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledNn {
+    name: String,
+    layers: Vec<QuantizedDense>,
+    spec: FixedSpec,
+}
+
+impl CompiledNn {
+    pub(crate) fn new(name: String, layers: Vec<QuantizedDense>, spec: FixedSpec) -> Self {
+        assert!(!layers.is_empty(), "compiled network needs layers");
+        CompiledNn { name, layers, spec }
+    }
+
+    /// The IP name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fixed-point format.
+    pub fn spec(&self) -> FixedSpec {
+        self.spec
+    }
+
+    /// The quantized layers.
+    pub fn layers(&self) -> &[QuantizedDense] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").n_in()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").n_out()
+    }
+
+    /// Fixed-point inference on raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim()`.
+    pub fn infer_fixed(&self, input: &[i64]) -> Vec<i64> {
+        let mut a = input.to_vec();
+        for layer in &self.layers {
+            a = layer.forward_fixed(&a);
+        }
+        a
+    }
+
+    /// Float-in/float-out inference (quantizes the input, dequantizes the
+    /// output) — the view the application software has of the accelerator.
+    pub fn infer(&self, input: &[f32]) -> Vec<f32> {
+        let raw: Vec<i64> = input.iter().map(|&v| self.spec.quantize(v as f64)).collect();
+        self.infer_fixed(&raw)
+            .into_iter()
+            .map(|r| self.spec.dequantize(r) as f32)
+            .collect()
+    }
+
+    /// Argmax class of a single input (classifier convenience).
+    pub fn classify(&self, input: &[f32]) -> usize {
+        let out = self.infer(input);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .expect("non-empty output")
+    }
+
+    /// Per-layer HLS reports.
+    pub fn layer_estimates(&self) -> Vec<HlsEstimate> {
+        self.layers.iter().map(|l| l.hls_model().estimate()).collect()
+    }
+
+    /// End-to-end latency: the layers run as an HLS dataflow pipeline, so
+    /// one invocation takes the sum of layer latencies.
+    pub fn latency(&self) -> u64 {
+        self.layer_estimates().iter().map(|e| e.latency).sum()
+    }
+
+    /// Initiation interval: the slowest dataflow stage dominates.
+    pub fn initiation_interval(&self) -> u64 {
+        self.layer_estimates()
+            .iter()
+            .map(|e| e.initiation_interval)
+            .max()
+            .expect("non-empty")
+    }
+
+    /// Total resource usage.
+    pub fn resources(&self) -> Resources {
+        self.layer_estimates().iter().map(|e| e.resources).sum()
+    }
+
+    /// The aggregate HLS report.
+    pub fn estimate(&self) -> HlsEstimate {
+        HlsEstimate {
+            latency: self.latency(),
+            initiation_interval: self.initiation_interval(),
+            resources: self.resources(),
+        }
+    }
+
+    /// Splits the network into one single-layer accelerator per dense
+    /// layer — the paper's *multi-tile (partitioned) classifier*, where the
+    /// computation is distributed across five accelerator tiles that
+    /// communicate over the NoC.
+    pub fn split_layers(&self) -> Vec<CompiledNn> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| CompiledNn {
+                name: format!("{}_l{}", self.name, i),
+                layers: vec![l.clone()],
+                spec: self.spec,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_layer(n: usize, spec: FixedSpec) -> QuantizedDense {
+        let mut w = vec![0.0f32; n * n];
+        for i in 0..n {
+            w[i * n + i] = 1.0;
+        }
+        QuantizedDense::quantize(&w, &vec![0.0; n], n, n, Activation::Linear, spec, 1)
+    }
+
+    #[test]
+    fn identity_layer_passes_values() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let l = identity_layer(4, spec);
+        let x: Vec<i64> = [1.0, -2.0, 0.5, 3.25]
+            .iter()
+            .map(|&v| spec.quantize(v))
+            .collect();
+        assert_eq!(l.forward_fixed(&x), x);
+    }
+
+    #[test]
+    fn relu_layer_clamps() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let mut l = identity_layer(2, spec);
+        l.activation = Activation::Relu;
+        let x = vec![spec.quantize(-1.0), spec.quantize(2.0)];
+        assert_eq!(l.forward_fixed(&x), vec![0, spec.quantize(2.0)]);
+    }
+
+    #[test]
+    fn sigmoid_layer_matches_float_sigmoid() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let mut l = identity_layer(1, spec);
+        l.activation = Activation::Sigmoid;
+        let y = l.forward_fixed(&[spec.quantize(0.0)]);
+        assert!((spec.dequantize(y[0]) - 0.5).abs() < spec.resolution() * 2.0);
+    }
+
+    #[test]
+    fn tanh_layer_matches_float_tanh() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let mut l = identity_layer(1, spec);
+        l.activation = Activation::Tanh;
+        for v in [-2.0f64, -0.5, 0.0, 0.5, 2.0] {
+            let y = l.forward_fixed(&[spec.quantize(v)]);
+            let got = spec.dequantize(y[0]);
+            assert!(
+                (got - v.tanh()).abs() < 4.0 * spec.resolution(),
+                "tanh({v}) = {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_does_not_overflow_on_wide_layers() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let n = 1024;
+        let w = vec![0.03f32; n]; // single output neuron
+        let l = QuantizedDense::quantize(&w, &[0.0], n, 1, Activation::Linear, spec, 1);
+        let x = vec![spec.quantize(1.0); n];
+        let y = l.forward_fixed(&x);
+        // True sum 1024 * 0.03 ≈ 30.72, near the top of ap_fixed<16,6>.
+        let v = spec.dequantize(y[0]);
+        assert!((v - 30.72).abs() < 0.5, "got {v}");
+    }
+
+    #[test]
+    fn saturation_on_overflowing_sum() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let n = 64;
+        let w = vec![1.0f32; n];
+        let l = QuantizedDense::quantize(&w, &[0.0], n, 1, Activation::Linear, spec, 1);
+        let x = vec![spec.quantize(1.0); n];
+        // True sum is 64, above the ap_fixed<16,6> max of ~32: must saturate.
+        assert_eq!(l.forward_fixed(&x)[0], spec.max_raw());
+    }
+
+    #[test]
+    fn split_layers_composes_to_same_function() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let l1 = identity_layer(3, spec);
+        let mut l2 = identity_layer(3, spec);
+        l2.activation = Activation::Relu;
+        let nn = CompiledNn::new("t".into(), vec![l1, l2], spec);
+        let parts = nn.split_layers();
+        assert_eq!(parts.len(), 2);
+        let x = vec![0.5f32, -0.25, 1.0];
+        let direct = nn.infer(&x);
+        let mut staged = x.clone();
+        for p in &parts {
+            staged = p.infer(&staged);
+        }
+        assert_eq!(direct, staged);
+    }
+
+    #[test]
+    fn pipeline_ii_is_max_layer_ii() {
+        let spec = FixedSpec::HLS4ML_DEFAULT;
+        let a = QuantizedDense::quantize(
+            &vec![0.0; 16 * 8],
+            &[0.0; 8],
+            16,
+            8,
+            Activation::Relu,
+            spec,
+            32,
+        );
+        let b = QuantizedDense::quantize(
+            &[0.0; 8 * 4],
+            &[0.0; 4],
+            8,
+            4,
+            Activation::Softmax,
+            spec,
+            8,
+        );
+        let nn = CompiledNn::new("t".into(), vec![a, b], spec);
+        assert_eq!(nn.initiation_interval(), 32);
+        assert_eq!(
+            nn.latency(),
+            nn.layer_estimates().iter().map(|e| e.latency).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Private local memory (PLM) of an accelerator tile.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of a PLM instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlmConfig {
+    /// Total capacity in 64-bit words.
+    pub size_words: u64,
+    /// Number of banks; words are interleaved word-by-word across banks so
+    /// a sequential burst streams one word per cycle per bank port.
+    pub banks: u32,
+}
+
+impl Default for PlmConfig {
+    fn default() -> Self {
+        // 16 KiB per buffer is typical of HLS-generated accelerators on
+        // Ultrascale+ (a handful of BRAM36 per bank).
+        PlmConfig {
+            size_words: 4096,
+            banks: 2,
+        }
+    }
+}
+
+/// Errors raised by PLM accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlmError {
+    /// An access fell outside the PLM.
+    OutOfBounds {
+        /// Offending word offset.
+        offset: u64,
+        /// PLM capacity in words.
+        size: u64,
+    },
+}
+
+impl fmt::Display for PlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlmError::OutOfBounds { offset, size } => {
+                write!(f, "PLM access at word {offset} outside capacity {size}")
+            }
+        }
+    }
+}
+
+impl Error for PlmError {}
+
+/// A banked on-chip scratchpad.
+///
+/// The PLM decouples an accelerator's compute datapath from DMA: the LOAD
+/// phase fills `_inbuff`, COMPUTE reads/writes the buffers, STORE drains
+/// `_outbuff` (see the wrapper in the paper's Fig. 4). BRAM cost is modelled
+/// by the HLS resource estimator in `esp4ml-hls`; this type provides the
+/// functional storage plus simple port accounting.
+#[derive(Debug, Clone)]
+pub struct Plm {
+    config: PlmConfig,
+    words: Vec<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Plm {
+    /// Creates a zeroed PLM.
+    pub fn new(config: PlmConfig) -> Self {
+        Plm {
+            words: vec![0; config.size_words as usize],
+            config,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The PLM configuration.
+    pub fn config(&self) -> &PlmConfig {
+        &self.config
+    }
+
+    /// Capacity in words.
+    pub fn size_words(&self) -> u64 {
+        self.config.size_words
+    }
+
+    /// Total word reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total word writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Cycles to stream `len` sequential words through the bank ports.
+    pub fn stream_latency(&self, len: u64) -> u64 {
+        len.div_ceil(self.config.banks as u64)
+    }
+
+    /// Reads `len` words starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlmError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u64>, PlmError> {
+        self.check(offset, len)?;
+        self.reads += len;
+        Ok(self.words[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Writes `data` starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlmError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write(&mut self, offset: u64, data: &[u64]) -> Result<(), PlmError> {
+        self.check(offset, data.len() as u64)?;
+        self.writes += data.len() as u64;
+        self.words[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<(), PlmError> {
+        if offset + len > self.config.size_words {
+            Err(PlmError::OutOfBounds {
+                offset: offset + len,
+                size: self.config.size_words,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plm() -> Plm {
+        Plm::new(PlmConfig {
+            size_words: 64,
+            banks: 2,
+        })
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut p = plm();
+        p.write(10, &[1, 2, 3]).unwrap();
+        assert_eq!(p.read(10, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(p.reads(), 3);
+        assert_eq!(p.writes(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut p = plm();
+        assert!(p.write(62, &[0, 0, 0]).is_err());
+        assert!(p.read(64, 1).is_err());
+        // Boundary-exact access is fine.
+        assert!(p.write(61, &[0, 0, 0]).is_ok());
+    }
+
+    #[test]
+    fn stream_latency_uses_banks() {
+        let p = plm();
+        assert_eq!(p.stream_latency(64), 32);
+        assert_eq!(p.stream_latency(1), 1);
+        assert_eq!(p.stream_latency(0), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Activation functions.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Activation applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Row-wise softmax (for classifier outputs).
+    Softmax,
+}
+
+impl Activation {
+    /// Applies the activation in place to a batch of pre-activations.
+    pub fn apply(self, z: &mut Matrix) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => z.map_inplace(|v| v.max(0.0)),
+            Activation::Sigmoid => z.map_inplace(|v| 1.0 / (1.0 + (-v).exp())),
+            Activation::Tanh => z.map_inplace(f32::tanh),
+            Activation::Softmax => {
+                for r in 0..z.rows() {
+                    let row = z.row_mut(r);
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    for v in row.iter_mut() {
+                        *v /= sum;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Multiplies `grad` in place by the activation derivative, given the
+    /// *post-activation* values `a`.
+    ///
+    /// For [`Activation::Softmax`] this is the identity: softmax is only
+    /// used with cross-entropy loss, whose combined gradient is computed
+    /// directly by the loss (the standard `softmax + CE` shortcut).
+    pub fn backprop_inplace(self, grad: &mut Matrix, a: &Matrix) {
+        match self {
+            Activation::Linear | Activation::Softmax => {}
+            Activation::Relu => {
+                for (g, &v) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &v) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    *g *= v * (1.0 - v);
+                }
+            }
+            Activation::Tanh => {
+                for (g, &v) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    *g *= 1.0 - v * v;
+                }
+            }
+        }
+    }
+
+    /// The Keras name of the activation (used in the JSON topology).
+    pub fn keras_name(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Softmax => "softmax",
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keras_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut z = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        Activation::Relu.apply(&mut z);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut z = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]);
+        Activation::Sigmoid.apply(&mut z);
+        let s = z.as_slice();
+        assert!(s[0] < 0.001);
+        assert!((s[1] - 0.5).abs() < 1e-6);
+        assert!(s[2] > 0.999);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut z = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 100.0, 100.0, 100.0]);
+        Activation::Softmax.apply(&mut z);
+        for r in 0..2 {
+            let sum: f32 = z.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        // Large inputs must not overflow (max-subtraction).
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn relu_backprop_masks() {
+        let a = Matrix::from_vec(1, 3, vec![0.0, 1.0, 2.0]);
+        let mut g = Matrix::from_vec(1, 3, vec![5.0, 5.0, 5.0]);
+        Activation::Relu.backprop_inplace(&mut g, &a);
+        assert_eq!(g.as_slice(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_backprop_peak_at_half() {
+        let a = Matrix::from_vec(1, 2, vec![0.5, 0.99]);
+        let mut g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        Activation::Sigmoid.backprop_inplace(&mut g, &a);
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!(g.as_slice()[1] < 0.02);
+    }
+
+    #[test]
+    fn tanh_forward_and_backward() {
+        let mut z = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]);
+        Activation::Tanh.apply(&mut z);
+        let s = z.as_slice();
+        assert!(s[0] < -0.999 && s[2] > 0.999);
+        assert_eq!(s[1], 0.0);
+        // Derivative peaks (= 1) at the origin, vanishes at saturation.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.999]);
+        let mut g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        Activation::Tanh.backprop_inplace(&mut g, &a);
+        assert_eq!(g.as_slice()[0], 1.0);
+        assert!(g.as_slice()[1] < 0.01);
+    }
+
+    #[test]
+    fn keras_names() {
+        assert_eq!(Activation::Relu.keras_name(), "relu");
+        assert_eq!(Activation::Softmax.to_string(), "softmax");
+    }
+}

@@ -1,0 +1,158 @@
+//! Datasets and batching.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A supervised dataset: inputs `x` and targets `y`, row-aligned.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Inputs, one sample per row.
+    pub x: Matrix,
+    /// Targets, one sample per row (one-hot labels or regression targets).
+    pub y: Matrix,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different row counts.
+    pub fn new(x: Matrix, y: Matrix) -> Self {
+        assert_eq!(x.rows(), y.rows(), "x/y row mismatch");
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of the samples in
+    /// the test set (taken from the end; shuffle first if order matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= test_fraction < 1.0`.
+    pub fn split(&self, test_fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_fraction));
+        let n_test = (self.len() as f64 * test_fraction).round() as usize;
+        let n_train = self.len() - n_test;
+        let take = |lo: usize, hi: usize| {
+            let xs: Vec<f32> = (lo..hi).flat_map(|r| self.x.row(r).to_vec()).collect();
+            let ys: Vec<f32> = (lo..hi).flat_map(|r| self.y.row(r).to_vec()).collect();
+            Dataset::new(
+                Matrix::from_vec(hi - lo, self.x.cols(), xs),
+                Matrix::from_vec(hi - lo, self.y.cols(), ys),
+            )
+        };
+        (take(0, n_train), take(n_train, self.len()))
+    }
+
+    /// Shuffles the samples in place.
+    pub fn shuffle(&mut self, rng: &mut StdRng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let xs: Vec<f32> = order.iter().flat_map(|&r| self.x.row(r).to_vec()).collect();
+        let ys: Vec<f32> = order.iter().flat_map(|&r| self.y.row(r).to_vec()).collect();
+        self.x = Matrix::from_vec(self.len(), self.x.cols(), xs);
+        self.y = Matrix::from_vec(self.y.rows(), self.y.cols(), ys);
+    }
+
+    /// Iterates over `(x_batch, y_batch)` mini-batches of up to
+    /// `batch_size` rows.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Matrix, Matrix)> + '_ {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.len();
+        (0..n).step_by(batch_size).map(move |lo| {
+            let hi = (lo + batch_size).min(n);
+            let xs: Vec<f32> = (lo..hi).flat_map(|r| self.x.row(r).to_vec()).collect();
+            let ys: Vec<f32> = (lo..hi).flat_map(|r| self.y.row(r).to_vec()).collect();
+            (
+                Matrix::from_vec(hi - lo, self.x.cols(), xs),
+                Matrix::from_vec(hi - lo, self.y.cols(), ys),
+            )
+        })
+    }
+
+    /// Builds one-hot target rows from class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= n_classes`.
+    pub fn one_hot(labels: &[usize], n_classes: usize) -> Matrix {
+        let mut y = Matrix::zeros(labels.len(), n_classes);
+        for (r, &c) in labels.iter().enumerate() {
+            assert!(c < n_classes, "label {c} out of range");
+            y[(r, c)] = 1.0;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ds(n: usize) -> Dataset {
+        let x = Matrix::from_vec(n, 2, (0..2 * n).map(|i| i as f32).collect());
+        let y = Matrix::from_vec(n, 1, (0..n).map(|i| i as f32).collect());
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn split_fractions() {
+        let (train, test) = ds(10).split(0.3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        // Alignment preserved: y of first test row is 7.
+        assert_eq!(test.y[(0, 0)], 7.0);
+        assert_eq!(test.x[(0, 0)], 14.0);
+    }
+
+    #[test]
+    fn batches_cover_everything() {
+        let d = ds(10);
+        let mut rows = 0;
+        for (x, y) in d.batches(3) {
+            assert_eq!(x.rows(), y.rows());
+            rows += x.rows();
+        }
+        assert_eq!(rows, 10);
+        let sizes: Vec<usize> = d.batches(3).map(|(x, _)| x.rows()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn shuffle_preserves_alignment() {
+        let mut d = ds(20);
+        let mut rng = StdRng::seed_from_u64(9);
+        d.shuffle(&mut rng);
+        for r in 0..d.len() {
+            // x row i was [2i, 2i+1], y row i was [i].
+            let label = d.y[(r, 0)] as usize;
+            assert_eq!(d.x[(r, 0)], 2.0 * label as f32);
+            assert_eq!(d.x[(r, 1)], 2.0 * label as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let y = Dataset::one_hot(&[2, 0], 3);
+        assert_eq!(y.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(y.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        Dataset::one_hot(&[3], 3);
+    }
+}

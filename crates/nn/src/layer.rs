@@ -1,0 +1,228 @@
+//! Layers of a sequential model.
+
+use crate::{Activation, Matrix};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Samples a standard-normal value via the Box–Muller transform (kept local
+/// to avoid a `rand_distr` dependency).
+pub(crate) fn sample_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Specification of one layer in a [`Sequential`](crate::Sequential) model,
+/// before weights are materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Fully-connected layer with `units` outputs and an activation.
+    Dense {
+        /// Output dimension.
+        units: usize,
+        /// Activation applied after the affine transform.
+        activation: Activation,
+    },
+    /// Dropout regularization (training only; identity at inference). The
+    /// paper uses rate 0.2 on the classifier.
+    Dropout {
+        /// Fraction of activations zeroed during training.
+        rate: f32,
+    },
+    /// Additive Gaussian noise (training only). The paper injects noise
+    /// when training the denoising autoencoder.
+    GaussianNoise {
+        /// Standard deviation of the injected noise.
+        stddev: f32,
+    },
+}
+
+impl LayerSpec {
+    /// Shorthand for a dense layer spec.
+    pub fn dense(units: usize, activation: Activation) -> Self {
+        LayerSpec::Dense { units, activation }
+    }
+
+    /// Whether this layer owns trainable parameters.
+    pub fn is_trainable(&self) -> bool {
+        matches!(self, LayerSpec::Dense { .. })
+    }
+}
+
+/// A materialized dense layer: weights `[n_in x n_out]`, bias `[n_out]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weight matrix, `n_in x n_out`.
+    pub weights: Matrix,
+    /// Bias vector, length `n_out`.
+    pub bias: Vec<f32>,
+    /// Activation function.
+    pub activation: Activation,
+}
+
+impl DenseLayer {
+    /// Glorot-uniform initialization, matching the Keras default for Dense
+    /// layers.
+    pub fn glorot(n_in: usize, n_out: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let limit = (6.0f32 / (n_in + n_out) as f32).sqrt();
+        let data = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        DenseLayer {
+            weights: Matrix::from_vec(n_in, n_out, data),
+            bias: vec![0.0; n_out],
+            activation,
+        }
+    }
+
+    /// He-normal initialization (Kaiming), which preserves activation
+    /// variance through deep ReLU stacks; used for ReLU layers so the
+    /// paper's five-layer MLP trains from scratch.
+    pub fn he(n_in: usize, n_out: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let std = (2.0f32 / n_in as f32).sqrt();
+        let data = (0..n_in * n_out)
+            .map(|_| std * sample_normal(rng))
+            .collect();
+        DenseLayer {
+            weights: Matrix::from_vec(n_in, n_out, data),
+            bias: vec![0.0; n_out],
+            activation,
+        }
+    }
+
+    /// Initialization matched to the activation: He for ReLU, Glorot
+    /// otherwise (the Keras-recommended pairing).
+    pub fn init_for(
+        n_in: usize,
+        n_out: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        match activation {
+            Activation::Relu => DenseLayer::he(n_in, n_out, activation, rng),
+            _ => DenseLayer::glorot(n_in, n_out, activation, rng),
+        }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn n_out(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.n_in() * self.n_out() + self.bias.len()
+    }
+
+    /// Forward pass on a batch (`[batch x n_in] -> [batch x n_out]`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.weights);
+        z.add_row_vector(&self.bias);
+        self.activation.apply(&mut z);
+        z
+    }
+}
+
+/// Runtime state of a non-parametric layer during training.
+#[derive(Debug, Clone)]
+pub(crate) enum NoiseLayer {
+    Dropout { rate: f32 },
+    Gaussian { stddev: f32 },
+}
+
+impl NoiseLayer {
+    /// Applies the layer in training mode, returning the mask needed for
+    /// backprop (dropout) or `None` (additive noise backprops unchanged).
+    pub(crate) fn apply_training(&self, x: &mut Matrix, rng: &mut StdRng) -> Option<Matrix> {
+        match *self {
+            NoiseLayer::Dropout { rate } => {
+                let keep = 1.0 - rate;
+                let mut mask = Matrix::zeros(x.rows(), x.cols());
+                for (m, v) in mask.as_mut_slice().iter_mut().zip(x.as_mut_slice()) {
+                    if rng.gen::<f32>() < keep {
+                        *m = 1.0 / keep; // inverted dropout
+                    }
+                    *v *= *m;
+                }
+                Some(mask)
+            }
+            NoiseLayer::Gaussian { stddev } => {
+                for v in x.as_mut_slice() {
+                    *v += stddev * sample_normal(rng);
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = DenseLayer::glorot(100, 50, Activation::Relu, &mut rng);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(l.weights.as_slice().iter().all(|w| w.abs() <= limit));
+        assert!(l.bias.iter().all(|&b| b == 0.0));
+        assert_eq!(l.param_count(), 100 * 50 + 50);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = DenseLayer::glorot(4, 3, Activation::Linear, &mut rng);
+        let y = l.forward(&Matrix::zeros(5, 4));
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+    }
+
+    #[test]
+    fn forward_applies_bias_and_activation() {
+        let l = DenseLayer {
+            weights: Matrix::zeros(2, 2),
+            bias: vec![-1.0, 2.0],
+            activation: Activation::Relu,
+        };
+        let y = l.forward(&Matrix::zeros(1, 2));
+        assert_eq!(y.as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = NoiseLayer::Dropout { rate: 0.5 };
+        let mut x = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
+        let mask = layer.apply_training(&mut x, &mut rng).expect("mask");
+        let survivors = x.as_slice().iter().filter(|&&v| v > 0.0).count();
+        // Expect ~500 survivors, each scaled to 2.0.
+        assert!((300..700).contains(&survivors));
+        assert!(x.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert_eq!(mask.cols(), 1000);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = NoiseLayer::Gaussian { stddev: 0.1 };
+        let mut x = Matrix::zeros(1, 100);
+        assert!(layer.apply_training(&mut x, &mut rng).is_none());
+        let norm = x.norm();
+        assert!(norm > 0.0 && norm < 10.0);
+    }
+
+    #[test]
+    fn spec_trainability() {
+        assert!(LayerSpec::dense(8, Activation::Relu).is_trainable());
+        assert!(!LayerSpec::Dropout { rate: 0.2 }.is_trainable());
+        assert!(!LayerSpec::GaussianNoise { stddev: 0.1 }.is_trainable());
+    }
+}

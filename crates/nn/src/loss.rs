@@ -1,0 +1,133 @@
+//! Loss functions.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Loss function for training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Categorical cross-entropy over a softmax output (classification).
+    CrossEntropy,
+    /// Mean squared error (the autoencoder's reconstruction loss).
+    MeanSquaredError,
+}
+
+impl Loss {
+    /// Average loss over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between predictions and targets.
+    pub fn compute(self, pred: &Matrix, target: &Matrix) -> f32 {
+        assert_eq!(
+            (pred.rows(), pred.cols()),
+            (target.rows(), target.cols()),
+            "prediction/target shape mismatch"
+        );
+        let n = pred.rows() as f32;
+        match self {
+            Loss::CrossEntropy => {
+                let mut total = 0.0;
+                for (p, &t) in pred.as_slice().iter().zip(target.as_slice()) {
+                    if t > 0.0 {
+                        total -= t * p.max(1e-12).ln();
+                    }
+                }
+                total / n
+            }
+            Loss::MeanSquaredError => {
+                let mut total = 0.0;
+                for (p, t) in pred.as_slice().iter().zip(target.as_slice()) {
+                    let d = p - t;
+                    total += d * d;
+                }
+                total / (n * pred.cols() as f32)
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the network *output*.
+    ///
+    /// For [`Loss::CrossEntropy`] the returned gradient is the combined
+    /// softmax+CE gradient `(pred - target) / batch`, to be used with a
+    /// softmax output layer whose own backprop is the identity.
+    pub fn gradient(self, pred: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()));
+        let n = pred.rows() as f32;
+        let mut grad = pred.clone();
+        match self {
+            Loss::CrossEntropy => {
+                for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+                    *g = (*g - t) / n;
+                }
+            }
+            Loss::MeanSquaredError => {
+                let scale = 2.0 / (n * pred.cols() as f32);
+                for (g, &t) in grad.as_mut_slice().iter_mut().zip(target.as_slice()) {
+                    *g = (*g - t) * scale;
+                }
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let pred = Matrix::from_vec(1, 3, vec![0.0, 1.0, 0.0]);
+        let target = pred.clone();
+        assert!(Loss::CrossEntropy.compute(&pred, &target) < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_penalizes_wrong_class() {
+        let good = Matrix::from_vec(1, 2, vec![0.9, 0.1]);
+        let bad = Matrix::from_vec(1, 2, vec![0.1, 0.9]);
+        let target = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        assert!(
+            Loss::CrossEntropy.compute(&bad, &target)
+                > Loss::CrossEntropy.compute(&good, &target)
+        );
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let pred = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let target = Matrix::from_vec(2, 2, vec![0.0, 2.0, 3.0, 2.0]);
+        // Squared errors: 1, 0, 0, 4 → mean = 5/4.
+        assert!((Loss::MeanSquaredError.compute(&pred, &target) - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_point_towards_target() {
+        let pred = Matrix::from_vec(1, 2, vec![0.8, 0.2]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        for loss in [Loss::CrossEntropy, Loss::MeanSquaredError] {
+            let g = loss.gradient(&pred, &target);
+            assert!(g.as_slice()[0] > 0.0, "{loss:?} should push class 0 down");
+            assert!(g.as_slice()[1] < 0.0, "{loss:?} should push class 1 up");
+        }
+    }
+
+    #[test]
+    fn mse_gradient_is_numerically_correct() {
+        let pred = Matrix::from_vec(1, 2, vec![0.5, -0.3]);
+        let target = Matrix::from_vec(1, 2, vec![0.1, 0.4]);
+        let g = Loss::MeanSquaredError.gradient(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut plus = pred.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = pred.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let numeric = (Loss::MeanSquaredError.compute(&plus, &target)
+                - Loss::MeanSquaredError.compute(&minus, &target))
+                / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Classification evaluation metrics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A confusion matrix over `n` classes: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Builds a matrix from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_pairs(n_classes: usize, truth: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "length mismatch");
+        let mut m = ConfusionMatrix::new(n_classes);
+        for (&t, &p) in truth.iter().zip(predicted) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(
+            truth < self.n_classes && predicted < self.n_classes,
+            "label out of range"
+        );
+        self.counts[truth * self.n_classes + predicted] += 1;
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of samples with the given truth predicted as `predicted`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.n_classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall of one class (correct / truth-count); 0 when unseen.
+    pub fn recall(&self, class: usize) -> f64 {
+        let truth: u64 = (0..self.n_classes).map(|p| self.count(class, p)).sum();
+        if truth == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / truth as f64
+        }
+    }
+
+    /// Precision of one class (correct / predicted-count); 0 when never
+    /// predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let pred: u64 = (0..self.n_classes).map(|t| self.count(t, class)).sum();
+        if pred == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / pred as f64
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "truth\\pred")?;
+        for p in 0..self.n_classes {
+            write!(f, "{p:>6}")?;
+        }
+        writeln!(f, "   recall")?;
+        for t in 0..self.n_classes {
+            write!(f, "{t:>10}")?;
+            for p in 0..self.n_classes {
+                write!(f, "{:>6}", self.count(t, p))?;
+            }
+            writeln!(f, "   {:>5.1}%", 100.0 * self.recall(t))?;
+        }
+        writeln!(f, "overall accuracy: {:.1}%", 100.0 * self.accuracy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_pairs(3, &[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(1), 1.0);
+        assert_eq!(m.precision(2), 1.0);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        // truth: 0,0,1,1 — predicted: 0,1,1,1
+        let m = ConfusionMatrix::from_pairs(2, &[0, 0, 1, 1], &[0, 1, 1, 1]);
+        assert_eq!(m.accuracy(), 0.75);
+        assert_eq!(m.recall(0), 0.5);
+        assert_eq!(m.precision(1), 2.0 / 3.0);
+        assert_eq!(m.count(0, 1), 1);
+    }
+
+    #[test]
+    fn unseen_class_has_zero_recall() {
+        let m = ConfusionMatrix::from_pairs(3, &[0], &[0]);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.precision(2), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        assert_eq!(ConfusionMatrix::new(4).accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        // Manual message via assert in record.
+        m.record(2, 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let m = ConfusionMatrix::from_pairs(2, &[0, 1], &[0, 0]);
+        let s = m.to_string();
+        assert!(s.contains("overall accuracy: 50.0%"));
+    }
+}

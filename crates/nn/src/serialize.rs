@@ -1,0 +1,360 @@
+//! Model serialization: JSON topology + binary weights.
+//!
+//! This mirrors the interface the paper's flow uses between Keras and
+//! HLS4ML: a `model.json` describing the network topology and a `model.h5`
+//! carrying weights and biases. The weight container here is a simple
+//! little-endian binary format rather than HDF5, but it plays the same
+//! role: the HLS4ML-analog compiler consumes exactly these two artifacts.
+
+use crate::{Activation, LayerSpec, Matrix, Sequential};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON topology.
+    Json(serde_json::Error),
+    /// The weight blob is not in the expected format.
+    BadWeightFormat(String),
+    /// Weights do not match the topology.
+    ShapeMismatch {
+        /// Index of the offending dense layer.
+        layer: usize,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Found `(rows, cols)`.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Json(e) => write!(f, "topology json error: {e}"),
+            SerializeError::BadWeightFormat(msg) => write!(f, "bad weight blob: {msg}"),
+            SerializeError::ShapeMismatch {
+                layer,
+                expected,
+                found,
+            } => write!(
+                f,
+                "layer {layer} weight shape {found:?} does not match topology {expected:?}"
+            ),
+        }
+    }
+}
+
+impl Error for SerializeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            SerializeError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SerializeError {
+    fn from(e: serde_json::Error) -> Self {
+        SerializeError::Json(e)
+    }
+}
+
+/// JSON schema of the topology file (Keras-flavoured).
+#[derive(Debug, Serialize, Deserialize)]
+struct TopologyJson {
+    class_name: String,
+    config: TopologyConfig,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TopologyConfig {
+    input_dim: usize,
+    layers: Vec<LayerJson>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LayerJson {
+    class_name: String,
+    config: serde_json::Value,
+}
+
+const WEIGHT_MAGIC: &[u8; 4] = b"ESPW";
+
+/// Saves and loads models as `(topology.json, weights.bin)` pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelFile;
+
+impl ModelFile {
+    /// Renders the topology as Keras-style JSON.
+    pub fn topology_json(model: &Sequential) -> String {
+        let layers = model
+            .specs()
+            .iter()
+            .map(|spec| match *spec {
+                LayerSpec::Dense { units, activation } => LayerJson {
+                    class_name: "Dense".into(),
+                    config: serde_json::json!({
+                        "units": units,
+                        "activation": activation.keras_name(),
+                    }),
+                },
+                LayerSpec::Dropout { rate } => LayerJson {
+                    class_name: "Dropout".into(),
+                    config: serde_json::json!({ "rate": rate }),
+                },
+                LayerSpec::GaussianNoise { stddev } => LayerJson {
+                    class_name: "GaussianNoise".into(),
+                    config: serde_json::json!({ "stddev": stddev }),
+                },
+            })
+            .collect();
+        let topo = TopologyJson {
+            class_name: "Sequential".into(),
+            config: TopologyConfig {
+                input_dim: model.input_dim(),
+                layers,
+            },
+        };
+        serde_json::to_string_pretty(&topo).expect("topology serializes")
+    }
+
+    /// Rebuilds a model (freshly initialized weights) from topology JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`SerializeError::Json`] on malformed input or unknown layer kinds.
+    pub fn from_topology_json(json: &str) -> Result<Sequential, SerializeError> {
+        let topo: TopologyJson = serde_json::from_str(json)?;
+        let mut model = Sequential::new(topo.config.input_dim);
+        for layer in topo.config.layers {
+            let spec = match layer.class_name.as_str() {
+                "Dense" => {
+                    let units = layer.config["units"].as_u64().ok_or_else(|| {
+                        SerializeError::BadWeightFormat("dense units missing".into())
+                    })? as usize;
+                    let act = match layer.config["activation"].as_str() {
+                        Some("relu") => Activation::Relu,
+                        Some("sigmoid") => Activation::Sigmoid,
+                        Some("tanh") => Activation::Tanh,
+                        Some("softmax") => Activation::Softmax,
+                        _ => Activation::Linear,
+                    };
+                    LayerSpec::dense(units, act)
+                }
+                "Dropout" => LayerSpec::Dropout {
+                    rate: layer.config["rate"].as_f64().unwrap_or(0.0) as f32,
+                },
+                "GaussianNoise" => LayerSpec::GaussianNoise {
+                    stddev: layer.config["stddev"].as_f64().unwrap_or(0.0) as f32,
+                },
+                other => {
+                    return Err(SerializeError::BadWeightFormat(format!(
+                        "unknown layer class {other}"
+                    )))
+                }
+            };
+            model.push(spec);
+        }
+        Ok(model)
+    }
+
+    /// Serializes all dense-layer weights and biases to the binary blob.
+    pub fn weights_bytes(model: &Sequential) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(WEIGHT_MAGIC);
+        let n = model.dense_layers().len() as u32;
+        out.extend_from_slice(&n.to_le_bytes());
+        for layer in model.dense_layers() {
+            out.extend_from_slice(&(layer.n_in() as u32).to_le_bytes());
+            out.extend_from_slice(&(layer.n_out() as u32).to_le_bytes());
+            for &w in layer.weights.as_slice() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            for &b in &layer.bias {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Loads weights from a blob into an already-built model.
+    ///
+    /// # Errors
+    ///
+    /// [`SerializeError::BadWeightFormat`] on truncation or bad magic;
+    /// [`SerializeError::ShapeMismatch`] if shapes disagree with topology.
+    pub fn load_weights_bytes(
+        model: &mut Sequential,
+        bytes: &[u8],
+    ) -> Result<(), SerializeError> {
+        let bad = |m: &str| SerializeError::BadWeightFormat(m.to_string());
+        if bytes.len() < 8 || &bytes[0..4] != WEIGHT_MAGIC {
+            return Err(bad("missing ESPW magic"));
+        }
+        let n = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        if n != model.dense_layers().len() {
+            return Err(bad("layer count mismatch"));
+        }
+        let mut off = 8usize;
+        let read_u32 = |bytes: &[u8], off: usize| -> Result<u32, SerializeError> {
+            bytes
+                .get(off..off + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+                .ok_or_else(|| bad("truncated header"))
+        };
+        for li in 0..n {
+            let rows = read_u32(bytes, off)? as usize;
+            let cols = read_u32(bytes, off + 4)? as usize;
+            off += 8;
+            let layer = &model.dense_layers()[li];
+            let expected = (layer.n_in(), layer.n_out());
+            if (rows, cols) != expected {
+                return Err(SerializeError::ShapeMismatch {
+                    layer: li,
+                    expected,
+                    found: (rows, cols),
+                });
+            }
+            let wn = rows * cols;
+            let need = (wn + cols) * 4;
+            let Some(slice) = bytes.get(off..off + need) else {
+                return Err(bad("truncated weight data"));
+            };
+            let mut floats = slice
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")));
+            let w: Vec<f32> = floats.by_ref().take(wn).collect();
+            let b: Vec<f32> = floats.collect();
+            let layer = &mut model.dense_layers_mut()[li];
+            layer.weights = Matrix::from_vec(rows, cols, w);
+            layer.bias = b;
+            off += need;
+        }
+        Ok(())
+    }
+
+    /// Saves the `(topology.json, weights.bin)` pair to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(
+        model: &Sequential,
+        topology_path: &Path,
+        weights_path: &Path,
+    ) -> Result<(), SerializeError> {
+        fs::write(topology_path, Self::topology_json(model))?;
+        fs::write(weights_path, Self::weights_bytes(model))?;
+        Ok(())
+    }
+
+    /// Loads a model from a `(topology.json, weights.bin)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, JSON and weight-format failures.
+    pub fn load(topology_path: &Path, weights_path: &Path) -> Result<Sequential, SerializeError> {
+        let topo = fs::read_to_string(topology_path)?;
+        let mut model = Self::from_topology_json(&topo)?;
+        let blob = fs::read(weights_path)?;
+        Self::load_weights_bytes(&mut model, &blob)?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn sample_model() -> Sequential {
+        let mut m = Sequential::with_seed(4, 99);
+        m.push(LayerSpec::dense(8, Activation::Relu));
+        m.push(LayerSpec::Dropout { rate: 0.2 });
+        m.push(LayerSpec::dense(3, Activation::Softmax));
+        m
+    }
+
+    #[test]
+    fn topology_roundtrip() {
+        let m = sample_model();
+        let json = ModelFile::topology_json(&m);
+        let rebuilt = ModelFile::from_topology_json(&json).unwrap();
+        assert_eq!(rebuilt.dims(), m.dims());
+        assert_eq!(rebuilt.specs(), m.specs());
+    }
+
+    #[test]
+    fn weights_roundtrip_preserves_outputs() {
+        let m = sample_model();
+        let blob = ModelFile::weights_bytes(&m);
+        let mut rebuilt =
+            ModelFile::from_topology_json(&ModelFile::topology_json(&m)).unwrap();
+        ModelFile::load_weights_bytes(&mut rebuilt, &blob).unwrap();
+        let x = Matrix::from_vec(1, 4, vec![0.3, -0.1, 0.8, 0.2]);
+        assert_eq!(m.forward(&x), rebuilt.forward(&x));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut m = sample_model();
+        let err = ModelFile::load_weights_bytes(&mut m, b"NOPE....").unwrap_err();
+        assert!(matches!(err, SerializeError::BadWeightFormat(_)));
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let m = sample_model();
+        let blob = ModelFile::weights_bytes(&m);
+        let mut target = sample_model();
+        let err =
+            ModelFile::load_weights_bytes(&mut target, &blob[..blob.len() - 5]).unwrap_err();
+        assert!(matches!(err, SerializeError::BadWeightFormat(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let m = sample_model();
+        let blob = ModelFile::weights_bytes(&m);
+        let mut other = Sequential::with_seed(4, 1);
+        other.push(LayerSpec::dense(9, Activation::Relu)); // 8 != 9
+        other.push(LayerSpec::dense(3, Activation::Softmax));
+        let err = ModelFile::load_weights_bytes(&mut other, &blob).unwrap_err();
+        assert!(matches!(err, SerializeError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_layer_class_rejected() {
+        let json = r#"{"class_name":"Sequential","config":{"input_dim":4,
+            "layers":[{"class_name":"Conv2D","config":{}}]}}"#;
+        assert!(ModelFile::from_topology_json(json).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("esp4ml_nn_test");
+        fs::create_dir_all(&dir).unwrap();
+        let topo = dir.join("model.json");
+        let weights = dir.join("model.espw");
+        let m = sample_model();
+        ModelFile::save(&m, &topo, &weights).unwrap();
+        let loaded = ModelFile::load(&topo, &weights).unwrap();
+        let x = Matrix::from_vec(2, 4, vec![0.0, 1.0, 2.0, 3.0, -1.0, 0.5, 0.2, 0.9]);
+        assert_eq!(m.forward(&x), loaded.forward(&x));
+    }
+}

@@ -1,0 +1,114 @@
+//! Tile coordinates on the 2D mesh.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The x-y coordinates of a tile (and of its router) on the 2D-mesh NoC.
+///
+/// `x` is the column (grows east), `y` is the row (grows south), matching
+/// the ESP convention where the tile at `(0, 0)` sits in the north-west
+/// corner of the floorplan. In ESP4ML these coordinates are what the
+/// read-only `LOCATION_REG` of every accelerator exposes to the operating
+/// system, and what the `P2P_REG` stores to identify source tiles.
+///
+/// # Example
+///
+/// ```
+/// use esp4ml_noc::Coord;
+/// let a = Coord::new(0, 0);
+/// let b = Coord::new(3, 2);
+/// assert_eq!(a.manhattan_distance(b), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column index (grows east).
+    pub x: u8,
+    /// Row index (grows south).
+    pub y: u8,
+}
+
+impl Coord {
+    /// Creates a coordinate from a column (`x`) and row (`y`) index.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Coord { x, y }
+    }
+
+    /// Number of mesh hops between `self` and `other` under XY routing.
+    pub fn manhattan_distance(self, other: Coord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        dx + dy
+    }
+
+    /// Packs the coordinate into the low 16 bits of a word, as the
+    /// `LOCATION_REG` hardware register does (`x` in bits `[15:8]`, `y` in
+    /// bits `[7:0]`).
+    pub fn to_reg(self) -> u64 {
+        ((self.x as u64) << 8) | self.y as u64
+    }
+
+    /// Decodes a coordinate from a `LOCATION_REG`-formatted word.
+    ///
+    /// Only the low 16 bits are inspected; higher bits are ignored, as the
+    /// hardware register is defined to be zero-extended.
+    pub fn from_reg(reg: u64) -> Self {
+        Coord::new(((reg >> 8) & 0xff) as u8, (reg & 0xff) as u8)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u8, u8)> for Coord {
+    fn from((x, y): (u8, u8)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Coord::new(1, 4);
+        let b = Coord::new(5, 0);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(b), 8);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Coord::new(2, 2);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn reg_roundtrip() {
+        for x in [0u8, 1, 7, 255] {
+            for y in [0u8, 3, 254] {
+                let c = Coord::new(x, y);
+                assert_eq!(Coord::from_reg(c.to_reg()), c);
+            }
+        }
+    }
+
+    #[test]
+    fn reg_ignores_high_bits() {
+        let c = Coord::new(4, 9);
+        assert_eq!(Coord::from_reg(c.to_reg() | 0xdead_0000), c);
+    }
+
+    #[test]
+    fn from_tuple() {
+        assert_eq!(Coord::from((3, 4)), Coord::new(3, 4));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Coord::new(1, 2).to_string(), "(1, 2)");
+    }
+}

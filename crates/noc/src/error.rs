@@ -1,0 +1,77 @@
+//! Error type for NoC operations.
+
+use crate::Coord;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by NoC construction and traffic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// The requested mesh dimensions are invalid (zero-sized, or larger than
+    /// the 8-bit coordinate space allows).
+    InvalidDimensions {
+        /// Requested number of columns.
+        cols: usize,
+        /// Requested number of rows.
+        rows: usize,
+    },
+    /// A coordinate referenced a tile outside the mesh.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+        /// Mesh columns.
+        cols: usize,
+        /// Mesh rows.
+        rows: usize,
+    },
+    /// The local injection queue of the source tile is full; the packet was
+    /// returned to the caller untouched (back-pressure).
+    InjectQueueFull {
+        /// The tile whose injection queue was full.
+        coord: Coord,
+    },
+    /// A packet was constructed with an empty payload where at least one
+    /// word is required.
+    EmptyPayload,
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidDimensions { cols, rows } => {
+                write!(f, "invalid mesh dimensions {cols}x{rows}")
+            }
+            NocError::OutOfBounds { coord, cols, rows } => {
+                write!(f, "coordinate {coord} outside {cols}x{rows} mesh")
+            }
+            NocError::InjectQueueFull { coord } => {
+                write!(f, "injection queue full at tile {coord}")
+            }
+            NocError::EmptyPayload => f.write_str("packet payload must not be empty"),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NocError::InvalidDimensions { cols: 0, rows: 3 };
+        assert_eq!(e.to_string(), "invalid mesh dimensions 0x3");
+        let e = NocError::InjectQueueFull {
+            coord: Coord::new(1, 1),
+        };
+        assert!(e.to_string().contains("(1, 1)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NocError>();
+    }
+}

@@ -1,0 +1,577 @@
+//! The 2D-mesh NoC: routers, links, injection/ejection interfaces.
+
+use crate::flit::{Flit, Reassembler};
+use crate::router::{Port, Router, RouterConfig, Transfer};
+use crate::{Coord, NocError, NocStats, Packet, Plane};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a mesh NoC instance.
+///
+/// The defaults match the ESP NoC as instantiated by the ESP4ML flow:
+/// six planes, shallow 4-flit router queues, and modest per-tile
+/// injection/ejection buffering provided by the tile sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Per-router configuration.
+    pub router: RouterConfig,
+    /// Capacity, in flits, of each per-tile per-plane injection queue.
+    pub inject_queue_depth: usize,
+    /// Capacity, in completed packets, of each per-tile per-plane ejection
+    /// queue. When full, the NoC back-pressures into the mesh — this is how
+    /// the simulator exposes "consumption assumption" violations.
+    pub eject_queue_depth: usize,
+}
+
+impl MeshConfig {
+    /// Creates a configuration for a `cols x rows` mesh with default queue
+    /// depths.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        MeshConfig {
+            cols,
+            rows,
+            router: RouterConfig::default(),
+            // The tile socket stages whole DMA packets (up to ~128 payload
+            // words plus headers) before injection, so the per-plane
+            // injection buffer must hold at least one maximal packet.
+            inject_queue_depth: 512,
+            eject_queue_depth: 16,
+        }
+    }
+}
+
+/// Per-tile, per-plane socket-side state.
+#[derive(Debug, Default)]
+struct TileEndpoint {
+    inject: VecDeque<Flit>,
+    eject: VecDeque<Packet>,
+    reasm: Reassembler,
+}
+
+/// A cycle-level 2D-mesh NoC.
+///
+/// Tiles interact with the mesh through [`Mesh::inject`] / [`Mesh::eject`]
+/// at their coordinate; [`Mesh::tick`] advances all routers by one cycle.
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Mesh {
+    config: MeshConfig,
+    routers: Vec<Router>,
+    endpoints: Vec<Vec<TileEndpoint>>, // [tile][plane]
+    stats: NocStats,
+    cycle: u64,
+}
+
+impl Mesh {
+    /// Builds a mesh from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidDimensions`] when either dimension is zero
+    /// or exceeds 256 (the 8-bit coordinate space).
+    pub fn new(config: MeshConfig) -> Result<Self, NocError> {
+        let (cols, rows) = (config.cols, config.rows);
+        if cols == 0 || rows == 0 || cols > 256 || rows > 256 {
+            return Err(NocError::InvalidDimensions { cols, rows });
+        }
+        let mut routers = Vec::with_capacity(cols * rows);
+        let mut endpoints = Vec::with_capacity(cols * rows);
+        for y in 0..rows {
+            for x in 0..cols {
+                routers.push(Router::new(
+                    Coord::new(x as u8, y as u8),
+                    cols,
+                    rows,
+                    config.router,
+                ));
+                endpoints.push((0..Plane::COUNT).map(|_| TileEndpoint::default()).collect());
+            }
+        }
+        Ok(Mesh {
+            config,
+            routers,
+            endpoints,
+            stats: NocStats::new(),
+            cycle: 0,
+        })
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn tile_index(&self, c: Coord) -> usize {
+        c.y as usize * self.config.cols + c.x as usize
+    }
+
+    fn check_bounds(&self, c: Coord) -> Result<(), NocError> {
+        if (c.x as usize) < self.config.cols && (c.y as usize) < self.config.rows {
+            Ok(())
+        } else {
+            Err(NocError::OutOfBounds {
+                coord: c,
+                cols: self.config.cols,
+                rows: self.config.rows,
+            })
+        }
+    }
+
+    /// Per-router forwarded-flit counts as a row-major `rows x cols`
+    /// matrix — the NoC congestion heatmap.
+    pub fn traffic_matrix(&self) -> Vec<Vec<u64>> {
+        (0..self.config.rows)
+            .map(|y| {
+                (0..self.config.cols)
+                    .map(|x| self.routers[y * self.config.cols + x].forwarded_flits())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Access the router at `coord` (e.g. to install a custom routing table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the mesh.
+    pub fn router_mut(&mut self, coord: Coord) -> &mut Router {
+        self.check_bounds(coord).expect("coordinate in bounds");
+        let i = self.tile_index(coord);
+        &mut self.routers[i]
+    }
+
+    /// Free flit slots in the injection queue of `(coord, plane)`.
+    pub fn inject_capacity(&self, coord: Coord, plane: Plane) -> usize {
+        let i = self.tile_index(coord);
+        self.config
+            .inject_queue_depth
+            .saturating_sub(self.endpoints[i][plane.index()].inject.len())
+    }
+
+    /// Whether a packet of the given flit length can be injected now.
+    pub fn can_inject(&self, coord: Coord, plane: Plane, flit_len: usize) -> bool {
+        self.inject_capacity(coord, plane) >= flit_len
+    }
+
+    /// Injects a packet at its source tile.
+    ///
+    /// The whole packet must fit in the injection queue: packets are never
+    /// partially accepted, mirroring the tile socket's store-and-forward
+    /// behaviour towards the NoC.
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::OutOfBounds`] if source or destination are outside the
+    /// mesh; [`NocError::InjectQueueFull`] if the queue lacks space (the
+    /// caller should retry after ticking — this is back-pressure, not
+    /// failure).
+    pub fn inject(&mut self, mut packet: Packet) -> Result<(), NocError> {
+        packet.validate(self.config.cols, self.config.rows)?;
+        let src = packet.src();
+        let plane = packet.plane();
+        if !self.can_inject(src, plane, packet.flit_len()) {
+            return Err(NocError::InjectQueueFull { coord: src });
+        }
+        packet.inject_cycle = self.cycle;
+        let flits = Flit::from_packet(&packet);
+        let i = self.tile_index(src);
+        self.endpoints[i][plane.index()].inject.extend(flits);
+        self.stats.plane_mut(plane).packets_injected += 1;
+        Ok(())
+    }
+
+    /// Returns a reference to the oldest delivered packet at `(coord,
+    /// plane)` without removing it.
+    pub fn peek(&self, coord: Coord, plane: Plane) -> Option<&Packet> {
+        let i = self.tile_index(coord);
+        self.endpoints[i][plane.index()].eject.front()
+    }
+
+    /// Removes and returns the oldest delivered packet at `(coord, plane)`.
+    pub fn eject(&mut self, coord: Coord, plane: Plane) -> Option<Packet> {
+        let i = self.tile_index(coord);
+        self.endpoints[i][plane.index()].eject.pop_front()
+    }
+
+    /// Number of delivered packets waiting at `(coord, plane)`.
+    pub fn delivered_len(&self, coord: Coord, plane: Plane) -> usize {
+        let i = self.tile_index(coord);
+        self.endpoints[i][plane.index()].eject.len()
+    }
+
+    /// Total packets delivered to ejection queues but not yet ejected by
+    /// their tiles, across all coordinates and planes.
+    pub fn undelivered_total(&self) -> usize {
+        self.endpoints
+            .iter()
+            .map(|planes| planes.iter().map(|ep| ep.eject.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether any traffic (queued flits or partial packets) remains in the
+    /// network. Delivered-but-unejected packets do not count as in-flight;
+    /// see [`Mesh::undelivered_total`] for those.
+    pub fn is_idle(&self) -> bool {
+        for (ti, r) in self.routers.iter().enumerate() {
+            for plane in Plane::ALL {
+                if !self.endpoints[ti][plane.index()].inject.is_empty() {
+                    return false;
+                }
+                for port in Port::ALL {
+                    if r.occupancy(plane, port) > 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Advances the NoC by one cycle: local injection, router arbitration,
+    /// link traversal, local ejection.
+    pub fn tick(&mut self) {
+        let cols = self.config.cols;
+        let rows = self.config.rows;
+        let n = cols * rows;
+
+        // Phase 1: move up to one flit per (tile, plane) from the injection
+        // queue into the router's local input port.
+        for ti in 0..n {
+            for plane in Plane::ALL {
+                let free = self.routers[ti].free_slots(plane, Port::Local);
+                if free == 0 {
+                    continue;
+                }
+                if let Some(flit) = self.endpoints[ti][plane.index()].inject.pop_front() {
+                    self.routers[ti].push_input(plane, Port::Local, flit);
+                }
+            }
+        }
+
+        // Phase 2: snapshot downstream free space. free[tile][plane][port]
+        // is the space in that router's *input* queue.
+        let mut free = vec![[[0usize; Port::COUNT]; Plane::COUNT]; n];
+        for (ti, r) in self.routers.iter().enumerate() {
+            for plane in Plane::ALL {
+                for port in Port::ALL {
+                    free[ti][plane.index()][port.index()] = r.free_slots(plane, port);
+                }
+            }
+        }
+        // Local "downstream" capacity: ejection queue slots (in packets; a
+        // partial packet may always continue, handled by treating a
+        // non-empty reassembly as free).
+        let mut local_free = vec![[0usize; Plane::COUNT]; n];
+        #[allow(clippy::needless_range_loop)] // ti also indexes self.endpoints
+        for ti in 0..n {
+            for plane in Plane::ALL {
+                let ep = &self.endpoints[ti][plane.index()];
+                local_free[ti][plane.index()] = self
+                    .config
+                    .eject_queue_depth
+                    .saturating_sub(ep.eject.len());
+            }
+        }
+
+        // Phase 3: arbitration per router; collect transfers.
+        let mut all_transfers: Vec<(usize, Transfer)> = Vec::new();
+        for ti in 0..n {
+            let coord = self.routers[ti].coord();
+            let transfers = {
+                let free_ref = &mut free;
+                let local_ref = &mut local_free;
+                self.routers[ti].select(|plane, out| {
+                    if out == Port::Local {
+                        local_ref[ti][plane.index()]
+                    } else {
+                        match out.step(coord) {
+                            Some(nc)
+                                if (nc.x as usize) < cols && (nc.y as usize) < rows =>
+                            {
+                                let ni = nc.y as usize * cols + nc.x as usize;
+                                free_ref[ni][plane.index()][out.opposite().index()]
+                            }
+                            _ => 0, // edge of the mesh: nothing downstream
+                        }
+                    }
+                })
+            };
+            // Reserve the space consumed by the selected transfers so other
+            // routers (and later ports of this one) see updated capacity.
+            for t in &transfers {
+                if t.out_port == Port::Local {
+                    // A slot is only consumed when the tail completes a
+                    // packet; approximating per-flit is safe because depth
+                    // is in packets and only tails commit.
+                    if t.flit.kind.is_tail() {
+                        local_free[ti][t.plane.index()] =
+                            local_free[ti][t.plane.index()].saturating_sub(1);
+                    }
+                } else if let Some(nc) = t.out_port.step(self.routers[ti].coord()) {
+                    let ni = nc.y as usize * cols + nc.x as usize;
+                    let slot =
+                        &mut free[ni][t.plane.index()][t.out_port.opposite().index()];
+                    *slot = slot.saturating_sub(1);
+                }
+            }
+            all_transfers.extend(transfers.into_iter().map(|t| (ti, t)));
+        }
+
+        // Phase 4: commit — link traversal and local ejection.
+        for (ti, t) in all_transfers {
+            if t.out_port == Port::Local {
+                let plane = t.plane;
+                let is_tail = t.flit.kind.is_tail();
+                let inject_cycle = t.flit.inject_cycle;
+                let ep = &mut self.endpoints[ti][plane.index()];
+                if let Some(pkt) = ep.reasm.push(t.flit) {
+                    debug_assert!(is_tail);
+                    let latency = (self.cycle + 1).saturating_sub(inject_cycle);
+                    let ps = self.stats.plane_mut(plane);
+                    ps.packets_delivered += 1;
+                    ps.total_latency += latency;
+                    ps.max_latency = ps.max_latency.max(latency);
+                    ep.eject.push_back(pkt);
+                }
+            } else {
+                let coord = self.routers[ti].coord();
+                let nc = t.out_port.step(coord).expect("transfer stays in mesh");
+                let ni = self.tile_index(nc);
+                self.stats.plane_mut(t.plane).flit_hops += 1;
+                self.routers[ni].push_input(t.plane, t.out_port.opposite(), t.flit);
+            }
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    /// Ticks until the network drains or `max_cycles` elapse; returns the
+    /// number of cycles executed.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while !self.is_idle() && self.cycle - start < max_cycles {
+            self.tick();
+        }
+        self.cycle - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgKind;
+
+    fn mesh3x3() -> Mesh {
+        Mesh::new(MeshConfig::new(3, 3)).expect("valid mesh")
+    }
+
+    fn pkt(src: (u8, u8), dst: (u8, u8), words: Vec<u64>) -> Packet {
+        Packet::new(
+            Coord::new(src.0, src.1),
+            Coord::new(dst.0, dst.1),
+            Plane::DmaRsp,
+            MsgKind::DmaData,
+            words,
+        )
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Mesh::new(MeshConfig::new(0, 3)).is_err());
+        assert!(Mesh::new(MeshConfig::new(3, 0)).is_err());
+        assert!(Mesh::new(MeshConfig::new(300, 1)).is_err());
+    }
+
+    #[test]
+    fn delivers_single_packet() {
+        let mut m = mesh3x3();
+        m.inject(pkt((0, 0), (2, 2), vec![42])).unwrap();
+        m.run_until_idle(1000);
+        let got = m.eject(Coord::new(2, 2), Plane::DmaRsp).expect("delivered");
+        assert_eq!(got.payload(), &[42]);
+        assert_eq!(m.stats().plane(Plane::DmaRsp).packets_delivered, 1);
+    }
+
+    #[test]
+    fn self_delivery_works() {
+        let mut m = mesh3x3();
+        m.inject(pkt((1, 1), (1, 1), vec![7])).unwrap();
+        m.run_until_idle(100);
+        let got = m.eject(Coord::new(1, 1), Plane::DmaRsp).expect("delivered");
+        assert_eq!(got.payload(), &[7]);
+    }
+
+    #[test]
+    fn latency_matches_hops_plus_serialization() {
+        let mut m = mesh3x3();
+        // 1-flit packet over 4 hops: inject->local (1) + 4 link hops + eject.
+        m.inject(pkt((0, 0), (2, 2), vec![])).unwrap();
+        m.run_until_idle(100);
+        let lat = m.stats().plane(Plane::DmaRsp).max_latency;
+        // Lower bound: manhattan distance + 2 (inject + eject stage).
+        assert!(lat >= 4, "latency {lat} too small");
+        assert!(lat <= 12, "latency {lat} too large for an idle mesh");
+    }
+
+    #[test]
+    fn preserves_payload_order_for_long_packets() {
+        let mut m = mesh3x3();
+        let words: Vec<u64> = (0..100).collect();
+        m.inject(pkt((0, 1), (2, 1), words.clone())).unwrap();
+        m.run_until_idle(10_000);
+        let got = m.eject(Coord::new(2, 1), Plane::DmaRsp).expect("delivered");
+        assert_eq!(got.payload(), words.as_slice());
+    }
+
+    #[test]
+    fn planes_are_independent() {
+        let mut m = mesh3x3();
+        let mut a = pkt((0, 0), (2, 0), vec![1]);
+        a = Packet::new(a.src(), a.dest(), Plane::DmaReq, MsgKind::DmaLoadReq, vec![1]);
+        let b = pkt((0, 0), (2, 0), vec![2]);
+        m.inject(a).unwrap();
+        m.inject(b).unwrap();
+        m.run_until_idle(1000);
+        assert_eq!(m.delivered_len(Coord::new(2, 0), Plane::DmaReq), 1);
+        assert_eq!(m.delivered_len(Coord::new(2, 0), Plane::DmaRsp), 1);
+    }
+
+    #[test]
+    fn many_to_one_all_delivered() {
+        let mut m = mesh3x3();
+        let dst = (1u8, 1u8);
+        let mut expected = 0;
+        for x in 0..3u8 {
+            for y in 0..3u8 {
+                if (x, y) == dst {
+                    continue;
+                }
+                m.inject(pkt((x, y), dst, vec![x as u64, y as u64])).unwrap();
+                expected += 1;
+            }
+        }
+        m.run_until_idle(10_000);
+        let mut got = 0;
+        while m.eject(Coord::new(1, 1), Plane::DmaRsp).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn injection_backpressure() {
+        let mut cfg = MeshConfig::new(2, 2);
+        cfg.inject_queue_depth = 4;
+        let mut m = Mesh::new(cfg).unwrap();
+        // 5-flit packet cannot fit a 4-flit queue.
+        let err = m.inject(pkt((0, 0), (1, 1), vec![0; 4])).unwrap_err();
+        assert!(matches!(err, NocError::InjectQueueFull { .. }));
+        // A 3-flit packet fits.
+        m.inject(pkt((0, 0), (1, 1), vec![0; 2])).unwrap();
+    }
+
+    #[test]
+    fn ejection_backpressure_stalls_but_never_drops() {
+        let mut cfg = MeshConfig::new(2, 1);
+        cfg.eject_queue_depth = 1;
+        let mut m = Mesh::new(cfg).unwrap();
+        for i in 0..4 {
+            m.inject(pkt((0, 0), (1, 0), vec![i])).unwrap();
+        }
+        // Tick a while without draining: only 1 packet may sit ejected.
+        for _ in 0..200 {
+            m.tick();
+        }
+        assert_eq!(m.delivered_len(Coord::new(1, 0), Plane::DmaRsp), 1);
+        // Drain one at a time; all four packets arrive in order.
+        let mut seen = Vec::new();
+        let mut guard = 0;
+        while seen.len() < 4 {
+            if let Some(p) = m.eject(Coord::new(1, 0), Plane::DmaRsp) {
+                seen.push(p.payload()[0]);
+            }
+            m.tick();
+            guard += 1;
+            assert!(guard < 1000, "packets lost under ejection back-pressure");
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wormhole_no_payload_interleaving_under_contention() {
+        let mut m = mesh3x3();
+        // Two long packets from different sources to the same destination
+        // must arrive with intact payloads.
+        let a: Vec<u64> = (0..50).map(|i| 1000 + i).collect();
+        let b: Vec<u64> = (0..50).map(|i| 2000 + i).collect();
+        m.inject(pkt((0, 0), (2, 2), a.clone())).unwrap();
+        m.inject(pkt((0, 2), (2, 2), b.clone())).unwrap();
+        m.run_until_idle(10_000);
+        let mut payloads = Vec::new();
+        while let Some(p) = m.eject(Coord::new(2, 2), Plane::DmaRsp) {
+            payloads.push(p.into_payload());
+        }
+        payloads.sort();
+        assert_eq!(payloads, vec![a, b]);
+    }
+
+    #[test]
+    fn stats_count_hops() {
+        let mut m = mesh3x3();
+        m.inject(pkt((0, 0), (2, 0), vec![])).unwrap(); // 2 hops, 1 flit
+        m.run_until_idle(100);
+        assert_eq!(m.stats().plane(Plane::DmaRsp).flit_hops, 2);
+    }
+
+    #[test]
+    fn is_idle_reflects_traffic() {
+        let mut m = mesh3x3();
+        assert!(m.is_idle());
+        m.inject(pkt((0, 0), (2, 2), vec![1, 2, 3])).unwrap();
+        assert!(!m.is_idle());
+        m.run_until_idle(1000);
+        assert!(m.is_idle());
+    }
+}
+
+#[cfg(test)]
+mod traffic_tests {
+    use super::*;
+    use crate::MsgKind;
+
+    #[test]
+    fn traffic_matrix_tracks_route() {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        // XY route (0,0) -> (2,0): routers (0,0) and (1,0) forward.
+        m.inject(Packet::new(
+            Coord::new(0, 0),
+            Coord::new(2, 0),
+            Plane::DmaRsp,
+            MsgKind::DmaData,
+            vec![1, 2],
+        ))
+        .unwrap();
+        m.run_until_idle(100);
+        let t = m.traffic_matrix();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0][0], 3); // 3 flits forwarded east
+        assert_eq!(t[0][1], 3);
+        assert_eq!(t[0][2], 0); // destination only ejects locally
+        assert_eq!(t[1][0], 0); // off-route routers untouched
+    }
+}

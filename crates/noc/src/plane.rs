@@ -1,0 +1,118 @@
+//! NoC physical planes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six decoupled physical planes of the ESP NoC.
+///
+/// Each plane is a full set of bi-directional links and router queues; the
+/// planes share nothing but the floorplan. ESP dedicates three planes to the
+/// cache-coherence protocol of the processor tiles, two planes to
+/// accelerator DMA (requests and responses travel on *different* planes to
+/// prevent message-dependent deadlock when multiple accelerators and
+/// multiple memory tiles are present), and one plane to I/O and interrupt
+/// delivery.
+///
+/// ESP4ML's p2p service reuses the two DMA planes: a p2p *load request*
+/// travels on [`Plane::DmaReq`] from the consumer to the producer tile, and
+/// the producer's data travels back on [`Plane::DmaRsp`] — exactly the
+/// queues a memory-bound DMA would have used, which is why the service adds
+/// no hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Plane {
+    /// Coherence requests (processor caches to directory).
+    CohReq,
+    /// Coherence forwards (directory to caches).
+    CohFwd,
+    /// Coherence responses (data and acknowledgements).
+    CohRsp,
+    /// Accelerator DMA requests (load/store descriptors, p2p load requests).
+    DmaReq,
+    /// Accelerator DMA responses (data words).
+    DmaRsp,
+    /// Memory-mapped I/O, register access and interrupt requests.
+    IoIrq,
+}
+
+impl Plane {
+    /// All six planes, in index order.
+    pub const ALL: [Plane; 6] = [
+        Plane::CohReq,
+        Plane::CohFwd,
+        Plane::CohRsp,
+        Plane::DmaReq,
+        Plane::DmaRsp,
+        Plane::IoIrq,
+    ];
+
+    /// Number of planes in the ESP NoC.
+    pub const COUNT: usize = 6;
+
+    /// The dense index of this plane (0..[`Plane::COUNT`]).
+    pub fn index(self) -> usize {
+        match self {
+            Plane::CohReq => 0,
+            Plane::CohFwd => 1,
+            Plane::CohRsp => 2,
+            Plane::DmaReq => 3,
+            Plane::DmaRsp => 4,
+            Plane::IoIrq => 5,
+        }
+    }
+
+    /// Constructs a plane from its dense index.
+    ///
+    /// Returns `None` if `index >= Plane::COUNT`.
+    pub fn from_index(index: usize) -> Option<Plane> {
+        Plane::ALL.get(index).copied()
+    }
+
+    /// Whether this plane carries accelerator DMA traffic (and hence p2p
+    /// traffic in ESP4ML).
+    pub fn is_dma(self) -> bool {
+        matches!(self, Plane::DmaReq | Plane::DmaRsp)
+    }
+}
+
+impl fmt::Display for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Plane::CohReq => "coh-req",
+            Plane::CohFwd => "coh-fwd",
+            Plane::CohRsp => "coh-rsp",
+            Plane::DmaReq => "dma-req",
+            Plane::DmaRsp => "dma-rsp",
+            Plane::IoIrq => "io-irq",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, p) in Plane::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Plane::from_index(i), Some(*p));
+        }
+        assert_eq!(Plane::from_index(6), None);
+    }
+
+    #[test]
+    fn dma_planes() {
+        assert!(Plane::DmaReq.is_dma());
+        assert!(Plane::DmaRsp.is_dma());
+        assert!(!Plane::CohReq.is_dma());
+        assert!(!Plane::IoIrq.is_dma());
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let names: std::collections::BTreeSet<String> =
+            Plane::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names.len(), Plane::COUNT);
+    }
+}

@@ -1,0 +1,100 @@
+//! Traffic statistics gathered by the mesh.
+
+use crate::Plane;
+use serde::{Deserialize, Serialize};
+
+/// Traffic counters for one NoC plane.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlaneStats {
+    /// Packets injected on this plane.
+    pub packets_injected: u64,
+    /// Packets delivered (ejected) on this plane.
+    pub packets_delivered: u64,
+    /// Flits that traversed a link (hop count across all flits).
+    pub flit_hops: u64,
+    /// Sum of packet latencies (inject cycle to ejection cycle), for
+    /// computing the average.
+    pub total_latency: u64,
+    /// Worst-case packet latency observed.
+    pub max_latency: u64,
+}
+
+impl PlaneStats {
+    /// Average packet latency in cycles, or 0.0 when nothing was delivered.
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.packets_delivered as f64
+        }
+    }
+}
+
+/// Aggregate statistics for the whole NoC.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Per-plane counters, indexed by [`Plane::index`].
+    pub planes: Vec<PlaneStats>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+impl NocStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NocStats {
+            planes: vec![PlaneStats::default(); Plane::COUNT],
+            cycles: 0,
+        }
+    }
+
+    /// Counters for one plane.
+    pub fn plane(&self, plane: Plane) -> &PlaneStats {
+        &self.planes[plane.index()]
+    }
+
+    pub(crate) fn plane_mut(&mut self, plane: Plane) -> &mut PlaneStats {
+        &mut self.planes[plane.index()]
+    }
+
+    /// Total packets delivered across all planes.
+    pub fn total_delivered(&self) -> u64 {
+        self.planes.iter().map(|p| p.packets_delivered).sum()
+    }
+
+    /// Total flit-hops across all planes (a proxy for NoC dynamic energy).
+    pub fn total_flit_hops(&self) -> u64 {
+        self.planes.iter().map(|p| p.flit_hops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_handles_zero() {
+        let s = PlaneStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn avg_latency_divides() {
+        let s = PlaneStats {
+            packets_delivered: 4,
+            total_latency: 20,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_latency(), 5.0);
+    }
+
+    #[test]
+    fn totals_sum_over_planes() {
+        let mut s = NocStats::new();
+        s.plane_mut(Plane::DmaReq).packets_delivered = 3;
+        s.plane_mut(Plane::DmaRsp).packets_delivered = 2;
+        s.plane_mut(Plane::DmaRsp).flit_hops = 10;
+        assert_eq!(s.total_delivered(), 5);
+        assert_eq!(s.total_flit_hops(), 10);
+    }
+}

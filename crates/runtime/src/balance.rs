@@ -1,0 +1,139 @@
+//! Pipeline throughput balancing (§V of the paper).
+//!
+//! "They can tune the throughput of the system by balancing each stage of
+//! this pipeline: e.g., if a slow accelerator is feeding a faster one,
+//! multiple instances of the slower accelerator can be activated to feed a
+//! single accelerator downstream." This module computes those instance
+//! counts from the stages' initiation intervals.
+
+/// Suggests per-stage instance counts for a linear pipeline.
+///
+/// `stage_iis[i]` is the initiation interval (cycles/frame) of one
+/// instance of stage `i`; `max_width` bounds the replication (the
+/// `P2P_REG` supports at most 4 sources). The effective interval of a
+/// stage with `k` instances is `ii / k`.
+///
+/// The balancing goal follows the paper: replicate *slower* stages until
+/// they keep up with the fastest single-instance stage (or until
+/// `max_width` caps them), using as few instances as possible. Returned
+/// widths respect the runtime's dataflow-wiring constraint — consecutive
+/// stages must have equal width or fan in to width 1, so every valid
+/// vector is a constant prefix followed by an all-ones suffix.
+///
+/// # Panics
+///
+/// Panics if `stage_iis` is empty, contains a zero, or `max_width == 0`.
+pub fn suggest_stage_widths(stage_iis: &[u64], max_width: usize) -> Vec<usize> {
+    assert!(!stage_iis.is_empty(), "pipeline needs at least one stage");
+    assert!(max_width > 0, "max width must be positive");
+    assert!(
+        stage_iis.iter().all(|&ii| ii > 0),
+        "initiation intervals must be positive"
+    );
+    // Target interval: the fastest single-instance stage sets the pace,
+    // unless even full replication cannot bring some stage down to it.
+    let fastest = *stage_iis.iter().min().expect("non-empty");
+    let floor = stage_iis
+        .iter()
+        .map(|&ii| ii.div_ceil(max_width as u64))
+        .max()
+        .expect("non-empty");
+    let target = fastest.max(floor);
+    // Enumerate the (tiny) valid search space and pick the cheapest
+    // vector meeting the target; ties break towards the shorter prefix.
+    let n = stage_iis.len();
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    for w in 1..=max_width {
+        for split in 0..=n {
+            let widths: Vec<usize> = (0..n).map(|i| if i < split { w } else { 1 }).collect();
+            if pipeline_interval(stage_iis, &widths) > target {
+                continue;
+            }
+            let instances: usize = widths.iter().sum();
+            if best.as_ref().is_none_or(|(bc, _)| instances < *bc) {
+                best = Some((instances, widths));
+            }
+        }
+    }
+    best.expect("target is achievable by construction").1
+}
+
+/// The steady-state pipeline interval (cycles/frame) for the given
+/// per-stage IIs and instance counts.
+///
+/// # Panics
+///
+/// Panics on length mismatch or zero widths.
+pub fn pipeline_interval(stage_iis: &[u64], widths: &[usize]) -> u64 {
+    assert_eq!(stage_iis.len(), widths.len(), "length mismatch");
+    stage_iis
+        .iter()
+        .zip(widths)
+        .map(|(&ii, &k)| {
+            assert!(k > 0, "stage width must be positive");
+            ii.div_ceil(k as u64)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_producer_gets_replicated() {
+        // The paper's Night-Vision (slow) feeding the classifier (fast):
+        // NV II ~ 8400, Cl II ~ 2400 → 4 NV + 1 Cl.
+        let widths = suggest_stage_widths(&[8400, 2400], 4);
+        assert_eq!(widths, vec![4, 1]);
+        assert!(pipeline_interval(&[8400, 2400], &widths) <= 2400);
+    }
+
+    #[test]
+    fn balanced_pipeline_stays_minimal() {
+        let widths = suggest_stage_widths(&[1000, 1000, 1000], 4);
+        assert_eq!(widths, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn interval_improves_with_width() {
+        let iis = [8000u64, 2000];
+        let one = pipeline_interval(&iis, &[1, 1]);
+        let four = pipeline_interval(&iis, &[4, 1]);
+        assert_eq!(one, 8000);
+        assert_eq!(four, 2000);
+    }
+
+    #[test]
+    fn widths_respect_wiring_constraint() {
+        // Whatever the IIs, consecutive widths must be equal or fan in to 1.
+        for iis in [
+            vec![100u64, 400, 100],
+            vec![400, 100, 400],
+            vec![100, 100, 400, 50],
+            vec![1, 1000],
+        ] {
+            let w = suggest_stage_widths(&iis, 4);
+            for pair in w.windows(2) {
+                assert!(
+                    pair[0] == pair[1] || pair[1] == 1,
+                    "widths {w:?} violate wiring for IIs {iis:?}"
+                );
+            }
+            assert!(w.iter().all(|&k| (1..=4).contains(&k)));
+        }
+    }
+
+    #[test]
+    fn max_width_bounds_replication() {
+        let widths = suggest_stage_widths(&[100_000, 10], 2);
+        assert_eq!(widths[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        suggest_stage_widths(&[], 4);
+    }
+}

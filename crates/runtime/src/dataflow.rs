@@ -1,0 +1,224 @@
+//! User-level dataflow descriptions (the generated `dflow.h` analog).
+
+use serde::{Deserialize, Serialize};
+
+/// One pipeline stage: one or more identical device instances that share
+/// the work round-robin (frame `f` goes to instance `f % n`).
+///
+/// Running several instances of a slow stage to feed one faster downstream
+/// stage is exactly the throughput-balancing technique of §V ("if a slow
+/// accelerator is feeding a faster one, multiple instances of the slower
+/// accelerator can be activated").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Device names of the instances (as probed by the driver).
+    pub devices: Vec<String>,
+}
+
+impl StageSpec {
+    /// A stage with the given device instances.
+    pub fn new<S: Into<String>>(devices: impl IntoIterator<Item = S>) -> Self {
+        StageSpec {
+            devices: devices.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of parallel instances.
+    pub fn width(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+/// How `esp_run` maps the dataflow onto the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Serial single-thread execution: one accelerator invocation at a
+    /// time, all communication through memory (the paper's *base* bars).
+    Base,
+    /// Software pipeline: one thread per accelerator, dependencies enforced
+    /// with pthread-style synchronization, communication through memory
+    /// (the *pipe* bars).
+    Pipe,
+    /// Hardware pipeline: single invocation per accelerator with p2p
+    /// communication; synchronization happens in the NoC (the *p2p* bars).
+    P2p,
+}
+
+impl ExecMode {
+    /// All modes, in the order the paper's figures present them.
+    pub const ALL: [ExecMode; 3] = [ExecMode::Base, ExecMode::Pipe, ExecMode::P2p];
+
+    /// The label used in Fig. 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Base => "base",
+            ExecMode::Pipe => "pipe",
+            ExecMode::P2p => "p2p",
+        }
+    }
+}
+
+/// A linear pipeline of stages — the dataflow shape of all four
+/// case-study applications (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataflow {
+    /// Stages in execution order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl Dataflow {
+    /// Builds a linear dataflow from stage device lists, e.g.
+    /// `Dataflow::linear(&[&["nv0", "nv1"], &["classifier"]])`.
+    pub fn linear(stages: &[&[&str]]) -> Self {
+        Dataflow {
+            stages: stages
+                .iter()
+                .map(|devs| StageSpec::new(devs.iter().copied()))
+                .collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total device instances across stages.
+    pub fn total_instances(&self) -> usize {
+        self.stages.iter().map(StageSpec::width).sum()
+    }
+
+    /// Structural validation (device existence and size compatibility are
+    /// checked by the runtime against the registry).
+    ///
+    /// Fan-out from a single producer to multiple consumers is rejected:
+    /// the on-demand p2p service serves requests in arrival order, which
+    /// only preserves frame order when consecutive stages have equal width
+    /// or fan *in* to a single consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("dataflow has no stages".into());
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.devices.is_empty() {
+                return Err(format!("stage {i} has no device instances"));
+            }
+            if s.devices.len() > 4 {
+                return Err(format!(
+                    "stage {i} has {} instances; the P2P_REG supports at most 4 sources",
+                    s.devices.len()
+                ));
+            }
+        }
+        for w in self.stages.windows(2) {
+            let (a, b) = (w[0].width(), w[1].width());
+            if a != b && b != 1 {
+                return Err(format!(
+                    "stage widths {a} -> {b}: only equal-width or fan-in-to-one supported"
+                ));
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.stages {
+            for d in &s.devices {
+                if !seen.insert(d.clone()) {
+                    return Err(format!("device {d} appears twice in the dataflow"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_builder() {
+        let df = Dataflow::linear(&[&["a", "b"], &["c"]]);
+        assert_eq!(df.depth(), 2);
+        assert_eq!(df.total_instances(), 3);
+        assert_eq!(df.stages[0].width(), 2);
+        assert!(df.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_dataflow_invalid() {
+        assert!(Dataflow { stages: vec![] }.validate().is_err());
+        assert!(Dataflow::linear(&[&[]]).validate().is_err());
+    }
+
+    #[test]
+    fn fan_out_rejected() {
+        let df = Dataflow::linear(&[&["a"], &["b", "c"]]);
+        assert!(df.validate().is_err());
+    }
+
+    #[test]
+    fn fan_in_accepted() {
+        let df = Dataflow::linear(&[&["a", "b", "c", "d"], &["e"]]);
+        assert!(df.validate().is_ok());
+    }
+
+    #[test]
+    fn too_many_sources_rejected() {
+        let df = Dataflow::linear(&[&["a", "b", "c", "d", "e"], &["f"]]);
+        assert!(df.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let df = Dataflow::linear(&[&["a"], &["a"]]);
+        assert!(df.validate().is_err());
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ExecMode::Base.label(), "base");
+        assert_eq!(ExecMode::ALL.len(), 3);
+    }
+}
+
+impl Dataflow {
+    /// Serializes the dataflow to JSON — the generated `dflow1.h`
+    /// configuration of the paper's Fig. 5, in declarative form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataflow serializes")
+    }
+
+    /// Parses a dataflow from JSON and validates its structure.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or a structurally invalid dataflow.
+    pub fn from_json(json: &str) -> Result<Dataflow, String> {
+        let df: Dataflow = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        df.validate()?;
+        Ok(df)
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let df = Dataflow::linear(&[&["nv0", "nv1"], &["cl0"]]);
+        let back = Dataflow::from_json(&df.to_json()).expect("parses");
+        assert_eq!(back, df);
+    }
+
+    #[test]
+    fn from_json_validates_structure() {
+        // Fan-out 1 -> 2 must be rejected even if the JSON parses.
+        let json = r#"{"stages":[{"devices":["a"]},{"devices":["b","c"]}]}"#;
+        assert!(Dataflow::from_json(json).is_err());
+        assert!(Dataflow::from_json("not json").is_err());
+    }
+}

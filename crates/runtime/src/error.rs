@@ -1,0 +1,80 @@
+//! Runtime error type.
+
+use esp4ml_mem::AllocError;
+use esp4ml_soc::SocError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the ESP runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Underlying SoC failure.
+    Soc(SocError),
+    /// Contiguous allocation failure.
+    Alloc(AllocError),
+    /// A dataflow referenced a device name that no driver probed.
+    UnknownDevice {
+        /// The missing device name.
+        name: String,
+    },
+    /// The dataflow is structurally invalid.
+    BadDataflow(String),
+    /// The simulated execution did not finish within the cycle budget
+    /// (deadlock or missing configuration).
+    Timeout {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Soc(e) => write!(f, "soc error: {e}"),
+            RuntimeError::Alloc(e) => write!(f, "allocation error: {e}"),
+            RuntimeError::UnknownDevice { name } => write!(f, "no such device: {name}"),
+            RuntimeError::BadDataflow(msg) => write!(f, "invalid dataflow: {msg}"),
+            RuntimeError::Timeout { cycles } => {
+                write!(f, "execution did not finish within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Soc(e) => Some(e),
+            RuntimeError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SocError> for RuntimeError {
+    fn from(e: SocError) -> Self {
+        RuntimeError::Soc(e)
+    }
+}
+
+impl From<AllocError> for RuntimeError {
+    fn from(e: AllocError) -> Self {
+        RuntimeError::Alloc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RuntimeError::UnknownDevice {
+            name: "nv".into()
+        }
+        .to_string()
+        .contains("nv"));
+        assert!(RuntimeError::Timeout { cycles: 5 }.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,105 @@
+//! Execution metrics returned by `esp_run`.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics for one `esp_run` execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Application frames processed end-to-end.
+    pub frames: u64,
+    /// Cycles from the first invocation to the last completion.
+    pub cycles: u64,
+    /// DRAM words accessed (reads + writes) during the run.
+    pub dram_accesses: u64,
+    /// DRAM words read.
+    pub dram_reads: u64,
+    /// DRAM words written.
+    pub dram_writes: u64,
+    /// NoC flit-hops during the run.
+    pub noc_flit_hops: u64,
+    /// Accelerator invocations issued (each costing one ioctl path).
+    pub invocations: u64,
+    /// SoC clock in Hz, for unit conversions.
+    pub clock_hz: f64,
+}
+
+impl RunMetrics {
+    /// Throughput in frames per second.
+    pub fn frames_per_second(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.frames as f64 / (self.cycles as f64 / self.clock_hz)
+    }
+
+    /// Energy efficiency in frames per joule at the given average power.
+    pub fn frames_per_joule(&self, watts: f64) -> f64 {
+        if watts <= 0.0 {
+            return 0.0;
+        }
+        self.frames_per_second() / watts
+    }
+
+    /// Wall-clock seconds of the run.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.clock_hz
+    }
+}
+
+impl std::fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} frames in {} cycles ({:.0} frames/s at {:.0} MHz), {} DRAM word accesses, {} invocations",
+            self.frames,
+            self.cycles,
+            self.frames_per_second(),
+            self.clock_hz / 1.0e6,
+            self.dram_accesses,
+            self.invocations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            frames: 100,
+            cycles: 780_000,
+            clock_hz: 78.0e6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fps() {
+        assert!((metrics().frames_per_second() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frames_per_joule() {
+        let m = metrics();
+        assert!((m.frames_per_joule(2.0) - 5_000.0).abs() < 1e-6);
+        assert_eq!(m.frames_per_joule(0.0), 0.0);
+    }
+
+    #[test]
+    fn seconds() {
+        assert!((metrics().seconds() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_fps_is_zero() {
+        assert_eq!(RunMetrics::default().frames_per_second(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = metrics().to_string();
+        assert!(s.contains("100 frames"));
+        assert!(s.contains("10000 frames/s"));
+    }
+}

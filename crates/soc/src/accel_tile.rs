@@ -1,0 +1,696 @@
+//! The accelerator tile: ESP socket wrapper around a kernel.
+//!
+//! The wrapper implements the paper's Fig. 4 loop — LOAD, COMPUTE, STORE
+//! per frame — plus the ESP4ML p2p platform service. All p2p transactions
+//! are *on-demand*: a consumer's LOAD sends a `P2pLoadReq` to the producer
+//! tile, and a producer's STORE holds its output until such a request
+//! arrives. This preserves the consumption assumption (data enters the NoC
+//! only when the receiver has space) and is completely transparent to the
+//! kernel, which still sees plain load/store semantics.
+
+use crate::kernel::{pack_values, unpack_values, words_for, AcceleratorKernel};
+use crate::mem_map::MemMap;
+use crate::mem_tile::MAX_DMA_PACKET_WORDS;
+use crate::regs::{
+    P2pConfig, RegisterFile, CMD_START, FLAG_DOUBLE_BUFFER, REG_CMD, REG_CONF_OUT_SIZE,
+    REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_N_FRAMES, REG_P2P,
+    REG_SRC_OFFSET, STATUS_DONE, STATUS_RUNNING,
+};
+use crate::stats::AccelStats;
+use esp4ml_mem::{PageTable, Tlb};
+use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Cycles of socket overhead to set up one DMA burst descriptor.
+const DMA_SETUP_CYCLES: u64 = 2;
+/// TLB capacity of the socket (entries).
+const SOCKET_TLB_ENTRIES: usize = 32;
+/// Page-walk penalty on a TLB miss, in cycles.
+const TLB_MISS_PENALTY: u64 = 12;
+
+/// The wrapper FSM state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccelState {
+    /// Waiting for a start command.
+    Idle,
+    /// Issuing load requests for the current frame.
+    LoadIssue,
+    /// Waiting for load data (DMA or p2p).
+    LoadWait,
+    /// Kernel computation in progress.
+    Compute,
+    /// Deciding how to store the current frame.
+    StoreIssue,
+    /// P2p store: waiting for a consumer's request.
+    StoreWaitReq,
+    /// P2p store: streaming data packets to the consumer.
+    StoreSend,
+    /// DMA store: waiting for memory-tile acknowledgements.
+    StoreWaitAck,
+    /// Batch finished; status register reads done.
+    Done,
+}
+
+/// Communication mode of one side of an invocation, as reported by
+/// [`AccelConfig::comm_modes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Through the memory hierarchy (regular DMA).
+    Dma,
+    /// Tile-to-tile over the NoC (ESP4ML p2p service).
+    P2p,
+}
+
+/// A user-level accelerator invocation descriptor, written into the socket
+/// registers by the driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Input values per frame (0 = the kernel's natural input size).
+    pub conf_size: u64,
+    /// Output values per frame (0 = the kernel's natural output size).
+    pub out_size: u64,
+    /// Input base offset (words) in the accelerator's virtual address
+    /// space.
+    pub src_offset: u64,
+    /// Output base offset (words) in the accelerator's virtual address
+    /// space.
+    pub dst_offset: u64,
+    /// Frames to process in this batch.
+    pub n_frames: u64,
+    /// P2p configuration.
+    pub p2p: P2pConfig,
+    /// Wrapper feature flags (`FLAGS_REG`), e.g.
+    /// [`FLAG_DOUBLE_BUFFER`](crate::regs::FLAG_DOUBLE_BUFFER).
+    pub flags: u64,
+    /// Datapath clock divider (`DVFS_REG`; 0 or 1 = full speed).
+    pub dvfs_divider: u64,
+}
+
+impl AccelConfig {
+    /// Plain DMA in and out.
+    pub fn dma_to_dma(src_offset: u64, dst_offset: u64, n_frames: u64) -> Self {
+        AccelConfig {
+            conf_size: 0,
+            out_size: 0,
+            src_offset,
+            dst_offset,
+            n_frames,
+            p2p: P2pConfig::disabled(),
+            flags: 0,
+            dvfs_divider: 0,
+        }
+    }
+
+    /// DMA load, p2p store (first stage of a p2p pipeline).
+    pub fn dma_to_p2p(src_offset: u64, n_frames: u64) -> Self {
+        AccelConfig {
+            conf_size: 0,
+            out_size: 0,
+            src_offset,
+            dst_offset: 0,
+            n_frames,
+            p2p: P2pConfig::store(),
+            flags: 0,
+            dvfs_divider: 0,
+        }
+    }
+
+    /// P2p load from `sources`, DMA store (last stage).
+    pub fn p2p_to_dma(sources: Vec<Coord>, dst_offset: u64, n_frames: u64) -> Self {
+        AccelConfig {
+            conf_size: 0,
+            out_size: 0,
+            src_offset: 0,
+            dst_offset,
+            n_frames,
+            p2p: P2pConfig::load_from(sources),
+            flags: 0,
+            dvfs_divider: 0,
+        }
+    }
+
+    /// P2p on both sides (middle stage).
+    pub fn p2p_to_p2p(sources: Vec<Coord>, n_frames: u64) -> Self {
+        AccelConfig {
+            conf_size: 0,
+            out_size: 0,
+            src_offset: 0,
+            dst_offset: 0,
+            n_frames,
+            p2p: P2pConfig::load_and_store(sources),
+            flags: 0,
+            dvfs_divider: 0,
+        }
+    }
+
+    /// Enables input-PLM double buffering (builder style): the wrapper
+    /// prefetches frame `k + 1` while frame `k` computes and stores.
+    pub fn with_double_buffer(mut self) -> Self {
+        self.flags |= FLAG_DOUBLE_BUFFER;
+        self
+    }
+
+    /// Runs the kernel datapath at `f_noc / divider` (builder style) —
+    /// ESP's per-tile fine-grained DVFS.
+    pub fn with_dvfs_divider(mut self, divider: u64) -> Self {
+        self.dvfs_divider = divider;
+        self
+    }
+
+    /// The `(load, store)` communication modes this configuration selects.
+    pub fn comm_modes(&self) -> (CommMode, CommMode) {
+        (
+            if self.p2p.load_enabled { CommMode::P2p } else { CommMode::Dma },
+            if self.p2p.store_enabled { CommMode::P2p } else { CommMode::Dma },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors_select_comm_modes() {
+        assert_eq!(
+            AccelConfig::dma_to_dma(0, 0, 1).comm_modes(),
+            (CommMode::Dma, CommMode::Dma)
+        );
+        assert_eq!(
+            AccelConfig::dma_to_p2p(0, 1).comm_modes(),
+            (CommMode::Dma, CommMode::P2p)
+        );
+        let src = vec![Coord::new(1, 1)];
+        assert_eq!(
+            AccelConfig::p2p_to_dma(src.clone(), 0, 1).comm_modes(),
+            (CommMode::P2p, CommMode::Dma)
+        );
+        assert_eq!(
+            AccelConfig::p2p_to_p2p(src, 1).comm_modes(),
+            (CommMode::P2p, CommMode::P2p)
+        );
+    }
+}
+
+/// An accelerator tile: socket (registers, DMA engine, TLB, p2p service)
+/// plus the plugged-in kernel.
+#[derive(Debug)]
+pub struct AccelTile {
+    coord: Coord,
+    kernel: Box<dyn AcceleratorKernel>,
+    regs: RegisterFile,
+    page_table: Option<PageTable>,
+    tlb: Tlb,
+    mem_map: MemMap,
+    irq_target: Coord,
+
+    state: AccelState,
+    // Batch context, latched at start.
+    n_frames: u64,
+    frame_idx: u64,
+    in_values: u64,
+    out_values: u64,
+    in_words: u64,
+    out_words: u64,
+    src_base: u64,
+    dst_base: u64,
+    p2p: P2pConfig,
+
+    // Transfer bookkeeping: the frame receive buffer (PLM input), filled
+    // by offset-tagged DmaData packets in any arrival order. With double
+    // buffering the buffer holds two ping-pong halves (frame k in half
+    // k % 2) and the next frame's load overlaps the current frame's
+    // compute/store.
+    rx_buf: Vec<u64>,
+    rx_counts: [u64; 2],
+    rx_expect: u64,
+    dbuf: bool,
+    loads_issued: u64,
+    dvfs_divider: u64,
+    dvfs_phase: u64,
+    tx_queue: VecDeque<Packet>,
+    store_acked_words: u64,
+    pending_p2p_reqs: VecDeque<(Coord, u64, u64)>,
+    compute_countdown: u64,
+    output_buffer: Vec<u64>,
+    stall: u64,
+
+    stats: AccelStats,
+}
+
+impl AccelTile {
+    /// Creates an accelerator tile.
+    ///
+    /// `mem_map` describes the memory tiles its DMA targets; `irq_target`
+    /// is the processor tile receiving its interrupts. Both come from the
+    /// SoC floorplan (routing tables in real ESP).
+    pub fn new(
+        coord: Coord,
+        kernel: Box<dyn AcceleratorKernel>,
+        mem_map: MemMap,
+        irq_target: Coord,
+    ) -> Self {
+        AccelTile {
+            coord,
+            regs: RegisterFile::new(coord),
+            kernel,
+            page_table: None,
+            tlb: Tlb::new(SOCKET_TLB_ENTRIES, TLB_MISS_PENALTY),
+            mem_map,
+            irq_target,
+            state: AccelState::Idle,
+            n_frames: 0,
+            frame_idx: 0,
+            in_values: 0,
+            out_values: 0,
+            in_words: 0,
+            out_words: 0,
+            src_base: 0,
+            dst_base: 0,
+            p2p: P2pConfig::disabled(),
+            rx_buf: Vec::new(),
+            rx_counts: [0; 2],
+            rx_expect: 0,
+            dbuf: false,
+            loads_issued: 0,
+            dvfs_divider: 1,
+            dvfs_phase: 0,
+            tx_queue: VecDeque::new(),
+            store_acked_words: 0,
+            pending_p2p_reqs: VecDeque::new(),
+            compute_countdown: 0,
+            output_buffer: Vec::new(),
+            stall: 0,
+            stats: AccelStats::default(),
+        }
+    }
+
+    /// The tile coordinate (also readable through `LOCATION_REG`).
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// The kernel name (the device name in the driver registry).
+    pub fn kernel_name(&self) -> &str {
+        self.kernel.name()
+    }
+
+    /// The plugged kernel.
+    pub fn kernel(&self) -> &dyn AcceleratorKernel {
+        self.kernel.as_ref()
+    }
+
+    /// The current FSM state.
+    pub fn state(&self) -> AccelState {
+        self.state
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &AccelStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccelStats::default();
+    }
+
+    /// Reads a socket register (driver access through the I/O plane).
+    pub fn read_reg(&self, offset: u64) -> u64 {
+        self.regs.read(offset)
+    }
+
+    /// Installs the page table mapping the accelerator's virtual address
+    /// space (the driver does this when the user buffer is pinned).
+    pub fn set_page_table(&mut self, table: PageTable) {
+        self.tlb.flush();
+        self.page_table = Some(table);
+    }
+
+    /// Whether the tile is idle (no batch running, no traffic pending).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, AccelState::Idle | AccelState::Done) && self.tx_queue.is_empty()
+    }
+
+    /// Advances the tile by one cycle.
+    pub fn tick(&mut self, mesh: &mut Mesh) {
+        self.drain_control(mesh);
+        self.drain_dma_req(mesh);
+        self.drain_dma_rsp(mesh);
+
+        if self.stall > 0 {
+            self.stall -= 1;
+            self.stats.stall_cycles += 1;
+        } else {
+            self.step_fsm();
+        }
+        if !matches!(self.state, AccelState::Idle | AccelState::Done) {
+            self.stats.busy_cycles += 1;
+        }
+
+        // Drain outgoing packets into the NoC.
+        while let Some(pkt) = self.tx_queue.front() {
+            if mesh.can_inject(self.coord, pkt.plane(), pkt.flit_len()) {
+                let pkt = self.tx_queue.pop_front().expect("front packet");
+                mesh.inject(pkt).expect("capacity checked");
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn drain_control(&mut self, mesh: &mut Mesh) {
+        while let Some(pkt) = mesh.eject(self.coord, Plane::IoIrq) {
+            match pkt.kind() {
+                MsgKind::RegWrite => {
+                    let offset = pkt.payload()[0];
+                    let value = pkt.payload()[1];
+                    self.regs.write(offset, value);
+                    if offset == REG_CMD && value == CMD_START {
+                        self.start_batch();
+                    }
+                }
+                MsgKind::RegReadReq => {
+                    let offset = pkt.payload()[0];
+                    self.tx_queue.push_back(Packet::new(
+                        self.coord,
+                        pkt.src(),
+                        Plane::IoIrq,
+                        MsgKind::RegReadRsp,
+                        vec![offset, self.regs.read(offset)],
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn drain_dma_req(&mut self, mesh: &mut Mesh) {
+        while let Some(pkt) = mesh.eject(self.coord, Plane::DmaReq) {
+            if pkt.kind() == MsgKind::P2pLoadReq {
+                let len = pkt.payload()[0];
+                let dest_base = pkt.payload().get(1).copied().unwrap_or(0);
+                self.pending_p2p_reqs.push_back((pkt.src(), len, dest_base));
+            }
+        }
+    }
+
+    fn drain_dma_rsp(&mut self, mesh: &mut Mesh) {
+        while let Some(pkt) = mesh.eject(self.coord, Plane::DmaRsp) {
+            match pkt.kind() {
+                MsgKind::DmaData => {
+                    let offset = pkt.payload()[0] as usize;
+                    let data = &pkt.payload()[1..];
+                    self.stats.words_received += data.len() as u64;
+                    if offset + data.len() <= self.rx_buf.len() {
+                        self.rx_buf[offset..offset + data.len()].copy_from_slice(data);
+                        let half = if self.dbuf && offset as u64 >= self.in_words {
+                            1
+                        } else {
+                            0
+                        };
+                        self.rx_counts[half] += data.len() as u64;
+                    } else {
+                        debug_assert!(
+                            false,
+                            "DmaData offset {offset} outside the receive buffer"
+                        );
+                    }
+                }
+                MsgKind::DmaStoreAck => {
+                    self.store_acked_words += pkt.payload()[0];
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn start_batch(&mut self) {
+        if matches!(self.state, AccelState::Idle | AccelState::Done) {
+            self.in_values = match self.regs.read(REG_CONF_SIZE) {
+                0 => self.kernel.input_values(),
+                v => v,
+            };
+            self.out_values = match self.regs.read(REG_CONF_OUT_SIZE) {
+                0 => self.kernel.output_values(),
+                v => v,
+            };
+            let bits = self.kernel.data_bits();
+            self.in_words = words_for(self.in_values, bits);
+            self.out_words = words_for(self.out_values, bits);
+            self.src_base = self.regs.read(REG_SRC_OFFSET);
+            self.dst_base = self.regs.read(REG_DST_OFFSET);
+            self.n_frames = self.regs.read(REG_N_FRAMES).max(1);
+            self.p2p = P2pConfig::from_reg(self.regs.read(REG_P2P));
+            self.dbuf = (self.regs.read(REG_FLAGS) & FLAG_DOUBLE_BUFFER) != 0
+                && self.n_frames > 1;
+            self.dvfs_divider = self.regs.read(REG_DVFS).max(1);
+            self.frame_idx = 0;
+            self.loads_issued = 0;
+            self.rx_counts = [0; 2];
+            let halves = if self.dbuf { 2 } else { 1 };
+            self.rx_buf.clear();
+            self.rx_buf.resize((halves * self.in_words) as usize, 0);
+            self.regs.set_status(STATUS_RUNNING);
+            self.state = AccelState::LoadIssue;
+        }
+    }
+
+    fn step_fsm(&mut self) {
+        match self.state {
+            AccelState::Idle | AccelState::Done => {}
+            AccelState::LoadIssue => self.issue_loads(),
+            AccelState::LoadWait => {
+                let half = if self.dbuf { (self.frame_idx % 2) as usize } else { 0 };
+                if self.rx_counts[half] >= self.rx_expect {
+                    self.run_kernel();
+                } else {
+                    self.stats.load_cycles += 1;
+                }
+            }
+            AccelState::Compute => {
+                self.stats.compute_cycles += 1;
+                // Per-tile DVFS: the datapath advances only on its own
+                // (divided) clock edges; the socket stays on the NoC clock.
+                self.dvfs_phase += 1;
+                if self.dvfs_phase >= self.dvfs_divider {
+                    self.dvfs_phase = 0;
+                    self.compute_countdown = self.compute_countdown.saturating_sub(1);
+                }
+                if self.compute_countdown == 0 {
+                    self.state = AccelState::StoreIssue;
+                }
+            }
+            AccelState::StoreIssue => self.issue_store(),
+            AccelState::StoreWaitReq => {
+                if let Some((requester, len, dest_base)) = self.pending_p2p_reqs.pop_front() {
+                    debug_assert_eq!(
+                        len, self.out_words,
+                        "p2p consumer requested {len} words, producer frame is {} words",
+                        self.out_words
+                    );
+                    let data = std::mem::take(&mut self.output_buffer);
+                    for (k, chunk) in data.chunks(MAX_DMA_PACKET_WORDS).enumerate() {
+                        self.stats.p2p_words_sent += chunk.len() as u64;
+                        let mut payload =
+                            vec![dest_base + (k * MAX_DMA_PACKET_WORDS) as u64];
+                        payload.extend_from_slice(chunk);
+                        self.tx_queue.push_back(Packet::new(
+                            self.coord,
+                            requester,
+                            Plane::DmaRsp,
+                            MsgKind::DmaData,
+                            payload,
+                        ));
+                    }
+                    self.state = AccelState::StoreSend;
+                } else {
+                    self.stats.store_cycles += 1;
+                }
+            }
+            AccelState::StoreSend => {
+                if self.tx_queue.is_empty() {
+                    self.finish_frame();
+                } else {
+                    self.stats.store_cycles += 1;
+                }
+            }
+            AccelState::StoreWaitAck => {
+                if self.store_acked_words >= self.out_words {
+                    self.finish_frame();
+                } else {
+                    self.stats.store_cycles += 1;
+                }
+            }
+        }
+    }
+
+    /// Issues whatever loads the current frame needs: the frame itself
+    /// (single buffer) or every not-yet-requested frame within the
+    /// two-deep ping-pong window (double buffer).
+    fn issue_loads(&mut self) {
+        self.rx_expect = self.in_words;
+        if self.dbuf {
+            let window_end = (self.frame_idx + 2).min(self.n_frames);
+            while self.loads_issued < window_end {
+                let frame = self.loads_issued;
+                self.issue_load_for(frame);
+                self.loads_issued += 1;
+            }
+        } else if self.loads_issued <= self.frame_idx {
+            // The kernel consumed (took) the buffer last frame; re-allocate.
+            self.rx_buf.clear();
+            self.rx_buf.resize(self.in_words as usize, 0);
+            self.rx_counts[0] = 0;
+            self.issue_load_for(self.frame_idx);
+            self.loads_issued = self.frame_idx + 1;
+        }
+        self.state = AccelState::LoadWait;
+    }
+
+    /// Issues the load requests for one frame into its PLM half.
+    fn issue_load_for(&mut self, frame: u64) {
+        let dest_base = if self.dbuf { (frame % 2) * self.in_words } else { 0 };
+        if self.p2p.load_enabled {
+            let sources = &self.p2p.sources;
+            let src = sources[(frame as usize) % sources.len()];
+            self.tx_queue.push_back(Packet::new(
+                self.coord,
+                src,
+                Plane::DmaReq,
+                MsgKind::P2pLoadReq,
+                vec![self.in_words, dest_base],
+            ));
+            return;
+        }
+        let va = self.src_base + frame * self.in_words;
+        let table = self
+            .page_table
+            .as_ref()
+            .expect("page table installed before DMA");
+        let (_, tlb_lat) = self
+            .tlb
+            .translate(table, va)
+            .expect("mapped load address");
+        let chunks = table
+            .translate_range(va, self.in_words)
+            .expect("mapped load range");
+        self.stall += tlb_lat + DMA_SETUP_CYCLES;
+        let mut dest_offset = dest_base;
+        for (paddr, len) in chunks {
+            for (mem_tile, local_addr, l) in self.mem_map.split_range(paddr, len) {
+                self.stats.dma_words_loaded += l;
+                self.tx_queue.push_back(Packet::new(
+                    self.coord,
+                    mem_tile,
+                    Plane::DmaReq,
+                    MsgKind::DmaLoadReq,
+                    vec![local_addr, l, dest_offset],
+                ));
+                dest_offset += l;
+            }
+        }
+    }
+
+    fn run_kernel(&mut self) {
+        let (words, consumed_half) = if self.dbuf {
+            let half = (self.frame_idx % 2) as usize;
+            let base = half * self.in_words as usize;
+            let words = self.rx_buf[base..base + self.in_words as usize].to_vec();
+            (words, half)
+        } else {
+            (std::mem::take(&mut self.rx_buf), 0)
+        };
+        self.rx_counts[consumed_half] = 0;
+        if self.dbuf {
+            // The consumed half is free: prefetch the next window frame.
+            let next = self.frame_idx + 2;
+            if next < self.n_frames && self.loads_issued <= next {
+                self.issue_load_for(next);
+                self.loads_issued = next + 1;
+            }
+        }
+        let bits = self.kernel.data_bits();
+        let input = unpack_values(&words, self.in_values as usize, bits);
+        let out = self.kernel.compute(&input);
+        debug_assert_eq!(
+            out.values.len() as u64,
+            self.kernel.output_values(),
+            "kernel output size contract"
+        );
+        self.output_buffer = pack_values(&out.values, bits);
+        debug_assert_eq!(self.output_buffer.len() as u64, self.out_words);
+        self.compute_countdown = out.cycles.max(1);
+        self.state = AccelState::Compute;
+    }
+
+    fn issue_store(&mut self) {
+        if self.p2p.store_enabled {
+            self.state = AccelState::StoreWaitReq;
+            return;
+        }
+        let va = self.dst_base + self.frame_idx * self.out_words;
+        let table = self
+            .page_table
+            .as_ref()
+            .expect("page table installed before DMA");
+        let (_, tlb_lat) = self
+            .tlb
+            .translate(table, va)
+            .expect("mapped store address");
+        self.stall += tlb_lat + DMA_SETUP_CYCLES;
+        let chunks = table
+            .translate_range(va, self.out_words)
+            .expect("mapped store range");
+        self.store_acked_words = 0;
+        let mut data = std::mem::take(&mut self.output_buffer);
+        let mut cursor = 0usize;
+        for (paddr, len) in chunks {
+            for (mem_tile, local_addr, l) in self.mem_map.split_range(paddr, len) {
+                // A per-tile chunk may exceed the packet cap; sub-split it.
+                let mut sub_addr = local_addr;
+                let mut remaining = l as usize;
+                while remaining > 0 {
+                    let take = remaining.min(MAX_DMA_PACKET_WORDS);
+                    let mut payload = vec![sub_addr, take as u64];
+                    payload.extend_from_slice(&data[cursor..cursor + take]);
+                    self.stats.dma_words_stored += take as u64;
+                    self.tx_queue.push_back(Packet::new(
+                        self.coord,
+                        mem_tile,
+                        Plane::DmaReq,
+                        MsgKind::DmaStoreReq,
+                        payload,
+                    ));
+                    cursor += take;
+                    sub_addr += take as u64;
+                    remaining -= take;
+                }
+            }
+        }
+        data.clear();
+        self.state = AccelState::StoreWaitAck;
+    }
+
+    fn finish_frame(&mut self) {
+        self.stats.frames_done += 1;
+        self.frame_idx += 1;
+        if self.frame_idx >= self.n_frames {
+            self.regs.set_status(STATUS_DONE);
+            self.state = AccelState::Done;
+            self.tx_queue.push_back(Packet::new(
+                self.coord,
+                self.irq_target,
+                Plane::IoIrq,
+                MsgKind::Irq,
+                vec![self.coord.to_reg()],
+            ));
+        } else {
+            self.state = AccelState::LoadIssue;
+        }
+    }
+}
+
+// Unit tests for the tile FSM live in the `soc` module's tests, where a
+// full mesh + memory tile environment is available; see `soc.rs`.

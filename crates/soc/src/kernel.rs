@@ -1,0 +1,300 @@
+//! Accelerator kernels: the COMPUTE stage plugged into the tile wrapper.
+
+use esp4ml_hls::Resources;
+use esp4ml_hls4ml::CompiledNn;
+use std::fmt;
+
+/// The result of one kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelOutput {
+    /// Output values (one logical value per element; the wrapper packs them
+    /// into 64-bit NoC words).
+    pub values: Vec<u64>,
+    /// Compute latency of this invocation in cycles.
+    pub cycles: u64,
+}
+
+/// A behavioural accelerator kernel.
+///
+/// A kernel declares its per-invocation I/O sizes in *values* (not NoC
+/// words) and its data width in bits; the socket wrapper handles packing
+/// values into 64-bit words for DMA and p2p transport — that is the
+/// "unpacking" the paper's LOAD function performs.
+pub trait AcceleratorKernel: Send {
+    /// Kernel name (for driver discovery and reports).
+    fn name(&self) -> &str;
+
+    /// Input values consumed per invocation.
+    fn input_values(&self) -> u64;
+
+    /// Output values produced per invocation.
+    fn output_values(&self) -> u64;
+
+    /// Width of one value in bits (values are packed `64 / data_bits` per
+    /// NoC word). Must divide 64.
+    fn data_bits(&self) -> u32 {
+        16
+    }
+
+    /// Processes one invocation.
+    ///
+    /// `input` has exactly [`AcceleratorKernel::input_values`] elements;
+    /// the result must have exactly [`AcceleratorKernel::output_values`]
+    /// elements and report the compute latency in cycles.
+    fn compute(&mut self, input: &[u64]) -> KernelOutput;
+
+    /// Steady-state initiation interval (cycles/invocation) of the compute
+    /// datapath, used for reporting.
+    fn initiation_interval(&self) -> u64;
+
+    /// Post-synthesis resource usage of the kernel (without the socket).
+    fn resources(&self) -> Resources;
+}
+
+impl fmt::Debug for dyn AcceleratorKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AcceleratorKernel({})", self.name())
+    }
+}
+
+/// Packs logical values into 64-bit NoC words.
+///
+/// # Panics
+///
+/// Panics unless `data_bits` divides 64.
+pub(crate) fn pack_values(values: &[u64], data_bits: u32) -> Vec<u64> {
+    assert!(64 % data_bits == 0, "data width must divide 64");
+    let per_word = (64 / data_bits) as usize;
+    let mask = if data_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << data_bits) - 1
+    };
+    values
+        .chunks(per_word)
+        .map(|chunk| {
+            let mut word = 0u64;
+            for (i, &v) in chunk.iter().enumerate() {
+                word |= (v & mask) << (i as u32 * data_bits);
+            }
+            word
+        })
+        .collect()
+}
+
+/// Unpacks 64-bit NoC words into `count` logical values.
+///
+/// # Panics
+///
+/// Panics unless `data_bits` divides 64 or if `words` is too short.
+pub(crate) fn unpack_values(words: &[u64], count: usize, data_bits: u32) -> Vec<u64> {
+    assert!(64 % data_bits == 0, "data width must divide 64");
+    let per_word = (64 / data_bits) as usize;
+    assert!(
+        words.len() * per_word >= count,
+        "not enough words to unpack {count} values"
+    );
+    let mask = if data_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << data_bits) - 1
+    };
+    (0..count)
+        .map(|i| (words[i / per_word] >> ((i % per_word) as u32 * data_bits)) & mask)
+        .collect()
+}
+
+/// Number of 64-bit words needed for `values` values of `data_bits` bits.
+pub(crate) fn words_for(values: u64, data_bits: u32) -> u64 {
+    let per_word = (64 / data_bits) as u64;
+    values.div_ceil(per_word)
+}
+
+/// A trivial kernel that multiplies every input value by a constant — used
+/// by unit tests and the quickstart example.
+#[derive(Debug, Clone)]
+pub struct ScaleKernel {
+    name: String,
+    values: u64,
+    factor: u64,
+    cycles_per_value: u64,
+}
+
+impl ScaleKernel {
+    /// Creates a kernel processing `values` values per invocation,
+    /// multiplying each by `factor`.
+    pub fn new(name: &str, values: u64, factor: u64) -> Self {
+        ScaleKernel {
+            name: name.to_string(),
+            values,
+            factor,
+            cycles_per_value: 1,
+        }
+    }
+
+    /// Sets the modelled compute cost per value (builder style), to mimic
+    /// heavier kernels in tests and examples.
+    pub fn with_cycles_per_value(mut self, cycles: u64) -> Self {
+        self.cycles_per_value = cycles;
+        self
+    }
+}
+
+impl AcceleratorKernel for ScaleKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_values(&self) -> u64 {
+        self.values
+    }
+
+    fn output_values(&self) -> u64 {
+        self.values
+    }
+
+    fn compute(&mut self, input: &[u64]) -> KernelOutput {
+        KernelOutput {
+            values: input.iter().map(|&v| (v * self.factor) & 0xffff).collect(),
+            cycles: self.values * self.cycles_per_value,
+        }
+    }
+
+    fn initiation_interval(&self) -> u64 {
+        self.values * self.cycles_per_value
+    }
+
+    fn resources(&self) -> Resources {
+        Resources::new(500, 700, 2, 1)
+    }
+}
+
+/// Adapter exposing a compiled HLS4ML network as an accelerator kernel.
+///
+/// Values on the NoC are the raw fixed-point words of the network's
+/// [`esp4ml_hls::FixedSpec`], reinterpreted as unsigned `data_bits`-bit
+/// fields (two's complement).
+#[derive(Debug, Clone)]
+pub struct NnKernel {
+    nn: CompiledNn,
+}
+
+impl NnKernel {
+    /// Wraps a compiled network.
+    pub fn new(nn: CompiledNn) -> Self {
+        NnKernel { nn }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &CompiledNn {
+        &self.nn
+    }
+
+    fn to_signed(&self, v: u64) -> i64 {
+        let bits = self.nn.spec().total_bits();
+        let shift = 64 - bits;
+        ((v << shift) as i64) >> shift
+    }
+
+    fn to_unsigned(&self, v: i64) -> u64 {
+        let bits = self.nn.spec().total_bits();
+        (v as u64) & ((1u64 << bits) - 1)
+    }
+}
+
+impl AcceleratorKernel for NnKernel {
+    fn name(&self) -> &str {
+        self.nn.name()
+    }
+
+    fn input_values(&self) -> u64 {
+        self.nn.input_dim() as u64
+    }
+
+    fn output_values(&self) -> u64 {
+        self.nn.output_dim() as u64
+    }
+
+    fn data_bits(&self) -> u32 {
+        self.nn.spec().total_bits()
+    }
+
+    fn compute(&mut self, input: &[u64]) -> KernelOutput {
+        let raw: Vec<i64> = input.iter().map(|&v| self.to_signed(v)).collect();
+        let out = self.nn.infer_fixed(&raw);
+        KernelOutput {
+            values: out.into_iter().map(|v| self.to_unsigned(v)).collect(),
+            cycles: self.nn.latency(),
+        }
+    }
+
+    fn initiation_interval(&self) -> u64 {
+        self.nn.initiation_interval()
+    }
+
+    fn resources(&self) -> Resources {
+        self.nn.resources()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip_16bit() {
+        let values: Vec<u64> = (0..10).map(|i| i * 1000 + 7).collect();
+        let words = pack_values(&values, 16);
+        assert_eq!(words.len(), 3); // ceil(10/4)
+        assert_eq!(unpack_values(&words, 10, 16), values);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_other_widths() {
+        for bits in [8u32, 16, 32, 64] {
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let values: Vec<u64> = (0..7).map(|i| (i * 0x0123_4567) & mask).collect();
+            let words = pack_values(&values, bits);
+            assert_eq!(unpack_values(&words, 7, bits), values, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn words_for_rounds_up() {
+        assert_eq!(words_for(1024, 16), 256);
+        assert_eq!(words_for(10, 16), 3);
+        assert_eq!(words_for(1, 64), 1);
+        assert_eq!(words_for(0, 16), 0);
+    }
+
+    #[test]
+    fn scale_kernel_multiplies() {
+        let mut k = ScaleKernel::new("x3", 4, 3);
+        let out = k.compute(&[1, 2, 3, 4]);
+        assert_eq!(out.values, vec![3, 6, 9, 12]);
+        assert_eq!(out.cycles, 4);
+        assert_eq!(k.input_values(), 4);
+    }
+
+    #[test]
+    fn nn_kernel_sign_roundtrip() {
+        use esp4ml_hls4ml::{Hls4mlCompiler, Hls4mlConfig};
+        use esp4ml_nn::{Activation, LayerSpec, Sequential};
+        let mut m = Sequential::with_seed(4, 17);
+        m.push(LayerSpec::dense(4, Activation::Linear));
+        let nn = Hls4mlCompiler::compile(&m, &Hls4mlConfig::with_reuse(4)).unwrap();
+        let spec = nn.spec();
+        let mut k = NnKernel::new(nn.clone());
+        // Feed a negative fixed-point value through the NoC encoding.
+        let raw_in: Vec<i64> = vec![spec.quantize(-1.5), 0, 0, 0];
+        let wire: Vec<u64> = raw_in.iter().map(|&v| (v as u64) & 0xffff).collect();
+        let out = k.compute(&wire);
+        let direct = nn.infer_fixed(&raw_in);
+        let back: Vec<i64> = out
+            .values
+            .iter()
+            .map(|&v| ((v << 48) as i64) >> 48)
+            .collect();
+        assert_eq!(back, direct);
+    }
+}

@@ -1,0 +1,319 @@
+//! The memory tile: DMA service over off-chip DRAM.
+
+use esp4ml_mem::{CacheConfig, CacheStats, CachedDram, DramConfig, DramStats};
+use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use std::collections::VecDeque;
+
+/// Maximum payload words per DMA data packet on the NoC. Long bursts are
+/// split into multiple packets; wormhole routing keeps each packet intact.
+pub(crate) const MAX_DMA_PACKET_WORDS: usize = 128;
+
+/// A pending memory operation being serviced: the storage access already
+/// happened (and produced `responses`); they are released when the
+/// modelled latency elapses.
+#[derive(Debug)]
+struct Pending {
+    /// Remaining busy cycles before the responses are released.
+    busy: u64,
+    responses: Vec<Packet>,
+}
+
+/// The memory tile of an ESP SoC.
+///
+/// Incoming [`MsgKind::DmaLoadReq`] and [`MsgKind::DmaStoreReq`] packets
+/// (on the DMA-request plane) are serviced one at a time with the DRAM
+/// burst-latency model; data and acknowledgements return on the decoupled
+/// DMA-response plane. Physical addresses arrive already translated by the
+/// requesting socket's TLB.
+#[derive(Debug)]
+pub struct MemTile {
+    coord: Coord,
+    dram: CachedDram,
+    queue: VecDeque<Packet>,
+    current: Option<Pending>,
+    outgoing: VecDeque<Packet>,
+}
+
+impl MemTile {
+    /// Creates a memory tile at `coord` fronting a DRAM of `config`
+    /// (non-coherent DMA: every burst goes off-chip).
+    pub fn new(coord: Coord, config: DramConfig) -> Self {
+        MemTile {
+            coord,
+            dram: CachedDram::new(config),
+            queue: VecDeque::new(),
+            current: None,
+            outgoing: VecDeque::new(),
+        }
+    }
+
+    /// Creates a memory tile whose DRAM sits behind an LLC partition
+    /// (LLC-coherent DMA).
+    pub fn with_llc(coord: Coord, config: DramConfig, cache: CacheConfig) -> Self {
+        MemTile {
+            coord,
+            dram: CachedDram::with_llc(config, cache),
+            queue: VecDeque::new(),
+            current: None,
+            outgoing: VecDeque::new(),
+        }
+    }
+
+    /// LLC counters, when this tile hosts an LLC partition.
+    pub fn llc_stats(&self) -> Option<&CacheStats> {
+        self.dram.llc_stats()
+    }
+
+    /// The tile coordinate.
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// DRAM access counters (the Fig. 8 metric).
+    pub fn dram_stats(&self) -> &DramStats {
+        self.dram.dram_stats()
+    }
+
+    /// Resets the DRAM (and LLC) access counters.
+    pub fn reset_dram_stats(&mut self) {
+        self.dram.reset_stats();
+    }
+
+    /// Direct word read, bypassing accounting (testbench access).
+    pub fn peek(&self, addr: u64) -> u64 {
+        self.dram.peek(addr)
+    }
+
+    /// Direct word write, bypassing accounting (testbench access).
+    pub fn poke(&mut self, addr: u64, value: u64) {
+        self.dram.poke(addr, value);
+    }
+
+    /// DRAM capacity in words.
+    pub fn size_words(&self) -> u64 {
+        self.dram.size_words()
+    }
+
+    /// Whether the tile has no queued or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.current.is_none() && self.outgoing.is_empty()
+    }
+
+    /// Advances the tile by one cycle against the mesh.
+    pub fn tick(&mut self, mesh: &mut Mesh) {
+        // Accept new requests.
+        while let Some(pkt) = mesh.eject(self.coord, Plane::DmaReq) {
+            self.queue.push_back(pkt);
+        }
+        // Start servicing the next request: the storage access runs now,
+        // its responses are held for the modelled latency.
+        if self.current.is_none() {
+            if let Some(request) = self.queue.pop_front() {
+                let (busy, responses) = self.service(request);
+                self.current = Some(Pending { busy, responses });
+            }
+        }
+        // Progress the in-flight request.
+        if let Some(p) = self.current.as_mut() {
+            if p.busy > 0 {
+                p.busy -= 1;
+            }
+            if p.busy == 0 {
+                let done = self.current.take().expect("current op");
+                self.outgoing.extend(done.responses);
+            }
+        }
+        // Drain responses into the NoC.
+        while let Some(pkt) = self.outgoing.front() {
+            if mesh.can_inject(self.coord, pkt.plane(), pkt.flit_len()) {
+                let pkt = self.outgoing.pop_front().expect("front packet");
+                mesh.inject(pkt).expect("capacity checked");
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn service(&mut self, request: Packet) -> (u64, Vec<Packet>) {
+        let requester = request.src();
+        match request.kind() {
+            MsgKind::DmaLoadReq => {
+                let addr = request.payload()[0];
+                let len = request.payload()[1];
+                let dest_offset = request.payload().get(2).copied().unwrap_or(0);
+                let (data, latency) = self.dram.read_burst(addr, len);
+                let mut responses = Vec::new();
+                for (k, chunk) in data.chunks(MAX_DMA_PACKET_WORDS).enumerate() {
+                    let mut payload =
+                        vec![dest_offset + (k * MAX_DMA_PACKET_WORDS) as u64];
+                    payload.extend_from_slice(chunk);
+                    responses.push(Packet::new(
+                        self.coord,
+                        requester,
+                        Plane::DmaRsp,
+                        MsgKind::DmaData,
+                        payload,
+                    ));
+                }
+                (latency, responses)
+            }
+            MsgKind::DmaStoreReq => {
+                let addr = request.payload()[0];
+                let len = request.payload()[1] as usize;
+                let data = &request.payload()[2..2 + len];
+                let latency = self.dram.write_burst(addr, data);
+                let ack = Packet::new(
+                    self.coord,
+                    requester,
+                    Plane::DmaRsp,
+                    MsgKind::DmaStoreAck,
+                    vec![len as u64],
+                );
+                (latency, vec![ack])
+            }
+            other => {
+                debug_assert!(false, "memory tile cannot service {other}");
+                (1, Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp4ml_noc::MeshConfig;
+
+    fn setup() -> (Mesh, MemTile) {
+        let mesh = Mesh::new(MeshConfig::new(2, 1)).unwrap();
+        let tile = MemTile::new(
+            Coord::new(1, 0),
+            DramConfig {
+                size_words: 4096,
+                first_word_latency: 4,
+                per_word_latency: 1,
+                banks: 1,
+            },
+        );
+        (mesh, tile)
+    }
+
+    fn drive(mesh: &mut Mesh, tile: &mut MemTile, cycles: usize) {
+        for _ in 0..cycles {
+            tile.tick(mesh);
+            mesh.tick();
+        }
+    }
+
+    #[test]
+    fn load_request_returns_data() {
+        let (mut mesh, mut tile) = setup();
+        tile.poke(100, 7);
+        tile.poke(101, 8);
+        let req = Packet::new(
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Plane::DmaReq,
+            MsgKind::DmaLoadReq,
+            vec![100, 2],
+        );
+        mesh.inject(req).unwrap();
+        drive(&mut mesh, &mut tile, 50);
+        let rsp = mesh.eject(Coord::new(0, 0), Plane::DmaRsp).expect("data");
+        assert_eq!(rsp.kind(), MsgKind::DmaData);
+        // Offset header (0 when the request omits it) then the data.
+        assert_eq!(rsp.payload(), &[0, 7, 8]);
+        assert_eq!(tile.dram_stats().word_reads, 2);
+    }
+
+    #[test]
+    fn store_request_writes_and_acks() {
+        let (mut mesh, mut tile) = setup();
+        let mut payload = vec![200, 3];
+        payload.extend([11, 12, 13]);
+        let req = Packet::new(
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Plane::DmaReq,
+            MsgKind::DmaStoreReq,
+            payload,
+        );
+        mesh.inject(req).unwrap();
+        drive(&mut mesh, &mut tile, 50);
+        let ack = mesh.eject(Coord::new(0, 0), Plane::DmaRsp).expect("ack");
+        assert_eq!(ack.kind(), MsgKind::DmaStoreAck);
+        assert_eq!(ack.payload(), &[3]);
+        assert_eq!(tile.peek(201), 12);
+        assert_eq!(tile.dram_stats().word_writes, 3);
+    }
+
+    #[test]
+    fn long_load_splits_into_packets() {
+        let (mut mesh, mut tile) = setup();
+        let req = Packet::new(
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Plane::DmaReq,
+            MsgKind::DmaLoadReq,
+            vec![0, 300],
+        );
+        mesh.inject(req).unwrap();
+        // Drain as we go so ejection queues never saturate.
+        let mut words = 0;
+        let mut packets = 0;
+        for _ in 0..3000 {
+            tile.tick(&mut mesh);
+            mesh.tick();
+            while let Some(p) = mesh.eject(Coord::new(0, 0), Plane::DmaRsp) {
+                words += p.payload().len() - 1; // minus the offset header
+                packets += 1;
+            }
+        }
+        assert_eq!(words, 300);
+        assert_eq!(packets, 3); // 128 + 128 + 44
+    }
+
+    #[test]
+    fn requests_are_serviced_in_order() {
+        let (mut mesh, mut tile) = setup();
+        tile.poke(0, 1);
+        tile.poke(50, 2);
+        for addr in [0u64, 50] {
+            mesh.inject(Packet::new(
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                Plane::DmaReq,
+                MsgKind::DmaLoadReq,
+                vec![addr, 1],
+            ))
+            .unwrap();
+        }
+        drive(&mut mesh, &mut tile, 100);
+        let first = mesh.eject(Coord::new(0, 0), Plane::DmaRsp).unwrap();
+        let second = mesh.eject(Coord::new(0, 0), Plane::DmaRsp).unwrap();
+        assert_eq!(first.payload(), &[0, 1]);
+        assert_eq!(second.payload(), &[0, 2]);
+    }
+
+    #[test]
+    fn latency_reflects_dram_model() {
+        let (mut mesh, mut tile) = setup();
+        mesh.inject(Packet::new(
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Plane::DmaReq,
+            MsgKind::DmaLoadReq,
+            vec![0, 10],
+        ))
+        .unwrap();
+        let mut cycles = 0;
+        while mesh.peek(Coord::new(0, 0), Plane::DmaRsp).is_none() {
+            tile.tick(&mut mesh);
+            mesh.tick();
+            cycles += 1;
+            assert!(cycles < 1000, "no response");
+        }
+        // At least the DRAM burst latency (4 + 10) plus NoC traversal.
+        assert!(cycles >= 14, "response too fast: {cycles}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-accelerator execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccelStats {
+    /// Frames (invocations) completed.
+    pub frames_done: u64,
+    /// Cycles spent outside Idle/Done.
+    pub busy_cycles: u64,
+    /// Cycles stalled waiting for load data.
+    pub load_cycles: u64,
+    /// Cycles the kernel datapath was computing.
+    pub compute_cycles: u64,
+    /// Cycles stalled in store phases.
+    pub store_cycles: u64,
+    /// Socket stall cycles (TLB misses, DMA setup).
+    pub stall_cycles: u64,
+    /// Words loaded from memory over DMA.
+    pub dma_words_loaded: u64,
+    /// Words stored to memory over DMA.
+    pub dma_words_stored: u64,
+    /// Words sent tile-to-tile over the p2p service.
+    pub p2p_words_sent: u64,
+    /// Words received (DMA and p2p responses).
+    pub words_received: u64,
+}
+
+/// SoC-wide statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SocStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// DRAM words read (summed over memory tiles).
+    pub dram_word_reads: u64,
+    /// DRAM words written (summed over memory tiles).
+    pub dram_word_writes: u64,
+    /// Total NoC flit-hops.
+    pub noc_flit_hops: u64,
+    /// Frames completed, summed over accelerators.
+    pub total_frames: u64,
+}
+
+impl SocStats {
+    /// Total DRAM accesses in words — the paper's Fig. 8 metric.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_word_reads + self.dram_word_writes
+    }
+
+    /// Throughput in frames per second at `clock_hz`.
+    ///
+    /// `frames` is the application-level frame count (pipelines complete
+    /// one application frame only when the *last* stage finishes, so the
+    /// caller supplies the number rather than using the per-accelerator
+    /// sum).
+    pub fn frames_per_second(&self, frames: u64, clock_hz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        frames as f64 / (self.cycles as f64 / clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_accesses_sum() {
+        let s = SocStats {
+            dram_word_reads: 10,
+            dram_word_writes: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.dram_accesses(), 15);
+    }
+
+    #[test]
+    fn fps_at_clock() {
+        let s = SocStats {
+            cycles: 78_000_000,
+            ..Default::default()
+        };
+        let fps = s.frames_per_second(1000, 78.0e6);
+        assert!((fps - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fps_zero_cycles_is_zero() {
+        assert_eq!(SocStats::default().frames_per_second(10, 78.0e6), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! A 5x7 digit font used by the synthetic SVHN generator.
+
+/// 5x7 bitmaps for digits 0-9, row-major, `#` = ink.
+const GLYPHS: [[&str; 7]; 10] = [
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ],
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ],
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ],
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ],
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ],
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ],
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ],
+    [
+        "#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   ",
+    ],
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ],
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ],
+];
+
+/// Glyph width in cells.
+pub(crate) const GLYPH_W: usize = 5;
+/// Glyph height in cells.
+pub(crate) const GLYPH_H: usize = 7;
+
+/// Whether cell `(col, row)` of `digit`'s glyph is inked.
+///
+/// # Panics
+///
+/// Panics if `digit > 9` or the cell is out of glyph bounds.
+pub(crate) fn glyph_cell(digit: usize, col: usize, row: usize) -> bool {
+    GLYPHS[digit][row].as_bytes()[col] == b'#'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_well_formed() {
+        for (d, glyph) in GLYPHS.iter().enumerate() {
+            for (row, line) in glyph.iter().enumerate() {
+                assert_eq!(line.len(), GLYPH_W, "digit {d} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let mut same = true;
+                for row in 0..GLYPH_H {
+                    for col in 0..GLYPH_W {
+                        if glyph_cell(a, col, row) != glyph_cell(b, col, row) {
+                            same = false;
+                        }
+                    }
+                }
+                assert!(!same, "digits {a} and {b} have identical glyphs");
+            }
+        }
+    }
+
+    #[test]
+    fn every_glyph_has_ink() {
+        for d in 0..10 {
+            let ink = (0..GLYPH_H)
+                .flat_map(|r| (0..GLYPH_W).map(move |c| (c, r)))
+                .filter(|&(c, r)| glyph_cell(d, c, r))
+                .count();
+            assert!(ink >= 7, "digit {d} too sparse");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Computer-vision substrate: night-vision kernels and a synthetic
+//! SVHN-like dataset.
+//!
+//! The paper's evaluation runs two kinds of vision workloads:
+//!
+//! * A **Night-Vision** application of three kernels — noise filtering,
+//!   histogram, and histogram equalization — designed in SystemC and
+//!   synthesized with Stratus HLS, used as a pre-processing step before
+//!   the MLP classifier on *darkened* street-view images.
+//! * Two ML applications (digit classification, image denoising) trained
+//!   on the **Street View House Numbers (SVHN)** dataset.
+//!
+//! SVHN itself is not redistributable here, so [`svhn::SvhnGenerator`]
+//! synthesizes SVHN-like 32×32 grey images procedurally: digits with
+//! per-sample distortion, clutter and shadows, plus noisy and darkened
+//! variants for the denoiser and night-vision applications (the
+//! substitution is documented in `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use esp4ml_vision::svhn::SvhnGenerator;
+//! use esp4ml_vision::kernels::night_vision;
+//!
+//! let mut gen = SvhnGenerator::new(1);
+//! let sample = gen.sample();
+//! let dark = SvhnGenerator::darken(&sample.image, 0.25);
+//! let restored = night_vision(&dark);
+//! // Equalization restores contrast lost by darkening.
+//! let spread = |img: &[f32]| {
+//!     let max = img.iter().cloned().fold(0.0f32, f32::max);
+//!     let min = img.iter().cloned().fold(1.0f32, f32::min);
+//!     max - min
+//! };
+//! assert!(spread(&restored) > spread(&dark));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+mod font;
+pub mod kernels;
+pub mod svhn;
+
+pub use accel::NightVisionKernel;
+pub use svhn::{SvhnGenerator, SvhnSample};

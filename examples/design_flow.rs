@@ -1,0 +1,101 @@
+//! The full ESP4ML design flow of the paper's Fig. 3, end to end:
+//!
+//! 1. train a Keras-analog model on the synthetic SVHN-like dataset;
+//! 2. export it as `model.json` + binary weights (the `model.h5` analog);
+//! 3. compile the files with the HLS4ML-analog compiler at a chosen reuse
+//!    factor, getting latency/II/resource reports and the `acc.xml`
+//!    descriptor;
+//! 4. integrate the accelerator into an SoC and classify digits on it.
+//!
+//! ```text
+//! cargo run --release --example design_flow
+//! ```
+
+use esp4ml::hls4ml::{AcceleratorDescriptor, Hls4mlCompiler, Hls4mlConfig};
+use esp4ml::nn::{accuracy, Activation, LayerSpec, ModelFile, Sequential, TrainConfig, Trainer};
+use esp4ml::noc::Coord;
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::soc::{NnKernel, SocBuilder};
+use esp4ml::vision::SvhnGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Keras training (scaled-down MLP for a quick run) ------------
+    let mut gen = SvhnGenerator::new(7);
+    let data = gen.classification_dataset(1200);
+    let (train, test) = data.split(0.2);
+    let mut model = Sequential::new(1024);
+    for units in [128, 64, 32] {
+        model.push(LayerSpec::dense(units, Activation::Relu));
+        model.push(LayerSpec::Dropout { rate: 0.2 });
+    }
+    model.push(LayerSpec::dense(10, Activation::Softmax));
+    println!("training a {:?} MLP...", model.dims());
+    Trainer::new(TrainConfig::classifier(8)).fit(&mut model, &train);
+    let float_acc = accuracy(&model, &test);
+    println!("float test accuracy: {:.1}%", 100.0 * float_acc);
+
+    // --- 2. model.json + weights export ---------------------------------
+    let dir = std::env::temp_dir().join("esp4ml_design_flow");
+    std::fs::create_dir_all(&dir)?;
+    let topo = dir.join("model.json");
+    let weights = dir.join("model.espw");
+    ModelFile::save(&model, &topo, &weights)?;
+    println!("exported {} and {}", topo.display(), weights.display());
+
+    // --- 3. HLS4ML compilation ------------------------------------------
+    let config = Hls4mlConfig::with_reuse(256).named("svhn_classifier");
+    let nn = Hls4mlCompiler::compile_files(&topo, &weights, &config)?;
+    let est = nn.estimate();
+    println!(
+        "HLS report: latency {} cycles, II {} cycles, {}",
+        est.latency, est.initiation_interval, est.resources
+    );
+    println!("descriptor (acc.xml):\n{}", AcceleratorDescriptor::for_nn(&nn).to_xml());
+
+    // --- 4. SoC integration and execution --------------------------------
+    let soc = SocBuilder::new(2, 2)
+        .processor(Coord::new(0, 0))
+        .memory(Coord::new(1, 0))
+        .accelerator(Coord::new(0, 1), Box::new(NnKernel::new(nn.clone())))
+        .build()?;
+    let mut rt = EspRuntime::new(soc)?;
+    let dataflow = Dataflow::linear(&[&["svhn_classifier"]]);
+    let frames = 32u64;
+    let buf = rt.prepare(&dataflow, frames)?;
+    let mut labels = Vec::new();
+    let spec = nn.spec();
+    for f in 0..frames {
+        let sample = gen.sample();
+        let wire: Vec<u64> = sample
+            .image
+            .iter()
+            .map(|&v| (spec.quantize(v as f64) as u64) & 0xffff)
+            .collect();
+        rt.write_frame(&buf, f, &wire)?;
+        labels.push(sample.label);
+    }
+    let metrics = rt.esp_run(&dataflow, &buf, ExecMode::Pipe)?;
+    let mut correct = 0;
+    for (f, &label) in labels.iter().enumerate() {
+        let logits = rt.read_frame(&buf, f as u64)?;
+        let decoded: Vec<f32> = logits
+            .iter()
+            .map(|&v| spec.dequantize(((v << 48) as i64) >> 48) as f32)
+            .collect();
+        let pred = decoded
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("logits");
+        if pred == label {
+            correct += 1;
+        }
+    }
+    println!(
+        "on-SoC fixed-point accuracy over {frames} frames: {:.1}% at {:.0} frames/s",
+        100.0 * correct as f64 / frames as f64,
+        metrics.frames_per_second()
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella crate for the ESP4ML reproduction.
+//!
+//! This crate exists to host workspace-level integration tests (in
+//! `tests/`) and runnable examples (in `examples/`). The actual library
+//! surface lives in the [`esp4ml`] crate and the substrate crates it
+//! re-exports.
+pub use esp4ml;
