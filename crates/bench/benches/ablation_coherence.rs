@@ -37,9 +37,11 @@ impl MemOrg {
 fn build_soc(org: MemOrg) -> Soc {
     let mut b = SocBuilder::new(3, 2).processor(Coord::new(0, 0));
     b = match org {
-        MemOrg::LlcCoherent => {
-            b.memory_llc(Coord::new(1, 0), DramConfig::default(), CacheConfig::default())
-        }
+        MemOrg::LlcCoherent => b.memory_llc(
+            Coord::new(1, 0),
+            DramConfig::default(),
+            CacheConfig::default(),
+        ),
         _ => b.memory(Coord::new(1, 0)),
     };
     b.accelerator(
@@ -62,7 +64,11 @@ fn run(org: MemOrg, frames: u64) -> (u64, u64) {
     for f in 0..frames {
         rt.write_frame(&buf, f, &vec![f + 1; 1024]).expect("write");
     }
-    let mode = if org == MemOrg::P2p { ExecMode::P2p } else { ExecMode::Pipe };
+    let mode = if org == MemOrg::P2p {
+        ExecMode::P2p
+    } else {
+        ExecMode::Pipe
+    };
     let m = rt.esp_run(&df, &buf, mode).expect("run succeeds");
     (m.cycles, m.dram_accesses)
 }

@@ -23,7 +23,8 @@ fn run(dbuf: bool, frames: u64) -> u64 {
     let mut soc = build();
     let accel = Coord::new(0, 1);
     for f in 0..frames {
-        soc.dram_write_values(f * 256, &vec![3; 1024], 16).expect("init");
+        soc.dram_write_values(f * 256, &vec![3; 1024], 16)
+            .expect("init");
     }
     soc.map_contiguous(accel, 0, 1 << 20).expect("map");
     let mut cfg = AccelConfig::dma_to_dma(0, 1 << 18, frames);

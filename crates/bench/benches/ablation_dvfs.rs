@@ -30,12 +30,14 @@ fn run(consumer_divider: u64, frames: u64) -> u64 {
     let mut soc = build();
     let (p, c) = (Coord::new(0, 1), Coord::new(1, 1));
     for f in 0..frames {
-        soc.dram_write_values(f * 256, &vec![1; 1024], 16).expect("init");
+        soc.dram_write_values(f * 256, &vec![1; 1024], 16)
+            .expect("init");
     }
     for t in [p, c] {
         soc.map_contiguous(t, 0, 1 << 20).expect("map");
     }
-    soc.configure_accel(p, &AccelConfig::dma_to_p2p(0, frames)).expect("cfg");
+    soc.configure_accel(p, &AccelConfig::dma_to_p2p(0, frames))
+        .expect("cfg");
     soc.configure_accel(
         c,
         &AccelConfig::p2p_to_dma(vec![p], 100_000, frames).with_dvfs_divider(consumer_divider),

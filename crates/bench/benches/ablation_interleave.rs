@@ -9,19 +9,29 @@ use esp4ml_noc::Coord;
 use esp4ml_soc::{AccelConfig, ScaleKernel, SocBuilder};
 
 fn run(mem_tiles: usize, frames: u64) -> (u64, u64) {
-    let mut b = SocBuilder::new(3, 2).processor(Coord::new(0, 0)).memory(Coord::new(1, 0));
+    let mut b = SocBuilder::new(3, 2)
+        .processor(Coord::new(0, 0))
+        .memory(Coord::new(1, 0));
     if mem_tiles == 2 {
         b = b.memory(Coord::new(2, 0));
     }
     let mut soc = b
-        .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("a", 2048, 2).with_cycles_per_value(0)))
-        .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("b", 2048, 3).with_cycles_per_value(0)))
+        .accelerator(
+            Coord::new(0, 1),
+            Box::new(ScaleKernel::new("a", 2048, 2).with_cycles_per_value(0)),
+        )
+        .accelerator(
+            Coord::new(1, 1),
+            Box::new(ScaleKernel::new("b", 2048, 3).with_cycles_per_value(0)),
+        )
         .build()
         .expect("valid floorplan");
     let (a, bq) = (Coord::new(0, 1), Coord::new(1, 1));
     for f in 0..frames {
-        soc.dram_write_values(f * 512, &vec![5; 2048], 16).expect("init");
-        soc.dram_write_values((f + 64) * 512, &vec![9; 2048], 16).expect("init");
+        soc.dram_write_values(f * 512, &vec![5; 2048], 16)
+            .expect("init");
+        soc.dram_write_values((f + 64) * 512, &vec![9; 2048], 16)
+            .expect("init");
     }
     for t in [a, bq] {
         soc.map_contiguous(t, 0, 1 << 20).expect("map");

@@ -11,8 +11,8 @@ fn bench_reuse_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reuse");
     group.sample_size(20);
     for reuse in [16u64, 64, 256, 1024, 4096] {
-        let nn = Hls4mlCompiler::compile(&model, &Hls4mlConfig::with_reuse(reuse))
-            .expect("compiles");
+        let nn =
+            Hls4mlCompiler::compile(&model, &Hls4mlConfig::with_reuse(reuse)).expect("compiles");
         let est = nn.estimate();
         println!(
             "reuse={reuse:>5}: latency {:>6} cyc, II {:>5} cyc, {} (frames/s at 78 MHz: {:.0})",

@@ -15,9 +15,7 @@ fn bench_fig7_modes(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(mode.label()),
             &mode,
-            |b, &mode| {
-                b.iter(|| AppRun::execute(&app, &models, 4, mode).expect("run succeeds"))
-            },
+            |b, &mode| b.iter(|| AppRun::execute(&app, &models, 4, mode).expect("run succeeds")),
         );
     }
     group.finish();

@@ -11,15 +11,9 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     for app in Table1::best_configs() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(app.label()),
-            &app,
-            |b, app| {
-                b.iter(|| {
-                    AppRun::execute(app, &models, 4, ExecMode::P2p).expect("run succeeds")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(app.label()), &app, |b, app| {
+            b.iter(|| AppRun::execute(app, &models, 4, ExecMode::P2p).expect("run succeeds"))
+        });
     }
     group.finish();
 }

@@ -7,8 +7,18 @@ fn main() {
     for lr in [0.001f32, 0.003, 0.01] {
         let mut m = Sequential::svhn_denoiser();
         let mut cfg = TrainConfig::autoencoder(30);
-        cfg.optimizer = OptimizerKind::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-7 };
+        cfg.optimizer = OptimizerKind::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-7,
+        };
         let rep = Trainer::new(cfg).fit(&mut m, &train);
-        println!("lr {}: loss {:.4} err {:.3}", lr, rep.final_loss(), reconstruction_error(&m, &test));
+        println!(
+            "lr {}: loss {:.4} err {:.3}",
+            lr,
+            rep.final_loss(),
+            reconstruction_error(&m, &test)
+        );
     }
 }

@@ -18,7 +18,12 @@ fn main() {
         }
     };
     let models = args.models();
-    match Fig7::generate(&models, args.frames) {
+    let mut session = esp4ml_bench::observe::session_from_args(&args);
+    let result = match session.as_mut() {
+        Some(session) => Fig7::generate_traced(&models, args.frames, session),
+        None => Fig7::generate(&models, args.frames),
+    };
+    match result {
         Ok(fig) => {
             println!("{fig}");
             println!();
@@ -28,6 +33,12 @@ fn main() {
                 "paper shape: pipe > base within every cluster; p2p ≈ pipe in f/s; \
                  ESP4ML beats both baselines in f/J everywhere, by >100x in some cases"
             );
+            if let Some(session) = session.as_ref() {
+                if let Err(e) = esp4ml_bench::observe::finish_session(&args, session) {
+                    eprintln!("failed to write trace artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         Err(e) => {
             eprintln!("fig7 failed: {e}");

@@ -17,11 +17,22 @@ fn main() {
         }
     };
     let models = args.models();
-    match Fig8::generate(&models, args.frames) {
+    let mut session = esp4ml_bench::observe::session_from_args(&args);
+    let result = match session.as_mut() {
+        Some(session) => Fig8::generate_traced(&models, args.frames, session),
+        None => Fig8::generate(&models, args.frames),
+    };
+    match result {
         Ok(fig) => {
             println!("{fig}");
             println!("(measured over {} frames per application)", args.frames);
             println!("paper shape: p2p reduces DRAM accesses by 2x-3x for all three apps");
+            if let Some(session) = session.as_ref() {
+                if let Err(e) = esp4ml_bench::observe::finish_session(&args, session) {
+                    eprintln!("failed to write trace artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         Err(e) => {
             eprintln!("fig8 failed: {e}");

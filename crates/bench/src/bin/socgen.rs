@@ -48,7 +48,10 @@ fn main() {
         }
     };
 
-    println!("design '{}': {}x{} mesh @ {} MHz", config.name, config.cols, config.rows, config.clock_mhz);
+    println!(
+        "design '{}': {}x{} mesh @ {} MHz",
+        config.name, config.cols, config.rows, config.clock_mhz
+    );
     println!("\nfloorplan:");
     for y in 0..config.rows as u8 {
         let mut row = String::new();
@@ -84,6 +87,10 @@ fn main() {
     println!("dynamic power: {:.2} W", power.total_watts());
     println!(
         "fits device:   {}",
-        if soc.resources().fits(&flow.device) { "yes" } else { "NO" }
+        if soc.resources().fits(&flow.device) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 }

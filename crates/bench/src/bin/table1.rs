@@ -18,7 +18,12 @@ fn main() {
         }
     };
     let models = args.models();
-    match Table1::generate(&models, args.frames) {
+    let mut session = esp4ml_bench::observe::session_from_args(&args);
+    let result = match session.as_mut() {
+        Some(session) => Table1::generate_traced(&models, args.frames, session),
+        None => Table1::generate(&models, args.frames),
+    };
+    match result {
         Ok(table) => {
             println!("{table}");
             println!("(measured over {} frames per application)", args.frames);
@@ -27,6 +32,12 @@ fn main() {
                  POWER 1.70/1.70/0.98 W, ESP4ML 35572/5220/28376 f/s, \
                  I7 1858/30435/82476 f/s, JETSON 377/2798/6750 f/s"
             );
+            if let Some(session) = session.as_ref() {
+                if let Err(e) = esp4ml_bench::observe::finish_session(&args, session) {
+                    eprintln!("failed to write trace artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
         Err(e) => {
             eprintln!("table1 failed: {e}");

@@ -7,9 +7,9 @@
 //! cargo run --release -p esp4ml-bench --bin training -- --samples 4000 --epochs 15
 //! ```
 
+use esp4ml::apps::TrainedModels;
 use esp4ml::apps::{CLASSIFIER_REUSE, DENOISER_REUSE};
 use esp4ml::flow::Esp4mlFlow;
-use esp4ml::apps::TrainedModels;
 use esp4ml_bench::HarnessArgs;
 use esp4ml_nn::Matrix;
 use esp4ml_vision::SvhnGenerator;

@@ -13,13 +13,19 @@
 //! All binaries accept `--frames N` (simulated frames per measurement),
 //! `--train` (train the models on the synthetic dataset instead of using
 //! untrained weights), `--samples N` and `--epochs N` (training budget).
+//! The figure/table binaries additionally accept `--trace <path>` (write
+//! a Chrome `trace_event` JSON of every simulated run, viewable at
+//! ui.perfetto.dev) and `--sample-every <cycles>` (with `--trace`, also
+//! write a `<path>.counters.csv` time-series of the SoC counters).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod observe;
 
 use esp4ml::apps::TrainedModels;
+use std::path::PathBuf;
 
 /// Command-line options shared by the harness binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +38,10 @@ pub struct HarnessArgs {
     pub samples: usize,
     /// Training epochs.
     pub epochs: usize,
+    /// Where to write the Chrome trace JSON, when tracing is on.
+    pub trace: Option<PathBuf>,
+    /// Counter sampling period in cycles (requires `trace`).
+    pub sample_every: Option<u64>,
 }
 
 impl Default for HarnessArgs {
@@ -41,6 +51,8 @@ impl Default for HarnessArgs {
             train: false,
             samples: 6000,
             epochs: 30,
+            trace: None,
+            sample_every: None,
         }
     }
 }
@@ -68,15 +80,27 @@ impl HarnessArgs {
                 "--epochs" => out.epochs = grab("--epochs")? as usize,
                 "--train" => out.train = true,
                 "--no-train" => out.train = false,
+                "--trace" => {
+                    let path = it.next().ok_or("--trace needs a file path")?;
+                    out.trace = Some(PathBuf::from(path));
+                }
+                "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
                 other => {
                     return Err(format!(
-                        "unknown option {other}; supported: --frames N --train --no-train --samples N --epochs N"
+                        "unknown option {other}; supported: --frames N --train --no-train \
+                         --samples N --epochs N --trace PATH --sample-every CYCLES"
                     ))
                 }
             }
         }
         if out.frames == 0 {
             return Err("--frames must be at least 1".into());
+        }
+        if out.sample_every == Some(0) {
+            return Err("--sample-every must be at least 1".into());
+        }
+        if out.sample_every.is_some() && out.trace.is_none() {
+            return Err("--sample-every requires --trace".into());
         }
         Ok(out)
     }
@@ -122,8 +146,16 @@ mod tests {
 
     #[test]
     fn overrides() {
-        let a = parse(&["--frames", "8", "--train", "--samples", "100", "--epochs", "2"])
-            .unwrap();
+        let a = parse(&[
+            "--frames",
+            "8",
+            "--train",
+            "--samples",
+            "100",
+            "--epochs",
+            "2",
+        ])
+        .unwrap();
         assert_eq!(a.frames, 8);
         assert!(a.train);
         assert_eq!(a.samples, 100);
@@ -136,5 +168,18 @@ mod tests {
         assert!(parse(&["--frames"]).is_err());
         assert!(parse(&["--frames", "abc"]).is_err());
         assert!(parse(&["--frames", "0"]).is_err());
+    }
+
+    #[test]
+    fn trace_options() {
+        let a = parse(&["--trace", "/tmp/t.json", "--sample-every", "500"]).unwrap();
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert_eq!(a.sample_every, Some(500));
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--sample-every", "100"]).is_err(), "needs --trace");
+        assert!(parse(&["--trace", "/tmp/t.json", "--sample-every", "0"]).is_err());
     }
 }

@@ -1,0 +1,83 @@
+//! Trace-session plumbing shared by the figure/table binaries.
+
+use crate::HarnessArgs;
+use esp4ml::trace::{perfetto, Tracer};
+use esp4ml::TraceSession;
+use std::path::PathBuf;
+
+/// Builds the trace session requested on the command line, or `None`
+/// when `--trace` was not given.
+pub fn session_from_args(args: &HarnessArgs) -> Option<TraceSession> {
+    args.trace.as_ref()?;
+    let tracer = Tracer::ring_buffer();
+    Some(match args.sample_every {
+        Some(every) => TraceSession::with_sampling(tracer, every),
+        None => TraceSession::new(tracer),
+    })
+}
+
+/// The counter CSV path derived from the trace path.
+fn counters_path(trace: &std::path::Path) -> PathBuf {
+    let mut name = trace.file_name().unwrap_or_default().to_os_string();
+    name.push(".counters.csv");
+    trace.with_file_name(name)
+}
+
+/// Writes the session's artifacts: the Chrome trace JSON at `--trace`,
+/// the counter CSV next to it when `--sample-every` was given, and the
+/// per-run NoC traffic summary to stdout.
+///
+/// # Errors
+///
+/// I/O failures writing the output files.
+pub fn finish_session(args: &HarnessArgs, session: &TraceSession) -> std::io::Result<()> {
+    let Some(path) = args.trace.as_ref() else {
+        return Ok(());
+    };
+    let dropped = session.tracer().dropped();
+    let events = session.tracer().drain();
+    perfetto::write_chrome_trace(path, &events)?;
+    println!("wrote {} trace events to {}", events.len(), path.display());
+    if dropped > 0 {
+        eprintln!("warning: ring buffer dropped {dropped} oldest events");
+    }
+    if args.sample_every.is_some() {
+        let csv = counters_path(path);
+        std::fs::write(&csv, session.counters_csv())?;
+        println!("wrote counter samples to {}", csv.display());
+    }
+    let summary = session.noc_summary();
+    if !summary.is_empty() {
+        println!("\nPer-run NoC traffic:\n{summary}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_only_when_trace_requested() {
+        let plain = HarnessArgs::default();
+        assert!(session_from_args(&plain).is_none());
+        let mut traced = HarnessArgs {
+            trace: Some(PathBuf::from("/tmp/t.json")),
+            ..HarnessArgs::default()
+        };
+        let session = session_from_args(&traced).expect("session");
+        assert!(session.tracer().is_enabled());
+        assert!(session.sample_every().is_none());
+        traced.sample_every = Some(250);
+        let sampled = session_from_args(&traced).expect("session");
+        assert_eq!(sampled.sample_every(), Some(250));
+    }
+
+    #[test]
+    fn counters_path_appends_suffix() {
+        assert_eq!(
+            counters_path(std::path::Path::new("/tmp/fig7.json")),
+            PathBuf::from("/tmp/fig7.json.counters.csv")
+        );
+    }
+}

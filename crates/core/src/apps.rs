@@ -3,9 +3,7 @@
 use crate::flow::Esp4mlFlow;
 use esp4ml_hls::FixedSpec;
 use esp4ml_hls4ml::CompileError;
-use esp4ml_nn::{
-    accuracy, reconstruction_error, Sequential, TrainConfig, Trainer,
-};
+use esp4ml_nn::{accuracy, reconstruction_error, Sequential, TrainConfig, Trainer};
 use esp4ml_noc::Coord;
 use esp4ml_runtime::Dataflow;
 use esp4ml_soc::{NnKernel, Soc, SocBuilder, SocError};
@@ -399,8 +397,7 @@ mod tests {
     #[test]
     fn input_frames_match_app_character() {
         let mut gen = SvhnGenerator::new(1);
-        let (dark, _) =
-            CaseApp::NightVisionClassifier { nv: 1, cl: 1 }.input_frame(&mut gen);
+        let (dark, _) = CaseApp::NightVisionClassifier { nv: 1, cl: 1 }.input_frame(&mut gen);
         let mean: f32 = dark.iter().sum::<f32>() / dark.len() as f32;
         assert!(mean < 0.2, "darkened mean {mean}");
         let (clean, label) = CaseApp::MultiTileClassifier.input_frame(&mut gen);
@@ -423,7 +420,12 @@ impl CaseApp {
     /// Fig. 6 analog.
     pub fn describe(&self) -> String {
         let df = self.dataflow();
-        let mut out = format!("{} ({}) on {:?}\n", self.app_name(), self.label(), self.soc_id());
+        let mut out = format!(
+            "{} ({}) on {:?}\n",
+            self.app_name(),
+            self.label(),
+            self.soc_id()
+        );
         let arrow = "\n      │\n      ▼\n";
         let stages: Vec<String> = df
             .stages

@@ -14,8 +14,10 @@
 
 use crate::apps::{argmax, decode_values, encode_image, CaseApp, TrainedModels};
 use crate::flow::Esp4mlFlow;
+use crate::observe::TraceSession;
 use esp4ml_baseline::{Platform, Workload};
 use esp4ml_runtime::{EspRuntime, ExecMode, RunMetrics, RuntimeError};
+use esp4ml_trace::{TileCoord, TraceEvent};
 use esp4ml_vision::SvhnGenerator;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -95,7 +97,49 @@ impl AppRun {
         frames: u64,
         mode: ExecMode,
     ) -> Result<AppRun, ExperimentError> {
-        let soc = app.build_soc(models)?;
+        Self::execute_with(app, models, frames, mode, None)
+    }
+
+    /// [`AppRun::execute`] with observability: events flow into the
+    /// session's tracer (opened by a `RunStart` marker naming the run)
+    /// and the per-run counter series and NoC summary are collected
+    /// into the session.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn execute_traced(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        session: &mut TraceSession,
+    ) -> Result<AppRun, ExperimentError> {
+        Self::execute_with(app, models, frames, mode, Some(session))
+    }
+
+    fn execute_with(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        mut session: Option<&mut TraceSession>,
+    ) -> Result<AppRun, ExperimentError> {
+        let mut soc = app.build_soc(models)?;
+        let run_label = format!("{} {}", app.label(), mode.label());
+        if let Some(session) = session.as_deref_mut() {
+            let proc = soc.primary_proc();
+            let label = run_label.clone();
+            session
+                .tracer()
+                .emit(soc.cycle(), TileCoord::new(proc.x, proc.y), || {
+                    TraceEvent::RunStart { label }
+                });
+            soc.set_tracer(session.tracer().clone());
+            if let Some(every) = session.sample_every() {
+                soc.enable_counter_sampling(every);
+            }
+        }
         let flow = Esp4mlFlow::new();
         let watts = flow.estimate_power(&soc).total_watts();
         let mut rt = EspRuntime::new(soc)?;
@@ -113,6 +157,10 @@ impl AppRun {
         for f in 0..frames {
             let logits = decode_values(&rt.read_frame(&buf, f)?);
             predictions.push(argmax(&logits));
+        }
+        if let Some(session) = session {
+            let series = rt.soc_mut().take_counter_series();
+            session.record_run(run_label, series, rt.soc().noc_stats().clone());
         }
         Ok(AppRun {
             label: app.label(),
@@ -190,6 +238,27 @@ impl Table1 {
     ///
     /// Build or runtime failures.
     pub fn generate(models: &TrainedModels, frames: u64) -> Result<Table1, ExperimentError> {
+        Self::generate_with(models, frames, None)
+    }
+
+    /// [`Table1::generate`] with every run traced into `session`.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate_traced(
+        models: &TrainedModels,
+        frames: u64,
+        session: &mut TraceSession,
+    ) -> Result<Table1, ExperimentError> {
+        Self::generate_with(models, frames, Some(session))
+    }
+
+    fn generate_with(
+        models: &TrainedModels,
+        frames: u64,
+        mut session: Option<&mut TraceSession>,
+    ) -> Result<Table1, ExperimentError> {
         let flow = Esp4mlFlow::new();
         let i7 = Platform::intel_i7_8700k();
         let tx1 = Platform::jetson_tx1();
@@ -199,7 +268,8 @@ impl Table1 {
             let soc = app.build_soc(models)?;
             let util = flow.utilization(&soc);
             let power = flow.estimate_power(&soc).total_watts();
-            let run = AppRun::execute(app, models, frames, ExecMode::P2p)?;
+            let run =
+                AppRun::execute_with(app, models, frames, ExecMode::P2p, session.as_deref_mut())?;
             columns.push(Table1Column {
                 app: app.app_name().to_string(),
                 lut_pct: util.lut_pct,
@@ -223,10 +293,7 @@ impl fmt::Display for Table1 {
             write!(f, "{:>24}", c.app.replace(" & ", "&"))?;
         }
         writeln!(f)?;
-        let row = |f: &mut fmt::Formatter<'_>,
-                   name: &str,
-                   vals: Vec<String>|
-         -> fmt::Result {
+        let row = |f: &mut fmt::Formatter<'_>, name: &str, vals: Vec<String>| -> fmt::Result {
             write!(f, "{name:<18}")?;
             for v in vals {
                 write!(f, "{v:>24}")?;
@@ -236,17 +303,26 @@ impl fmt::Display for Table1 {
         row(
             f,
             "LUTS",
-            self.columns.iter().map(|c| format!("{:.0}%", c.lut_pct)).collect(),
+            self.columns
+                .iter()
+                .map(|c| format!("{:.0}%", c.lut_pct))
+                .collect(),
         )?;
         row(
             f,
             "FFS",
-            self.columns.iter().map(|c| format!("{:.0}%", c.ff_pct)).collect(),
+            self.columns
+                .iter()
+                .map(|c| format!("{:.0}%", c.ff_pct))
+                .collect(),
         )?;
         row(
             f,
             "BRAMS",
-            self.columns.iter().map(|c| format!("{:.0}%", c.bram_pct)).collect(),
+            self.columns
+                .iter()
+                .map(|c| format!("{:.0}%", c.bram_pct))
+                .collect(),
         )?;
         row(
             f,
@@ -267,7 +343,10 @@ impl fmt::Display for Table1 {
         row(
             f,
             "FRAMES/S INTEL I7",
-            self.columns.iter().map(|c| format!("{:.0}", c.fps_i7)).collect(),
+            self.columns
+                .iter()
+                .map(|c| format!("{:.0}", c.fps_i7))
+                .collect(),
         )?;
         row(
             f,
@@ -322,6 +401,27 @@ impl Fig7 {
     ///
     /// Build or runtime failures.
     pub fn generate(models: &TrainedModels, frames: u64) -> Result<Fig7, ExperimentError> {
+        Self::generate_with(models, frames, None)
+    }
+
+    /// [`Fig7::generate`] with every run traced into `session`.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate_traced(
+        models: &TrainedModels,
+        frames: u64,
+        session: &mut TraceSession,
+    ) -> Result<Fig7, ExperimentError> {
+        Self::generate_with(models, frames, Some(session))
+    }
+
+    fn generate_with(
+        models: &TrainedModels,
+        frames: u64,
+        mut session: Option<&mut TraceSession>,
+    ) -> Result<Fig7, ExperimentError> {
         let i7 = Platform::intel_i7_8700k();
         let tx1 = Platform::jetson_tx1();
         let apps = Workload::table1_apps();
@@ -340,7 +440,7 @@ impl Fig7 {
                 .find(|c| c.app == app.app_name())
                 .expect("cluster exists");
             for mode in ExecMode::ALL {
-                let run = AppRun::execute(&app, models, frames, mode)?;
+                let run = AppRun::execute_with(&app, models, frames, mode, session.as_deref_mut())?;
                 cluster.bars.push(Fig7Bar {
                     config: app.label(),
                     mode: mode.label().to_string(),
@@ -428,10 +528,33 @@ impl Fig8 {
     ///
     /// Build or runtime failures.
     pub fn generate(models: &TrainedModels, frames: u64) -> Result<Fig8, ExperimentError> {
+        Self::generate_with(models, frames, None)
+    }
+
+    /// [`Fig8::generate`] with every run traced into `session`.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn generate_traced(
+        models: &TrainedModels,
+        frames: u64,
+        session: &mut TraceSession,
+    ) -> Result<Fig8, ExperimentError> {
+        Self::generate_with(models, frames, Some(session))
+    }
+
+    fn generate_with(
+        models: &TrainedModels,
+        frames: u64,
+        mut session: Option<&mut TraceSession>,
+    ) -> Result<Fig8, ExperimentError> {
         let mut rows = Vec::new();
         for app in Table1::best_configs() {
-            let no_p2p = AppRun::execute(&app, models, frames, ExecMode::Pipe)?;
-            let p2p = AppRun::execute(&app, models, frames, ExecMode::P2p)?;
+            let no_p2p =
+                AppRun::execute_with(&app, models, frames, ExecMode::Pipe, session.as_deref_mut())?;
+            let p2p =
+                AppRun::execute_with(&app, models, frames, ExecMode::P2p, session.as_deref_mut())?;
             rows.push(Fig8Row {
                 app: app.app_name().to_string(),
                 config: app.label(),
@@ -472,8 +595,8 @@ mod tests {
 
     #[test]
     fn app_run_denoiser_classifier_p2p() {
-        let run = AppRun::execute(&CaseApp::DenoiserClassifier, &models(), 3, ExecMode::P2p)
-            .unwrap();
+        let run =
+            AppRun::execute(&CaseApp::DenoiserClassifier, &models(), 3, ExecMode::P2p).unwrap();
         assert_eq!(run.metrics.frames, 3);
         assert_eq!(run.predictions.len(), 3);
         assert!(run.metrics.frames_per_second() > 0.0);
@@ -486,8 +609,7 @@ mod tests {
         let m = models();
         let mut preds = Vec::new();
         for mode in ExecMode::ALL {
-            let run =
-                AppRun::execute(&CaseApp::MultiTileClassifier, &m, 3, mode).unwrap();
+            let run = AppRun::execute(&CaseApp::MultiTileClassifier, &m, 3, mode).unwrap();
             preds.push(run.predictions.clone());
         }
         assert_eq!(preds[0], preds[1]);
@@ -497,10 +619,8 @@ mod tests {
     #[test]
     fn fig8_shows_reduction_for_denoiser() {
         let m = models();
-        let no_p2p =
-            AppRun::execute(&CaseApp::DenoiserClassifier, &m, 3, ExecMode::Pipe).unwrap();
-        let p2p =
-            AppRun::execute(&CaseApp::DenoiserClassifier, &m, 3, ExecMode::P2p).unwrap();
+        let no_p2p = AppRun::execute(&CaseApp::DenoiserClassifier, &m, 3, ExecMode::Pipe).unwrap();
+        let p2p = AppRun::execute(&CaseApp::DenoiserClassifier, &m, 3, ExecMode::P2p).unwrap();
         let row = Fig8Row {
             app: "x".into(),
             config: "y".into(),
@@ -569,7 +689,10 @@ impl AccuracyReport {
         use esp4ml_baseline::SoftwareApp;
         use esp4ml_nn::Matrix;
 
-        let app_sw = SoftwareApp::new(Some(models.classifier.clone()), Some(models.denoiser.clone()));
+        let app_sw = SoftwareApp::new(
+            Some(models.classifier.clone()),
+            Some(models.denoiser.clone()),
+        );
         let classify_float = |image: &[f32]| -> usize {
             let x = Matrix::from_vec(1, image.len(), image.to_vec());
             models.classifier.predict_classes(&x)[0]
@@ -626,12 +749,40 @@ impl fmt::Display for AccuracyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "APPLICATION ACCURACY over {} samples", self.n)?;
         let pct = |v: f64| format!("{:.1}%", 100.0 * v);
-        writeln!(f, "  clean images, float classifier:              {:>7}", pct(self.clean_float))?;
-        writeln!(f, "  darkened, float classifier (no NV):          {:>7}", pct(self.dark_direct_float))?;
-        writeln!(f, "  darkened, float NV + classifier:             {:>7}", pct(self.dark_nv_float))?;
-        writeln!(f, "  darkened, on-SoC fixed NV + classifier:      {:>7}", pct(self.dark_soc_fixed))?;
-        writeln!(f, "  noisy, float classifier (no denoiser):       {:>7}", pct(self.noisy_direct_float))?;
-        writeln!(f, "  noisy, float denoiser + classifier:          {:>7}", pct(self.noisy_denoised_float))?;
-        writeln!(f, "  noisy, on-SoC fixed denoiser + classifier:   {:>7}", pct(self.noisy_soc_fixed))
+        writeln!(
+            f,
+            "  clean images, float classifier:              {:>7}",
+            pct(self.clean_float)
+        )?;
+        writeln!(
+            f,
+            "  darkened, float classifier (no NV):          {:>7}",
+            pct(self.dark_direct_float)
+        )?;
+        writeln!(
+            f,
+            "  darkened, float NV + classifier:             {:>7}",
+            pct(self.dark_nv_float)
+        )?;
+        writeln!(
+            f,
+            "  darkened, on-SoC fixed NV + classifier:      {:>7}",
+            pct(self.dark_soc_fixed)
+        )?;
+        writeln!(
+            f,
+            "  noisy, float classifier (no denoiser):       {:>7}",
+            pct(self.noisy_direct_float)
+        )?;
+        writeln!(
+            f,
+            "  noisy, float denoiser + classifier:          {:>7}",
+            pct(self.noisy_denoised_float)
+        )?;
+        writeln!(
+            f,
+            "  noisy, on-SoC fixed denoiser + classifier:   {:>7}",
+            pct(self.noisy_soc_fixed)
+        )
     }
 }

@@ -192,7 +192,10 @@ impl Esp4mlFlow {
         target_fps: f64,
         clock_hz: f64,
     ) -> Result<CompiledNn, CompileError> {
-        assert!(target_fps > 0.0 && clock_hz > 0.0, "targets must be positive");
+        assert!(
+            target_fps > 0.0 && clock_hz > 0.0,
+            "targets must be positive"
+        );
         let budget = (clock_hz / target_fps) as u64;
         let layers = model.dense_layers().len().max(1) as u64;
         let per_layer = (budget / layers).max(1);

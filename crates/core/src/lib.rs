@@ -51,10 +51,12 @@
 pub mod apps;
 pub mod experiments;
 pub mod flow;
+pub mod observe;
 pub mod soc_config;
 
 pub use apps::{CaseApp, TrainedModels};
 pub use flow::Esp4mlFlow;
+pub use observe::TraceSession;
 
 // Re-export the substrate crates under one roof, as the public surface of
 // the reproduction.
@@ -66,4 +68,5 @@ pub use esp4ml_nn as nn;
 pub use esp4ml_noc as noc;
 pub use esp4ml_runtime as runtime;
 pub use esp4ml_soc as soc;
+pub use esp4ml_trace as trace;
 pub use esp4ml_vision as vision;

@@ -1,0 +1,154 @@
+//! Observability session shared across traced experiment runs.
+//!
+//! Each [`AppRun`](crate::experiments::AppRun) builds a fresh SoC, so a
+//! figure-level trace needs one handle threaded through every run: the
+//! [`TraceSession`] carries the shared [`Tracer`] into each SoC and
+//! collects the per-run counter time-series and NoC summaries on the way
+//! out. The event stream itself stays in the tracer's sink, ready for
+//! [`esp4ml_trace::perfetto`] export (each run opens with a
+//! [`esp4ml_trace::TraceEvent::RunStart`] marker so the exporter can
+//! split runs into separate process tracks).
+
+use esp4ml_noc::NocStats;
+use esp4ml_trace::{CounterSeries, Tracer};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Shared observability state for a sequence of experiment runs.
+#[derive(Debug, Default)]
+pub struct TraceSession {
+    tracer: Tracer,
+    sample_every: Option<u64>,
+    series: Vec<(String, CounterSeries)>,
+    noc: Vec<(String, NocStats)>,
+}
+
+impl TraceSession {
+    /// A session recording events through `tracer`, without counter
+    /// sampling.
+    pub fn new(tracer: Tracer) -> Self {
+        TraceSession {
+            tracer,
+            ..Default::default()
+        }
+    }
+
+    /// A session recording events and sampling the counter registry
+    /// every `every` cycles of each run.
+    pub fn with_sampling(tracer: Tracer, every: u64) -> Self {
+        TraceSession {
+            tracer,
+            sample_every: Some(every),
+            ..Default::default()
+        }
+    }
+
+    /// A no-op session: events are discarded and nothing is sampled.
+    pub fn disabled() -> Self {
+        TraceSession::default()
+    }
+
+    /// The shared tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The counter sampling period, when sampling is on.
+    pub fn sample_every(&self) -> Option<u64> {
+        self.sample_every
+    }
+
+    /// Records the observability output of one completed run.
+    pub(crate) fn record_run(
+        &mut self,
+        label: String,
+        series: Option<CounterSeries>,
+        noc: NocStats,
+    ) {
+        if let Some(series) = series {
+            self.series.push((label.clone(), series));
+        }
+        self.noc.push((label, noc));
+    }
+
+    /// Accumulated `(run label, counter series)` pairs, in run order.
+    pub fn series(&self) -> &[(String, CounterSeries)] {
+        &self.series
+    }
+
+    /// Accumulated `(run label, NoC stats)` pairs, in run order.
+    pub fn noc_stats(&self) -> &[(String, NocStats)] {
+        &self.noc
+    }
+
+    /// Renders every sampled counter series as one CSV with a leading
+    /// `run` label column (each run's SoC restarts at cycle 0, so the
+    /// label disambiguates the rows).
+    pub fn counters_csv(&self) -> String {
+        let mut columns = BTreeSet::new();
+        for (_, series) in &self.series {
+            for row in series.rows() {
+                for name in row.snapshot.names() {
+                    columns.insert(name.to_string());
+                }
+            }
+        }
+        let mut out = String::from("run,cycle");
+        for c in &columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, series) in &self.series {
+            for row in series.rows() {
+                let _ = write!(out, "{label},{}", row.cycle);
+                for c in &columns {
+                    let _ = write!(out, ",{}", row.snapshot.get(c));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Renders the per-run NoC traffic tables as one human-readable
+    /// summary.
+    pub fn noc_summary(&self) -> String {
+        let mut out = String::new();
+        for (label, stats) in &self.noc {
+            let _ = writeln!(out, "[{label}]");
+            let _ = write!(out, "{stats}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp4ml_trace::CounterRegistry;
+
+    #[test]
+    fn disabled_session_has_no_output() {
+        let s = TraceSession::disabled();
+        assert!(!s.tracer().is_enabled());
+        assert!(s.sample_every().is_none());
+        assert_eq!(s.counters_csv(), "run,cycle\n");
+        assert!(s.noc_summary().is_empty());
+    }
+
+    #[test]
+    fn counters_csv_labels_rows_per_run() {
+        let mut s = TraceSession::with_sampling(Tracer::ring_buffer(), 100);
+        let mut reg = CounterRegistry::new();
+        reg.set("soc.cycles", 100);
+        let mut series = CounterSeries::new(100);
+        series.record(100, reg.snapshot());
+        s.record_run("app p2p".into(), Some(series), NocStats::new());
+        let csv = s.counters_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "run,cycle,soc.cycles");
+        assert_eq!(lines[1], "app p2p,100,100");
+        assert_eq!(s.noc_stats().len(), 1);
+    }
+}

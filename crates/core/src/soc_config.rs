@@ -152,11 +152,9 @@ impl SocConfigFile {
                             let cfg = if reuse.is_empty() {
                                 Hls4mlConfig::with_reuse(64).named(name)
                             } else {
-                                Hls4mlConfig::with_reuse(
-                                    reuse.iter().copied().max().unwrap_or(64),
-                                )
-                                .named(name)
-                                .with_per_layer_reuse(reuse.clone())
+                                Hls4mlConfig::with_reuse(reuse.iter().copied().max().unwrap_or(64))
+                                    .named(name)
+                                    .with_per_layer_reuse(reuse.clone())
                             };
                             Hls4mlCompiler::compile_files(topology, weights, &cfg)?
                         }
@@ -177,15 +175,29 @@ impl SocConfigFile {
             reuse: reuse.to_vec(),
         };
         let mut tiles = vec![
-            TileSpec { x: 0, y: 0, kind: TileSpecKind::Processor },
-            TileSpec { x: 1, y: 0, kind: TileSpecKind::Memory },
-            TileSpec { x: 2, y: 0, kind: TileSpecKind::Auxiliary },
+            TileSpec {
+                x: 0,
+                y: 0,
+                kind: TileSpecKind::Processor,
+            },
+            TileSpec {
+                x: 1,
+                y: 0,
+                kind: TileSpecKind::Memory,
+            },
+            TileSpec {
+                x: 2,
+                y: 0,
+                kind: TileSpecKind::Auxiliary,
+            },
         ];
         for (i, (x, y)) in [(3u8, 0u8), (4, 0), (0, 1), (1, 1)].into_iter().enumerate() {
             tiles.push(TileSpec {
                 x,
                 y,
-                kind: TileSpecKind::NightVision { name: format!("nv{i}") },
+                kind: TileSpecKind::NightVision {
+                    name: format!("nv{i}"),
+                },
             });
         }
         for (i, (x, y)) in [(2u8, 1u8), (3, 1), (4, 1), (0, 2)].into_iter().enumerate() {
@@ -202,12 +214,20 @@ impl SocConfigFile {
         tiles.push(TileSpec {
             x: 1,
             y: 2,
-            kind: ml("denoiser", MlModelRef::Denoiser, &crate::apps::DENOISER_REUSE),
+            kind: ml(
+                "denoiser",
+                MlModelRef::Denoiser,
+                &crate::apps::DENOISER_REUSE,
+            ),
         });
         tiles.push(TileSpec {
             x: 2,
             y: 2,
-            kind: ml("cl_de", MlModelRef::Classifier, &crate::apps::CLASSIFIER_REUSE),
+            kind: ml(
+                "cl_de",
+                MlModelRef::Classifier,
+                &crate::apps::CLASSIFIER_REUSE,
+            ),
         });
         SocConfigFile {
             name: "esp4ml-soc1".into(),

@@ -22,14 +22,7 @@ pub struct FpgaDevice {
 
 impl FpgaDevice {
     /// Creates a device entry.
-    pub fn new(
-        name: &str,
-        luts: u64,
-        ffs: u64,
-        bram36: u64,
-        dsps: u64,
-        static_watts: f64,
-    ) -> Self {
+    pub fn new(name: &str, luts: u64, ffs: u64, bram36: u64, dsps: u64, static_watts: f64) -> Self {
         FpgaDevice {
             name: name.to_string(),
             luts,

@@ -110,7 +110,7 @@ impl FixedSpec {
     /// Quantizes a real value (round to nearest, saturate).
     pub fn quantize(self, value: f64) -> i64 {
         let scaled = (value * (1i64 << self.frac_bits()) as f64).round();
-        
+
         if scaled >= self.max_raw() as f64 {
             self.max_raw()
         } else if scaled <= self.min_raw() as f64 {

@@ -65,12 +65,7 @@ impl PowerModel {
     /// Estimates dynamic power for a design using `resources` clocked at
     /// `clock_mhz` with the given switching-activity factor relative to
     /// Vivado's default (1.0 = default toggle rates).
-    pub fn estimate(
-        &self,
-        resources: Resources,
-        clock_mhz: f64,
-        activity: f64,
-    ) -> PowerEstimate {
+    pub fn estimate(&self, resources: Resources, clock_mhz: f64, activity: f64) -> PowerEstimate {
         let f = clock_mhz / self.reference_mhz * activity;
         PowerEstimate {
             logic_watts: (resources.luts as f64 * self.watts_per_lut
@@ -116,7 +111,10 @@ mod tests {
         let m = PowerModel::default();
         let r = Resources::new(567_000, 567_000, 1_231, 2_500);
         let p = m.estimate(r, 78.0, 1.0).total_watts();
-        assert!(p > 1.0 && p < 2.5, "SoC-1-scale power {p:.2} W out of range");
+        assert!(
+            p > 1.0 && p < 2.5,
+            "SoC-1-scale power {p:.2} W out of range"
+        );
     }
 
     #[test]

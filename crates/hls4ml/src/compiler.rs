@@ -75,10 +75,7 @@ impl Hls4mlCompiler {
     /// # Errors
     ///
     /// See [`CompileError`].
-    pub fn compile(
-        model: &Sequential,
-        config: &Hls4mlConfig,
-    ) -> Result<CompiledNn, CompileError> {
+    pub fn compile(model: &Sequential, config: &Hls4mlConfig) -> Result<CompiledNn, CompileError> {
         if config.reuse_factor == 0 {
             return Err(CompileError::ZeroReuse);
         }
@@ -98,13 +95,10 @@ impl Hls4mlCompiler {
             }
         }
         // Sanity: specs other than dense are inference no-ops.
-        debug_assert!(model
-            .specs()
-            .iter()
-            .all(|s| matches!(
-                s,
-                LayerSpec::Dense { .. } | LayerSpec::Dropout { .. } | LayerSpec::GaussianNoise { .. }
-            )));
+        debug_assert!(model.specs().iter().all(|s| matches!(
+            s,
+            LayerSpec::Dense { .. } | LayerSpec::Dropout { .. } | LayerSpec::GaussianNoise { .. }
+        )));
 
         let layers: Vec<QuantizedDense> = dense
             .iter()
@@ -123,7 +117,11 @@ impl Hls4mlCompiler {
                 )
             })
             .collect();
-        Ok(CompiledNn::new(config.name.clone(), layers, config.precision))
+        Ok(CompiledNn::new(
+            config.name.clone(),
+            layers,
+            config.precision,
+        ))
     }
 
     /// Compiles directly from the serialized `(model.json, weights)` pair —
@@ -184,8 +182,7 @@ mod tests {
 
     #[test]
     fn reuse_is_clamped_to_ops() {
-        let acc =
-            Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(1_000_000)).unwrap();
+        let acc = Hls4mlCompiler::compile(&model(), &Hls4mlConfig::with_reuse(1_000_000)).unwrap();
         // Layer 1 has 16*4 = 64 ops; its reuse must be clamped there.
         assert_eq!(acc.layers()[1].reuse(), 64);
         assert_eq!(acc.layers()[0].reuse(), 8 * 16);
@@ -229,8 +226,7 @@ mod tests {
         let m = model();
         ModelFile::save(&m, &topo, &weights).unwrap();
         let acc =
-            Hls4mlCompiler::compile_files(&topo, &weights, &Hls4mlConfig::with_reuse(8))
-                .unwrap();
+            Hls4mlCompiler::compile_files(&topo, &weights, &Hls4mlConfig::with_reuse(8)).unwrap();
         let direct = Hls4mlCompiler::compile(&m, &Hls4mlConfig::with_reuse(8)).unwrap();
         let x = vec![0.1f32; 8];
         assert_eq!(acc.infer(&x), direct.infer(&x));

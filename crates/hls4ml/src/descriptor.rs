@@ -175,7 +175,11 @@ mod tests {
         assert!(names.contains(&"LOCATION_REG"));
         assert!(names.contains(&"P2P_REG"));
         // LOCATION_REG is read-only.
-        let loc = d.registers.iter().find(|r| r.name == "LOCATION_REG").unwrap();
+        let loc = d
+            .registers
+            .iter()
+            .find(|r| r.name == "LOCATION_REG")
+            .unwrap();
         assert!(!loc.writable);
     }
 

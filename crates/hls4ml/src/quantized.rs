@@ -178,7 +178,10 @@ impl CompiledNn {
     /// Float-in/float-out inference (quantizes the input, dequantizes the
     /// output) — the view the application software has of the accelerator.
     pub fn infer(&self, input: &[f32]) -> Vec<f32> {
-        let raw: Vec<i64> = input.iter().map(|&v| self.spec.quantize(v as f64)).collect();
+        let raw: Vec<i64> = input
+            .iter()
+            .map(|&v| self.spec.quantize(v as f64))
+            .collect();
         self.infer_fixed(&raw)
             .into_iter()
             .map(|r| self.spec.dequantize(r) as f32)
@@ -197,7 +200,10 @@ impl CompiledNn {
 
     /// Per-layer HLS reports.
     pub fn layer_estimates(&self) -> Vec<HlsEstimate> {
-        self.layers.iter().map(|l| l.hls_model().estimate()).collect()
+        self.layers
+            .iter()
+            .map(|l| l.hls_model().estimate())
+            .collect()
     }
 
     /// End-to-end latency: the layers run as an HLS dataflow pipeline, so
@@ -356,15 +362,8 @@ mod tests {
             spec,
             32,
         );
-        let b = QuantizedDense::quantize(
-            &[0.0; 8 * 4],
-            &[0.0; 4],
-            8,
-            4,
-            Activation::Softmax,
-            spec,
-            8,
-        );
+        let b =
+            QuantizedDense::quantize(&[0.0; 8 * 4], &[0.0; 4], 8, 4, Activation::Softmax, spec, 8);
         let nn = CompiledNn::new("t".into(), vec![a, b], spec);
         assert_eq!(nn.initiation_interval(), 32);
         assert_eq!(

@@ -335,12 +335,15 @@ mod tests {
             banks: 1,
         };
         let mut plain = CachedDram::new(dram_cfg);
-        let mut cached = CachedDram::with_llc(dram_cfg, CacheConfig {
-            size_words: 1024,
-            line_words: 16,
-            ways: 4,
-            hit_cycles: 2,
-        });
+        let mut cached = CachedDram::with_llc(
+            dram_cfg,
+            CacheConfig {
+                size_words: 1024,
+                line_words: 16,
+                ways: 4,
+                hit_cycles: 2,
+            },
+        );
         for dev in [&mut plain, &mut cached] {
             dev.write_burst(0, &[7; 64]);
             let _ = dev.read_burst(0, 64);

@@ -211,11 +211,7 @@ impl Tlb {
     /// # Errors
     ///
     /// Propagates [`PagingError::Unmapped`] from the page-table walk.
-    pub fn translate(
-        &mut self,
-        table: &PageTable,
-        vaddr: u64,
-    ) -> Result<(u64, u64), PagingError> {
+    pub fn translate(&mut self, table: &PageTable, vaddr: u64) -> Result<(u64, u64), PagingError> {
         let vpage = vaddr / table.page_words();
         let offset = vaddr % table.page_words();
         if let Some(pos) = self.entries.iter().position(|&(v, _)| v == vpage) {

@@ -93,12 +93,7 @@ impl DenseLayer {
 
     /// Initialization matched to the activation: He for ReLU, Glorot
     /// otherwise (the Keras-recommended pairing).
-    pub fn init_for(
-        n_in: usize,
-        n_out: usize,
-        activation: Activation,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn init_for(n_in: usize, n_out: usize, activation: Activation, rng: &mut StdRng) -> Self {
         match activation {
             Activation::Relu => DenseLayer::he(n_in, n_out, activation, rng),
             _ => DenseLayer::glorot(n_in, n_out, activation, rng),
@@ -205,7 +200,10 @@ mod tests {
         let survivors = x.as_slice().iter().filter(|&&v| v > 0.0).count();
         // Expect ~500 survivors, each scaled to 2.0.
         assert!((300..700).contains(&survivors));
-        assert!(x.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(x
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         assert_eq!(mask.cols(), 1000);
     }
 

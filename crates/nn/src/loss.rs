@@ -89,8 +89,7 @@ mod tests {
         let bad = Matrix::from_vec(1, 2, vec![0.1, 0.9]);
         let target = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
         assert!(
-            Loss::CrossEntropy.compute(&bad, &target)
-                > Loss::CrossEntropy.compute(&good, &target)
+            Loss::CrossEntropy.compute(&bad, &target) > Loss::CrossEntropy.compute(&good, &target)
         );
     }
 

@@ -228,7 +228,12 @@ impl fmt::Display for Matrix {
         for r in 0..self.rows.min(8) {
             let row = self.row(r);
             let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:+.3}")).collect();
-            writeln!(f, "  [{}{}]", shown.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                shown.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;

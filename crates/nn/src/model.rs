@@ -285,7 +285,7 @@ mod tests {
         assert_eq!(trace.outputs.len(), 3);
         assert_eq!(trace.output.cols(), 1024);
         assert_eq!(trace.masks.len(), 1); // the noise layer
-        // Gaussian noise must have perturbed the first dense input.
+                                          // Gaussian noise must have perturbed the first dense input.
         assert!(trace.inputs[0].norm() > 0.0);
     }
 }

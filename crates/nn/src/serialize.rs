@@ -198,10 +198,7 @@ impl ModelFile {
     ///
     /// [`SerializeError::BadWeightFormat`] on truncation or bad magic;
     /// [`SerializeError::ShapeMismatch`] if shapes disagree with topology.
-    pub fn load_weights_bytes(
-        model: &mut Sequential,
-        bytes: &[u8],
-    ) -> Result<(), SerializeError> {
+    pub fn load_weights_bytes(model: &mut Sequential, bytes: &[u8]) -> Result<(), SerializeError> {
         let bad = |m: &str| SerializeError::BadWeightFormat(m.to_string());
         if bytes.len() < 8 || &bytes[0..4] != WEIGHT_MAGIC {
             return Err(bad("missing ESPW magic"));
@@ -303,8 +300,7 @@ mod tests {
     fn weights_roundtrip_preserves_outputs() {
         let m = sample_model();
         let blob = ModelFile::weights_bytes(&m);
-        let mut rebuilt =
-            ModelFile::from_topology_json(&ModelFile::topology_json(&m)).unwrap();
+        let mut rebuilt = ModelFile::from_topology_json(&ModelFile::topology_json(&m)).unwrap();
         ModelFile::load_weights_bytes(&mut rebuilt, &blob).unwrap();
         let x = Matrix::from_vec(1, 4, vec![0.3, -0.1, 0.8, 0.2]);
         assert_eq!(m.forward(&x), rebuilt.forward(&x));
@@ -322,8 +318,7 @@ mod tests {
         let m = sample_model();
         let blob = ModelFile::weights_bytes(&m);
         let mut target = sample_model();
-        let err =
-            ModelFile::load_weights_bytes(&mut target, &blob[..blob.len() - 5]).unwrap_err();
+        let err = ModelFile::load_weights_bytes(&mut target, &blob[..blob.len() - 5]).unwrap_err();
         assert!(matches!(err, SerializeError::BadWeightFormat(_)));
     }
 

@@ -104,8 +104,7 @@ impl Trainer {
             }
             let mut total = 0.0;
             let mut batches = 0usize;
-            let batch_list: Vec<(Matrix, Matrix)> =
-                data.batches(self.config.batch_size).collect();
+            let batch_list: Vec<(Matrix, Matrix)> = data.batches(self.config.batch_size).collect();
             for (x, y) in batch_list {
                 total += self.train_batch(model, &mut opt, &x, &y, &mut rng);
                 batches += 1;
@@ -219,14 +218,15 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..n {
             let a = i as f32 / n as f32 * std::f32::consts::TAU;
-            let (cls, r) = if i % 2 == 0 { (0usize, 0.5) } else { (1usize, 2.0) };
+            let (cls, r) = if i % 2 == 0 {
+                (0usize, 0.5)
+            } else {
+                (1usize, 2.0)
+            };
             xs.extend([r * a.cos(), r * a.sin()]);
             labels.push(cls);
         }
-        Dataset::new(
-            Matrix::from_vec(n, 2, xs),
-            Dataset::one_hot(&labels, 2),
-        )
+        Dataset::new(Matrix::from_vec(n, 2, xs), Dataset::one_hot(&labels, 2))
     }
 
     #[test]
@@ -323,9 +323,9 @@ mod tests {
             plus.dense_layers_mut()[0].weights[(r, c)] += h;
             let mut minus = model.clone();
             minus.dense_layers_mut()[0].weights[(r, c)] -= h;
-            let numeric =
-                (loss.compute(&plus.forward(&x), &y) - loss.compute(&minus.forward(&x), &y))
-                    / (2.0 * h);
+            let numeric = (loss.compute(&plus.forward(&x), &y)
+                - loss.compute(&minus.forward(&x), &y))
+                / (2.0 * h);
             let analytic = -(w1[(r, c)] - w0[(r, c)]) / eps_lr;
             assert!(
                 (numeric - analytic).abs() < 5e-2_f32.max(0.2 * numeric.abs()),

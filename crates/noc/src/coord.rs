@@ -19,7 +19,9 @@ use std::fmt;
 /// let b = Coord::new(3, 2);
 /// assert_eq!(a.manhattan_distance(b), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Coord {
     /// Column index (grows east).
     pub x: u8,

@@ -73,7 +73,11 @@ impl Flit {
         }
         flits.push(mk(FlitKind::Head, 0));
         for (i, &w) in pkt.payload().iter().enumerate() {
-            let kind = if i + 1 == n { FlitKind::Tail } else { FlitKind::Body };
+            let kind = if i + 1 == n {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            };
             flits.push(mk(kind, w));
         }
         flits
@@ -107,8 +111,7 @@ impl Reassembler {
             }
             if finish {
                 let (head, words) = self.current.take().expect("current packet");
-                let mut pkt =
-                    Packet::new(head.src, head.dest, head.plane, head.msg, words);
+                let mut pkt = Packet::new(head.src, head.dest, head.plane, head.msg, words);
                 pkt.inject_cycle = head.inject_cycle;
                 return Some(pkt);
             }
@@ -178,7 +181,10 @@ mod tests {
         let b = pkt(vec![2, 3]);
         let mut r = Reassembler::default();
         let mut done = Vec::new();
-        for f in Flit::from_packet(&a).into_iter().chain(Flit::from_packet(&b)) {
+        for f in Flit::from_packet(&a)
+            .into_iter()
+            .chain(Flit::from_packet(&b))
+        {
             if let Some(p) = r.push(f) {
                 done.push(p);
             }

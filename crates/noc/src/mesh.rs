@@ -3,8 +3,14 @@
 use crate::flit::{Flit, Reassembler};
 use crate::router::{Port, Router, RouterConfig, Transfer};
 use crate::{Coord, NocError, NocStats, Packet, Plane};
+use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Converts a NoC coordinate into its trace-event counterpart.
+fn trace_coord(c: Coord) -> TileCoord {
+    TileCoord::new(c.x, c.y)
+}
 
 /// Configuration of a mesh NoC instance.
 ///
@@ -64,6 +70,7 @@ pub struct Mesh {
     endpoints: Vec<Vec<TileEndpoint>>, // [tile][plane]
     stats: NocStats,
     cycle: u64,
+    tracer: Tracer,
 }
 
 impl Mesh {
@@ -97,12 +104,25 @@ impl Mesh {
             endpoints,
             stats: NocStats::new(),
             cycle: 0,
+            tracer: Tracer::disabled(),
         })
     }
 
     /// The mesh configuration.
     pub fn config(&self) -> &MeshConfig {
         &self.config
+    }
+
+    /// Installs a tracer; packet inject/eject events are emitted through
+    /// it from now on. The default tracer is disabled (zero overhead
+    /// beyond one branch per event site).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer currently installed.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current simulation cycle.
@@ -191,6 +211,11 @@ impl Mesh {
         let i = self.tile_index(src);
         self.endpoints[i][plane.index()].inject.extend(flits);
         self.stats.plane_mut(plane).packets_injected += 1;
+        self.tracer.emit(self.cycle, trace_coord(src), || {
+            TraceEvent::NocPacketInject {
+                plane: plane.index(),
+            }
+        });
         Ok(())
     }
 
@@ -280,10 +305,8 @@ impl Mesh {
         for ti in 0..n {
             for plane in Plane::ALL {
                 let ep = &self.endpoints[ti][plane.index()];
-                local_free[ti][plane.index()] = self
-                    .config
-                    .eject_queue_depth
-                    .saturating_sub(ep.eject.len());
+                local_free[ti][plane.index()] =
+                    self.config.eject_queue_depth.saturating_sub(ep.eject.len());
             }
         }
 
@@ -299,9 +322,7 @@ impl Mesh {
                         local_ref[ti][plane.index()]
                     } else {
                         match out.step(coord) {
-                            Some(nc)
-                                if (nc.x as usize) < cols && (nc.y as usize) < rows =>
-                            {
+                            Some(nc) if (nc.x as usize) < cols && (nc.y as usize) < rows => {
                                 let ni = nc.y as usize * cols + nc.x as usize;
                                 free_ref[ni][plane.index()][out.opposite().index()]
                             }
@@ -323,8 +344,7 @@ impl Mesh {
                     }
                 } else if let Some(nc) = t.out_port.step(self.routers[ti].coord()) {
                     let ni = nc.y as usize * cols + nc.x as usize;
-                    let slot =
-                        &mut free[ni][t.plane.index()][t.out_port.opposite().index()];
+                    let slot = &mut free[ni][t.plane.index()][t.out_port.opposite().index()];
                     *slot = slot.saturating_sub(1);
                 }
             }
@@ -341,10 +361,14 @@ impl Mesh {
                 if let Some(pkt) = ep.reasm.push(t.flit) {
                     debug_assert!(is_tail);
                     let latency = (self.cycle + 1).saturating_sub(inject_cycle);
-                    let ps = self.stats.plane_mut(plane);
-                    ps.packets_delivered += 1;
-                    ps.total_latency += latency;
-                    ps.max_latency = ps.max_latency.max(latency);
+                    self.stats.plane_mut(plane).record_delivery(latency);
+                    let dest = self.routers[ti].coord();
+                    self.tracer.emit(self.cycle + 1, trace_coord(dest), || {
+                        TraceEvent::NocPacketEject {
+                            plane: plane.index(),
+                            latency,
+                        }
+                    });
                     ep.eject.push_back(pkt);
                 }
             } else {
@@ -442,7 +466,13 @@ mod tests {
     fn planes_are_independent() {
         let mut m = mesh3x3();
         let mut a = pkt((0, 0), (2, 0), vec![1]);
-        a = Packet::new(a.src(), a.dest(), Plane::DmaReq, MsgKind::DmaLoadReq, vec![1]);
+        a = Packet::new(
+            a.src(),
+            a.dest(),
+            Plane::DmaReq,
+            MsgKind::DmaLoadReq,
+            vec![1],
+        );
         let b = pkt((0, 0), (2, 0), vec![2]);
         m.inject(a).unwrap();
         m.inject(b).unwrap();
@@ -461,7 +491,8 @@ mod tests {
                 if (x, y) == dst {
                     continue;
                 }
-                m.inject(pkt((x, y), dst, vec![x as u64, y as u64])).unwrap();
+                m.inject(pkt((x, y), dst, vec![x as u64, y as u64]))
+                    .unwrap();
                 expected += 1;
             }
         }
@@ -536,6 +567,47 @@ mod tests {
         m.inject(pkt((0, 0), (2, 0), vec![])).unwrap(); // 2 hops, 1 flit
         m.run_until_idle(100);
         assert_eq!(m.stats().plane(Plane::DmaRsp).flit_hops, 2);
+    }
+
+    #[test]
+    fn tracer_sees_inject_and_eject() {
+        use esp4ml_trace::{TraceEvent, Tracer};
+        let mut m = mesh3x3();
+        let tracer = Tracer::ring_buffer_with_capacity(64);
+        m.set_tracer(tracer.clone());
+        m.inject(pkt((0, 0), (2, 1), vec![1, 2])).unwrap();
+        m.run_until_idle(1000);
+        let events = tracer.drain();
+        let injects: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::NocPacketInject { .. }))
+            .collect();
+        let ejects: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::NocPacketEject { .. }))
+            .collect();
+        assert_eq!(injects.len(), 1);
+        assert_eq!(ejects.len(), 1);
+        assert_eq!(injects[0].source, esp4ml_trace::TileCoord::new(0, 0));
+        assert_eq!(ejects[0].source, esp4ml_trace::TileCoord::new(2, 1));
+        // The eject event's latency matches the stats the mesh recorded.
+        if let TraceEvent::NocPacketEject { plane, latency } = ejects[0].event {
+            assert_eq!(plane, Plane::DmaRsp.index());
+            assert_eq!(latency, m.stats().plane(Plane::DmaRsp).max_latency);
+            assert!(ejects[0].cycle >= injects[0].cycle + latency.min(ejects[0].cycle));
+        }
+    }
+
+    #[test]
+    fn min_latency_tracked_on_delivery() {
+        let mut m = mesh3x3();
+        m.inject(pkt((0, 0), (2, 2), vec![])).unwrap(); // 4 hops
+        m.inject(pkt((1, 1), (1, 2), vec![])).unwrap(); // 1 hop
+        m.run_until_idle(1000);
+        let ps = m.stats().plane(Plane::DmaRsp);
+        assert_eq!(ps.packets_delivered, 2);
+        assert!(ps.min_latency > 0);
+        assert!(ps.min_latency < ps.max_latency);
     }
 
     #[test]

@@ -95,13 +95,7 @@ impl Packet {
     ///
     /// An empty payload is permitted for signalling messages such as
     /// [`MsgKind::Irq`]; such packets still occupy one (head/tail) flit.
-    pub fn new(
-        src: Coord,
-        dest: Coord,
-        plane: Plane,
-        kind: MsgKind,
-        payload: Vec<u64>,
-    ) -> Self {
+    pub fn new(src: Coord, dest: Coord, plane: Plane, kind: MsgKind, payload: Vec<u64>) -> Self {
         Packet {
             src,
             dest,

@@ -24,7 +24,13 @@ pub enum Port {
 
 impl Port {
     /// All ports in index order.
-    pub const ALL: [Port; 5] = [Port::North, Port::South, Port::East, Port::West, Port::Local];
+    pub const ALL: [Port; 5] = [
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::Local,
+    ];
 
     /// Number of router ports.
     pub const COUNT: usize = 5;
@@ -242,9 +248,7 @@ impl Router {
                         }
                         let q = &pr.inputs[cand.index()];
                         if let Some(f) = q.front() {
-                            if f.kind.is_head()
-                                && Self::route_port(&self.table, f.dest) == out
-                            {
+                            if f.kind.is_head() && Self::route_port(&self.table, f.dest) == out {
                                 chosen = Some(cand);
                                 break;
                             }
@@ -330,7 +334,11 @@ mod tests {
     #[test]
     fn select_routes_flit_east() {
         let mut r = Router::new(Coord::new(0, 0), 3, 3, RouterConfig::default());
-        r.push_input(Plane::DmaReq, Port::Local, flit(Coord::new(2, 0), FlitKind::HeadTail));
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(2, 0), FlitKind::HeadTail),
+        );
         let t = r.select(|_, _| 4);
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].out_port, Port::East);
@@ -339,7 +347,11 @@ mod tests {
     #[test]
     fn select_respects_backpressure() {
         let mut r = Router::new(Coord::new(0, 0), 3, 3, RouterConfig::default());
-        r.push_input(Plane::DmaReq, Port::Local, flit(Coord::new(2, 0), FlitKind::HeadTail));
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(2, 0), FlitKind::HeadTail),
+        );
         let t = r.select(|_, _| 0);
         assert!(t.is_empty());
         assert_eq!(r.occupancy(Plane::DmaReq, Port::Local), 1);
@@ -349,9 +361,21 @@ mod tests {
     fn wormhole_lock_prevents_interleaving() {
         let mut r = Router::new(Coord::new(0, 0), 3, 3, RouterConfig::default());
         // Packet A (2 flits) from Local, packet B (1 flit) from North; both go East.
-        r.push_input(Plane::DmaReq, Port::Local, flit(Coord::new(2, 0), FlitKind::Head));
-        r.push_input(Plane::DmaReq, Port::Local, flit(Coord::new(2, 0), FlitKind::Tail));
-        r.push_input(Plane::DmaReq, Port::North, flit(Coord::new(1, 0), FlitKind::HeadTail));
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(2, 0), FlitKind::Head),
+        );
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(2, 0), FlitKind::Tail),
+        );
+        r.push_input(
+            Plane::DmaReq,
+            Port::North,
+            flit(Coord::new(1, 0), FlitKind::HeadTail),
+        );
         // Cycle 1: some head wins the East output.
         let t1 = r.select(|_, _| 4);
         let winner_src_kind = t1
@@ -379,9 +403,17 @@ mod tests {
                 input_queue_depth: 1,
             },
         );
-        r.push_input(Plane::DmaReq, Port::Local, flit(Coord::new(1, 0), FlitKind::HeadTail));
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(1, 0), FlitKind::HeadTail),
+        );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            r.push_input(Plane::DmaReq, Port::Local, flit(Coord::new(1, 0), FlitKind::HeadTail));
+            r.push_input(
+                Plane::DmaReq,
+                Port::Local,
+                flit(Coord::new(1, 0), FlitKind::HeadTail),
+            );
         }));
         assert!(result.is_err());
     }

@@ -2,6 +2,7 @@
 
 use crate::Plane;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Traffic counters for one NoC plane.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -17,6 +18,9 @@ pub struct PlaneStats {
     pub total_latency: u64,
     /// Worst-case packet latency observed.
     pub max_latency: u64,
+    /// Best-case packet latency observed (0 until a packet is delivered).
+    #[serde(default)]
+    pub min_latency: u64,
 }
 
 impl PlaneStats {
@@ -26,6 +30,29 @@ impl PlaneStats {
             0.0
         } else {
             self.total_latency as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Records one delivered packet's end-to-end latency, maintaining the
+    /// sum and the min/max envelope.
+    pub(crate) fn record_delivery(&mut self, latency: u64) {
+        self.packets_delivered += 1;
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+        self.min_latency = if self.packets_delivered == 1 {
+            latency
+        } else {
+            self.min_latency.min(latency)
+        };
+    }
+
+    /// Average flit-hops per cycle on this plane — a proxy for link
+    /// utilization (0.0 when `cycles` is zero).
+    pub fn utilization(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.flit_hops as f64 / cycles as f64
         }
     }
 }
@@ -68,6 +95,44 @@ impl NocStats {
     }
 }
 
+impl fmt::Display for NocStats {
+    /// Renders a per-plane summary table (injected/delivered packets,
+    /// flit-hops, latency envelope, link utilization) plus totals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "NoC traffic over {} cycles ({} packets, {} flit-hops)",
+            self.cycles,
+            self.total_delivered(),
+            self.total_flit_hops()
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>9} {:>10} {:>10} {:>8} {:>6} {:>6} {:>8}",
+            "plane", "injected", "delivered", "flit-hops", "avg-lat", "min", "max", "util"
+        )?;
+        for plane in Plane::ALL {
+            let p = self.plane(plane);
+            if p.packets_injected == 0 && p.packets_delivered == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<8} {:>9} {:>10} {:>10} {:>8.1} {:>6} {:>6} {:>8.4}",
+                plane.to_string(),
+                p.packets_injected,
+                p.packets_delivered,
+                p.flit_hops,
+                p.avg_latency(),
+                p.min_latency,
+                p.max_latency,
+                p.utilization(self.cycles),
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +151,39 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.avg_latency(), 5.0);
+    }
+
+    #[test]
+    fn delivery_tracks_latency_envelope() {
+        let mut s = PlaneStats::default();
+        s.record_delivery(9);
+        s.record_delivery(3);
+        s.record_delivery(5);
+        assert_eq!(s.packets_delivered, 3);
+        assert_eq!(s.min_latency, 3);
+        assert_eq!(s.max_latency, 9);
+        assert_eq!(s.total_latency, 17);
+    }
+
+    #[test]
+    fn utilization_is_hops_per_cycle() {
+        let s = PlaneStats {
+            flit_hops: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.utilization(100), 0.5);
+        assert_eq!(s.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn display_lists_active_planes_only() {
+        let mut s = NocStats::new();
+        s.cycles = 10;
+        s.plane_mut(Plane::DmaRsp).packets_injected = 2;
+        s.plane_mut(Plane::DmaRsp).record_delivery(4);
+        let text = s.to_string();
+        assert!(text.contains("dma-rsp"), "{text}");
+        assert!(!text.contains("coh-req"), "{text}");
     }
 
     #[test]

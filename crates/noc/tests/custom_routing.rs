@@ -31,7 +31,9 @@ fn detour_route_delivers_around_faulty_link() {
     ))
     .expect("inject");
     mesh.run_until_idle(1000);
-    let pkt = mesh.eject(dest, Plane::DmaRsp).expect("delivered via detour");
+    let pkt = mesh
+        .eject(dest, Plane::DmaRsp)
+        .expect("delivered via detour");
     assert_eq!(pkt.payload(), &[1, 2, 3]);
     // The detour takes 4 hops instead of XY's 2, for a 4-flit packet
     // (head + 3 payload words).

@@ -70,11 +70,11 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(RuntimeError::UnknownDevice {
-            name: "nv".into()
-        }
-        .to_string()
-        .contains("nv"));
-        assert!(RuntimeError::Timeout { cycles: 5 }.to_string().contains('5'));
+        assert!(RuntimeError::UnknownDevice { name: "nv".into() }
+            .to_string()
+            .contains("nv"));
+        assert!(RuntimeError::Timeout { cycles: 5 }
+            .to_string()
+            .contains('5'));
     }
 }

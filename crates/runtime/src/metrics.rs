@@ -26,10 +26,7 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Throughput in frames per second.
     pub fn frames_per_second(&self) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
-        }
-        self.frames as f64 / (self.cycles as f64 / self.clock_hz)
+        esp4ml_trace::frames_per_second(self.frames, self.cycles, self.clock_hz)
     }
 
     /// Energy efficiency in frames per joule at the given average power.

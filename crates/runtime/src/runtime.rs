@@ -4,6 +4,7 @@ use crate::{Dataflow, DeviceInfo, DeviceRegistry, ExecMode, RunMetrics, RuntimeE
 use esp4ml_mem::{ContigAlloc, ContigHandle};
 use esp4ml_noc::Coord;
 use esp4ml_soc::{AccelConfig, Soc};
+use esp4ml_trace::{CounterRegistry, TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Driver/syscall overhead charged per accelerator invocation, in SoC
@@ -71,7 +72,8 @@ impl AppBuffers {
         let k = self.last_width;
         let (j, local) = (f % k, f / k);
         let sub = Self::sub_region_words(self.frames, k, self.out_words);
-        self.handle.base + self.region_offsets[self.region_offsets.len() - 1]
+        self.handle.base
+            + self.region_offsets[self.region_offsets.len() - 1]
             + j * sub
             + local * self.out_words
     }
@@ -91,9 +93,9 @@ impl Plan {
         for spec in &dataflow.stages {
             let mut instances = Vec::with_capacity(spec.width());
             for name in &spec.devices {
-                let info = registry.lookup(name).ok_or_else(|| {
-                    RuntimeError::UnknownDevice { name: name.clone() }
-                })?;
+                let info = registry
+                    .lookup(name)
+                    .ok_or_else(|| RuntimeError::UnknownDevice { name: name.clone() })?;
                 instances.push(info);
             }
             // All instances of a stage must be interchangeable.
@@ -133,6 +135,8 @@ pub struct EspRuntime {
     alloc: ContigAlloc,
     registry: DeviceRegistry,
     ioctl_cycles: u64,
+    tracer: Tracer,
+    counters: CounterRegistry,
 }
 
 impl EspRuntime {
@@ -152,7 +156,23 @@ impl EspRuntime {
             alloc,
             registry,
             ioctl_cycles: DEFAULT_IOCTL_CYCLES,
+            tracer: Tracer::disabled(),
+            counters: CounterRegistry::new(),
         })
+    }
+
+    /// Installs a trace sink handle on the runtime and the whole SoC
+    /// underneath it (mesh, accelerator and memory tiles).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.soc.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Named counters accumulated across every [`EspRuntime::esp_run`]:
+    /// the same deltas that each run's [`RunMetrics`] reports, summed
+    /// behind the generic snapshot/diff API.
+    pub fn counters(&self) -> &CounterRegistry {
+        &self.counters
     }
 
     /// The device registry.
@@ -234,11 +254,8 @@ impl EspRuntime {
         // space (identity offsets within the buffer).
         for stage in &plan.stages {
             for info in stage {
-                self.soc.map_contiguous(
-                    info.coord,
-                    0,
-                    handle.base + handle.len,
-                )?;
+                self.soc
+                    .map_contiguous(info.coord, 0, handle.base + handle.len)?;
             }
         }
         Ok(AppBuffers {
@@ -308,7 +325,7 @@ impl EspRuntime {
         };
 
         let stats1 = self.soc.stats();
-        Ok(RunMetrics {
+        let metrics = RunMetrics {
             frames: buf.frames,
             cycles: self.soc.cycle() - start_cycle,
             dram_reads: stats1.dram_word_reads - stats0.dram_word_reads,
@@ -318,7 +335,15 @@ impl EspRuntime {
             noc_flit_hops: self.soc.noc_stats().total_flit_hops() - hops0,
             invocations,
             clock_hz: self.soc.clock_hz(),
-        })
+        };
+        self.counters.add("runtime.frames", metrics.frames);
+        self.counters
+            .add("runtime.invocations", metrics.invocations);
+        self.counters.add("soc.cycles", metrics.cycles);
+        self.counters.add("soc.dram_reads", metrics.dram_reads);
+        self.counters.add("soc.dram_writes", metrics.dram_writes);
+        self.counters.add("noc.flit_hops", metrics.noc_flit_hops);
+        Ok(metrics)
     }
 
     /// Source address of stage `s`, instance `j`, frame `f` in DMA modes.
@@ -351,8 +376,24 @@ impl EspRuntime {
         let cfg = AccelConfig::dma_to_dma(src, dst, 1);
         self.soc.configure_accel(coord, &cfg)?;
         self.soc.start_accel(coord)?;
-        self.soc.run_cycles(self.ioctl_cycles);
+        self.ioctl(coord);
         Ok(())
+    }
+
+    /// Charges the per-invocation driver overhead, tracing the ioctl as
+    /// issued from the primary processor tile.
+    fn ioctl(&mut self, coord: Coord) {
+        let proc = self.soc.primary_proc();
+        self.tracer
+            .emit(self.soc.cycle(), TileCoord::new(proc.x, proc.y), || {
+                let device = self
+                    .soc
+                    .accel(coord)
+                    .map(|t| t.kernel_name().to_string())
+                    .unwrap_or_default();
+                TraceEvent::IoctlIssue { device }
+            });
+        self.soc.run_cycles(self.ioctl_cycles);
     }
 
     fn run_base(&mut self, plan: &Plan, buf: &AppBuffers) -> Result<u64, RuntimeError> {
@@ -462,8 +503,7 @@ impl EspRuntime {
                 if n == 0 {
                     continue;
                 }
-                let sub_in =
-                    AppBuffers::sub_region_words(frames, k, buf.stage_in_words[s]);
+                let sub_in = AppBuffers::sub_region_words(frames, k, buf.stage_in_words[s]);
                 let cfg = if depth == 1 {
                     // Degenerate single-stage dataflow: plain DMA.
                     let src = buf.handle.base + buf.region_offsets[0] + j as u64 * sub_in;
@@ -479,11 +519,8 @@ impl EspRuntime {
                         prev.iter().map(|i| i.coord).collect()
                     };
                     if s == depth - 1 {
-                        let sub_out =
-                            AppBuffers::sub_region_words(frames, k, buf.out_words);
-                        let dst = buf.handle.base
-                            + buf.region_offsets[depth]
-                            + j as u64 * sub_out;
+                        let sub_out = AppBuffers::sub_region_words(frames, k, buf.out_words);
+                        let dst = buf.handle.base + buf.region_offsets[depth] + j as u64 * sub_out;
                         AccelConfig::p2p_to_dma(sources, dst, n)
                     } else {
                         AccelConfig::p2p_to_p2p(sources, n)
@@ -491,15 +528,14 @@ impl EspRuntime {
                 };
                 self.soc.configure_accel(info.coord, &cfg)?;
                 self.soc.start_accel(info.coord)?;
-                self.soc.run_cycles(self.ioctl_cycles);
+                self.ioctl(info.coord);
                 invocations += 1;
                 expected_irqs.push(info.coord);
             }
         }
         // Hardware synchronizes the pipeline; wait for every instance.
         let deadline = self.soc.cycle() + TIMEOUT_CYCLES;
-        let mut remaining: std::collections::HashSet<Coord> =
-            expected_irqs.into_iter().collect();
+        let mut remaining: std::collections::HashSet<Coord> = expected_irqs.into_iter().collect();
         while !remaining.is_empty() {
             for coord in self.soc.take_irqs() {
                 remaining.remove(&coord);

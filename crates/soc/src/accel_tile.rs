@@ -13,12 +13,13 @@ use crate::mem_map::MemMap;
 use crate::mem_tile::MAX_DMA_PACKET_WORDS;
 use crate::regs::{
     P2pConfig, RegisterFile, CMD_START, FLAG_DOUBLE_BUFFER, REG_CMD, REG_CONF_OUT_SIZE,
-    REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_N_FRAMES, REG_P2P,
-    REG_SRC_OFFSET, STATUS_DONE, STATUS_RUNNING,
+    REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_N_FRAMES, REG_P2P, REG_SRC_OFFSET,
+    STATUS_DONE, STATUS_RUNNING,
 };
 use crate::stats::AccelStats;
 use esp4ml_mem::{PageTable, Tlb};
 use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -50,6 +51,23 @@ pub enum AccelState {
     StoreWaitAck,
     /// Batch finished; status register reads done.
     Done,
+}
+
+impl AccelState {
+    /// Stable lowercase phase name (used in trace events).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccelState::Idle => "idle",
+            AccelState::LoadIssue => "load_issue",
+            AccelState::LoadWait => "load_wait",
+            AccelState::Compute => "compute",
+            AccelState::StoreIssue => "store_issue",
+            AccelState::StoreWaitReq => "store_wait_req",
+            AccelState::StoreSend => "store_send",
+            AccelState::StoreWaitAck => "store_wait_ack",
+            AccelState::Done => "done",
+        }
+    }
 }
 
 /// Communication mode of one side of an invocation, as reported by
@@ -161,8 +179,16 @@ impl AccelConfig {
     /// The `(load, store)` communication modes this configuration selects.
     pub fn comm_modes(&self) -> (CommMode, CommMode) {
         (
-            if self.p2p.load_enabled { CommMode::P2p } else { CommMode::Dma },
-            if self.p2p.store_enabled { CommMode::P2p } else { CommMode::Dma },
+            if self.p2p.load_enabled {
+                CommMode::P2p
+            } else {
+                CommMode::Dma
+            },
+            if self.p2p.store_enabled {
+                CommMode::P2p
+            } else {
+                CommMode::Dma
+            },
         )
     }
 }
@@ -237,6 +263,10 @@ pub struct AccelTile {
     stall: u64,
 
     stats: AccelStats,
+    tracer: Tracer,
+    /// Mesh cycle latched at the top of [`AccelTile::tick`], so FSM
+    /// helpers can stamp trace events without threading the mesh through.
+    cycle: u64,
 }
 
 impl AccelTile {
@@ -283,7 +313,35 @@ impl AccelTile {
             output_buffer: Vec::new(),
             stall: 0,
             stats: AccelStats::default(),
+            tracer: Tracer::disabled(),
+            cycle: 0,
         }
+    }
+
+    /// Installs a tracer for phase-change, TLB-miss, p2p and
+    /// frame-completion events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn trace_coord(&self) -> TileCoord {
+        TileCoord::new(self.coord.x, self.coord.y)
+    }
+
+    /// Moves the FSM to `to`, emitting an [`TraceEvent::AccelPhaseChange`]
+    /// when the phase actually changes.
+    fn set_state(&mut self, to: AccelState) {
+        if self.state != to {
+            let from = self.state.name();
+            self.tracer.emit(self.cycle, self.trace_coord(), || {
+                TraceEvent::AccelPhaseChange {
+                    accel: self.kernel.name().to_string(),
+                    from,
+                    to: to.name(),
+                }
+            });
+        }
+        self.state = to;
     }
 
     /// The tile coordinate (also readable through `LOCATION_REG`).
@@ -335,6 +393,7 @@ impl AccelTile {
 
     /// Advances the tile by one cycle.
     pub fn tick(&mut self, mesh: &mut Mesh) {
+        self.cycle = mesh.cycle();
         self.drain_control(mesh);
         self.drain_dma_req(mesh);
         self.drain_dma_rsp(mesh);
@@ -412,10 +471,7 @@ impl AccelTile {
                         };
                         self.rx_counts[half] += data.len() as u64;
                     } else {
-                        debug_assert!(
-                            false,
-                            "DmaData offset {offset} outside the receive buffer"
-                        );
+                        debug_assert!(false, "DmaData offset {offset} outside the receive buffer");
                     }
                 }
                 MsgKind::DmaStoreAck => {
@@ -443,8 +499,7 @@ impl AccelTile {
             self.dst_base = self.regs.read(REG_DST_OFFSET);
             self.n_frames = self.regs.read(REG_N_FRAMES).max(1);
             self.p2p = P2pConfig::from_reg(self.regs.read(REG_P2P));
-            self.dbuf = (self.regs.read(REG_FLAGS) & FLAG_DOUBLE_BUFFER) != 0
-                && self.n_frames > 1;
+            self.dbuf = (self.regs.read(REG_FLAGS) & FLAG_DOUBLE_BUFFER) != 0 && self.n_frames > 1;
             self.dvfs_divider = self.regs.read(REG_DVFS).max(1);
             self.frame_idx = 0;
             self.loads_issued = 0;
@@ -453,7 +508,7 @@ impl AccelTile {
             self.rx_buf.clear();
             self.rx_buf.resize((halves * self.in_words) as usize, 0);
             self.regs.set_status(STATUS_RUNNING);
-            self.state = AccelState::LoadIssue;
+            self.set_state(AccelState::LoadIssue);
         }
     }
 
@@ -462,7 +517,11 @@ impl AccelTile {
             AccelState::Idle | AccelState::Done => {}
             AccelState::LoadIssue => self.issue_loads(),
             AccelState::LoadWait => {
-                let half = if self.dbuf { (self.frame_idx % 2) as usize } else { 0 };
+                let half = if self.dbuf {
+                    (self.frame_idx % 2) as usize
+                } else {
+                    0
+                };
                 if self.rx_counts[half] >= self.rx_expect {
                     self.run_kernel();
                 } else {
@@ -479,7 +538,7 @@ impl AccelTile {
                     self.compute_countdown = self.compute_countdown.saturating_sub(1);
                 }
                 if self.compute_countdown == 0 {
-                    self.state = AccelState::StoreIssue;
+                    self.set_state(AccelState::StoreIssue);
                 }
             }
             AccelState::StoreIssue => self.issue_store(),
@@ -491,10 +550,15 @@ impl AccelTile {
                         self.out_words
                     );
                     let data = std::mem::take(&mut self.output_buffer);
+                    let words = data.len() as u64;
+                    self.tracer
+                        .emit(self.cycle, self.trace_coord(), || TraceEvent::P2pTransfer {
+                            dest: TileCoord::new(requester.x, requester.y),
+                            words,
+                        });
                     for (k, chunk) in data.chunks(MAX_DMA_PACKET_WORDS).enumerate() {
                         self.stats.p2p_words_sent += chunk.len() as u64;
-                        let mut payload =
-                            vec![dest_base + (k * MAX_DMA_PACKET_WORDS) as u64];
+                        let mut payload = vec![dest_base + (k * MAX_DMA_PACKET_WORDS) as u64];
                         payload.extend_from_slice(chunk);
                         self.tx_queue.push_back(Packet::new(
                             self.coord,
@@ -504,7 +568,7 @@ impl AccelTile {
                             payload,
                         ));
                     }
-                    self.state = AccelState::StoreSend;
+                    self.set_state(AccelState::StoreSend);
                 } else {
                     self.stats.store_cycles += 1;
                 }
@@ -546,12 +610,16 @@ impl AccelTile {
             self.issue_load_for(self.frame_idx);
             self.loads_issued = self.frame_idx + 1;
         }
-        self.state = AccelState::LoadWait;
+        self.set_state(AccelState::LoadWait);
     }
 
     /// Issues the load requests for one frame into its PLM half.
     fn issue_load_for(&mut self, frame: u64) {
-        let dest_base = if self.dbuf { (frame % 2) * self.in_words } else { 0 };
+        let dest_base = if self.dbuf {
+            (frame % 2) * self.in_words
+        } else {
+            0
+        };
         if self.p2p.load_enabled {
             let sources = &self.p2p.sources;
             let src = sources[(frame as usize) % sources.len()];
@@ -569,13 +637,16 @@ impl AccelTile {
             .page_table
             .as_ref()
             .expect("page table installed before DMA");
-        let (_, tlb_lat) = self
-            .tlb
-            .translate(table, va)
-            .expect("mapped load address");
+        let (_, tlb_lat) = self.tlb.translate(table, va).expect("mapped load address");
         let chunks = table
             .translate_range(va, self.in_words)
             .expect("mapped load range");
+        if tlb_lat > 0 {
+            self.tracer
+                .emit(self.cycle, self.trace_coord(), || TraceEvent::TlbMiss {
+                    penalty: tlb_lat,
+                });
+        }
         self.stall += tlb_lat + DMA_SETUP_CYCLES;
         let mut dest_offset = dest_base;
         for (paddr, len) in chunks {
@@ -622,12 +693,12 @@ impl AccelTile {
         self.output_buffer = pack_values(&out.values, bits);
         debug_assert_eq!(self.output_buffer.len() as u64, self.out_words);
         self.compute_countdown = out.cycles.max(1);
-        self.state = AccelState::Compute;
+        self.set_state(AccelState::Compute);
     }
 
     fn issue_store(&mut self) {
         if self.p2p.store_enabled {
-            self.state = AccelState::StoreWaitReq;
+            self.set_state(AccelState::StoreWaitReq);
             return;
         }
         let va = self.dst_base + self.frame_idx * self.out_words;
@@ -635,10 +706,13 @@ impl AccelTile {
             .page_table
             .as_ref()
             .expect("page table installed before DMA");
-        let (_, tlb_lat) = self
-            .tlb
-            .translate(table, va)
-            .expect("mapped store address");
+        let (_, tlb_lat) = self.tlb.translate(table, va).expect("mapped store address");
+        if tlb_lat > 0 {
+            self.tracer
+                .emit(self.cycle, self.trace_coord(), || TraceEvent::TlbMiss {
+                    penalty: tlb_lat,
+                });
+        }
         self.stall += tlb_lat + DMA_SETUP_CYCLES;
         let chunks = table
             .translate_range(va, self.out_words)
@@ -670,15 +744,22 @@ impl AccelTile {
             }
         }
         data.clear();
-        self.state = AccelState::StoreWaitAck;
+        self.set_state(AccelState::StoreWaitAck);
     }
 
     fn finish_frame(&mut self) {
         self.stats.frames_done += 1;
+        let frame = self.frame_idx;
+        self.tracer.emit(self.cycle, self.trace_coord(), || {
+            TraceEvent::FrameComplete {
+                accel: self.kernel.name().to_string(),
+                frame,
+            }
+        });
         self.frame_idx += 1;
         if self.frame_idx >= self.n_frames {
             self.regs.set_status(STATUS_DONE);
-            self.state = AccelState::Done;
+            self.set_state(AccelState::Done);
             self.tx_queue.push_back(Packet::new(
                 self.coord,
                 self.irq_target,
@@ -687,7 +768,7 @@ impl AccelTile {
                 vec![self.coord.to_reg()],
             ));
         } else {
-            self.state = AccelState::LoadIssue;
+            self.set_state(AccelState::LoadIssue);
         }
     }
 }

@@ -252,7 +252,11 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip_other_widths() {
         for bits in [8u32, 16, 32, 64] {
-            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let values: Vec<u64> = (0..7).map(|i| (i * 0x0123_4567) & mask).collect();
             let words = pack_values(&values, bits);
             assert_eq!(unpack_values(&words, 7, bits), values, "width {bits}");

@@ -103,7 +103,10 @@ mod tests {
         let m = MemMap::new(vec![Coord::new(1, 0)], 512, 4096);
         assert_eq!(m.owner(0), (Coord::new(1, 0), 0));
         assert_eq!(m.owner(4095), (Coord::new(1, 0), 4095));
-        assert_eq!(m.split_range(100, 3000), vec![(Coord::new(1, 0), 100, 3000)]);
+        assert_eq!(
+            m.split_range(100, 3000),
+            vec![(Coord::new(1, 0), 100, 3000)]
+        );
         assert_eq!(m.total_words(), 4096);
     }
 
@@ -145,7 +148,11 @@ mod tests {
     fn owner_roundtrip_unique() {
         // Every address maps to exactly one (tile, local) pair, and
         // distinct addresses never collide.
-        let m = MemMap::new(vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)], 8, 64);
+        let m = MemMap::new(
+            vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(2, 0)],
+            8,
+            64,
+        );
         let mut seen = std::collections::BTreeSet::new();
         for addr in 0..m.total_words() {
             let key = m.owner(addr);

@@ -2,6 +2,7 @@
 
 use esp4ml_mem::{CacheConfig, CacheStats, CachedDram, DramConfig, DramStats};
 use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use esp4ml_trace::{DmaKind, TileCoord, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// Maximum payload words per DMA data packet on the NoC. Long bursts are
@@ -32,6 +33,7 @@ pub struct MemTile {
     queue: VecDeque<Packet>,
     current: Option<Pending>,
     outgoing: VecDeque<Packet>,
+    tracer: Tracer,
 }
 
 impl MemTile {
@@ -44,6 +46,7 @@ impl MemTile {
             queue: VecDeque::new(),
             current: None,
             outgoing: VecDeque::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -56,7 +59,13 @@ impl MemTile {
             queue: VecDeque::new(),
             current: None,
             outgoing: VecDeque::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the trace sink handle shared with the rest of the SoC.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// LLC counters, when this tile hosts an LLC partition.
@@ -109,7 +118,7 @@ impl MemTile {
         // its responses are held for the modelled latency.
         if self.current.is_none() {
             if let Some(request) = self.queue.pop_front() {
-                let (busy, responses) = self.service(request);
+                let (busy, responses) = self.service(request, mesh.cycle());
                 self.current = Some(Pending { busy, responses });
             }
         }
@@ -134,18 +143,23 @@ impl MemTile {
         }
     }
 
-    fn service(&mut self, request: Packet) -> (u64, Vec<Packet>) {
+    fn service(&mut self, request: Packet, cycle: u64) -> (u64, Vec<Packet>) {
         let requester = request.src();
+        let coord = TileCoord::new(self.coord.x, self.coord.y);
         match request.kind() {
             MsgKind::DmaLoadReq => {
                 let addr = request.payload()[0];
                 let len = request.payload()[1];
                 let dest_offset = request.payload().get(2).copied().unwrap_or(0);
                 let (data, latency) = self.dram.read_burst(addr, len);
+                self.tracer.emit(cycle, coord, || TraceEvent::DmaBurst {
+                    kind: DmaKind::Read,
+                    words: len,
+                    latency,
+                });
                 let mut responses = Vec::new();
                 for (k, chunk) in data.chunks(MAX_DMA_PACKET_WORDS).enumerate() {
-                    let mut payload =
-                        vec![dest_offset + (k * MAX_DMA_PACKET_WORDS) as u64];
+                    let mut payload = vec![dest_offset + (k * MAX_DMA_PACKET_WORDS) as u64];
                     payload.extend_from_slice(chunk);
                     responses.push(Packet::new(
                         self.coord,
@@ -162,6 +176,11 @@ impl MemTile {
                 let len = request.payload()[1] as usize;
                 let data = &request.payload()[2..2 + len];
                 let latency = self.dram.write_burst(addr, data);
+                self.tracer.emit(cycle, coord, || TraceEvent::DmaBurst {
+                    kind: DmaKind::Write,
+                    words: len as u64,
+                    latency,
+                });
                 let ack = Packet::new(
                     self.coord,
                     requester,

@@ -147,7 +147,10 @@ impl P2pConfig {
             let n = ((reg >> 8) & 0x7) as usize + 1;
             for k in 0..n.min(Self::MAX_SOURCES) {
                 let field = (reg >> (16 + 12 * k)) & 0xfff;
-                sources.push(Coord::new(((field >> 6) & 0x3f) as u8, (field & 0x3f) as u8));
+                sources.push(Coord::new(
+                    ((field >> 6) & 0x3f) as u8,
+                    (field & 0x3f) as u8,
+                ));
             }
         }
         P2pConfig {
@@ -201,8 +204,9 @@ mod tests {
     #[test]
     fn p2p_roundtrip_all_source_counts() {
         for n in 1..=4usize {
-            let sources: Vec<Coord> =
-                (0..n).map(|k| Coord::new(k as u8 + 1, 2 * k as u8)).collect();
+            let sources: Vec<Coord> = (0..n)
+                .map(|k| Coord::new(k as u8 + 1, 2 * k as u8))
+                .collect();
             let cfg = P2pConfig::load_and_store(sources);
             assert_eq!(P2pConfig::from_reg(cfg.to_reg()), cfg);
         }

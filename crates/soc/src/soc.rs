@@ -11,6 +11,7 @@ use crate::SocError;
 use esp4ml_hls::Resources;
 use esp4ml_mem::{CacheConfig, CacheStats, DramConfig, PageTable};
 use esp4ml_noc::{Coord, Mesh, MeshConfig, NocStats};
+use esp4ml_trace::{CounterRegistry, CounterSeries, Tracer};
 use std::collections::HashMap;
 
 /// What occupies a grid position.
@@ -129,7 +130,11 @@ impl SocBuilder {
         // All memory tiles must expose the same capacity so the
         // block-interleaved address map stays uniform.
         let tile_words = self.mems[0].1.size_words;
-        if self.mems.iter().any(|(_, cfg, _)| cfg.size_words != tile_words) {
+        if self
+            .mems
+            .iter()
+            .any(|(_, cfg, _)| cfg.size_words != tile_words)
+        {
             return Err(SocError::BadConfig(
                 "memory tiles must have equal DRAM capacity for interleaving".into(),
             ));
@@ -187,6 +192,8 @@ impl SocBuilder {
             mem_map,
             clock_hz: self.clock_mhz * 1.0e6,
             primary_proc,
+            tracer: Tracer::disabled(),
+            series: None,
         })
     }
 }
@@ -205,6 +212,8 @@ pub struct Soc {
     mem_map: MemMap,
     clock_hz: f64,
     primary_proc: Coord,
+    tracer: Tracer,
+    series: Option<CounterSeries>,
 }
 
 impl Soc {
@@ -232,7 +241,9 @@ impl Soc {
 
     /// The kind of tile at `coord` ([`TileKind::Empty`] if unoccupied).
     pub fn tile_kind(&self, coord: Coord) -> TileKind {
-        self.tile_map.get(&coord).map_or(TileKind::Empty, |&(k, _)| k)
+        self.tile_map
+            .get(&coord)
+            .map_or(TileKind::Empty, |&(k, _)| k)
     }
 
     /// Coordinates of all accelerator tiles, in placement order.
@@ -501,6 +512,14 @@ impl Soc {
             t.tick(&mut self.mesh);
         }
         self.mesh.tick();
+        let cycle = self.mesh.cycle();
+        if self.series.as_ref().is_some_and(|s| s.due(cycle)) {
+            let snap = self.counter_registry().snapshot();
+            self.series
+                .as_mut()
+                .expect("sampling on")
+                .record(cycle, snap);
+        }
     }
 
     /// Runs `n` cycles.
@@ -519,6 +538,55 @@ impl Soc {
         self.cycle() - start
     }
 
+    /// Installs a trace sink handle, distributing clones into the mesh,
+    /// every accelerator tile and every memory tile so all of them emit
+    /// into the same sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mesh.set_tracer(tracer.clone());
+        for a in &mut self.accel_tiles {
+            a.set_tracer(tracer.clone());
+        }
+        for m in &mut self.mem_tiles {
+            m.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// The SoC-wide trace handle (disabled unless [`Soc::set_tracer`] was
+    /// called with an enabled one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Starts sampling the counter registry every `every` cycles into a
+    /// [`CounterSeries`] (see [`Soc::take_counter_series`]).
+    pub fn enable_counter_sampling(&mut self, every: u64) {
+        self.series = Some(CounterSeries::new(every));
+    }
+
+    /// The counter time-series accumulated so far, if sampling is on.
+    pub fn counter_series(&self) -> Option<&CounterSeries> {
+        self.series.as_ref()
+    }
+
+    /// Takes the accumulated counter time-series, stopping sampling.
+    pub fn take_counter_series(&mut self) -> Option<CounterSeries> {
+        self.series.take()
+    }
+
+    /// The aggregate statistics as a named-counter registry — the same
+    /// numbers as [`Soc::stats`] behind the generic snapshot/diff API.
+    pub fn counter_registry(&self) -> CounterRegistry {
+        let stats = self.stats();
+        let mut reg = CounterRegistry::new();
+        reg.set("soc.cycles", stats.cycles);
+        reg.set("soc.dram_reads", stats.dram_word_reads);
+        reg.set("soc.dram_writes", stats.dram_word_writes);
+        reg.set("noc.flit_hops", stats.noc_flit_hops);
+        reg.set("soc.frames", stats.total_frames);
+        reg
+    }
+
     /// NoC traffic statistics.
     pub fn noc_stats(&self) -> &NocStats {
         self.mesh.stats()
@@ -534,7 +602,11 @@ impl Soc {
     pub fn stats(&self) -> SocStats {
         SocStats {
             cycles: self.cycle(),
-            dram_word_reads: self.mem_tiles.iter().map(|m| m.dram_stats().word_reads).sum(),
+            dram_word_reads: self
+                .mem_tiles
+                .iter()
+                .map(|m| m.dram_stats().word_reads)
+                .sum(),
             dram_word_writes: self
                 .mem_tiles
                 .iter()
@@ -648,10 +720,7 @@ mod tests {
         let out = soc.dram_read_values(100, 16, 16).unwrap();
         let expected: Vec<u64> = input.iter().map(|v| v * 2).collect();
         assert_eq!(out, expected);
-        assert_eq!(
-            soc.read_reg(accel, REG_STATUS).unwrap(),
-            STATUS_DONE
-        );
+        assert_eq!(soc.read_reg(accel, REG_STATUS).unwrap(), STATUS_DONE);
     }
 
     #[test]
@@ -724,13 +793,16 @@ mod tests {
             let mut soc = basic_soc();
             let a = Coord::new(0, 1);
             let b = Coord::new(1, 1);
-            soc.dram_write_values(0, &(0..16).collect::<Vec<_>>(), 16).unwrap();
+            soc.dram_write_values(0, &(0..16).collect::<Vec<_>>(), 16)
+                .unwrap();
             soc.map_contiguous(a, 0, 4096).unwrap();
             soc.map_contiguous(b, 0, 4096).unwrap();
-            soc.configure_accel(a, &AccelConfig::dma_to_dma(0, 50, 1)).unwrap();
+            soc.configure_accel(a, &AccelConfig::dma_to_dma(0, 50, 1))
+                .unwrap();
             soc.start_accel(a).unwrap();
             soc.run_until_idle(100_000);
-            soc.configure_accel(b, &AccelConfig::dma_to_dma(50, 100, 1)).unwrap();
+            soc.configure_accel(b, &AccelConfig::dma_to_dma(50, 100, 1))
+                .unwrap();
             soc.start_accel(b).unwrap();
             soc.run_until_idle(100_000);
             soc.stats().dram_accesses()
@@ -739,10 +811,12 @@ mod tests {
             let mut soc = basic_soc();
             let a = Coord::new(0, 1);
             let b = Coord::new(1, 1);
-            soc.dram_write_values(0, &(0..16).collect::<Vec<_>>(), 16).unwrap();
+            soc.dram_write_values(0, &(0..16).collect::<Vec<_>>(), 16)
+                .unwrap();
             soc.map_contiguous(a, 0, 4096).unwrap();
             soc.map_contiguous(b, 0, 4096).unwrap();
-            soc.configure_accel(a, &AccelConfig::dma_to_p2p(0, 1)).unwrap();
+            soc.configure_accel(a, &AccelConfig::dma_to_p2p(0, 1))
+                .unwrap();
             soc.configure_accel(b, &AccelConfig::p2p_to_dma(vec![a], 100, 1))
                 .unwrap();
             soc.start_accel(a).unwrap();
@@ -778,7 +852,8 @@ mod tests {
         for t in [p0, p1, c] {
             soc.map_contiguous(t, 0, 4096).unwrap();
         }
-        soc.configure_accel(p0, &AccelConfig::dma_to_p2p(0, 2)).unwrap();
+        soc.configure_accel(p0, &AccelConfig::dma_to_p2p(0, 2))
+            .unwrap();
         let mut cfg_p1 = AccelConfig::dma_to_p2p(10, 2);
         cfg_p1.src_offset = 10;
         soc.configure_accel(p1, &cfg_p1).unwrap();
@@ -813,9 +888,11 @@ mod tests {
     fn stats_reset() {
         let mut soc = basic_soc();
         let accel = Coord::new(0, 1);
-        soc.dram_write_values(0, &(0..16).collect::<Vec<_>>(), 16).unwrap();
+        soc.dram_write_values(0, &(0..16).collect::<Vec<_>>(), 16)
+            .unwrap();
         soc.map_contiguous(accel, 0, 4096).unwrap();
-        soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 50, 1)).unwrap();
+        soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 50, 1))
+            .unwrap();
         soc.start_accel(accel).unwrap();
         soc.run_until_idle(100_000);
         assert!(soc.stats().dram_accesses() > 0);
@@ -840,10 +917,7 @@ mod multi_mem_tests {
             .processor(Coord::new(0, 0))
             .memory_with(Coord::new(1, 0), small)
             .memory_with(Coord::new(2, 0), small)
-            .accelerator(
-                Coord::new(0, 1),
-                Box::new(ScaleKernel::new("a", 4096, 2)),
-            )
+            .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("a", 4096, 2)))
             .build()
             .expect("valid floorplan")
     }
@@ -941,10 +1015,16 @@ mod dbuf_tests {
         let start = soc.cycle();
         soc.start_accel(accel).unwrap();
         soc.run_until_idle(10_000_000);
-        assert_eq!(soc.read_reg(accel, crate::regs::REG_STATUS).unwrap(), STATUS_DONE);
+        assert_eq!(
+            soc.read_reg(accel, crate::regs::REG_STATUS).unwrap(),
+            STATUS_DONE
+        );
         let mut out = Vec::new();
         for f in 0..frames {
-            out.extend(soc.dram_read_values(4096 + f * 64, values as usize, 16).unwrap());
+            out.extend(
+                soc.dram_read_values(4096 + f * 64, values as usize, 16)
+                    .unwrap(),
+            );
         }
         (out, soc.cycle() - start)
     }
@@ -971,7 +1051,8 @@ mod dbuf_tests {
             let (a, b) = (Coord::new(0, 1), Coord::new(1, 1));
             let frames = 4u64;
             for f in 0..frames {
-                soc.dram_write_values(f * 64, &vec![f + 1; 256], 16).unwrap();
+                soc.dram_write_values(f * 64, &vec![f + 1; 256], 16)
+                    .unwrap();
             }
             soc.map_contiguous(a, 0, 1 << 16).unwrap();
             soc.map_contiguous(b, 0, 1 << 16).unwrap();
@@ -1019,7 +1100,8 @@ mod dvfs_tests {
             .build()
             .unwrap();
         let accel = Coord::new(0, 1);
-        soc.dram_write_values(0, &(0..64).collect::<Vec<_>>(), 16).unwrap();
+        soc.dram_write_values(0, &(0..64).collect::<Vec<_>>(), 16)
+            .unwrap();
         soc.map_contiguous(accel, 0, 4096).unwrap();
         soc.configure_accel(
             accel,

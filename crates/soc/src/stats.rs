@@ -55,10 +55,7 @@ impl SocStats {
     /// caller supplies the number rather than using the per-accelerator
     /// sum).
     pub fn frames_per_second(&self, frames: u64, clock_hz: f64) -> f64 {
-        if self.cycles == 0 {
-            return 0.0;
-        }
-        frames as f64 / (self.cycles as f64 / clock_hz)
+        esp4ml_trace::frames_per_second(frames, self.cycles, clock_hz)
     }
 }
 

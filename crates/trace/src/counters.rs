@@ -1,0 +1,172 @@
+//! Named counters with a snapshot/diff API.
+
+use std::collections::BTreeMap;
+
+/// A registry of named `u64` metrics.
+///
+/// Monotonic counters grow via [`add`](CounterRegistry::add) /
+/// [`incr`](CounterRegistry::incr); gauges are overwritten via
+/// [`set`](CounterRegistry::set). Both live in one namespace —
+/// dotted names by convention (`soc.dram_reads`, `noc.flit_hops`,
+/// `runtime.invocations`) — and are captured together by
+/// [`snapshot`](CounterRegistry::snapshot).
+#[derive(Clone, Debug, Default)]
+pub struct CounterRegistry {
+    values: BTreeMap<String, u64>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        CounterRegistry::default()
+    }
+
+    /// Adds `delta` to a monotonic counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.values.get_mut(name) {
+            *v = v.saturating_add(delta);
+        } else {
+            self.values.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Adds one to a monotonic counter.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Overwrites a gauge.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Current value (zero when the name is unknown).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Removes every counter.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    /// Captures all current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            values: self.values.clone(),
+        }
+    }
+}
+
+/// An immutable point-in-time capture of a [`CounterRegistry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl CounterSnapshot {
+    /// Value at capture time (zero when the name is unknown).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of captured names.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Captured names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Per-name difference `self - earlier` (saturating, union of
+    /// names) — the growth between two snapshots of monotonic counters.
+    pub fn diff(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, &now) in &self.values {
+            values.insert(name.clone(), now.saturating_sub(earlier.get(name)));
+        }
+        for (name, _) in earlier.values.iter() {
+            values.entry(name.clone()).or_insert(0);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Renders the snapshot as a flat JSON object.
+    pub fn to_json(&self) -> serde_json::Value {
+        let map: serde_json::Map = self
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::Value::from(*v)))
+            .collect();
+        serde_json::Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_get() {
+        let mut reg = CounterRegistry::new();
+        reg.incr("a");
+        reg.add("a", 4);
+        reg.set("g", 7);
+        reg.set("g", 3);
+        assert_eq!(reg.get("a"), 5);
+        assert_eq!(reg.get("g"), 3);
+        assert_eq!(reg.get("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_measures_growth() {
+        let mut reg = CounterRegistry::new();
+        reg.add("x", 10);
+        let before = reg.snapshot();
+        reg.add("x", 5);
+        reg.add("y", 2);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.get("x"), 5);
+        assert_eq!(d.get("y"), 2);
+        // Union semantics: names only in the earlier snapshot appear as 0.
+        let empty = CounterRegistry::new().snapshot();
+        let d2 = empty.diff(&before);
+        assert_eq!(d2.get("x"), 0);
+        assert!(d2.names().any(|n| n == "x"));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut reg = CounterRegistry::new();
+        reg.add("soc.dram_reads", u64::MAX);
+        reg.add("noc.flit_hops", 42);
+        let json = reg.snapshot().to_json();
+        let text = serde_json::to_string(&json).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["soc.dram_reads"].as_u64(), Some(u64::MAX));
+        assert_eq!(back["noc.flit_hops"].as_u64(), Some(42));
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed trace events and their timestamps.
+
+use std::fmt;
+
+/// A tile position on the 2D mesh (mirrors `esp4ml_noc::Coord` without
+/// depending on it — the NoC crate depends on *this* crate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileCoord {
+    /// Column.
+    pub x: u8,
+    /// Row.
+    pub y: u8,
+}
+
+impl TileCoord {
+    /// Creates a coordinate.
+    pub fn new(x: u8, y: u8) -> Self {
+        TileCoord { x, y }
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(u8, u8)> for TileCoord {
+    fn from((x, y): (u8, u8)) -> Self {
+        TileCoord { x, y }
+    }
+}
+
+/// Direction of a DRAM burst as seen by a memory tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmaKind {
+    /// DRAM read burst (accelerator load path).
+    Read,
+    /// DRAM write burst (accelerator store path).
+    Write,
+}
+
+impl DmaKind {
+    /// Short lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DmaKind::Read => "read",
+            DmaKind::Write => "write",
+        }
+    }
+}
+
+/// One structured simulator event.
+///
+/// The schema is documented in DESIGN.md; exporters in this crate map
+/// each variant onto Chrome `trace_event` rows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Marks the start of a labelled run; exporters open a new Perfetto
+    /// process for everything until the next `RunStart`.
+    RunStart {
+        /// Human-readable run label (e.g. "fig7 NV&Cl p2p").
+        label: String,
+    },
+    /// An accelerator socket FSM moved between phases.
+    AccelPhaseChange {
+        /// Accelerator instance name.
+        accel: String,
+        /// Phase being left.
+        from: &'static str,
+        /// Phase being entered.
+        to: &'static str,
+    },
+    /// A memory tile serviced a DRAM burst.
+    DmaBurst {
+        /// Read or write.
+        kind: DmaKind,
+        /// Burst length in words.
+        words: u64,
+        /// Modelled DRAM latency in cycles.
+        latency: u64,
+    },
+    /// An accelerator streamed a frame directly to a consumer tile
+    /// (point-to-point, bypassing DRAM).
+    P2pTransfer {
+        /// Consumer tile.
+        dest: TileCoord,
+        /// Payload words sent.
+        words: u64,
+    },
+    /// A packet entered a NoC plane at the source tile.
+    NocPacketInject {
+        /// NoC plane index.
+        plane: usize,
+    },
+    /// A packet was fully ejected at its destination tile.
+    NocPacketEject {
+        /// NoC plane index.
+        plane: usize,
+        /// End-to-end packet latency in cycles.
+        latency: u64,
+    },
+    /// An accelerator TLB lookup missed and paid a refill penalty.
+    TlbMiss {
+        /// Stall cycles charged.
+        penalty: u64,
+    },
+    /// The runtime issued an ioctl-equivalent command to a device.
+    IoctlIssue {
+        /// Device name.
+        device: String,
+    },
+    /// An accelerator finished one frame.
+    FrameComplete {
+        /// Accelerator instance name.
+        accel: String,
+        /// Zero-based frame index within the run.
+        frame: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short kind label (stable; used by exporters and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::AccelPhaseChange { .. } => "accel_phase_change",
+            TraceEvent::DmaBurst { .. } => "dma_burst",
+            TraceEvent::P2pTransfer { .. } => "p2p_transfer",
+            TraceEvent::NocPacketInject { .. } => "noc_packet_inject",
+            TraceEvent::NocPacketEject { .. } => "noc_packet_eject",
+            TraceEvent::TlbMiss { .. } => "tlb_miss",
+            TraceEvent::IoctlIssue { .. } => "ioctl_issue",
+            TraceEvent::FrameComplete { .. } => "frame_complete",
+        }
+    }
+}
+
+/// A [`TraceEvent`] plus when and where it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// Tile that produced the event.
+    pub source: TileCoord,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_display() {
+        assert_eq!(TileCoord::new(2, 3).to_string(), "(2,3)");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            TraceEvent::RunStart {
+                label: String::new(),
+            }
+            .kind(),
+            TraceEvent::TlbMiss { penalty: 1 }.kind(),
+            TraceEvent::NocPacketInject { plane: 0 }.kind(),
+        ];
+        assert_eq!(
+            kinds.len(),
+            kinds.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

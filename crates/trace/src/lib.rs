@@ -1,0 +1,43 @@
+//! Cycle-level observability for the ESP4ML simulator.
+//!
+//! The simulator's legacy stats (`SocStats`, `NocStats`, `RunMetrics`)
+//! are end-of-run aggregates: they say *how much* happened but never
+//! *when*. This crate adds the missing timeline layer, mirroring the
+//! per-tile performance monitors of the real ESP platform:
+//!
+//! - [`TraceEvent`] / [`TimedEvent`]: typed events (accelerator phase
+//!   changes, DMA bursts, p2p transfers, NoC inject/eject, TLB misses,
+//!   ioctls, frame completions) stamped with the simulated cycle and
+//!   source tile coordinate.
+//! - [`Tracer`]: a cheaply cloneable handle distributed into every
+//!   simulator component. Disabled tracing is a single `Option`
+//!   branch — no allocation, no locking, no event construction
+//!   (event payloads are built inside a closure that only runs when
+//!   enabled).
+//! - [`TraceSink`] / [`RingBufferSink`]: bounded event storage that
+//!   drops the oldest events under pressure rather than growing.
+//! - [`CounterRegistry`] / [`CounterSnapshot`]: named monotonic
+//!   counters and gauges behind one snapshot/diff API, subsuming the
+//!   ad-hoc stats structs.
+//! - [`perfetto`]: Chrome `trace_event` JSON export (open the file at
+//!   ui.perfetto.dev) with one track per tile and one per NoC plane.
+//! - [`CounterSeries`]: a flat CSV/JSON time-series of counter
+//!   snapshots taken every N cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod metrics;
+pub mod perfetto;
+mod sink;
+mod timeseries;
+mod tracer;
+
+pub use counters::{CounterRegistry, CounterSnapshot};
+pub use event::{DmaKind, TileCoord, TimedEvent, TraceEvent};
+pub use metrics::frames_per_second;
+pub use sink::{RingBufferSink, TraceSink};
+pub use timeseries::{CounterSeries, SampleRow};
+pub use tracer::Tracer;

@@ -1,0 +1,30 @@
+//! Shared metric derivations.
+
+/// Throughput in frames per second.
+///
+/// Single source of truth for the formula previously duplicated by
+/// `SocStats::frames_per_second` and `RunMetrics::frames_per_second`:
+/// zero simulated cycles yields zero (a run that never ticked has no
+/// meaningful rate), otherwise `frames / (cycles / clock_hz)`.
+pub fn frames_per_second(frames: u64, cycles: u64, clock_hz: f64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    frames as f64 / (cycles as f64 / clock_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::frames_per_second;
+
+    #[test]
+    fn basic_rate() {
+        // 1000 frames in 78M cycles at 78 MHz => 1000 fps.
+        assert!((frames_per_second(1000, 78_000_000, 78.0e6) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero() {
+        assert_eq!(frames_per_second(10, 0, 78.0e6), 0.0);
+    }
+}

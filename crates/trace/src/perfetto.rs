@@ -1,0 +1,480 @@
+//! Chrome `trace_event` JSON export (viewable at ui.perfetto.dev).
+//!
+//! Mapping:
+//!
+//! - Each [`TraceEvent::RunStart`] opens a new *process* (pid), named
+//!   after the run label, so sweeps like `fig7` render each app/mode
+//!   combination as its own process group.
+//! - Each tile gets one *thread* (track) per process — see
+//!   [`tile_tid`] — named `tile (x,y)` or `accel <name> (x,y)` once an
+//!   accelerator identifies itself.
+//! - Each NoC plane gets one track per process — see [`plane_tid`].
+//! - Accelerator phases become duration (`"X"`) events reconstructed
+//!   from consecutive [`TraceEvent::AccelPhaseChange`]s (idle gaps are
+//!   elided); DMA bursts and packet flights become duration events;
+//!   everything else becomes an instant (`"i"`) event.
+//! - `ts`/`dur` are simulated cycles, presented as microseconds
+//!   (1 cycle = 1 µs in the viewer).
+
+use crate::event::{TileCoord, TimedEvent, TraceEvent};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// Thread id of a tile track: stable, unique per coordinate.
+pub fn tile_tid(tile: TileCoord) -> u64 {
+    1 + (tile.x as u64) * 256 + tile.y as u64
+}
+
+/// Base offset separating NoC plane tracks from tile tracks.
+const PLANE_TID_BASE: u64 = 1_000_000;
+
+/// Thread id of a NoC plane track.
+pub fn plane_tid(plane: usize) -> u64 {
+    PLANE_TID_BASE + plane as u64
+}
+
+struct Builder {
+    rows: Vec<Value>,
+    /// (pid, tid) -> (phase name, start cycle) of the open accel span.
+    open_spans: HashMap<(u64, u64), (String, u64)>,
+    /// (pid, tid) -> track name; accel names win over defaults.
+    track_names: HashMap<(u64, u64), (String, bool)>,
+    /// pid -> process (run) name.
+    process_names: Vec<(u64, String)>,
+    pid: u64,
+    last_cycle: u64,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            rows: Vec::new(),
+            open_spans: HashMap::new(),
+            track_names: HashMap::new(),
+            process_names: Vec::new(),
+            pid: 1,
+            last_cycle: 0,
+        }
+    }
+
+    fn name_track(&mut self, tid: u64, name: String, from_accel: bool) {
+        let entry = self
+            .track_names
+            .entry((self.pid, tid))
+            .or_insert_with(|| (name.clone(), from_accel));
+        if from_accel && !entry.1 {
+            *entry = (name, true);
+        }
+    }
+
+    fn tile_track(&mut self, tile: TileCoord) -> u64 {
+        let tid = tile_tid(tile);
+        self.name_track(tid, format!("tile {tile}"), false);
+        tid
+    }
+
+    fn plane_track(&mut self, plane: usize) -> u64 {
+        let tid = plane_tid(plane);
+        self.name_track(tid, format!("noc plane {plane}"), false);
+        tid
+    }
+
+    fn duration(&mut self, name: &str, cat: &str, ts: u64, dur: u64, tid: u64, args: Value) {
+        let mut map = serde_json::Map::new();
+        map.insert("name".into(), Value::from(name));
+        map.insert("cat".into(), Value::from(cat));
+        map.insert("ph".into(), Value::from("X"));
+        map.insert("ts".into(), Value::from(ts));
+        map.insert("dur".into(), Value::from(dur.max(1)));
+        map.insert("pid".into(), Value::from(self.pid));
+        map.insert("tid".into(), Value::from(tid));
+        if !args.is_null() {
+            map.insert("args".into(), args);
+        }
+        self.rows.push(Value::Object(map));
+    }
+
+    fn instant(&mut self, name: &str, cat: &str, ts: u64, tid: u64, args: Value) {
+        let mut map = serde_json::Map::new();
+        map.insert("name".into(), Value::from(name));
+        map.insert("cat".into(), Value::from(cat));
+        map.insert("ph".into(), Value::from("i"));
+        map.insert("ts".into(), Value::from(ts));
+        map.insert("pid".into(), Value::from(self.pid));
+        map.insert("tid".into(), Value::from(tid));
+        map.insert("s".into(), Value::from("t"));
+        if !args.is_null() {
+            map.insert("args".into(), args);
+        }
+        self.rows.push(Value::Object(map));
+    }
+
+    /// Ends the open accelerator span on `(pid, tid)` at `cycle`.
+    fn close_span(&mut self, tid: u64, cycle: u64) {
+        if let Some((phase, start)) = self.open_spans.remove(&(self.pid, tid)) {
+            // Idle gaps carry no information; eliding them keeps the
+            // phase tracks readable.
+            if phase != "Idle" {
+                let dur = cycle.saturating_sub(start);
+                self.duration(&phase, "accel_phase", start, dur, tid, Value::Null);
+            }
+        }
+    }
+
+    fn close_all_spans(&mut self, cycle: u64) {
+        let open: Vec<u64> = self
+            .open_spans
+            .keys()
+            .filter(|(pid, _)| *pid == self.pid)
+            .map(|(_, tid)| *tid)
+            .collect();
+        for tid in open {
+            self.close_span(tid, cycle);
+        }
+    }
+
+    fn push_event(&mut self, ev: &TimedEvent) {
+        let cycle = ev.cycle;
+        self.last_cycle = self.last_cycle.max(cycle);
+        match &ev.event {
+            TraceEvent::RunStart { label } => {
+                self.close_all_spans(cycle);
+                if !self.process_names.is_empty() {
+                    self.pid += 1;
+                }
+                self.process_names.push((self.pid, label.clone()));
+            }
+            TraceEvent::AccelPhaseChange { accel, from: _, to } => {
+                let tid = self.tile_track(ev.source);
+                self.name_track(tid, format!("accel {accel} {}", ev.source), true);
+                self.close_span(tid, cycle);
+                self.open_spans
+                    .insert((self.pid, tid), (to.to_string(), cycle));
+            }
+            TraceEvent::DmaBurst {
+                kind,
+                words,
+                latency,
+            } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("words".into(), Value::from(*words));
+                self.duration(
+                    &format!("dram {}", kind.label()),
+                    "dma_burst",
+                    cycle,
+                    *latency,
+                    tid,
+                    Value::Object(args),
+                );
+            }
+            TraceEvent::P2pTransfer { dest, words } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("dest".into(), Value::from(dest.to_string()));
+                args.insert("words".into(), Value::from(*words));
+                self.instant(
+                    &format!("p2p to {dest}"),
+                    "p2p_transfer",
+                    cycle,
+                    tid,
+                    Value::Object(args),
+                );
+            }
+            TraceEvent::NocPacketInject { plane } => {
+                let tid = self.plane_track(*plane);
+                let mut args = serde_json::Map::new();
+                args.insert("src".into(), Value::from(ev.source.to_string()));
+                self.instant("inject", "noc_packet", cycle, tid, Value::Object(args));
+            }
+            TraceEvent::NocPacketEject { plane, latency } => {
+                let tid = self.plane_track(*plane);
+                let mut args = serde_json::Map::new();
+                args.insert("dest".into(), Value::from(ev.source.to_string()));
+                args.insert("latency".into(), Value::from(*latency));
+                self.duration(
+                    "packet",
+                    "noc_packet",
+                    cycle.saturating_sub(*latency),
+                    *latency,
+                    tid,
+                    Value::Object(args),
+                );
+            }
+            TraceEvent::TlbMiss { penalty } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("penalty".into(), Value::from(*penalty));
+                self.instant("tlb miss", "tlb_miss", cycle, tid, Value::Object(args));
+            }
+            TraceEvent::IoctlIssue { device } => {
+                let tid = self.tile_track(ev.source);
+                self.instant(
+                    &format!("ioctl {device}"),
+                    "ioctl_issue",
+                    cycle,
+                    tid,
+                    Value::Null,
+                );
+            }
+            TraceEvent::FrameComplete { accel, frame } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("accel".into(), Value::from(accel.as_str()));
+                args.insert("frame".into(), Value::from(*frame));
+                self.instant(
+                    &format!("frame {frame} done"),
+                    "frame_complete",
+                    cycle,
+                    tid,
+                    Value::Object(args),
+                );
+            }
+        }
+    }
+
+    fn finish(mut self) -> Value {
+        self.close_all_spans(self.last_cycle.saturating_add(1));
+
+        // Chronological `ts` order (stable sort keeps emit order within
+        // a cycle).
+        self.rows.sort_by_key(|row| row["ts"].as_u64().unwrap_or(0));
+
+        let mut all = Vec::new();
+        if self.process_names.is_empty() {
+            self.process_names.push((1, "run".to_string()));
+        }
+        for (pid, name) in &self.process_names {
+            all.push(metadata_row("process_name", *pid, None, name));
+        }
+        let mut named: Vec<_> = self.track_names.iter().collect();
+        named.sort_by_key(|(k, _)| **k);
+        for ((pid, tid), (name, _)) in named {
+            all.push(metadata_row("thread_name", *pid, Some(*tid), name));
+        }
+        all.extend(self.rows);
+
+        let mut top = serde_json::Map::new();
+        top.insert("traceEvents".into(), Value::Array(all));
+        top.insert("displayTimeUnit".into(), Value::from("ms"));
+        Value::Object(top)
+    }
+}
+
+fn metadata_row(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Value {
+    let mut args = serde_json::Map::new();
+    args.insert("name".into(), Value::from(name));
+    let mut map = serde_json::Map::new();
+    map.insert("name".into(), Value::from(kind));
+    map.insert("ph".into(), Value::from("M"));
+    map.insert("pid".into(), Value::from(pid));
+    if let Some(tid) = tid {
+        map.insert("tid".into(), Value::from(tid));
+    }
+    map.insert("args".into(), Value::Object(args));
+    Value::Object(map)
+}
+
+/// Converts recorded events into a Chrome `trace_event` JSON document.
+pub fn chrome_trace(events: &[TimedEvent]) -> Value {
+    let mut builder = Builder::new();
+    for ev in events {
+        builder.push_event(ev);
+    }
+    builder.finish()
+}
+
+/// Serializes [`chrome_trace`] output to pretty JSON text.
+pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
+    serde_json::to_string_pretty(&chrome_trace(events)).expect("trace JSON serialization")
+}
+
+/// Writes [`chrome_trace`] output to a file.
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[TimedEvent]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DmaKind;
+
+    fn at(cycle: u64, x: u8, y: u8, event: TraceEvent) -> TimedEvent {
+        TimedEvent {
+            cycle,
+            source: TileCoord::new(x, y),
+            event,
+        }
+    }
+
+    fn sample_events() -> Vec<TimedEvent> {
+        vec![
+            at(
+                0,
+                0,
+                0,
+                TraceEvent::RunStart {
+                    label: "test run".into(),
+                },
+            ),
+            at(
+                5,
+                1,
+                1,
+                TraceEvent::AccelPhaseChange {
+                    accel: "nightvision0".into(),
+                    from: "Idle",
+                    to: "LoadIssue",
+                },
+            ),
+            at(6, 1, 1, TraceEvent::TlbMiss { penalty: 20 }),
+            at(
+                8,
+                2,
+                0,
+                TraceEvent::DmaBurst {
+                    kind: DmaKind::Read,
+                    words: 128,
+                    latency: 40,
+                },
+            ),
+            at(9, 0, 1, TraceEvent::NocPacketInject { plane: 3 }),
+            at(
+                30,
+                1,
+                1,
+                TraceEvent::NocPacketEject {
+                    plane: 3,
+                    latency: 21,
+                },
+            ),
+            at(
+                40,
+                1,
+                1,
+                TraceEvent::AccelPhaseChange {
+                    accel: "nightvision0".into(),
+                    from: "LoadIssue",
+                    to: "Compute",
+                },
+            ),
+            at(
+                90,
+                1,
+                1,
+                TraceEvent::FrameComplete {
+                    accel: "nightvision0".into(),
+                    frame: 0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn ts_is_monotonic_and_json_valid() {
+        let text = chrome_trace_json(&sample_events());
+        let doc: Value = serde_json::from_str(&text).expect("exporter emitted invalid JSON");
+        let rows = doc["traceEvents"].as_array().unwrap();
+        let mut last = 0u64;
+        let mut timed = 0;
+        for row in rows {
+            if row["ph"].as_str() == Some("M") {
+                continue;
+            }
+            let ts = row["ts"].as_u64().expect("data row missing ts");
+            assert!(ts >= last, "ts went backwards: {ts} < {last}");
+            last = ts;
+            timed += 1;
+        }
+        assert!(timed >= sample_events().len() - 1);
+    }
+
+    #[test]
+    fn tracks_map_tiles_and_planes() {
+        let doc = chrome_trace(&sample_events());
+        let rows = doc["traceEvents"].as_array().unwrap();
+
+        // The accel tile track carries its phase span and is named.
+        let phase = rows
+            .iter()
+            .find(|r| r["cat"].as_str() == Some("accel_phase"))
+            .expect("no phase span emitted");
+        assert_eq!(phase["tid"].as_u64(), Some(tile_tid(TileCoord::new(1, 1))));
+        assert_eq!(phase["name"].as_str(), Some("LoadIssue"));
+
+        let thread_names: Vec<(&str, u64)> = rows
+            .iter()
+            .filter(|r| r["name"].as_str() == Some("thread_name"))
+            .map(|r| {
+                (
+                    r["args"]["name"].as_str().unwrap(),
+                    r["tid"].as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert!(thread_names
+            .iter()
+            .any(|(n, t)| n.contains("nightvision0") && *t == tile_tid(TileCoord::new(1, 1))));
+        assert!(thread_names
+            .iter()
+            .any(|(n, t)| *n == "noc plane 3" && *t == plane_tid(3)));
+
+        // NoC events ride the plane track, not a tile track.
+        let inject = rows
+            .iter()
+            .find(|r| r["name"].as_str() == Some("inject"))
+            .unwrap();
+        assert_eq!(inject["tid"].as_u64(), Some(plane_tid(3)));
+
+        // Process named after the run label.
+        let proc = rows
+            .iter()
+            .find(|r| r["name"].as_str() == Some("process_name"))
+            .unwrap();
+        assert_eq!(proc["args"]["name"].as_str(), Some("test run"));
+    }
+
+    #[test]
+    fn frame_completions_are_instants() {
+        let doc = chrome_trace(&sample_events());
+        let rows = doc["traceEvents"].as_array().unwrap();
+        let frame = rows
+            .iter()
+            .find(|r| r["cat"].as_str() == Some("frame_complete"))
+            .expect("frame completion missing");
+        assert_eq!(frame["ph"].as_str(), Some("i"));
+        assert_eq!(frame["args"]["frame"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn run_starts_split_processes() {
+        let mut events = sample_events();
+        events.push(at(
+            100,
+            0,
+            0,
+            TraceEvent::RunStart {
+                label: "second".into(),
+            },
+        ));
+        events.push(at(
+            105,
+            1,
+            1,
+            TraceEvent::FrameComplete {
+                accel: "a".into(),
+                frame: 0,
+            },
+        ));
+        let doc = chrome_trace(&events);
+        let rows = doc["traceEvents"].as_array().unwrap();
+        let pids: std::collections::HashSet<u64> = rows
+            .iter()
+            .filter(|r| r["ph"].as_str() != Some("M"))
+            .map(|r| r["pid"].as_u64().unwrap())
+            .collect();
+        assert_eq!(pids.len(), 2, "expected two processes, got {pids:?}");
+    }
+}

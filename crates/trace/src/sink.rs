@@ -1,0 +1,118 @@
+//! Event storage behind the [`Tracer`](crate::Tracer) handle.
+
+use crate::event::TimedEvent;
+use std::collections::VecDeque;
+
+/// Destination for recorded events.
+///
+/// Implementations must be cheap per `record` call — the tracer holds
+/// the sink behind a mutex and records from the simulator hot loop
+/// (only when tracing is enabled).
+pub trait TraceSink: Send {
+    /// Stores one event.
+    fn record(&mut self, event: TimedEvent);
+
+    /// Number of events currently held.
+    fn len(&self) -> usize;
+
+    /// True when no events are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded due to capacity pressure.
+    fn dropped(&self) -> u64;
+
+    /// Removes and returns all held events in chronological order.
+    fn drain(&mut self) -> Vec<TimedEvent>;
+}
+
+/// Bounded FIFO sink: keeps the most recent `capacity` events and
+/// counts (rather than grows on) overflow.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    buf: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Default capacity: generous enough to hold every event of a full
+    /// `fig7` experiment sweep.
+    pub const DEFAULT_CAPACITY: usize = 1 << 21;
+
+    /// Creates a sink bounded at `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for RingBufferSink {
+    fn default() -> Self {
+        RingBufferSink::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: TimedEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn drain(&mut self) -> Vec<TimedEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TileCoord, TraceEvent};
+
+    fn ev(cycle: u64) -> TimedEvent {
+        TimedEvent {
+            cycle,
+            source: TileCoord::new(0, 0),
+            event: TraceEvent::NocPacketInject { plane: 0 },
+        }
+    }
+
+    #[test]
+    fn bounded_drops_oldest() {
+        let mut sink = RingBufferSink::new(3);
+        for c in 0..5 {
+            sink.record(ev(c));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let cycles: Vec<u64> = sink.drain().into_iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let sink = RingBufferSink::new(0);
+        assert_eq!(sink.capacity(), 1);
+    }
+}

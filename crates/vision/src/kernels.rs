@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn night_vision_brightens_dark_images() {
-        let dark: Vec<f32> = (0..1024).map(|i| 0.05 + 0.1 * ((i % 7) as f32 / 7.0)).collect();
+        let dark: Vec<f32> = (0..1024)
+            .map(|i| 0.05 + 0.1 * ((i % 7) as f32 / 7.0))
+            .collect();
         let out = night_vision(&dark);
         let mean_in: f32 = dark.iter().sum::<f32>() / 1024.0;
         let mean_out: f32 = out.iter().sum::<f32>() / 1024.0;

@@ -128,7 +128,10 @@ impl SvhnGenerator {
                 for dy in -1i32..=1 {
                     for dx in -1i32..=1 {
                         let (nx, ny) = (x as i32 + dx, y as i32 + dy);
-                        if nx >= 0 && ny >= 0 && (nx as usize) < IMG_SIDE && (ny as usize) < IMG_SIDE
+                        if nx >= 0
+                            && ny >= 0
+                            && (nx as usize) < IMG_SIDE
+                            && (ny as usize) < IMG_SIDE
                         {
                             sum += img[ny as usize * IMG_SIDE + nx as usize];
                             n += 1.0;
@@ -275,13 +278,12 @@ mod tests {
         assert_eq!(d.x.cols(), IMG_PIXELS);
         assert_eq!(d.y.cols(), IMG_PIXELS);
         // Inputs differ from targets (noise was added).
-        let diff: f32 = d
-            .x
-            .as_slice()
-            .iter()
-            .zip(d.y.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 =
+            d.x.as_slice()
+                .iter()
+                .zip(d.y.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
         assert!(diff > 1.0);
     }
 }

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "HLS report: latency {} cycles, II {} cycles, {}",
         est.latency, est.initiation_interval, est.resources
     );
-    println!("descriptor (acc.xml):\n{}", AcceleratorDescriptor::for_nn(&nn).to_xml());
+    println!(
+        "descriptor (acc.xml):\n{}",
+        AcceleratorDescriptor::for_nn(&nn).to_xml()
+    );
 
     // --- 4. SoC integration and execution --------------------------------
     let soc = SocBuilder::new(2, 2)

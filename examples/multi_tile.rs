@@ -77,8 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rt.write_frame(&buf, f, &vec![512; 1024])?;
     }
     rt.esp_run(&df, &buf, ExecMode::P2p)?;
-    println!("
-NoC traffic heatmap (flits forwarded per router):");
+    println!(
+        "
+NoC traffic heatmap (flits forwarded per router):"
+    );
     for row in rt.soc().noc_traffic_matrix() {
         let cells: Vec<String> = row.iter().map(|v| format!("{v:>7}")).collect();
         println!("  {}", cells.join(" "));

@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = SocBuilder::new(3, 2)
         .processor(Coord::new(0, 0))
         .memory(Coord::new(1, 0))
-        .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("double", 64, 2)))
-        .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("triple", 64, 3)))
+        .accelerator(
+            Coord::new(0, 1),
+            Box::new(ScaleKernel::new("double", 64, 2)),
+        )
+        .accelerator(
+            Coord::new(1, 1),
+            Box::new(ScaleKernel::new("triple", 64, 3)),
+        )
         .build()?;
     println!("SoC built: {} accelerators, clocked at {} MHz", 2, 78);
 

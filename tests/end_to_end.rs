@@ -139,7 +139,10 @@ fn nv_instance_scaling_increases_throughput() {
     let one = fps(1, 1);
     let four_one = fps(4, 1);
     let four_four = fps(4, 4);
-    assert!(four_one > 2.0 * one, "4NV+1Cl {four_one:.0} vs 1NV+1Cl {one:.0}");
+    assert!(
+        four_one > 2.0 * one,
+        "4NV+1Cl {four_one:.0} vs 1NV+1Cl {one:.0}"
+    );
     assert!(four_four >= four_one * 0.95, "4NV+4Cl should not regress");
 }
 
@@ -157,5 +160,11 @@ fn balance_advisor_suggests_the_papers_configuration() {
     let cl = registry.lookup("cl0").expect("cl0");
     assert!(nv.initiation_interval > cl.initiation_interval);
     let widths = suggest_stage_widths(&[nv.initiation_interval, cl.initiation_interval], 4);
-    assert_eq!(widths, vec![4, 1], "IIs {} / {}", nv.initiation_interval, cl.initiation_interval);
+    assert_eq!(
+        widths,
+        vec![4, 1],
+        "IIs {} / {}",
+        nv.initiation_interval,
+        cl.initiation_interval
+    );
 }

@@ -10,7 +10,11 @@ use esp4ml::soc::{AccelConfig, ScaleKernel, Soc, SocBuilder};
 fn pipeline_soc(llc: bool, mems: usize) -> Soc {
     let mut b = SocBuilder::new(3, 2).processor(Coord::new(0, 0));
     b = if llc {
-        b.memory_llc(Coord::new(1, 0), DramConfig::default(), CacheConfig::default())
+        b.memory_llc(
+            Coord::new(1, 0),
+            DramConfig::default(),
+            CacheConfig::default(),
+        )
     } else {
         b.memory(Coord::new(1, 0))
     };
@@ -53,11 +57,12 @@ fn llc_reduces_off_chip_traffic_with_same_results() {
 
 #[test]
 fn two_memory_tiles_same_results() {
-    let (out_one, cycles_one, dram_one) =
-        run_pipeline(pipeline_soc(false, 1), ExecMode::Pipe, 4);
-    let (out_two, cycles_two, dram_two) =
-        run_pipeline(pipeline_soc(false, 2), ExecMode::Pipe, 4);
-    assert_eq!(out_one, out_two, "interleaving must be functionally invisible");
+    let (out_one, cycles_one, dram_one) = run_pipeline(pipeline_soc(false, 1), ExecMode::Pipe, 4);
+    let (out_two, cycles_two, dram_two) = run_pipeline(pipeline_soc(false, 2), ExecMode::Pipe, 4);
+    assert_eq!(
+        out_one, out_two,
+        "interleaving must be functionally invisible"
+    );
     assert_eq!(dram_one, dram_two, "same words cross the boundary");
     // Striping across tiles must not slow things down.
     assert!(cycles_two <= cycles_one + cycles_one / 10);
@@ -75,7 +80,8 @@ fn double_buffer_composes_with_the_runtime_modes() {
     // Mirror the runtime's buffer layout: inputs at 0 (256 words/frame),
     // outputs right after the two regions.
     for f in 0..frames {
-        soc.dram_write_values(f * 256, &vec![f + 1; 1024], 16).expect("init");
+        soc.dram_write_values(f * 256, &vec![f + 1; 1024], 16)
+            .expect("init");
     }
     for t in [a, b] {
         soc.map_contiguous(t, 0, 1 << 20).expect("map");

@@ -1,8 +1,8 @@
 //! Integration tests of the design-flow artifacts: model files, compiler
 //! outputs, descriptors, utilization and power reports.
 
-use esp4ml::flow::Esp4mlFlow;
 use esp4ml::apps::{build_soc1, build_soc2, TrainedModels, CLASSIFIER_REUSE};
+use esp4ml::flow::Esp4mlFlow;
 use esp4ml::hls4ml::{Hls4mlCompiler, Hls4mlConfig};
 use esp4ml::nn::{Activation, LayerSpec, ModelFile, Sequential};
 
@@ -72,9 +72,21 @@ fn utilization_tracks_paper_bands() {
     let flow = Esp4mlFlow::new();
     let u1 = flow.utilization(&build_soc1(&models).expect("soc1"));
     let u2 = flow.utilization(&build_soc2(&models).expect("soc2"));
-    assert!((40.0..=56.0).contains(&u1.lut_pct), "SoC-1 LUT {:.0}%", u1.lut_pct);
-    assert!((15.0..=27.0).contains(&u2.lut_pct), "SoC-2 LUT {:.0}%", u2.lut_pct);
-    assert!((45.0..=65.0).contains(&u1.bram_pct), "SoC-1 BRAM {:.0}%", u1.bram_pct);
+    assert!(
+        (40.0..=56.0).contains(&u1.lut_pct),
+        "SoC-1 LUT {:.0}%",
+        u1.lut_pct
+    );
+    assert!(
+        (15.0..=27.0).contains(&u2.lut_pct),
+        "SoC-2 LUT {:.0}%",
+        u2.lut_pct
+    );
+    assert!(
+        (45.0..=65.0).contains(&u1.bram_pct),
+        "SoC-1 BRAM {:.0}%",
+        u1.bram_pct
+    );
 }
 
 #[test]

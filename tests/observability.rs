@@ -1,0 +1,179 @@
+//! End-to-end observability tests: the tracer threaded through the whole
+//! stack, the Perfetto export of a real run, and the counter registry
+//! against the legacy aggregate stats.
+
+use esp4ml::apps::{CaseApp, TrainedModels};
+use esp4ml::experiments::AppRun;
+use esp4ml::noc::Coord;
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::soc::{ScaleKernel, SocBuilder};
+use esp4ml::trace::perfetto::{self, tile_tid};
+use esp4ml::trace::{TileCoord, TraceEvent, Tracer};
+use esp4ml::TraceSession;
+use proptest::prelude::*;
+
+/// A full case-study run exports a valid Chrome trace: parseable JSON,
+/// monotonically non-decreasing `ts`, one named track per accelerator
+/// tile, and at least one event per simulated frame.
+#[test]
+fn perfetto_export_round_trips_from_e2e_run() {
+    let models = TrainedModels::untrained();
+    let app = CaseApp::DenoiserClassifier;
+    let frames = 3u64;
+    let mut session = TraceSession::with_sampling(Tracer::ring_buffer(), 500);
+    let run =
+        AppRun::execute_traced(&app, &models, frames, ExecMode::P2p, &mut session).expect("run");
+    assert_eq!(run.metrics.frames, frames);
+
+    // The counter time-series and NoC summary were collected on the way.
+    assert_eq!(session.series().len(), 1);
+    assert!(session.counters_csv().lines().count() > 1);
+    assert!(session.noc_summary().contains("dma-req"));
+
+    let events = session.tracer().drain();
+    let completions = events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::FrameComplete { .. }))
+        .count();
+    assert!(
+        completions >= frames as usize,
+        "{completions} frame completions for {frames} frames"
+    );
+
+    let text = perfetto::chrome_trace_json(&events);
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).expect("exporter emitted invalid JSON");
+    let rows = doc["traceEvents"].as_array().expect("traceEvents array");
+
+    // ts is monotonic across data rows and every data row carries pid 1
+    // (a single RunStart means a single process).
+    let mut last_ts = 0u64;
+    let mut data_rows = 0usize;
+    for row in rows {
+        if row["ph"].as_str() == Some("M") {
+            continue;
+        }
+        let ts = row["ts"].as_u64().expect("data row missing ts");
+        assert!(ts >= last_ts, "ts went backwards: {ts} < {last_ts}");
+        last_ts = ts;
+        assert_eq!(row["pid"].as_u64(), Some(1));
+        data_rows += 1;
+    }
+    assert!(data_rows as u64 >= frames, "fewer events than frames");
+
+    // The single process is named after the run.
+    let process = rows
+        .iter()
+        .find(|r| r["name"].as_str() == Some("process_name"))
+        .expect("process_name metadata");
+    let expected = format!("{} p2p", app.label());
+    assert_eq!(process["args"]["name"].as_str(), Some(expected.as_str()));
+
+    // One named accel track per accelerator tile that ran. (Floorplans
+    // may contain sockets a given app/mode never invokes; idle tiles
+    // emit no events and therefore get no track.)
+    let thread_names: Vec<(String, u64)> = rows
+        .iter()
+        .filter(|r| r["name"].as_str() == Some("thread_name"))
+        .map(|r| {
+            (
+                r["args"]["name"].as_str().unwrap().to_string(),
+                r["tid"].as_u64().unwrap(),
+            )
+        })
+        .collect();
+    let active: std::collections::BTreeSet<TileCoord> = events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::AccelPhaseChange { .. }))
+        .map(|e| e.source)
+        .collect();
+    assert!(active.len() >= 2, "pipeline should use at least two accels");
+    for coord in active {
+        let tid = tile_tid(coord);
+        assert!(
+            thread_names
+                .iter()
+                .any(|(name, t)| *t == tid && name.starts_with("accel ")),
+            "no accel track for tile {coord}: {thread_names:?}"
+        );
+    }
+}
+
+fn two_stage_runtime() -> EspRuntime {
+    let soc = SocBuilder::new(3, 2)
+        .processor(Coord::new(0, 0))
+        .memory(Coord::new(1, 0))
+        .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("x2", 16, 2)))
+        .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("x3", 16, 3)))
+        .build()
+        .expect("floorplan");
+    EspRuntime::new(soc).expect("runtime")
+}
+
+fn run_frames(rt: &mut EspRuntime, frames: u64, mode: ExecMode) -> esp4ml::runtime::RunMetrics {
+    let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+    let buf = rt.prepare(&df, frames).expect("prepare");
+    for f in 0..frames {
+        rt.write_frame(&buf, f, &[f + 1; 16]).expect("write");
+    }
+    rt.esp_run(&df, &buf, mode).expect("esp_run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// The counter registry accumulated by `esp_run` reports exactly the
+    /// same numbers as the legacy `RunMetrics` aggregates, for any frame
+    /// count and execution mode.
+    #[test]
+    fn counters_match_run_metrics_exactly(frames in 1u64..5, mode_idx in 0usize..3) {
+        let mode = ExecMode::ALL[mode_idx];
+        let mut rt = two_stage_runtime();
+        let m = run_frames(&mut rt, frames, mode);
+        let snap = rt.counters().snapshot();
+        prop_assert_eq!(snap.get("runtime.frames"), m.frames);
+        prop_assert_eq!(snap.get("runtime.invocations"), m.invocations);
+        prop_assert_eq!(snap.get("soc.cycles"), m.cycles);
+        prop_assert_eq!(snap.get("soc.dram_reads"), m.dram_reads);
+        prop_assert_eq!(snap.get("soc.dram_writes"), m.dram_writes);
+        prop_assert_eq!(snap.get("noc.flit_hops"), m.noc_flit_hops);
+    }
+}
+
+/// Counters keep accumulating across consecutive `esp_run` calls.
+#[test]
+fn counters_accumulate_across_runs() {
+    let mut rt = two_stage_runtime();
+    let m1 = run_frames(&mut rt, 2, ExecMode::Base);
+    let m2 = run_frames(&mut rt, 3, ExecMode::P2p);
+    let snap = rt.counters().snapshot();
+    assert_eq!(snap.get("runtime.frames"), m1.frames + m2.frames);
+    assert_eq!(
+        snap.get("runtime.invocations"),
+        m1.invocations + m2.invocations
+    );
+    assert_eq!(snap.get("soc.dram_reads"), m1.dram_reads + m2.dram_reads);
+    assert_eq!(snap.get("soc.dram_writes"), m1.dram_writes + m2.dram_writes);
+    assert_eq!(
+        snap.get("noc.flit_hops"),
+        m1.noc_flit_hops + m2.noc_flit_hops
+    );
+}
+
+/// The tracer observes the full event taxonomy during a DMA-mode run:
+/// ioctls, DMA bursts, NoC traffic, phase changes and frame completions.
+#[test]
+fn tracer_sees_all_event_kinds_in_dma_mode() {
+    let mut rt = two_stage_runtime();
+    let tracer = Tracer::ring_buffer();
+    rt.set_tracer(tracer.clone());
+    run_frames(&mut rt, 2, ExecMode::Base);
+    let events = tracer.drain();
+    let has = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().any(|e| pred(&e.event));
+    assert!(has(&|e| matches!(e, TraceEvent::IoctlIssue { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::DmaBurst { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::NocPacketInject { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::NocPacketEject { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::AccelPhaseChange { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::FrameComplete { .. })));
+}

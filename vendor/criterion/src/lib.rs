@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the criterion 0.5 API subset this workspace's benches
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, `criterion_group!`/`criterion_main!`)
+//! as a simple wall-clock harness: each benchmark runs a short warmup
+//! plus `sample_size` timed iterations and prints mean/min per-iteration
+//! time. No statistics, plots, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one("", &id.into(), self.sample_size, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, mut f: F) {
+    // Warmup pass: one untimed batch so lazy setup is excluded.
+    let mut warm = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+
+    let mut bencher = Bencher {
+        iters: samples.max(1) as u64,
+        samples: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if bencher.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "  {label}: mean {mean:?}, min {min:?} over {} iterations",
+        bencher.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            });
+        });
+        group.finish();
+        assert!(runs >= 3, "bencher closure never ran");
+    }
+}

@@ -1,0 +1,684 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Because the build environment cannot fetch syn/quote, these derives
+//! parse `proc_macro::TokenStream` by hand and emit code as strings.
+//! They target the vendored Value-based `serde` stub, covering exactly
+//! the shapes this workspace uses:
+//!
+//! - named-field structs
+//! - enums with unit, named-field, and tuple variants
+//! - container attributes `tag = "..."` (internally tagged enums) and
+//!   `rename_all = "snake_case" | "lowercase" | "UPPERCASE" | "kebab-case"`
+//! - field attributes `default` and `rename = "..."`
+//! - `Option<T>` fields are optional in input (missing => `None`),
+//!   matching serde's behaviour; all other missing fields are errors
+//!   unless marked `#[serde(default)]`
+//!
+//! Generics, tuple structs, and untagged enums are rejected with a
+//! compile-time panic rather than silently miscompiling.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct Attrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    rename: Option<String>,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    rename: Option<String>,
+    default: bool,
+}
+
+impl Field {
+    fn is_option(&self) -> bool {
+        self.ty.trim_start().starts_with("Option")
+    }
+}
+
+enum VariantData {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    body: Body,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+/// Derives `serde::Serialize` (vendored Value-based flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (vendored Value-based flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = Attrs::default();
+    let mut i = 0;
+    let mut kind: Option<String> = None;
+
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_attr_group(g, &mut attrs);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    i += 1;
+                    break;
+                }
+                i += 1;
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let kind = kind.expect("serde_derive stub: expected `struct` or `enum`");
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let body_group = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive stub: tuple struct `{name}` is not supported")
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("serde_derive stub: `{name}` has no braced body"));
+
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(&body_group))
+    } else {
+        Body::Enum(parse_variants(&body_group))
+    };
+
+    Container {
+        name,
+        body,
+        tag: attrs.tag,
+        rename_all: attrs.rename_all,
+    }
+}
+
+/// Parses one `#[...]` attribute group, folding any `serde(...)` items
+/// into `attrs`. Non-serde attributes (doc comments etc.) are ignored.
+fn parse_attr_group(group: &Group, attrs: &mut Attrs) {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.clone(),
+        _ => return,
+    };
+    let items: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        if let TokenTree::Ident(id) = &items[j] {
+            let key = id.to_string();
+            let mut value = None;
+            if let Some(TokenTree::Punct(p)) = items.get(j + 1) {
+                if p.as_char() == '=' {
+                    if let Some(tok) = items.get(j + 2) {
+                        value = Some(strip_quotes(&tok.to_string()));
+                        j += 2;
+                    }
+                }
+            }
+            match key.as_str() {
+                "tag" => attrs.tag = value,
+                "rename_all" => attrs.rename_all = value,
+                "rename" => attrs.rename = value,
+                "default" => attrs.default = true,
+                // deny_unknown_fields and friends: accepted, no-op.
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+
+    while i < toks.len() {
+        let mut fattrs = Attrs::default();
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                parse_attr_group(g, &mut fattrs);
+            }
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        i += 1; // field name
+        i += 1; // ':'
+
+        let mut depth = 0i32;
+        let mut ty = String::new();
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    }
+                    ty.push(c);
+                }
+                other => {
+                    ty.push_str(&other.to_string());
+                    ty.push(' ');
+                }
+            }
+            i += 1;
+        }
+
+        fields.push(Field {
+            name,
+            ty,
+            rename: fattrs.rename,
+            default: fattrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+
+    while i < toks.len() {
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2; // '#' + bracket group (variant-level serde attrs unused)
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        i += 1;
+
+        let mut data = VariantData::Unit;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    data = VariantData::Named(parse_named_fields(g));
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    data = VariantData::Tuple(tuple_arity(g));
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+fn tuple_arity(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing = false;
+    for t in &toks {
+        trailing = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn rename(name: &str, explicit: Option<&str>, rule: Option<&str>) -> String {
+    if let Some(r) = explicit {
+        return r.to_string();
+    }
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => case_convert(name, '_'),
+        Some("kebab-case") => case_convert(name, '-'),
+        Some(other) => panic!("serde_derive stub: unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn case_convert(name: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::Struct(fields) => {
+            let mut out = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                let key = rename(&f.name, f.rename.as_deref(), c.rename_all.as_deref());
+                out.push_str(&format!(
+                    "map.insert({key:?}.to_string(), ::serde::Serialize::to_value(&self.{}));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::Value::Object(map)");
+            out
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vkey = rename(&v.name, None, c.rename_all.as_deref());
+                match &v.data {
+                    VariantData::Unit => {
+                        if let Some(tag) = &c.tag {
+                            arms.push_str(&format!(
+                                "{name}::{vn} => {{ let mut map = ::serde::Map::new(); \
+                                 map.insert({tag:?}.to_string(), \
+                                 ::serde::Value::String({vkey:?}.to_string())); \
+                                 ::serde::Value::Object(map) }}\n",
+                                vn = v.name
+                            ));
+                        } else {
+                            arms.push_str(&format!(
+                                "{name}::{vn} => ::serde::Value::String({vkey:?}.to_string()),\n",
+                                vn = v.name
+                            ));
+                        }
+                    }
+                    VariantData::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        if let Some(tag) = &c.tag {
+                            inner.push_str(&format!(
+                                "inner.insert({tag:?}.to_string(), \
+                                 ::serde::Value::String({vkey:?}.to_string()));\n"
+                            ));
+                        }
+                        for f in fields {
+                            let key = rename(&f.name, f.rename.as_deref(), c.rename_all.as_deref());
+                            inner.push_str(&format!(
+                                "inner.insert({key:?}.to_string(), \
+                                 ::serde::Serialize::to_value({fname}));\n",
+                                fname = f.name
+                            ));
+                        }
+                        let wrap = if c.tag.is_some() {
+                            "::serde::Value::Object(inner)".to_string()
+                        } else {
+                            format!(
+                                "{{ let mut map = ::serde::Map::new(); \
+                                 map.insert({vkey:?}.to_string(), ::serde::Value::Object(inner)); \
+                                 ::serde::Value::Object(map) }}"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ {inner} {wrap} }}\n",
+                            vn = v.name,
+                            pat = binds.join(", ")
+                        ));
+                    }
+                    VariantData::Tuple(n) => {
+                        if c.tag.is_some() {
+                            panic!(
+                                "serde_derive stub: tuple variant `{name}::{}` \
+                                 cannot be internally tagged",
+                                v.name
+                            );
+                        }
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pat}) => {{ let mut map = ::serde::Map::new(); \
+                             map.insert({vkey:?}.to_string(), {payload}); \
+                             ::serde::Value::Object(map) }}\n",
+                            vn = v.name,
+                            pat = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Expression that reads one named field out of the object expression
+/// `obj_expr` (a `&serde::Map`).
+fn field_read_expr(c: &Container, f: &Field, obj_expr: &str) -> String {
+    let key = rename(&f.name, f.rename.as_deref(), c.rename_all.as_deref());
+    let missing = if f.default {
+        "::core::default::Default::default()".to_string()
+    } else if f.is_option() {
+        "::core::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(::serde::Error::custom(\
+             \"{name}: missing field `{key}`\"))",
+            name = c.name
+        )
+    };
+    format!(
+        "match {obj_expr}.get({key:?}) {{ \
+         ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+         ::core::option::Option::None => {missing}, }}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.body {
+        Body::Struct(fields) => {
+            let mut out = format!(
+                "let obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected object\"))?;\n"
+            );
+            out.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "{fname}: {expr},\n",
+                    fname = f.name,
+                    expr = field_read_expr(c, f, "obj")
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        Body::Enum(variants) => {
+            if let Some(tag) = &c.tag {
+                // Internally tagged: variant fields live beside the tag.
+                let mut arms = String::new();
+                for v in variants {
+                    let vkey = rename(&v.name, None, c.rename_all.as_deref());
+                    match &v.data {
+                        VariantData::Unit => {
+                            arms.push_str(&format!(
+                                "{vkey:?} => ::core::result::Result::Ok({name}::{vn}),\n",
+                                vn = v.name
+                            ));
+                        }
+                        VariantData::Named(fields) => {
+                            let mut init = String::new();
+                            for f in fields {
+                                init.push_str(&format!(
+                                    "{fname}: {expr},\n",
+                                    fname = f.name,
+                                    expr = field_read_expr(c, f, "obj")
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{vkey:?} => ::core::result::Result::Ok({name}::{vn} {{\n\
+                                 {init}}}),\n",
+                                vn = v.name
+                            ));
+                        }
+                        VariantData::Tuple(_) => panic!(
+                            "serde_derive stub: tuple variant `{name}::{}` \
+                             cannot be internally tagged",
+                            v.name
+                        ),
+                    }
+                }
+                format!(
+                    "let obj = value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                     let tag = obj.get({tag:?}).and_then(|t| t.as_str()).ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: missing tag `{tag}`\"))?;\n\
+                     match tag {{\n{arms}\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: unknown variant `{{other}}`\"))),\n}}"
+                )
+            } else {
+                // Externally tagged: "Variant" or {"Variant": payload}.
+                let mut out = String::new();
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| matches!(v.data, VariantData::Unit))
+                    .map(|v| {
+                        let vkey = rename(&v.name, None, c.rename_all.as_deref());
+                        format!(
+                            "{vkey:?} => ::core::result::Result::Ok({name}::{vn}),\n",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                if !unit_arms.is_empty() {
+                    out.push_str(&format!(
+                        "if let ::core::option::Option::Some(s) = value.as_str() {{\n\
+                         return match s {{\n{unit_arms}\
+                         other => ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"{name}: unknown variant `{{other}}`\"))),\n}};\n}}\n"
+                    ));
+                }
+                let payload_variants: Vec<&Variant> = variants
+                    .iter()
+                    .filter(|v| !matches!(v.data, VariantData::Unit))
+                    .collect();
+                if payload_variants.is_empty() {
+                    out.push_str(&format!(
+                        "::core::result::Result::Err(::serde::Error::custom(\
+                         \"{name}: expected variant name string\"))"
+                    ));
+                } else {
+                    let mut arms = String::new();
+                    for v in payload_variants {
+                        let vkey = rename(&v.name, None, c.rename_all.as_deref());
+                        match &v.data {
+                            VariantData::Unit => unreachable!(),
+                            VariantData::Named(fields) => {
+                                let mut init = String::new();
+                                for f in fields {
+                                    init.push_str(&format!(
+                                        "{fname}: {expr},\n",
+                                        fname = f.name,
+                                        expr = field_read_expr(c, f, "vobj")
+                                    ));
+                                }
+                                arms.push_str(&format!(
+                                    "{vkey:?} => {{ let vobj = payload.as_object()\
+                                     .ok_or_else(|| ::serde::Error::custom(\
+                                     \"{name}::{vn}: expected object payload\"))?; \
+                                     ::core::result::Result::Ok({name}::{vn} {{\n{init}}}) }}\n",
+                                    vn = v.name
+                                ));
+                            }
+                            VariantData::Tuple(n) => {
+                                if *n == 1 {
+                                    arms.push_str(&format!(
+                                        "{vkey:?} => ::core::result::Result::Ok({name}::{vn}(\
+                                         ::serde::Deserialize::from_value(payload)?)),\n",
+                                        vn = v.name
+                                    ));
+                                } else {
+                                    let elems: Vec<String> = (0..*n)
+                                        .map(|k| {
+                                            format!("::serde::Deserialize::from_value(&arr[{k}])?")
+                                        })
+                                        .collect();
+                                    arms.push_str(&format!(
+                                        "{vkey:?} => {{ let arr = payload.as_array()\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                         \"{name}::{vn}: expected array payload\"))?; \
+                                         if arr.len() != {n} {{ \
+                                         return ::core::result::Result::Err(\
+                                         ::serde::Error::custom(\
+                                         \"{name}::{vn}: wrong tuple arity\")); }} \
+                                         ::core::result::Result::Ok({name}::{vn}({elems})) }}\n",
+                                        vn = v.name,
+                                        elems = elems.join(", ")
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    out.push_str(&format!(
+                        "let obj = value.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"{name}: expected object or string\"))?;\n\
+                         let (key, payload) = obj.iter().next().ok_or_else(|| \
+                         ::serde::Error::custom(\"{name}: empty variant object\"))?;\n\
+                         match key.as_str() {{\n{arms}\
+                         other => ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"{name}: unknown variant `{{other}}`\"))),\n}}"
+                    ));
+                }
+                out
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
