@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use esp4ml_mem::{CacheConfig, DramConfig};
 use esp4ml_noc::Coord;
-use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml_soc::{ScaleKernel, Soc, SocBuilder};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -69,7 +69,9 @@ fn run(org: MemOrg, frames: u64) -> (u64, u64) {
     } else {
         ExecMode::Pipe
     };
-    let m = rt.esp_run(&df, &buf, mode).expect("run succeeds");
+    let m = rt
+        .run(&RunSpec::new(&df).mode(mode), &buf)
+        .expect("run succeeds");
     (m.cycles, m.dram_accesses)
 }
 

@@ -34,7 +34,7 @@ fn run(dbuf: bool, frames: u64) -> u64 {
     soc.configure_accel(accel, &cfg).expect("configure");
     let start = soc.cycle();
     soc.start_accel(accel).expect("start");
-    soc.run_until_idle(100_000_000);
+    assert!(soc.run_until_idle(100_000_000).is_idle());
     soc.cycle() - start
 }
 

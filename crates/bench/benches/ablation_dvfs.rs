@@ -46,7 +46,7 @@ fn run(consumer_divider: u64, frames: u64) -> u64 {
     let start = soc.cycle();
     soc.start_accel(p).expect("start");
     soc.start_accel(c).expect("start");
-    soc.run_until_idle(100_000_000);
+    assert!(soc.run_until_idle(100_000_000).is_idle());
     soc.cycle() - start
 }
 

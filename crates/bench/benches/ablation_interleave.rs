@@ -44,7 +44,7 @@ fn run(mem_tiles: usize, frames: u64) -> (u64, u64) {
     let start = soc.cycle();
     soc.start_accel(a).expect("start");
     soc.start_accel(bq).expect("start");
-    soc.run_until_idle(100_000_000);
+    assert!(soc.run_until_idle(100_000_000).is_idle());
     (soc.cycle() - start, soc.stats().dram_accesses())
 }
 

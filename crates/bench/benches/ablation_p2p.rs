@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use esp4ml_noc::Coord;
-use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunMetrics};
+use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunMetrics, RunSpec};
 use esp4ml_soc::{ScaleKernel, SocBuilder};
 
 fn run(mode: ExecMode, frames: u64) -> RunMetrics {
@@ -29,7 +29,8 @@ fn run(mode: ExecMode, frames: u64) -> RunMetrics {
     for f in 0..frames {
         rt.write_frame(&buf, f, &vec![1; 1024]).expect("write");
     }
-    rt.esp_run(&df, &buf, mode).expect("run succeeds")
+    rt.run(&RunSpec::new(&df).mode(mode), &buf)
+        .expect("run succeeds")
 }
 
 fn bench_p2p_ablation(c: &mut Criterion) {

@@ -21,7 +21,14 @@ fn main() {
     let mut session = esp4ml_bench::observe::session_from_args(&args);
     let result = match session.as_mut() {
         Some(session) => Fig7::generate_traced(&models, args.frames, session),
-        None => Fig7::generate(&models, args.frames),
+        None => esp4ml_bench::parallel::run_grid(
+            &Fig7::grid(),
+            &models,
+            args.frames,
+            args.engine,
+            args.jobs,
+        )
+        .and_then(|runs| Fig7::assemble(&runs)),
     };
     match result {
         Ok(fig) => {

@@ -20,7 +20,14 @@ fn main() {
     let mut session = esp4ml_bench::observe::session_from_args(&args);
     let result = match session.as_mut() {
         Some(session) => Fig8::generate_traced(&models, args.frames, session),
-        None => Fig8::generate(&models, args.frames),
+        None => esp4ml_bench::parallel::run_grid(
+            &Fig8::grid(),
+            &models,
+            args.frames,
+            args.engine,
+            args.jobs,
+        )
+        .and_then(|runs| Fig8::assemble(&runs)),
     };
     match result {
         Ok(fig) => {

@@ -21,7 +21,14 @@ fn main() {
     let mut session = esp4ml_bench::observe::session_from_args(&args);
     let result = match session.as_mut() {
         Some(session) => Table1::generate_traced(&models, args.frames, session),
-        None => Table1::generate(&models, args.frames),
+        None => esp4ml_bench::parallel::run_grid(
+            &Table1::grid(),
+            &models,
+            args.frames,
+            args.engine,
+            args.jobs,
+        )
+        .and_then(|runs| Table1::assemble(&models, &runs)),
     };
     match result {
         Ok(table) => {

@@ -15,16 +15,20 @@
 //! untrained weights), `--samples N` and `--epochs N` (training budget).
 //! The figure/table binaries additionally accept `--trace <path>` (write
 //! a Chrome `trace_event` JSON of every simulated run, viewable at
-//! ui.perfetto.dev) and `--sample-every <cycles>` (with `--trace`, also
-//! write a `<path>.counters.csv` time-series of the SoC counters).
+//! ui.perfetto.dev), `--sample-every <cycles>` (with `--trace`, also
+//! write a `<path>.counters.csv` time-series of the SoC counters),
+//! `--engine naive|event` (the simulation engine) and `--jobs N` (worker
+//! threads for the experiment grid; tracing forces serial execution).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
 pub mod observe;
+pub mod parallel;
 
 use esp4ml::apps::TrainedModels;
+use esp4ml_soc::SocEngine;
 use std::path::PathBuf;
 
 /// Command-line options shared by the harness binaries.
@@ -42,6 +46,10 @@ pub struct HarnessArgs {
     pub trace: Option<PathBuf>,
     /// Counter sampling period in cycles (requires `trace`).
     pub sample_every: Option<u64>,
+    /// Simulation engine driving every run.
+    pub engine: SocEngine,
+    /// Worker threads for grid execution (ignored when tracing).
+    pub jobs: usize,
 }
 
 impl Default for HarnessArgs {
@@ -53,6 +61,8 @@ impl Default for HarnessArgs {
             epochs: 30,
             trace: None,
             sample_every: None,
+            engine: SocEngine::default(),
+            jobs: parallel::default_jobs(),
         }
     }
 }
@@ -85,10 +95,20 @@ impl HarnessArgs {
                     out.trace = Some(PathBuf::from(path));
                 }
                 "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
+                "--jobs" => out.jobs = grab("--jobs")? as usize,
+                "--engine" => {
+                    let v = it.next().ok_or("--engine needs naive or event")?;
+                    out.engine = match v.as_str() {
+                        "naive" => SocEngine::Naive,
+                        "event" | "event-driven" => SocEngine::EventDriven,
+                        other => return Err(format!("--engine: unknown engine {other}")),
+                    };
+                }
                 other => {
                     return Err(format!(
                         "unknown option {other}; supported: --frames N --train --no-train \
-                         --samples N --epochs N --trace PATH --sample-every CYCLES"
+                         --samples N --epochs N --trace PATH --sample-every CYCLES \
+                         --engine naive|event --jobs N"
                     ))
                 }
             }
@@ -101,6 +121,9 @@ impl HarnessArgs {
         }
         if out.sample_every.is_some() && out.trace.is_none() {
             return Err("--sample-every requires --trace".into());
+        }
+        if out.jobs == 0 {
+            return Err("--jobs must be at least 1".into());
         }
         Ok(out)
     }
@@ -168,6 +191,17 @@ mod tests {
         assert!(parse(&["--frames"]).is_err());
         assert!(parse(&["--frames", "abc"]).is_err());
         assert!(parse(&["--frames", "0"]).is_err());
+    }
+
+    #[test]
+    fn engine_and_jobs_options() {
+        let a = parse(&["--engine", "naive", "--jobs", "3"]).unwrap();
+        assert_eq!(a.engine, SocEngine::Naive);
+        assert_eq!(a.jobs, 3);
+        let a = parse(&["--engine", "event"]).unwrap();
+        assert_eq!(a.engine, SocEngine::EventDriven);
+        assert!(parse(&["--engine", "warp"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
     }
 
     #[test]

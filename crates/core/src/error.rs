@@ -1,0 +1,141 @@
+//! The workspace-level error type.
+//!
+//! Every substrate crate defines its own focused error enum
+//! ([`esp4ml_noc::NocError`], [`esp4ml_soc::SocError`],
+//! [`esp4ml_runtime::RuntimeError`], …), all marked `#[non_exhaustive]`
+//! so variants can grow without breaking downstream matches. Application
+//! code that drives the whole flow — examples, benches, integration
+//! tests — crosses several of those boundaries in one function;
+//! [`Esp4mlError`] is the single type such code can bubble everything
+//! into with `?`.
+
+use crate::apps::BuildError;
+use crate::experiments::ExperimentError;
+use esp4ml_hls4ml::CompileError;
+use esp4ml_mem::AllocError;
+use esp4ml_noc::NocError;
+use esp4ml_runtime::RuntimeError;
+use esp4ml_soc::SocError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error the ESP4ML reproduction can produce, one layer per variant.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Esp4mlError {
+    /// Network-on-chip configuration or injection failure.
+    Noc(NocError),
+    /// SoC construction or register/DMA access failure.
+    Soc(SocError),
+    /// Contiguous-buffer allocation failure.
+    Alloc(AllocError),
+    /// Runtime (`esp_alloc`/`esp_run`) failure.
+    Runtime(RuntimeError),
+    /// HLS4ML model compilation failure.
+    Compile(CompileError),
+    /// Case-study SoC assembly failure.
+    Build(BuildError),
+    /// Experiment-driver failure.
+    Experiment(ExperimentError),
+    /// Anything else (I/O, serialization) from application code.
+    Other(String),
+}
+
+impl fmt::Display for Esp4mlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Esp4mlError::Noc(e) => write!(f, "noc: {e}"),
+            Esp4mlError::Soc(e) => write!(f, "soc: {e}"),
+            Esp4mlError::Alloc(e) => write!(f, "alloc: {e}"),
+            Esp4mlError::Runtime(e) => write!(f, "runtime: {e}"),
+            Esp4mlError::Compile(e) => write!(f, "compile: {e}"),
+            Esp4mlError::Build(e) => write!(f, "build: {e}"),
+            Esp4mlError::Experiment(e) => write!(f, "experiment: {e}"),
+            Esp4mlError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for Esp4mlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Esp4mlError::Noc(e) => Some(e),
+            Esp4mlError::Soc(e) => Some(e),
+            Esp4mlError::Alloc(e) => Some(e),
+            Esp4mlError::Runtime(e) => Some(e),
+            Esp4mlError::Compile(e) => Some(e),
+            Esp4mlError::Build(e) => Some(e),
+            Esp4mlError::Experiment(e) => Some(e),
+            Esp4mlError::Other(_) => None,
+        }
+    }
+}
+
+impl From<NocError> for Esp4mlError {
+    fn from(e: NocError) -> Self {
+        Esp4mlError::Noc(e)
+    }
+}
+
+impl From<SocError> for Esp4mlError {
+    fn from(e: SocError) -> Self {
+        Esp4mlError::Soc(e)
+    }
+}
+
+impl From<AllocError> for Esp4mlError {
+    fn from(e: AllocError) -> Self {
+        Esp4mlError::Alloc(e)
+    }
+}
+
+impl From<RuntimeError> for Esp4mlError {
+    fn from(e: RuntimeError) -> Self {
+        Esp4mlError::Runtime(e)
+    }
+}
+
+impl From<CompileError> for Esp4mlError {
+    fn from(e: CompileError) -> Self {
+        Esp4mlError::Compile(e)
+    }
+}
+
+impl From<BuildError> for Esp4mlError {
+    fn from(e: BuildError) -> Self {
+        Esp4mlError::Build(e)
+    }
+}
+
+impl From<ExperimentError> for Esp4mlError {
+    fn from(e: ExperimentError) -> Self {
+        Esp4mlError::Experiment(e)
+    }
+}
+
+impl From<std::io::Error> for Esp4mlError {
+    fn from(e: std::io::Error) -> Self {
+        Esp4mlError::Other(format!("io: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_with_question_mark() {
+        fn noc() -> Result<(), Esp4mlError> {
+            Err(NocError::EmptyPayload)?;
+            Ok(())
+        }
+        fn runtime() -> Result<(), Esp4mlError> {
+            Err(RuntimeError::Timeout { cycles: 1 })?;
+            Ok(())
+        }
+        assert!(matches!(noc().unwrap_err(), Esp4mlError::Noc(_)));
+        assert!(matches!(runtime().unwrap_err(), Esp4mlError::Runtime(_)));
+        let msg = format!("{}", runtime().unwrap_err());
+        assert!(msg.starts_with("runtime:"), "{msg}");
+    }
+}

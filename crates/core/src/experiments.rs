@@ -16,7 +16,8 @@ use crate::apps::{argmax, decode_values, encode_image, CaseApp, TrainedModels};
 use crate::flow::Esp4mlFlow;
 use crate::observe::TraceSession;
 use esp4ml_baseline::{Platform, Workload};
-use esp4ml_runtime::{EspRuntime, ExecMode, RunMetrics, RuntimeError};
+use esp4ml_runtime::{EspRuntime, ExecMode, RunMetrics, RunSpec, RuntimeError};
+use esp4ml_soc::SocEngine;
 use esp4ml_trace::{TileCoord, TraceEvent};
 use esp4ml_vision::SvhnGenerator;
 use serde::{Deserialize, Serialize};
@@ -34,6 +35,8 @@ pub enum ExperimentError {
     Build(crate::apps::BuildError),
     /// Runtime execution failed.
     Run(RuntimeError),
+    /// Grid assembly was handed results that don't match the grid.
+    Grid(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -41,6 +44,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Build(e) => write!(f, "build failed: {e}"),
             ExperimentError::Run(e) => write!(f, "run failed: {e}"),
+            ExperimentError::Grid(msg) => write!(f, "grid assembly failed: {msg}"),
         }
     }
 }
@@ -50,6 +54,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Build(e) => Some(e),
             ExperimentError::Run(e) => Some(e),
+            ExperimentError::Grid(_) => None,
         }
     }
 }
@@ -63,6 +68,45 @@ impl From<crate::apps::BuildError> for ExperimentError {
 impl From<RuntimeError> for ExperimentError {
     fn from(e: RuntimeError) -> Self {
         ExperimentError::Run(e)
+    }
+}
+
+/// One independent unit of experiment work: an SoC configuration paired
+/// with an execution mode.
+///
+/// The figure/table drivers enumerate their work as a flat `Vec<GridPoint>`
+/// ([`Fig7::grid`], [`Fig8::grid`], [`Table1::grid`]), each point runs in
+/// isolation (its own SoC, its own runtime — nothing shared), and the
+/// matching `assemble` function folds the per-point [`AppRun`]s — **in
+/// grid order** — back into the figure. This is what lets the
+/// `esp4ml-bench` harness scatter points across worker threads and still
+/// collect deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPoint {
+    /// The SoC configuration to build and load.
+    pub app: CaseApp,
+    /// The execution mode to run the dataflow in.
+    pub mode: ExecMode,
+}
+
+impl GridPoint {
+    /// Human label ("2NV+2Cl p2p") for progress reporting.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.app.label(), self.mode.label())
+    }
+
+    /// Executes this point on a freshly built SoC under `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn run(
+        &self,
+        models: &TrainedModels,
+        frames: u64,
+        engine: SocEngine,
+    ) -> Result<AppRun, ExperimentError> {
+        AppRun::execute_on(&self.app, models, frames, self.mode, engine)
     }
 }
 
@@ -97,7 +141,24 @@ impl AppRun {
         frames: u64,
         mode: ExecMode,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, None)
+        Self::execute_with(app, models, frames, mode, SocEngine::default(), None)
+    }
+
+    /// [`AppRun::execute`] under an explicit simulation engine
+    /// ([`SocEngine::Naive`] as the cycle-exact oracle,
+    /// [`SocEngine::EventDriven`] for fast-forward simulation).
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn execute_on(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        engine: SocEngine,
+    ) -> Result<AppRun, ExperimentError> {
+        Self::execute_with(app, models, frames, mode, engine, None)
     }
 
     /// [`AppRun::execute`] with observability: events flow into the
@@ -115,7 +176,14 @@ impl AppRun {
         mode: ExecMode,
         session: &mut TraceSession,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, Some(session))
+        Self::execute_with(
+            app,
+            models,
+            frames,
+            mode,
+            SocEngine::default(),
+            Some(session),
+        )
     }
 
     fn execute_with(
@@ -123,9 +191,11 @@ impl AppRun {
         models: &TrainedModels,
         frames: u64,
         mode: ExecMode,
+        engine: SocEngine,
         mut session: Option<&mut TraceSession>,
     ) -> Result<AppRun, ExperimentError> {
         let mut soc = app.build_soc(models)?;
+        soc.set_engine(engine);
         let run_label = format!("{} {}", app.label(), mode.label());
         if let Some(session) = session.as_deref_mut() {
             let proc = soc.primary_proc();
@@ -152,7 +222,7 @@ impl AppRun {
             rt.write_frame(&buf, f, &encode_image(&image))?;
             labels.push(label);
         }
-        let metrics = rt.esp_run(&dataflow, &buf, mode)?;
+        let metrics = rt.run(&RunSpec::new(&dataflow).mode(mode), &buf)?;
         let mut predictions = Vec::with_capacity(frames as usize);
         for f in 0..frames {
             let logits = decode_values(&rt.read_frame(&buf, f)?);
@@ -231,6 +301,57 @@ impl Table1 {
         ]
     }
 
+    /// The experiment grid: each best-case configuration in p2p mode.
+    pub fn grid() -> Vec<GridPoint> {
+        Self::best_configs()
+            .iter()
+            .map(|&app| GridPoint {
+                app,
+                mode: ExecMode::P2p,
+            })
+            .collect()
+    }
+
+    /// Folds per-point runs — in [`Table1::grid`] order — into the table.
+    /// Utilization and power come from rebuilding each SoC (deterministic
+    /// and cheap; no simulation).
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Grid`] when `runs` doesn't match the grid;
+    /// build failures.
+    pub fn assemble(models: &TrainedModels, runs: &[AppRun]) -> Result<Table1, ExperimentError> {
+        let grid = Self::grid();
+        if runs.len() != grid.len() {
+            return Err(ExperimentError::Grid(format!(
+                "table1 expects {} runs, got {}",
+                grid.len(),
+                runs.len()
+            )));
+        }
+        let flow = Esp4mlFlow::new();
+        let i7 = Platform::intel_i7_8700k();
+        let tx1 = Platform::jetson_tx1();
+        let workloads = Workload::table1_apps();
+        let mut columns = Vec::new();
+        for ((point, run), (_, workload)) in grid.iter().zip(runs).zip(workloads.iter()) {
+            let soc = point.app.build_soc(models)?;
+            let util = flow.utilization(&soc);
+            let power = flow.estimate_power(&soc).total_watts();
+            columns.push(Table1Column {
+                app: point.app.app_name().to_string(),
+                lut_pct: util.lut_pct,
+                ff_pct: util.ff_pct,
+                bram_pct: util.bram_pct,
+                power_watts: power,
+                fps_esp4ml: run.metrics.frames_per_second(),
+                fps_i7: i7.frames_per_second(workload),
+                fps_jetson: tx1.frames_per_second(workload),
+            });
+        }
+        Ok(Table1 { columns })
+    }
+
     /// Generates the table by running each best-case configuration in p2p
     /// mode over `frames` frames.
     ///
@@ -259,29 +380,18 @@ impl Table1 {
         frames: u64,
         mut session: Option<&mut TraceSession>,
     ) -> Result<Table1, ExperimentError> {
-        let flow = Esp4mlFlow::new();
-        let i7 = Platform::intel_i7_8700k();
-        let tx1 = Platform::jetson_tx1();
-        let workloads = Workload::table1_apps();
-        let mut columns = Vec::new();
-        for (app, (_, workload)) in Self::best_configs().iter().zip(workloads.iter()) {
-            let soc = app.build_soc(models)?;
-            let util = flow.utilization(&soc);
-            let power = flow.estimate_power(&soc).total_watts();
-            let run =
-                AppRun::execute_with(app, models, frames, ExecMode::P2p, session.as_deref_mut())?;
-            columns.push(Table1Column {
-                app: app.app_name().to_string(),
-                lut_pct: util.lut_pct,
-                ff_pct: util.ff_pct,
-                bram_pct: util.bram_pct,
-                power_watts: power,
-                fps_esp4ml: run.metrics.frames_per_second(),
-                fps_i7: i7.frames_per_second(workload),
-                fps_jetson: tx1.frames_per_second(workload),
-            });
+        let mut runs = Vec::new();
+        for point in Self::grid() {
+            runs.push(AppRun::execute_with(
+                &point.app,
+                models,
+                frames,
+                point.mode,
+                SocEngine::default(),
+                session.as_deref_mut(),
+            )?);
         }
-        Ok(Table1 { columns })
+        Self::assemble(models, &runs)
     }
 }
 
@@ -394,6 +504,61 @@ pub struct Fig7 {
 }
 
 impl Fig7 {
+    /// The experiment grid: every accelerator configuration in every
+    /// execution mode, configuration-major.
+    pub fn grid() -> Vec<GridPoint> {
+        CaseApp::all_fig7_configs()
+            .into_iter()
+            .flat_map(|app| {
+                ExecMode::ALL
+                    .into_iter()
+                    .map(move |mode| GridPoint { app, mode })
+            })
+            .collect()
+    }
+
+    /// Folds per-point runs — in [`Fig7::grid`] order — into the figure.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Grid`] when `runs` doesn't match the grid.
+    pub fn assemble(runs: &[AppRun]) -> Result<Fig7, ExperimentError> {
+        let grid = Self::grid();
+        if runs.len() != grid.len() {
+            return Err(ExperimentError::Grid(format!(
+                "fig7 expects {} runs, got {}",
+                grid.len(),
+                runs.len()
+            )));
+        }
+        let i7 = Platform::intel_i7_8700k();
+        let tx1 = Platform::jetson_tx1();
+        let mut clusters: Vec<Fig7Cluster> = Workload::table1_apps()
+            .iter()
+            .map(|(name, w)| Fig7Cluster {
+                app: name.to_string(),
+                bars: Vec::new(),
+                i7_line: i7.frames_per_joule(w),
+                jetson_line: tx1.frames_per_joule(w),
+            })
+            .collect();
+        for (point, run) in grid.iter().zip(runs) {
+            let cluster = clusters
+                .iter_mut()
+                .find(|c| c.app == point.app.app_name())
+                .ok_or_else(|| {
+                    ExperimentError::Grid(format!("no fig7 cluster for {}", point.app.app_name()))
+                })?;
+            cluster.bars.push(Fig7Bar {
+                config: point.app.label(),
+                mode: point.mode.label().to_string(),
+                frames_per_joule: run.frames_per_joule(),
+                frames_per_second: run.metrics.frames_per_second(),
+            });
+        }
+        Ok(Fig7 { clusters })
+    }
+
     /// Generates the figure data by running every configuration in every
     /// mode over `frames` frames.
     ///
@@ -422,34 +587,18 @@ impl Fig7 {
         frames: u64,
         mut session: Option<&mut TraceSession>,
     ) -> Result<Fig7, ExperimentError> {
-        let i7 = Platform::intel_i7_8700k();
-        let tx1 = Platform::jetson_tx1();
-        let apps = Workload::table1_apps();
-        let mut clusters: Vec<Fig7Cluster> = apps
-            .iter()
-            .map(|(name, w)| Fig7Cluster {
-                app: name.to_string(),
-                bars: Vec::new(),
-                i7_line: i7.frames_per_joule(w),
-                jetson_line: tx1.frames_per_joule(w),
-            })
-            .collect();
-        for app in CaseApp::all_fig7_configs() {
-            let cluster = clusters
-                .iter_mut()
-                .find(|c| c.app == app.app_name())
-                .expect("cluster exists");
-            for mode in ExecMode::ALL {
-                let run = AppRun::execute_with(&app, models, frames, mode, session.as_deref_mut())?;
-                cluster.bars.push(Fig7Bar {
-                    config: app.label(),
-                    mode: mode.label().to_string(),
-                    frames_per_joule: run.frames_per_joule(),
-                    frames_per_second: run.metrics.frames_per_second(),
-                });
-            }
+        let mut runs = Vec::new();
+        for point in Self::grid() {
+            runs.push(AppRun::execute_with(
+                &point.app,
+                models,
+                frames,
+                point.mode,
+                SocEngine::default(),
+                session.as_deref_mut(),
+            )?);
         }
-        Ok(Fig7 { clusters })
+        Self::assemble(&runs)
     }
 }
 
@@ -522,6 +671,46 @@ pub struct Fig8 {
 }
 
 impl Fig8 {
+    /// The experiment grid: every best-case configuration, first
+    /// pipelined through memory, then over p2p.
+    pub fn grid() -> Vec<GridPoint> {
+        Table1::best_configs()
+            .iter()
+            .flat_map(|&app| {
+                [ExecMode::Pipe, ExecMode::P2p]
+                    .into_iter()
+                    .map(move |mode| GridPoint { app, mode })
+            })
+            .collect()
+    }
+
+    /// Folds per-point runs — in [`Fig8::grid`] order — into the figure.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Grid`] when `runs` doesn't match the grid.
+    pub fn assemble(runs: &[AppRun]) -> Result<Fig8, ExperimentError> {
+        let grid = Self::grid();
+        if runs.len() != grid.len() {
+            return Err(ExperimentError::Grid(format!(
+                "fig8 expects {} runs, got {}",
+                grid.len(),
+                runs.len()
+            )));
+        }
+        let rows = grid
+            .chunks(2)
+            .zip(runs.chunks(2))
+            .map(|(points, pair)| Fig8Row {
+                app: points[0].app.app_name().to_string(),
+                config: points[0].app.label(),
+                accesses_no_p2p: pair[0].metrics.dram_accesses,
+                accesses_p2p: pair[1].metrics.dram_accesses,
+            })
+            .collect();
+        Ok(Fig8 { rows })
+    }
+
     /// Generates the figure data over `frames` frames per application.
     ///
     /// # Errors
@@ -549,20 +738,18 @@ impl Fig8 {
         frames: u64,
         mut session: Option<&mut TraceSession>,
     ) -> Result<Fig8, ExperimentError> {
-        let mut rows = Vec::new();
-        for app in Table1::best_configs() {
-            let no_p2p =
-                AppRun::execute_with(&app, models, frames, ExecMode::Pipe, session.as_deref_mut())?;
-            let p2p =
-                AppRun::execute_with(&app, models, frames, ExecMode::P2p, session.as_deref_mut())?;
-            rows.push(Fig8Row {
-                app: app.app_name().to_string(),
-                config: app.label(),
-                accesses_no_p2p: no_p2p.metrics.dram_accesses,
-                accesses_p2p: p2p.metrics.dram_accesses,
-            });
+        let mut runs = Vec::new();
+        for point in Self::grid() {
+            runs.push(AppRun::execute_with(
+                &point.app,
+                models,
+                frames,
+                point.mode,
+                SocEngine::default(),
+                session.as_deref_mut(),
+            )?);
         }
-        Ok(Fig8 { rows })
+        Self::assemble(&runs)
     }
 }
 

@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod error;
 pub mod experiments;
 pub mod flow;
 pub mod observe;
 pub mod soc_config;
 
 pub use apps::{CaseApp, TrainedModels};
+pub use error::Esp4mlError;
 pub use flow::Esp4mlFlow;
 pub use observe::TraceSession;
 

@@ -47,6 +47,7 @@ mod packet;
 mod plane;
 mod router;
 mod routing;
+mod schedule;
 mod stats;
 
 pub use coord::Coord;
@@ -57,4 +58,5 @@ pub use packet::{MsgKind, Packet};
 pub use plane::Plane;
 pub use router::{Port, Router, RouterConfig};
 pub use routing::{Route, RoutingTable};
+pub use schedule::{Progress, Schedulable};
 pub use stats::{NocStats, PlaneStats};

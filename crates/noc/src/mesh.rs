@@ -2,6 +2,7 @@
 
 use crate::flit::{Flit, Reassembler};
 use crate::router::{Port, Router, RouterConfig, Transfer};
+use crate::schedule::{Progress, Schedulable};
 use crate::{Coord, NocError, NocStats, Packet, Plane};
 use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
@@ -392,6 +393,46 @@ impl Mesh {
             self.tick();
         }
         self.cycle - start
+    }
+
+    /// Event-driven progress report: the mesh is [`Progress::Active`]
+    /// while any flit is queued or in flight, or while delivered packets
+    /// sit unejected (their tiles will drain them on the next tick);
+    /// otherwise it is quiescent. A router moves flits every cycle it has
+    /// any, so the mesh never blocks on an internal latency.
+    pub fn progress(&self) -> Progress {
+        if !self.is_idle() || self.undelivered_total() > 0 {
+            Progress::Active
+        } else {
+            Progress::Quiescent
+        }
+    }
+
+    /// Bulk-advances the clock over `delta` traffic-free cycles.
+    pub fn advance(&mut self, delta: u64) {
+        debug_assert!(
+            self.is_idle(),
+            "mesh fast-forward with traffic in flight would skip flit hops"
+        );
+        self.cycle += delta;
+        self.stats.cycles = self.cycle;
+    }
+}
+
+impl Schedulable for Mesh {
+    type Fabric = ();
+
+    fn tick(&mut self, _fabric: &mut ()) -> Progress {
+        Mesh::tick(self);
+        Mesh::progress(self)
+    }
+
+    fn progress(&self, _now: u64) -> Progress {
+        Mesh::progress(self)
+    }
+
+    fn advance(&mut self, delta: u64) {
+        Mesh::advance(self, delta);
     }
 }
 

@@ -29,7 +29,7 @@
 //! ```
 //! use esp4ml_noc::Coord;
 //! use esp4ml_soc::{SocBuilder, ScaleKernel};
-//! use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode};
+//! use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 //!
 //! # fn main() -> Result<(), esp4ml_runtime::RuntimeError> {
 //! let soc = SocBuilder::new(2, 2)
@@ -46,7 +46,7 @@
 //!     let vals: Vec<u64> = (0..8).map(|i| i + f).collect();
 //!     rt.write_frame(&buf, f, &vals)?;
 //! }
-//! let metrics = rt.esp_run(&dataflow, &buf, ExecMode::P2p)?;
+//! let metrics = rt.run(&RunSpec::new(&dataflow).mode(ExecMode::P2p), &buf)?;
 //! assert_eq!(metrics.frames, frames);
 //! assert_eq!(rt.read_frame(&buf, 0)?, vec![0, 10, 20, 30, 40, 50, 60, 70]);
 //! rt.esp_cleanup();
@@ -68,4 +68,4 @@ pub use dataflow::{Dataflow, ExecMode, StageSpec};
 pub use error::RuntimeError;
 pub use metrics::RunMetrics;
 pub use registry::{DeviceInfo, DeviceRegistry};
-pub use runtime::{AppBuffers, EspRuntime};
+pub use runtime::{AppBuffers, EspRuntime, RunSpec};

@@ -14,6 +14,65 @@ const DEFAULT_IOCTL_CYCLES: u64 = 300;
 /// Cycle budget multiplier guard against misconfigured runs.
 const TIMEOUT_CYCLES: u64 = 500_000_000;
 
+/// A typed description of one `esp_run` invocation: the dataflow plus the
+/// run options that used to be scattered across runtime setters
+/// ([`EspRuntime::set_ioctl_cycles`], [`EspRuntime::set_tracer`]).
+///
+/// ```
+/// use esp4ml_runtime::{Dataflow, ExecMode, RunSpec};
+///
+/// let df = Dataflow::linear(&[&["classifier"]]);
+/// let spec = RunSpec::new(&df).mode(ExecMode::P2p).ioctl_cycles(500);
+/// assert_eq!(spec.exec_mode(), ExecMode::P2p);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSpec<'a> {
+    dataflow: &'a Dataflow,
+    mode: ExecMode,
+    ioctl_cycles: Option<u64>,
+    tracer: Option<Tracer>,
+}
+
+impl<'a> RunSpec<'a> {
+    /// Starts a run specification for `dataflow` in [`ExecMode::Base`].
+    pub fn new(dataflow: &'a Dataflow) -> Self {
+        RunSpec {
+            dataflow,
+            mode: ExecMode::Base,
+            ioctl_cycles: None,
+            tracer: None,
+        }
+    }
+
+    /// Selects the execution mode (Fig. 7's `base` / `pipe` / `p2p`).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the per-invocation driver overhead for this run only.
+    pub fn ioctl_cycles(mut self, cycles: u64) -> Self {
+        self.ioctl_cycles = Some(cycles);
+        self
+    }
+
+    /// Installs `tracer` on the runtime and SoC before the run.
+    pub fn trace(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The dataflow this spec runs.
+    pub fn dataflow(&self) -> &'a Dataflow {
+        self.dataflow
+    }
+
+    /// The selected execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+}
+
 /// The buffers backing one application dataflow (returned by
 /// [`EspRuntime::prepare`], the `esp_alloc` step).
 ///
@@ -306,7 +365,46 @@ impl EspRuntime {
     /// # Errors
     ///
     /// Unknown devices, invalid dataflows, or a simulation timeout.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a typed RunSpec and call EspRuntime::run instead"
+    )]
     pub fn esp_run(
+        &mut self,
+        dataflow: &Dataflow,
+        buf: &AppBuffers,
+        mode: ExecMode,
+    ) -> Result<RunMetrics, RuntimeError> {
+        self.run(&RunSpec::new(dataflow).mode(mode), buf)
+    }
+
+    /// Executes a [`RunSpec`] over the prepared buffers — the typed
+    /// replacement for [`EspRuntime::esp_run`]. A spec-level ioctl
+    /// override applies to this run only; a spec-level tracer is
+    /// installed on the runtime and SoC as [`EspRuntime::set_tracer`]
+    /// would.
+    ///
+    /// # Errors
+    ///
+    /// Unknown devices, invalid dataflows, or a simulation timeout.
+    pub fn run(
+        &mut self,
+        spec: &RunSpec<'_>,
+        buf: &AppBuffers,
+    ) -> Result<RunMetrics, RuntimeError> {
+        if let Some(tracer) = &spec.tracer {
+            self.set_tracer(tracer.clone());
+        }
+        let saved_ioctl = self.ioctl_cycles;
+        if let Some(cycles) = spec.ioctl_cycles {
+            self.ioctl_cycles = cycles;
+        }
+        let result = self.run_spec_inner(spec.dataflow, buf, spec.mode);
+        self.ioctl_cycles = saved_ioctl;
+        result
+    }
+
+    fn run_spec_inner(
         &mut self,
         dataflow: &Dataflow,
         buf: &AppBuffers,
@@ -481,7 +579,11 @@ impl EspRuntime {
                     insts[s][j].next_local += 1;
                 }
             }
-            self.soc.tick();
+            // Fast-forwards to the next interesting cycle under the
+            // event-driven engine; a single naive tick otherwise. Issue
+            // decisions only change when an IRQ retires, so skipping
+            // boring cycles cannot alter the schedule.
+            self.soc.step(deadline + 1 - self.soc.cycle());
             if self.soc.cycle() > deadline {
                 return Err(RuntimeError::Timeout {
                     cycles: TIMEOUT_CYCLES,
@@ -543,7 +645,7 @@ impl EspRuntime {
             if remaining.is_empty() {
                 break;
             }
-            self.soc.tick();
+            self.soc.step(deadline + 1 - self.soc.cycle());
             if self.soc.cycle() > deadline {
                 return Err(RuntimeError::Timeout {
                     cycles: TIMEOUT_CYCLES,
@@ -559,7 +661,7 @@ impl EspRuntime {
             if self.soc.take_irqs().contains(&coord) {
                 return Ok(());
             }
-            self.soc.tick();
+            self.soc.step(deadline + 1 - self.soc.cycle());
             if self.soc.cycle() > deadline {
                 return Err(RuntimeError::Timeout {
                     cycles: TIMEOUT_CYCLES,
@@ -574,38 +676,41 @@ mod tests {
     use super::*;
     use esp4ml_soc::{ScaleKernel, SocBuilder};
 
-    fn two_stage_runtime() -> EspRuntime {
+    /// Fallible helpers: tests bubble failures up with `?` instead of
+    /// unwrapping at every call site.
+    fn two_stage_runtime() -> Result<EspRuntime, RuntimeError> {
         let soc = SocBuilder::new(3, 2)
             .processor(Coord::new(0, 0))
             .memory(Coord::new(1, 0))
             .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("x2", 16, 2)))
             .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("x3", 16, 3)))
             .build()
-            .unwrap();
-        EspRuntime::new(soc).unwrap()
+            .map_err(RuntimeError::Soc)?;
+        EspRuntime::new(soc)
     }
 
-    fn run_mode(mode: ExecMode) -> (Vec<Vec<u64>>, RunMetrics) {
-        let mut rt = two_stage_runtime();
+    fn run_mode(mode: ExecMode) -> Result<(Vec<Vec<u64>>, RunMetrics), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
         let df = Dataflow::linear(&[&["x2"], &["x3"]]);
         let frames = 4;
-        let buf = rt.prepare(&df, frames).unwrap();
+        let buf = rt.prepare(&df, frames)?;
         for f in 0..frames {
             let vals: Vec<u64> = (0..16).map(|i| i + 100 * f).collect();
-            rt.write_frame(&buf, f, &vals).unwrap();
+            rt.write_frame(&buf, f, &vals)?;
         }
-        let m = rt.esp_run(&df, &buf, mode).unwrap();
-        let outs = (0..frames)
-            .map(|f| rt.read_frame(&buf, f).unwrap())
-            .collect();
-        (outs, m)
+        let m = rt.run(&RunSpec::new(&df).mode(mode), &buf)?;
+        let mut outs = Vec::new();
+        for f in 0..frames {
+            outs.push(rt.read_frame(&buf, f)?);
+        }
+        Ok((outs, m))
     }
 
     #[test]
-    fn all_modes_compute_the_same_result() {
-        let (base, mb) = run_mode(ExecMode::Base);
-        let (pipe, mp) = run_mode(ExecMode::Pipe);
-        let (p2p, m2) = run_mode(ExecMode::P2p);
+    fn all_modes_compute_the_same_result() -> Result<(), RuntimeError> {
+        let (base, mb) = run_mode(ExecMode::Base)?;
+        let (pipe, mp) = run_mode(ExecMode::Pipe)?;
+        let (p2p, m2) = run_mode(ExecMode::P2p)?;
         for f in 0..4usize {
             let expected: Vec<u64> = (0..16).map(|i| (i + 100 * f as u64) * 6).collect();
             assert_eq!(base[f], expected, "base frame {f}");
@@ -614,6 +719,27 @@ mod tests {
         }
         assert_eq!(mb.frames, 4);
         assert!(mb.invocations == 8 && mp.invocations == 8 && m2.invocations == 2);
+        Ok(())
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_esp_run_wrapper_matches_run() -> Result<(), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
+        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+        let buf = rt.prepare(&df, 2)?;
+        for f in 0..2 {
+            rt.write_frame(&buf, f, &[1; 16])?;
+        }
+        let via_wrapper = rt.esp_run(&df, &buf, ExecMode::Base)?;
+        let mut rt2 = two_stage_runtime()?;
+        let buf2 = rt2.prepare(&df, 2)?;
+        for f in 0..2 {
+            rt2.write_frame(&buf2, f, &[1; 16])?;
+        }
+        let via_spec = rt2.run(&RunSpec::new(&df), &buf2)?;
+        assert_eq!(via_wrapper, via_spec);
+        Ok(())
     }
 
     #[test]
@@ -641,7 +767,7 @@ mod tests {
             for f in 0..8 {
                 rt.write_frame(&buf, f, &[1; 16]).unwrap();
             }
-            rt.esp_run(&df, &buf, mode).unwrap().cycles
+            rt.run(&RunSpec::new(&df).mode(mode), &buf).unwrap().cycles
         };
         let base = run(ExecMode::Base);
         let pipe = run(ExecMode::Pipe);
@@ -652,9 +778,9 @@ mod tests {
     }
 
     #[test]
-    fn p2p_reduces_dram_accesses() {
-        let (_, mp) = run_mode(ExecMode::Pipe);
-        let (_, m2) = run_mode(ExecMode::P2p);
+    fn p2p_reduces_dram_accesses() -> Result<(), RuntimeError> {
+        let (_, mp) = run_mode(ExecMode::Pipe)?;
+        let (_, m2) = run_mode(ExecMode::P2p)?;
         assert!(
             m2.dram_accesses < mp.dram_accesses / 2 + 1,
             "p2p {} vs pipe {}",
@@ -663,16 +789,18 @@ mod tests {
         );
         // Exactly input + output should hit DRAM under p2p.
         assert_eq!(m2.dram_accesses, 4 * 4 + 4 * 4);
+        Ok(())
     }
 
     #[test]
-    fn unknown_device_rejected() {
-        let mut rt = two_stage_runtime();
+    fn unknown_device_rejected() -> Result<(), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
         let df = Dataflow::linear(&[&["nope"]]);
         assert!(matches!(
             rt.prepare(&df, 1),
             Err(RuntimeError::UnknownDevice { .. })
         ));
+        Ok(())
     }
 
     #[test]
@@ -710,7 +838,9 @@ mod tests {
         for f in 0..frames {
             rt.write_frame(&buf, f, &[f + 1; 8]).unwrap();
         }
-        let m = rt.esp_run(&df, &buf, ExecMode::P2p).unwrap();
+        let m = rt
+            .run(&RunSpec::new(&df).mode(ExecMode::P2p), &buf)
+            .unwrap();
         assert_eq!(m.invocations, 3);
         for f in 0..frames {
             assert_eq!(
@@ -722,29 +852,45 @@ mod tests {
     }
 
     #[test]
-    fn esp_alloc_and_cleanup() {
-        let mut rt = two_stage_runtime();
-        let h = rt.esp_alloc(1024).unwrap();
+    fn esp_alloc_and_cleanup() -> Result<(), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
+        let h = rt.esp_alloc(1024)?;
         assert_eq!(h.len, 1024);
         rt.esp_cleanup();
-        let h2 = rt.esp_alloc(1024).unwrap();
+        let h2 = rt.esp_alloc(1024)?;
         assert_eq!(h2.base, h.base);
+        Ok(())
     }
 
     #[test]
-    fn ioctl_overhead_slows_dma_modes() {
-        let run_with = |cycles: u64| {
-            let mut rt = two_stage_runtime();
-            rt.set_ioctl_cycles(cycles);
+    fn ioctl_overhead_slows_dma_modes() -> Result<(), RuntimeError> {
+        let run_with = |cycles: u64| -> Result<u64, RuntimeError> {
+            let mut rt = two_stage_runtime()?;
             let df = Dataflow::linear(&[&["x2"], &["x3"]]);
-            let buf = rt.prepare(&df, 4).unwrap();
+            let buf = rt.prepare(&df, 4)?;
             for f in 0..4 {
-                rt.write_frame(&buf, f, &[1; 16]).unwrap();
+                rt.write_frame(&buf, f, &[1; 16])?;
             }
-            rt.esp_run(&df, &buf, ExecMode::Base).unwrap().cycles
+            Ok(rt
+                .run(&RunSpec::new(&df).ioctl_cycles(cycles), &buf)?
+                .cycles)
         };
         // 8 invocations at +990 cycles each, minus the execution that the
         // longer ioctl window hides.
-        assert!(run_with(1000) > run_with(10) + 4000);
+        assert!(run_with(1000)? > run_with(10)? + 4000);
+        Ok(())
+    }
+
+    #[test]
+    fn spec_ioctl_override_is_per_run() -> Result<(), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
+        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+        let buf = rt.prepare(&df, 1)?;
+        rt.write_frame(&buf, 0, &[1; 16])?;
+        let slow = rt.run(&RunSpec::new(&df).ioctl_cycles(5_000), &buf)?;
+        // The override must not leak into a spec without one.
+        let normal = rt.run(&RunSpec::new(&df), &buf)?;
+        assert!(slow.cycles > normal.cycles + 2 * 4_000);
+        Ok(())
     }
 }

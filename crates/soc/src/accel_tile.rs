@@ -18,7 +18,7 @@ use crate::regs::{
 };
 use crate::stats::AccelStats;
 use esp4ml_mem::{PageTable, Tlb};
-use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -391,8 +391,8 @@ impl AccelTile {
         matches!(self.state, AccelState::Idle | AccelState::Done) && self.tx_queue.is_empty()
     }
 
-    /// Advances the tile by one cycle.
-    pub fn tick(&mut self, mesh: &mut Mesh) {
+    /// Advances the tile by one cycle and reports its progress.
+    pub fn tick(&mut self, mesh: &mut Mesh) -> Progress {
         self.cycle = mesh.cycle();
         self.drain_control(mesh);
         self.drain_dma_req(mesh);
@@ -416,6 +416,103 @@ impl AccelTile {
             } else {
                 break;
             }
+        }
+        self.progress(mesh.cycle())
+    }
+
+    /// Event-driven progress report for cycle `now`.
+    ///
+    /// The wake hints mirror [`AccelTile::tick`]'s boring paths exactly:
+    /// a stall of `s` burns `s` decrement ticks before the FSM steps
+    /// again, and a compute phase at countdown `c` / divider `d` / phase
+    /// `p` transitions on its `(d - p) + (c - 1) * d`-th tick.
+    pub fn progress(&self, now: u64) -> Progress {
+        if !self.tx_queue.is_empty() {
+            return Progress::Active;
+        }
+        if matches!(self.state, AccelState::Idle | AccelState::Done) {
+            return Progress::Quiescent;
+        }
+        if self.stall > 0 {
+            return Progress::Blocked {
+                until: now + self.stall,
+            };
+        }
+        match self.state {
+            AccelState::LoadIssue | AccelState::StoreIssue | AccelState::StoreSend => {
+                Progress::Active
+            }
+            AccelState::LoadWait => {
+                let half = if self.dbuf {
+                    (self.frame_idx % 2) as usize
+                } else {
+                    0
+                };
+                if self.rx_counts[half] >= self.rx_expect {
+                    Progress::Active
+                } else {
+                    Progress::Quiescent
+                }
+            }
+            AccelState::Compute => {
+                let ticks_to_go = (self.dvfs_divider - self.dvfs_phase)
+                    + (self.compute_countdown - 1) * self.dvfs_divider;
+                Progress::Blocked {
+                    until: now + ticks_to_go - 1,
+                }
+            }
+            AccelState::StoreWaitReq => {
+                if self.pending_p2p_reqs.is_empty() {
+                    Progress::Quiescent
+                } else {
+                    Progress::Active
+                }
+            }
+            AccelState::StoreWaitAck => {
+                if self.store_acked_words >= self.out_words {
+                    Progress::Active
+                } else {
+                    Progress::Quiescent
+                }
+            }
+            AccelState::Idle | AccelState::Done => unreachable!("handled above"),
+        }
+    }
+
+    /// Bulk-applies `delta` boring cycles: stall/compute countdowns and
+    /// the busy/stall/load/compute/store statistics advance exactly as
+    /// `delta` naive ticks would have.
+    pub fn advance(&mut self, delta: u64) {
+        if delta == 0 || matches!(self.state, AccelState::Idle | AccelState::Done) {
+            return;
+        }
+        self.stats.busy_cycles += delta;
+        if self.stall > 0 {
+            debug_assert!(delta <= self.stall, "advance past the stall countdown");
+            self.stall -= delta;
+            self.stats.stall_cycles += delta;
+            return;
+        }
+        match self.state {
+            AccelState::LoadWait => self.stats.load_cycles += delta,
+            AccelState::Compute => {
+                self.stats.compute_cycles += delta;
+                let total = self.dvfs_phase + delta;
+                let wraps = total / self.dvfs_divider;
+                debug_assert!(
+                    wraps < self.compute_countdown,
+                    "advance past the compute countdown"
+                );
+                self.compute_countdown -= wraps;
+                self.dvfs_phase = total % self.dvfs_divider;
+            }
+            AccelState::StoreWaitReq | AccelState::StoreSend | AccelState::StoreWaitAck => {
+                self.stats.store_cycles += delta;
+            }
+            AccelState::Idle
+            | AccelState::Done
+            | AccelState::LoadIssue
+            | AccelState::StoreIssue => {}
         }
     }
 
@@ -770,6 +867,22 @@ impl AccelTile {
         } else {
             self.set_state(AccelState::LoadIssue);
         }
+    }
+}
+
+impl Schedulable for AccelTile {
+    type Fabric = Mesh;
+
+    fn tick(&mut self, mesh: &mut Mesh) -> Progress {
+        AccelTile::tick(self, mesh)
+    }
+
+    fn progress(&self, now: u64) -> Progress {
+        AccelTile::progress(self, now)
+    }
+
+    fn advance(&mut self, delta: u64) {
+        AccelTile::advance(self, delta);
     }
 }
 

@@ -45,7 +45,7 @@
 //! soc.map_contiguous(accel, 0, 1024)?;
 //! soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 512, 1))?;
 //! soc.start_accel(accel)?;
-//! soc.run_until_idle(100_000);
+//! assert!(soc.run_until_idle(100_000).is_idle());
 //! assert_eq!(soc.take_irqs(), vec![accel]);
 //! // Output buffer starts at word 512, i.e. value index 2048.
 //! assert_eq!(soc.dram_peek_value(4 * 512)?, 2);
@@ -73,5 +73,9 @@ pub use mem_map::MemMap;
 pub use mem_tile::MemTile;
 pub use proc_tile::ProcTile;
 pub use regs::P2pConfig;
-pub use soc::{Soc, SocBuilder, TileKind};
+pub use soc::{RunOutcome, Soc, SocBuilder, SocEngine, TileKind};
 pub use stats::{AccelStats, SocStats};
+
+// The event-driven scheduling contract all tiles implement (defined next
+// to the mesh, re-exported here for tile users).
+pub use esp4ml_noc::{Progress, Schedulable};

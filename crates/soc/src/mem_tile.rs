@@ -1,7 +1,7 @@
 //! The memory tile: DMA service over off-chip DRAM.
 
 use esp4ml_mem::{CacheConfig, CacheStats, CachedDram, DramConfig, DramStats};
-use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use esp4ml_trace::{DmaKind, TileCoord, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
@@ -108,8 +108,9 @@ impl MemTile {
         self.queue.is_empty() && self.current.is_none() && self.outgoing.is_empty()
     }
 
-    /// Advances the tile by one cycle against the mesh.
-    pub fn tick(&mut self, mesh: &mut Mesh) {
+    /// Advances the tile by one cycle against the mesh and reports its
+    /// progress.
+    pub fn tick(&mut self, mesh: &mut Mesh) -> Progress {
         // Accept new requests.
         while let Some(pkt) = mesh.eject(self.coord, Plane::DmaReq) {
             self.queue.push_back(pkt);
@@ -140,6 +141,35 @@ impl MemTile {
             } else {
                 break;
             }
+        }
+        self.progress(mesh.cycle())
+    }
+
+    /// Event-driven progress: blocked while the in-flight request counts
+    /// down its DRAM latency, active whenever it has responses to release
+    /// or requests to start, quiescent with nothing in flight.
+    pub fn progress(&self, now: u64) -> Progress {
+        if !self.outgoing.is_empty() {
+            return Progress::Active;
+        }
+        match &self.current {
+            // A tick with `busy == 1` decrements *and* releases the
+            // responses, so the last boring cycle is `busy - 1` away.
+            Some(p) if p.busy > 1 => Progress::Blocked {
+                until: now + p.busy - 1,
+            },
+            Some(_) => Progress::Active,
+            None if !self.queue.is_empty() => Progress::Active,
+            None => Progress::Quiescent,
+        }
+    }
+
+    /// Bulk-applies `delta` boring cycles to the in-flight latency
+    /// countdown.
+    pub fn advance(&mut self, delta: u64) {
+        if let Some(p) = self.current.as_mut() {
+            debug_assert!(delta < p.busy, "advance must stop before release");
+            p.busy -= delta;
         }
     }
 
@@ -195,6 +225,22 @@ impl MemTile {
                 (1, Vec::new())
             }
         }
+    }
+}
+
+impl Schedulable for MemTile {
+    type Fabric = Mesh;
+
+    fn tick(&mut self, mesh: &mut Mesh) -> Progress {
+        MemTile::tick(self, mesh)
+    }
+
+    fn progress(&self, now: u64) -> Progress {
+        MemTile::progress(self, now)
+    }
+
+    fn advance(&mut self, delta: u64) {
+        MemTile::advance(self, delta);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The processor tile: the hardware seat of the software runtime.
 
-use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane};
+use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use std::collections::VecDeque;
 
 /// The processor tile (an Ariane RISC-V core in the paper's SoCs).
@@ -62,8 +62,8 @@ impl ProcTile {
         }
     }
 
-    /// Advances the tile by one cycle.
-    pub fn tick(&mut self, mesh: &mut Mesh) {
+    /// Advances the tile by one cycle and reports its progress.
+    pub fn tick(&mut self, mesh: &mut Mesh) -> Progress {
         self.drain_irqs(mesh);
         while let Some(pkt) = self.outgoing.front() {
             if mesh.can_inject(self.coord, pkt.plane(), pkt.flit_len()) {
@@ -73,6 +73,37 @@ impl ProcTile {
                 break;
             }
         }
+        self.progress(mesh.cycle())
+    }
+
+    /// Event-driven progress: active while register writes wait to inject
+    /// or delivered interrupts wait to be taken by the runtime. A pending
+    /// IRQ is software-visible state — the runtime polls it between steps
+    /// and reacts by issuing new work, so the scheduler must not
+    /// fast-forward past it (the all-quiescent deadlock skip would eat the
+    /// whole cycle budget before the runtime ever saw the interrupt).
+    pub fn progress(&self, _now: u64) -> Progress {
+        if self.outgoing.is_empty() && self.irqs.is_empty() {
+            Progress::Quiescent
+        } else {
+            Progress::Active
+        }
+    }
+}
+
+impl Schedulable for ProcTile {
+    type Fabric = Mesh;
+
+    fn tick(&mut self, mesh: &mut Mesh) -> Progress {
+        ProcTile::tick(self, mesh)
+    }
+
+    fn progress(&self, now: u64) -> Progress {
+        ProcTile::progress(self, now)
+    }
+
+    fn advance(&mut self, _delta: u64) {
+        // No per-cycle internal state: boring cycles are free.
     }
 }
 

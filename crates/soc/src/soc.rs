@@ -14,6 +14,55 @@ use esp4ml_noc::{Coord, Mesh, MeshConfig, NocStats};
 use esp4ml_trace::{CounterRegistry, CounterSeries, Tracer};
 use std::collections::HashMap;
 
+/// Which simulation engine drives [`Soc::step`] and the run loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SocEngine {
+    /// Tick every component every cycle — the reference oracle.
+    Naive,
+    /// Skip spans where every component is blocked or quiescent by
+    /// jumping the clock to the earliest wake cycle. Cycle-exact with
+    /// [`SocEngine::Naive`]: identical metrics, counters, sampling rows
+    /// and trace events.
+    #[default]
+    EventDriven,
+}
+
+/// How a bounded run ([`Soc::run_until_idle`]) ended.
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The SoC went quiescent after this many cycles.
+    Idle {
+        /// Cycles executed before quiescence.
+        cycles: u64,
+    },
+    /// The cycle budget ran out with work still pending (a stuck
+    /// accelerator, an unserviced p2p request, a deadlocked pipeline).
+    TimedOut {
+        /// Cycles executed (the full budget).
+        cycles: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Cycles executed, however the run ended.
+    pub fn cycles(&self) -> u64 {
+        match *self {
+            RunOutcome::Idle { cycles } | RunOutcome::TimedOut { cycles } => cycles,
+        }
+    }
+
+    /// True when the run reached quiescence.
+    pub fn is_idle(&self) -> bool {
+        matches!(self, RunOutcome::Idle { .. })
+    }
+
+    /// True when the cycle budget ran out first.
+    pub fn timed_out(&self) -> bool {
+        matches!(self, RunOutcome::TimedOut { .. })
+    }
+}
+
 /// What occupies a grid position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TileKind {
@@ -36,6 +85,7 @@ pub struct SocBuilder {
     cols: usize,
     rows: usize,
     clock_mhz: f64,
+    engine: SocEngine,
     procs: Vec<Coord>,
     mems: Vec<(Coord, DramConfig, Option<CacheConfig>)>,
     aux: Vec<Coord>,
@@ -60,6 +110,7 @@ impl SocBuilder {
             cols,
             rows,
             clock_mhz: 78.0,
+            engine: SocEngine::default(),
             procs: Vec::new(),
             mems: Vec::new(),
             aux: Vec::new(),
@@ -70,6 +121,12 @@ impl SocBuilder {
     /// Sets the SoC clock in MHz.
     pub fn clock_mhz(mut self, mhz: f64) -> Self {
         self.clock_mhz = mhz;
+        self
+    }
+
+    /// Selects the simulation engine (event-driven by default).
+    pub fn engine(mut self, engine: SocEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -194,6 +251,7 @@ impl SocBuilder {
             primary_proc,
             tracer: Tracer::disabled(),
             series: None,
+            engine: self.engine,
         })
     }
 }
@@ -214,6 +272,7 @@ pub struct Soc {
     primary_proc: Coord,
     tracer: Tracer,
     series: Option<CounterSeries>,
+    engine: SocEngine,
 }
 
 impl Soc {
@@ -500,7 +559,19 @@ impl Soc {
             && self.accel_tiles.iter().all(AccelTile::is_idle)
     }
 
-    /// Advances the SoC by one cycle.
+    /// The simulation engine currently driving [`Soc::step`].
+    pub fn engine(&self) -> SocEngine {
+        self.engine
+    }
+
+    /// Switches the simulation engine (e.g. back to [`SocEngine::Naive`]
+    /// as an oracle).
+    pub fn set_engine(&mut self, engine: SocEngine) {
+        self.engine = engine;
+    }
+
+    /// Advances the SoC by exactly one cycle, ticking every component
+    /// (the naive per-cycle contract, regardless of engine).
     pub fn tick(&mut self) {
         for t in &mut self.proc_tiles {
             t.tick(&mut self.mesh);
@@ -522,20 +593,106 @@ impl Soc {
         }
     }
 
-    /// Runs `n` cycles.
-    pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
+    /// Advances the SoC by at least one and at most `limit` cycles and
+    /// returns how many elapsed.
+    ///
+    /// Under [`SocEngine::EventDriven`], when no component is active the
+    /// clock jumps over the boring span — up to the earliest wake cycle,
+    /// or through the whole `limit` when everything is quiescent (idle or
+    /// deadlocked) — bulk-advancing latency countdowns, statistics and
+    /// [`CounterSeries`] sampling points, then executes the interesting
+    /// cycle normally. Under [`SocEngine::Naive`] this is exactly one
+    /// [`Soc::tick`].
+    pub fn step(&mut self, limit: u64) -> u64 {
+        debug_assert!(limit > 0, "step needs a non-zero cycle budget");
+        if self.engine == SocEngine::EventDriven {
+            if let Some(boring) = self.boring_span() {
+                let skip = boring.min(limit);
+                if skip > 0 {
+                    self.advance_time(skip);
+                }
+                if skip >= limit {
+                    return skip;
+                }
+                self.tick();
+                return skip + 1;
+            }
+        }
+        self.tick();
+        1
+    }
+
+    /// The number of guaranteed-boring cycles ahead: `None` when some
+    /// component is active this cycle, `Some(u64::MAX)` when everything
+    /// is quiescent (the caller clamps to its budget — covers both idle
+    /// and deadlock).
+    fn boring_span(&self) -> Option<u64> {
+        let now = self.mesh.cycle();
+        let mut p = self.mesh.progress();
+        for t in &self.proc_tiles {
+            p = p.merge(t.progress(now));
+        }
+        for t in &self.accel_tiles {
+            p = p.merge(t.progress(now));
+        }
+        for t in &self.mem_tiles {
+            p = p.merge(t.progress(now));
+        }
+        match p.next_wake(now) {
+            Some(wake) if wake <= now => None,
+            Some(wake) => Some(wake - now),
+            None => Some(u64::MAX),
         }
     }
 
-    /// Runs until quiescent or `max_cycles` elapse; returns cycles run.
-    pub fn run_until_idle(&mut self, max_cycles: u64) -> u64 {
-        let start = self.cycle();
-        while !self.is_idle() && self.cycle() - start < max_cycles {
-            self.tick();
+    /// Bulk-applies `delta` boring cycles: every tile's internal
+    /// countdowns and statistics advance as if ticked `delta` times, the
+    /// mesh clock jumps, and any [`CounterSeries`] sampling point inside
+    /// the span is emitted exactly as the naive engine would have (only
+    /// `soc.cycles` moves during a boring span; every other counter
+    /// plateaus).
+    fn advance_time(&mut self, delta: u64) {
+        let start = self.mesh.cycle();
+        for t in &mut self.accel_tiles {
+            t.advance(delta);
         }
-        self.cycle() - start
+        for t in &mut self.mem_tiles {
+            t.advance(delta);
+        }
+        self.mesh.advance(delta);
+        if let Some(every) = self.series.as_ref().map(CounterSeries::every) {
+            let mut due = (start / every + 1) * every;
+            while due <= start + delta {
+                let mut reg = self.counter_registry();
+                reg.set("soc.cycles", due);
+                let snap = reg.snapshot();
+                self.series.as_mut().expect("sampling on").record(due, snap);
+                due += every;
+            }
+        }
+    }
+
+    /// Runs `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        let end = self.cycle() + n;
+        while self.cycle() < end {
+            self.step(end - self.cycle());
+        }
+    }
+
+    /// Runs until quiescent or `max_cycles` elapse.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> RunOutcome {
+        let start = self.cycle();
+        while !self.is_idle() {
+            let elapsed = self.cycle() - start;
+            if elapsed >= max_cycles {
+                return RunOutcome::TimedOut { cycles: elapsed };
+            }
+            self.step(max_cycles - elapsed);
+        }
+        RunOutcome::Idle {
+            cycles: self.cycle() - start,
+        }
     }
 
     /// Installs a trace sink handle, distributing clones into the mesh,
@@ -714,8 +871,9 @@ mod tests {
         soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
             .unwrap();
         soc.start_accel(accel).unwrap();
-        let cycles = soc.run_until_idle(100_000);
-        assert!(cycles > 0 && cycles < 100_000);
+        let outcome = soc.run_until_idle(100_000);
+        assert!(outcome.is_idle());
+        assert!(outcome.cycles() > 0 && outcome.cycles() < 100_000);
         assert_eq!(soc.take_irqs(), vec![accel]);
         let out = soc.dram_read_values(100, 16, 16).unwrap();
         let expected: Vec<u64> = input.iter().map(|v| v * 2).collect();
@@ -736,7 +894,7 @@ mod tests {
         soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 64, 2))
             .unwrap();
         soc.start_accel(accel).unwrap();
-        soc.run_until_idle(100_000);
+        assert!(soc.run_until_idle(100_000).is_idle());
         let out0 = soc.dram_read_values(64, 16, 16).unwrap();
         let out1 = soc.dram_read_values(68, 16, 16).unwrap();
         assert_eq!(out0, f0.iter().map(|v| v * 2).collect::<Vec<_>>());
@@ -765,7 +923,7 @@ mod tests {
         .unwrap();
         soc.start_accel(producer).unwrap();
         soc.start_accel(consumer).unwrap();
-        soc.run_until_idle(1_000_000);
+        assert!(soc.run_until_idle(1_000_000).is_idle());
         let mut irqs = soc.take_irqs();
         irqs.sort();
         assert_eq!(irqs, vec![producer, consumer]);
@@ -800,11 +958,11 @@ mod tests {
             soc.configure_accel(a, &AccelConfig::dma_to_dma(0, 50, 1))
                 .unwrap();
             soc.start_accel(a).unwrap();
-            soc.run_until_idle(100_000);
+            assert!(soc.run_until_idle(100_000).is_idle());
             soc.configure_accel(b, &AccelConfig::dma_to_dma(50, 100, 1))
                 .unwrap();
             soc.start_accel(b).unwrap();
-            soc.run_until_idle(100_000);
+            assert!(soc.run_until_idle(100_000).is_idle());
             soc.stats().dram_accesses()
         };
         let run_p2p = || {
@@ -821,7 +979,7 @@ mod tests {
                 .unwrap();
             soc.start_accel(a).unwrap();
             soc.start_accel(b).unwrap();
-            soc.run_until_idle(100_000);
+            assert!(soc.run_until_idle(100_000).is_idle());
             soc.stats().dram_accesses()
         };
         let dma = run_dma();
@@ -862,7 +1020,7 @@ mod tests {
         for t in [p0, p1, c] {
             soc.start_accel(t).unwrap();
         }
-        soc.run_until_idle(1_000_000);
+        assert!(soc.run_until_idle(1_000_000).is_idle());
         // Consumer output: frames in round-robin order 1,2,3,4 (x10).
         for (f, expect) in [(0u64, 10u64), (1, 20), (2, 30), (3, 40)] {
             let out = soc.dram_read_values(100 + f, 4, 16).unwrap();
@@ -894,7 +1052,7 @@ mod tests {
         soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 50, 1))
             .unwrap();
         soc.start_accel(accel).unwrap();
-        soc.run_until_idle(100_000);
+        assert!(soc.run_until_idle(100_000).is_idle());
         assert!(soc.stats().dram_accesses() > 0);
         soc.reset_stats();
         assert_eq!(soc.stats().dram_accesses(), 0);
@@ -946,7 +1104,7 @@ mod multi_mem_tests {
         soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 8192, 1))
             .unwrap();
         soc.start_accel(accel).unwrap();
-        soc.run_until_idle(1_000_000);
+        assert!(soc.run_until_idle(1_000_000).is_idle());
         assert_eq!(soc.take_irqs(), vec![accel]);
         let out = soc.dram_read_values(8192, 4096, 16).unwrap();
         let expected: Vec<u64> = input.iter().map(|v| (v * 2) & 0xffff).collect();
@@ -1014,7 +1172,7 @@ mod dbuf_tests {
         soc.configure_accel(accel, &cfg).unwrap();
         let start = soc.cycle();
         soc.start_accel(accel).unwrap();
-        soc.run_until_idle(10_000_000);
+        assert!(soc.run_until_idle(10_000_000).is_idle());
         assert_eq!(
             soc.read_reg(accel, crate::regs::REG_STATUS).unwrap(),
             STATUS_DONE
@@ -1066,7 +1224,7 @@ mod dbuf_tests {
             soc.configure_accel(b, &cfg_b).unwrap();
             soc.start_accel(a).unwrap();
             soc.start_accel(b).unwrap();
-            soc.run_until_idle(10_000_000);
+            assert!(soc.run_until_idle(10_000_000).is_idle());
             (0..frames)
                 .map(|f| soc.dram_read_values(4096 + f * 64, 256, 16).unwrap())
                 .collect::<Vec<_>>()
@@ -1110,7 +1268,7 @@ mod dvfs_tests {
         .unwrap();
         let start = soc.cycle();
         soc.start_accel(accel).unwrap();
-        soc.run_until_idle(1_000_000);
+        assert!(soc.run_until_idle(1_000_000).is_idle());
         let out = soc.dram_read_values(512, 64, 16).unwrap();
         (out, soc.cycle() - start)
     }
@@ -1134,5 +1292,122 @@ mod dvfs_tests {
         let (_, at_zero) = run(0);
         let (_, at_one) = run(1);
         assert_eq!(at_zero, at_one);
+    }
+}
+
+#[cfg(test)]
+mod engine_equivalence_tests {
+    use super::*;
+    use crate::kernel::ScaleKernel;
+
+    /// A two-accelerator SoC with a moderately interesting workload:
+    /// multi-frame DMA on a DVFS-throttled accelerator, so boring spans
+    /// (stalls, slow compute) dominate and fast-forward actually engages.
+    fn run_workload(engine: SocEngine, sample_every: Option<u64>) -> Soc {
+        let mut soc = SocBuilder::new(3, 2)
+            .processor(Coord::new(0, 0))
+            .memory(Coord::new(1, 0))
+            .accelerator(
+                Coord::new(0, 1),
+                Box::new(ScaleKernel::new("a0", 16, 2).with_cycles_per_value(10)),
+            )
+            .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("a1", 16, 3)))
+            .engine(engine)
+            .build()
+            .expect("valid floorplan");
+        if let Some(every) = sample_every {
+            soc.enable_counter_sampling(every);
+        }
+        let accel = Coord::new(0, 1);
+        let f0: Vec<u64> = (0..16).collect();
+        let f1: Vec<u64> = (100..116).collect();
+        soc.dram_write_values(0, &f0, 16).unwrap();
+        soc.dram_write_values(4, &f1, 16).unwrap();
+        soc.map_contiguous(accel, 0, 4096).unwrap();
+        soc.configure_accel(
+            accel,
+            &AccelConfig::dma_to_dma(0, 64, 2).with_dvfs_divider(2),
+        )
+        .unwrap();
+        soc.start_accel(accel).unwrap();
+        assert!(soc.run_until_idle(1_000_000).is_idle());
+        soc
+    }
+
+    #[test]
+    fn engines_agree_on_cycles_stats_and_data() {
+        let mut naive = run_workload(SocEngine::Naive, None);
+        let mut event = run_workload(SocEngine::EventDriven, None);
+        assert_eq!(naive.cycle(), event.cycle(), "total cycles diverged");
+        let accel = Coord::new(0, 1);
+        assert_eq!(
+            naive.accel(accel).unwrap().stats(),
+            event.accel(accel).unwrap().stats(),
+            "per-accelerator cycle accounting diverged"
+        );
+        assert_eq!(
+            naive.dram_read_values(64, 32, 16).unwrap(),
+            event.dram_read_values(64, 32, 16).unwrap()
+        );
+        assert_eq!(naive.take_irqs(), event.take_irqs());
+        // The full counter registries must agree, not just headline stats.
+        assert_eq!(
+            naive.counter_registry().snapshot(),
+            event.counter_registry().snapshot()
+        );
+    }
+
+    #[test]
+    fn fast_forward_never_skips_a_sampling_point() {
+        // 7 is coprime to every latency in the model, so sampling points
+        // land mid-span; a fast-forward that jumped over one would drop
+        // a row (or record it with stale counters).
+        let mut naive = run_workload(SocEngine::Naive, Some(7));
+        let mut event = run_workload(SocEngine::EventDriven, Some(7));
+        let naive_series = naive.take_counter_series().expect("sampling on");
+        let event_series = event.take_counter_series().expect("sampling on");
+        assert_eq!(naive_series.rows().len(), event_series.rows().len());
+        for (n, e) in naive_series.rows().iter().zip(event_series.rows()) {
+            assert_eq!(n.cycle, e.cycle);
+            assert_eq!(
+                n.snapshot, e.snapshot,
+                "counters diverged at cycle {}",
+                n.cycle
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_timeout_spin() {
+        // A p2p consumer with no producer never makes progress: both
+        // engines must time out at the same cycle with the same stats
+        // (the event engine skips the spin, the naive engine burns it).
+        let run = |engine: SocEngine| {
+            let mut soc = SocBuilder::new(3, 2)
+                .processor(Coord::new(0, 0))
+                .memory(Coord::new(1, 0))
+                .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("a0", 16, 2)))
+                .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("a1", 16, 3)))
+                .engine(engine)
+                .build()
+                .unwrap();
+            let consumer = Coord::new(1, 1);
+            soc.map_contiguous(consumer, 0, 4096).unwrap();
+            soc.configure_accel(
+                consumer,
+                &AccelConfig::p2p_to_dma(vec![Coord::new(0, 1)], 64, 1),
+            )
+            .unwrap();
+            soc.start_accel(consumer).unwrap();
+            let outcome = soc.run_until_idle(10_000);
+            (outcome, soc.cycle(), *soc.accel(consumer).unwrap().stats())
+        };
+        let (naive_outcome, naive_cycle, naive_stats) = run(SocEngine::Naive);
+        let (event_outcome, event_cycle, event_stats) = run(SocEngine::EventDriven);
+        assert!(naive_outcome.timed_out());
+        assert!(event_outcome.timed_out());
+        assert_eq!(naive_outcome.cycles(), event_outcome.cycles());
+        assert_eq!(naive_cycle, event_cycle);
+        assert_eq!(naive_stats, event_stats);
     }
 }

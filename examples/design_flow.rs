@@ -14,7 +14,7 @@
 use esp4ml::hls4ml::{AcceleratorDescriptor, Hls4mlCompiler, Hls4mlConfig};
 use esp4ml::nn::{accuracy, Activation, LayerSpec, ModelFile, Sequential, TrainConfig, Trainer};
 use esp4ml::noc::Coord;
-use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml::soc::{NnKernel, SocBuilder};
 use esp4ml::vision::SvhnGenerator;
 
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rt.write_frame(&buf, f, &wire)?;
         labels.push(sample.label);
     }
-    let metrics = rt.esp_run(&dataflow, &buf, ExecMode::Pipe)?;
+    let metrics = rt.run(&RunSpec::new(&dataflow).mode(ExecMode::Pipe), &buf)?;
     let mut correct = 0;
     for (f, &label) in labels.iter().enumerate() {
         let logits = rt.read_frame(&buf, f as u64)?;

@@ -9,7 +9,7 @@
 use esp4ml::apps::{TrainedModels, CLASSIFIER_REUSE, MULTI_TILE_REUSE};
 use esp4ml::experiments::AppRun;
 use esp4ml::flow::Esp4mlFlow;
-use esp4ml::runtime::ExecMode;
+use esp4ml::runtime::{ExecMode, RunSpec};
 use esp4ml::CaseApp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for f in 0..8 {
         rt.write_frame(&buf, f, &vec![512; 1024])?;
     }
-    rt.esp_run(&df, &buf, ExecMode::P2p)?;
+    rt.run(&RunSpec::new(&df).mode(ExecMode::P2p), &buf)?;
     println!(
         "
 NoC traffic heatmap (flits forwarded per router):"

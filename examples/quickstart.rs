@@ -7,7 +7,7 @@
 //! ```
 
 use esp4ml::noc::Coord;
-use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml::soc::{ScaleKernel, SocBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Run the same pipeline through memory and with p2p communication.
-    let pipe = rt.esp_run(&dataflow, &buf, ExecMode::Pipe)?;
-    let p2p = rt.esp_run(&dataflow, &buf, ExecMode::P2p)?;
+    let pipe = rt.run(&RunSpec::new(&dataflow).mode(ExecMode::Pipe), &buf)?;
+    let p2p = rt.run(&RunSpec::new(&dataflow).mode(ExecMode::P2p), &buf)?;
 
     let out = rt.read_frame(&buf, 0)?;
     assert_eq!(out[1], 6, "0th frame, value 1: 1 * 2 * 3");

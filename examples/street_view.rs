@@ -8,7 +8,7 @@
 
 use esp4ml::apps::{CaseApp, TrainedModels};
 use esp4ml::experiments::AppRun;
-use esp4ml::runtime::ExecMode;
+use esp4ml::runtime::{ExecMode, RunSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Architecture study: untrained weights keep this example fast; run
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (img, _) = app.input_frame(&mut gen);
         rt.write_frame(&buf, f, &esp4ml::apps::encode_image(&img))?;
     }
-    rt.esp_run(&df, &buf, ExecMode::P2p)?;
+    rt.run(&RunSpec::new(&df).mode(ExecMode::P2p), &buf)?;
     println!(
         "  {:<6} {:>7} {:>9} {:>9} {:>9} {:>10} {:>10}",
         "device", "frames", "load cyc", "comp cyc", "store cyc", "dma words", "p2p words"

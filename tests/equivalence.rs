@@ -1,0 +1,73 @@
+//! Cycle-exactness equivalence suite: the event-driven fast-forward
+//! engine must be indistinguishable from the naive cycle-by-cycle engine
+//! on every workload of the evaluation — same metrics, same cycle counts,
+//! same outputs. The naive engine is the oracle; any divergence is a bug
+//! in a `progress`/`advance` implementation, never a tolerance issue.
+
+use esp4ml::apps::TrainedModels;
+use esp4ml::experiments::{Fig7, Fig8, GridPoint, Table1};
+use esp4ml::soc::SocEngine;
+use esp4ml_runtime::ExecMode;
+use proptest::prelude::*;
+
+fn assert_engines_agree(point: &GridPoint, models: &TrainedModels, frames: u64) {
+    let naive = point
+        .run(models, frames, SocEngine::Naive)
+        .unwrap_or_else(|e| panic!("{} naive failed: {e}", point.label()));
+    let event = point
+        .run(models, frames, SocEngine::EventDriven)
+        .unwrap_or_else(|e| panic!("{} event-driven failed: {e}", point.label()));
+    assert_eq!(
+        naive.metrics,
+        event.metrics,
+        "{} @ {frames} frames: metrics diverged between engines",
+        point.label()
+    );
+    assert_eq!(
+        naive.predictions,
+        event.predictions,
+        "{} @ {frames} frames: outputs diverged between engines",
+        point.label()
+    );
+}
+
+/// Every Fig. 7 grid point — all five accelerator configurations of all
+/// three application clusters, in all three execution modes. The Table I
+/// and Fig. 8 grids are subsets of this one (best configs × p2p, best
+/// configs × {pipe, p2p}), so this single sweep covers every workload of
+/// the evaluation.
+#[test]
+fn engines_agree_on_every_fig7_grid_point() {
+    let models = TrainedModels::untrained();
+    let fig7 = Fig7::grid();
+    for point in &fig7 {
+        assert_engines_agree(point, &models, 2);
+    }
+    // Sanity: the claimed subset relationships actually hold.
+    for point in Table1::grid().iter().chain(Fig8::grid().iter()) {
+        assert!(
+            fig7.contains(point),
+            "{} not covered by the fig7 sweep",
+            point.label()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random (configuration, mode, frame count) points: the engines must
+    /// agree off the figure grids too, including frame counts that don't
+    /// divide evenly across multi-instance stages.
+    #[test]
+    fn engines_agree_on_random_points(
+        config in 0usize..5,
+        mode_idx in 0usize..3,
+        frames in 1u64..6,
+    ) {
+        let models = TrainedModels::untrained();
+        let app = esp4ml::CaseApp::all_fig7_configs()[config];
+        let mode = ExecMode::ALL[mode_idx];
+        assert_engines_agree(&GridPoint { app, mode }, &models, frames);
+    }
+}

@@ -4,7 +4,7 @@
 
 use esp4ml::mem::{CacheConfig, DramConfig};
 use esp4ml::noc::Coord;
-use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml::soc::{AccelConfig, ScaleKernel, Soc, SocBuilder};
 
 fn pipeline_soc(llc: bool, mems: usize) -> Soc {
@@ -34,7 +34,7 @@ fn run_pipeline(soc: Soc, mode: ExecMode, frames: u64) -> (Vec<Vec<u64>>, u64, u
     for f in 0..frames {
         rt.write_frame(&buf, f, &vec![f + 1; 1024]).expect("write");
     }
-    let m = rt.esp_run(&df, &buf, mode).expect("run");
+    let m = rt.run(&RunSpec::new(&df).mode(mode), &buf).expect("run");
     let outs = (0..frames)
         .map(|f| rt.read_frame(&buf, f).expect("read"))
         .collect();
@@ -95,7 +95,7 @@ fn double_buffer_composes_with_the_runtime_modes() {
     .expect("cfg b");
     soc.start_accel(a).expect("start a");
     soc.start_accel(b).expect("start b");
-    soc.run_until_idle(10_000_000);
+    assert!(soc.run_until_idle(10_000_000).is_idle());
     for f in 0..frames {
         let out = soc
             .dram_read_values(100_000 + f * 256, 1024, 16)
@@ -128,7 +128,9 @@ fn socgen_config_runs_an_application() {
     for f in 0..2 {
         rt.write_frame(&buf, f, &vec![100; 1024]).expect("write");
     }
-    let m = rt.esp_run(&df, &buf, ExecMode::P2p).expect("run");
+    let m = rt
+        .run(&RunSpec::new(&df).mode(ExecMode::P2p), &buf)
+        .expect("run");
     assert_eq!(m.frames, 2);
     assert_eq!(rt.read_frame(&buf, 0).expect("read").len(), 10);
 }
@@ -144,7 +146,8 @@ fn device_stats_expose_the_monitors_view() {
     for f in 0..3 {
         rt.write_frame(&buf, f, &vec![2; 1024]).expect("write");
     }
-    rt.esp_run(&df, &buf, ExecMode::P2p).expect("run");
+    rt.run(&RunSpec::new(&df).mode(ExecMode::P2p), &buf)
+        .expect("run");
     let a = rt.device_stats("a").expect("device a");
     let b = rt.device_stats("b").expect("device b");
     assert_eq!(a.frames_done, 3);

@@ -5,7 +5,7 @@
 use esp4ml::apps::{CaseApp, TrainedModels};
 use esp4ml::experiments::AppRun;
 use esp4ml::noc::Coord;
-use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml::soc::{ScaleKernel, SocBuilder};
 use esp4ml::trace::perfetto::{self, tile_tid};
 use esp4ml::trace::{TileCoord, TraceEvent, Tracer};
@@ -116,7 +116,8 @@ fn run_frames(rt: &mut EspRuntime, frames: u64, mode: ExecMode) -> esp4ml::runti
     for f in 0..frames {
         rt.write_frame(&buf, f, &[f + 1; 16]).expect("write");
     }
-    rt.esp_run(&df, &buf, mode).expect("esp_run")
+    rt.run(&RunSpec::new(&df).mode(mode), &buf)
+        .expect("esp_run")
 }
 
 proptest! {

@@ -3,7 +3,7 @@
 use esp4ml::hls::FixedSpec;
 use esp4ml::mem::ContigAlloc;
 use esp4ml::noc::{Coord, Mesh, MeshConfig, MsgKind, Packet, Plane};
-use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode};
+use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml::soc::{ScaleKernel, SocBuilder};
 use proptest::prelude::*;
 
@@ -131,7 +131,7 @@ proptest! {
                 let vals: Vec<u64> = (0..values).map(|i| (base + i) % 1000).collect();
                 rt.write_frame(&buf, f, &vals).expect("write");
             }
-            rt.esp_run(&df, &buf, mode).expect("run");
+            rt.run(&RunSpec::new(&df).mode(mode), &buf).expect("run");
             outputs.push(
                 (0..frames)
                     .map(|f| rt.read_frame(&buf, f).expect("read"))
