@@ -22,6 +22,7 @@ use std::time::Instant;
 #[derive(Debug, Serialize)]
 struct GridReport {
     grid: String,
+    engine: String,
     points: usize,
     frames: u64,
     simulated_cycles: u64,
@@ -36,6 +37,7 @@ struct GridReport {
 
 #[derive(Debug, Serialize)]
 struct Report {
+    version: String,
     frames: u64,
     grids: Vec<GridReport>,
 }
@@ -65,6 +67,7 @@ fn measure(
     let simulated_cycles = naive.iter().map(|r| r.metrics.cycles).sum();
     Ok(GridReport {
         grid: name.to_string(),
+        engine: "event-driven".to_string(),
         points: points.len(),
         frames,
         simulated_cycles,
@@ -106,6 +109,7 @@ fn main() {
     let models = TrainedModels::untrained();
     let grids: [(&str, Vec<GridPoint>); 2] = [("table1", Table1::grid()), ("fig7", Fig7::grid())];
     let mut report = Report {
+        version: env!("CARGO_PKG_VERSION").to_string(),
         frames,
         grids: Vec::new(),
     };

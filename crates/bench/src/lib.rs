@@ -15,10 +15,15 @@
 //! untrained weights), `--samples N` and `--epochs N` (training budget).
 //! The figure/table binaries additionally accept `--trace <path>` (write
 //! a Chrome `trace_event` JSON of every simulated run, viewable at
-//! ui.perfetto.dev), `--sample-every <cycles>` (with `--trace`, also
+//! ui.perfetto.dev), `--profile <path>` (profile every run online and
+//! write the JSON bottleneck/latency/heatmap report, printing the text
+//! report to stdout), `--sample-every <cycles>` (with `--trace`, also
 //! write a `<path>.counters.csv` time-series of the SoC counters),
 //! `--engine naive|event` (the simulation engine) and `--jobs N` (worker
-//! threads for the experiment grid; tracing forces serial execution).
+//! threads for the experiment grid; tracing/profiling forces serial
+//! execution). The dedicated `espprof` binary runs one configuration
+//! across execution modes and checks the bottleneck report against the
+//! measured throughput ordering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +49,8 @@ pub struct HarnessArgs {
     pub epochs: usize,
     /// Where to write the Chrome trace JSON, when tracing is on.
     pub trace: Option<PathBuf>,
+    /// Where to write the profile report JSON, when profiling is on.
+    pub profile: Option<PathBuf>,
     /// Counter sampling period in cycles (requires `trace`).
     pub sample_every: Option<u64>,
     /// Simulation engine driving every run.
@@ -60,6 +67,7 @@ impl Default for HarnessArgs {
             samples: 6000,
             epochs: 30,
             trace: None,
+            profile: None,
             sample_every: None,
             engine: SocEngine::default(),
             jobs: parallel::default_jobs(),
@@ -94,6 +102,10 @@ impl HarnessArgs {
                     let path = it.next().ok_or("--trace needs a file path")?;
                     out.trace = Some(PathBuf::from(path));
                 }
+                "--profile" => {
+                    let path = it.next().ok_or("--profile needs a file path")?;
+                    out.profile = Some(PathBuf::from(path));
+                }
                 "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
                 "--jobs" => out.jobs = grab("--jobs")? as usize,
                 "--engine" => {
@@ -107,8 +119,8 @@ impl HarnessArgs {
                 other => {
                     return Err(format!(
                         "unknown option {other}; supported: --frames N --train --no-train \
-                         --samples N --epochs N --trace PATH --sample-every CYCLES \
-                         --engine naive|event --jobs N"
+                         --samples N --epochs N --trace PATH --profile PATH \
+                         --sample-every CYCLES --engine naive|event --jobs N"
                     ))
                 }
             }
@@ -202,6 +214,17 @@ mod tests {
         assert_eq!(a.engine, SocEngine::EventDriven);
         assert!(parse(&["--engine", "warp"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn profile_option() {
+        let a = parse(&["--profile", "/tmp/p.json"]).unwrap();
+        assert_eq!(
+            a.profile.as_deref(),
+            Some(std::path::Path::new("/tmp/p.json"))
+        );
+        assert!(a.trace.is_none());
+        assert!(parse(&["--profile"]).is_err());
     }
 
     #[test]

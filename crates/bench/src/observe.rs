@@ -5,9 +5,16 @@ use esp4ml::trace::{perfetto, Tracer};
 use esp4ml::TraceSession;
 use std::path::PathBuf;
 
-/// Builds the trace session requested on the command line, or `None`
-/// when `--trace` was not given.
+/// Builds the observability session requested on the command line, or
+/// `None` when neither `--trace` nor `--profile` was given.
+///
+/// `--profile` wins the session shape: the profiled session still
+/// buffers events in a ring-buffer sink, so `--trace` export keeps
+/// working on top of it.
 pub fn session_from_args(args: &HarnessArgs) -> Option<TraceSession> {
+    if args.profile.is_some() {
+        return Some(TraceSession::profiled(args.sample_every));
+    }
     args.trace.as_ref()?;
     let tracer = Tracer::ring_buffer();
     Some(match args.sample_every {
@@ -23,32 +30,47 @@ fn counters_path(trace: &std::path::Path) -> PathBuf {
     trace.with_file_name(name)
 }
 
-/// Writes the session's artifacts: the Chrome trace JSON at `--trace`,
-/// the counter CSV next to it when `--sample-every` was given, and the
-/// per-run NoC traffic summary to stdout.
+/// Writes the session's artifacts: the Chrome trace JSON at `--trace`
+/// (with the ring buffer's dropped-event count attached as metadata),
+/// the counter CSV next to it when `--sample-every` was given, the
+/// profile report JSON at `--profile` (plus the text report on stdout),
+/// and the per-run NoC traffic summary to stdout.
 ///
 /// # Errors
 ///
 /// I/O failures writing the output files.
 pub fn finish_session(args: &HarnessArgs, session: &TraceSession) -> std::io::Result<()> {
-    let Some(path) = args.trace.as_ref() else {
-        return Ok(());
-    };
-    let dropped = session.tracer().dropped();
-    let events = session.tracer().drain();
-    perfetto::write_chrome_trace(path, &events)?;
-    println!("wrote {} trace events to {}", events.len(), path.display());
-    if dropped > 0 {
-        eprintln!("warning: ring buffer dropped {dropped} oldest events");
+    if let Some(path) = args.trace.as_ref() {
+        let dropped = session.tracer().dropped();
+        let events = session.tracer().drain();
+        perfetto::write_chrome_trace_with_dropped(path, &events, dropped)?;
+        println!("wrote {} trace events to {}", events.len(), path.display());
+        if dropped > 0 {
+            eprintln!("warning: ring buffer dropped {dropped} oldest events");
+        }
+        if args.sample_every.is_some() {
+            let csv = counters_path(path);
+            std::fs::write(&csv, session.counters_csv())?;
+            println!("wrote counter samples to {}", csv.display());
+        }
     }
-    if args.sample_every.is_some() {
-        let csv = counters_path(path);
-        std::fs::write(&csv, session.counters_csv())?;
-        println!("wrote counter samples to {}", csv.display());
+    if let Some(path) = args.profile.as_ref() {
+        std::fs::write(path, session.profiles_json())?;
+        println!(
+            "wrote {} profile reports to {}",
+            session.profiles().len(),
+            path.display()
+        );
+        let summary = session.profile_summary();
+        if !summary.is_empty() {
+            println!("\nPer-run profiles:\n{summary}");
+        }
     }
-    let summary = session.noc_summary();
-    if !summary.is_empty() {
-        println!("\nPer-run NoC traffic:\n{summary}");
+    if args.trace.is_some() || args.profile.is_some() {
+        let summary = session.noc_summary();
+        if !summary.is_empty() {
+            println!("\nPer-run NoC traffic:\n{summary}");
+        }
     }
     Ok(())
 }
@@ -68,9 +90,21 @@ mod tests {
         let session = session_from_args(&traced).expect("session");
         assert!(session.tracer().is_enabled());
         assert!(session.sample_every().is_none());
+        assert!(session.profiler().is_none());
         traced.sample_every = Some(250);
         let sampled = session_from_args(&traced).expect("session");
         assert_eq!(sampled.sample_every(), Some(250));
+    }
+
+    #[test]
+    fn profile_flag_builds_profiled_session() {
+        let profiled = HarnessArgs {
+            profile: Some(PathBuf::from("/tmp/p.json")),
+            ..HarnessArgs::default()
+        };
+        let session = session_from_args(&profiled).expect("session");
+        assert!(session.tracer().is_enabled());
+        assert!(session.profiler().is_some());
     }
 
     #[test]

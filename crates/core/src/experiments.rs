@@ -14,9 +14,9 @@
 
 use crate::apps::{argmax, decode_values, encode_image, CaseApp, TrainedModels};
 use crate::flow::Esp4mlFlow;
-use crate::observe::TraceSession;
+use crate::observe::{ProfileReport, TraceSession};
 use esp4ml_baseline::{Platform, Workload};
-use esp4ml_runtime::{EspRuntime, ExecMode, RunMetrics, RunSpec, RuntimeError};
+use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunMetrics, RunSpec, RuntimeError};
 use esp4ml_soc::SocEngine;
 use esp4ml_trace::{TileCoord, TraceEvent};
 use esp4ml_vision::SvhnGenerator;
@@ -164,7 +164,9 @@ impl AppRun {
     /// [`AppRun::execute`] with observability: events flow into the
     /// session's tracer (opened by a `RunStart` marker naming the run)
     /// and the per-run counter series and NoC summary are collected
-    /// into the session.
+    /// into the session. When the session profiles
+    /// ([`TraceSession::profiled`]), a
+    /// [`ProfileReport`] is collected too.
     ///
     /// # Errors
     ///
@@ -186,6 +188,49 @@ impl AppRun {
         )
     }
 
+    /// [`AppRun::execute_traced`] under an explicit simulation engine —
+    /// the combination the engine-equivalence suite uses to prove both
+    /// engines emit identical profile reports.
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn execute_traced_on(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        engine: SocEngine,
+        session: &mut TraceSession,
+    ) -> Result<AppRun, ExperimentError> {
+        Self::execute_with(app, models, frames, mode, engine, Some(session))
+    }
+
+    /// Derives profiler stage groups `(stage name, member instances)`
+    /// from a dataflow, in pipeline order. Multi-instance stages are
+    /// named by their kernel prefix (instance digits stripped);
+    /// single-instance stages keep the device name.
+    fn stage_groups(dataflow: &Dataflow) -> Vec<(String, Vec<String>)> {
+        dataflow
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| {
+                let name = if stage.devices.len() == 1 {
+                    stage.devices[0].clone()
+                } else {
+                    let stripped = stage.devices[0].trim_end_matches(|c: char| c.is_ascii_digit());
+                    if stripped.is_empty() {
+                        format!("stage{i}")
+                    } else {
+                        stripped.to_string()
+                    }
+                };
+                (name, stage.devices.clone())
+            })
+            .collect()
+    }
+
     fn execute_with(
         app: &CaseApp,
         models: &TrainedModels,
@@ -197,7 +242,11 @@ impl AppRun {
         let mut soc = app.build_soc(models)?;
         soc.set_engine(engine);
         let run_label = format!("{} {}", app.label(), mode.label());
+        let dataflow = app.dataflow();
         if let Some(session) = session.as_deref_mut() {
+            if let Some(profiler) = session.profiler() {
+                profiler.set_stage_groups(Self::stage_groups(&dataflow));
+            }
             let proc = soc.primary_proc();
             let label = run_label.clone();
             session
@@ -213,7 +262,6 @@ impl AppRun {
         let flow = Esp4mlFlow::new();
         let watts = flow.estimate_power(&soc).total_watts();
         let mut rt = EspRuntime::new(soc)?;
-        let dataflow = app.dataflow();
         let buf = rt.prepare(&dataflow, frames)?;
         let mut gen = SvhnGenerator::new(DATA_SEED);
         let mut labels = Vec::with_capacity(frames as usize);
@@ -223,6 +271,16 @@ impl AppRun {
             labels.push(label);
         }
         let metrics = rt.run(&RunSpec::new(&dataflow).mode(mode), &buf)?;
+        // Snapshot the profile at run completion, before prediction
+        // readback (which does not simulate cycles).
+        let profile = session.as_deref_mut().and_then(|s| {
+            s.profiler()
+                .and_then(|p| p.close_run(rt.soc().cycle()))
+                .map(|run| ProfileReport {
+                    run,
+                    heatmap: rt.soc().noc_heatmap(),
+                })
+        });
         let mut predictions = Vec::with_capacity(frames as usize);
         for f in 0..frames {
             let logits = decode_values(&rt.read_frame(&buf, f)?);
@@ -231,6 +289,9 @@ impl AppRun {
         if let Some(session) = session {
             let series = rt.soc_mut().take_counter_series();
             session.record_run(run_label, series, rt.soc().noc_stats().clone());
+            if let Some(profile) = profile {
+                session.record_profile(profile);
+            }
         }
         Ok(AppRun {
             label: app.label(),
@@ -819,6 +880,58 @@ mod tests {
             "reduction {:.2} outside the paper's 2-3x band",
             row.reduction()
         );
+    }
+
+    #[test]
+    fn profiled_session_collects_report() {
+        let mut session = TraceSession::profiled(None);
+        let run = AppRun::execute_traced(
+            &CaseApp::DenoiserClassifier,
+            &models(),
+            3,
+            ExecMode::P2p,
+            &mut session,
+        )
+        .unwrap();
+        assert_eq!(session.profiles().len(), 1);
+        let report = &session.profiles()[0];
+        assert_eq!(report.run.frames, 3);
+        assert_eq!(report.run.pipeline.count(), 3);
+        // Two pipeline stages, named after their kernels.
+        let names: Vec<&str> = report.run.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["denoiser", "cl_de"]);
+        let b = report.run.bottleneck.as_ref().expect("bottleneck report");
+        assert!(names.contains(&b.limiting_stage.as_str()));
+        // The stage bound can never exceed the observed period.
+        assert!(b.bound_cycles_per_frame <= b.observed_cycles_per_frame);
+        assert!(b.speedup_ceiling >= 1.0);
+        // Every simulated cycle of each instance is attributed.
+        for acc in report.run.accels.values() {
+            assert_eq!(acc.breakdown.total(), report.run.cycles());
+        }
+        // p2p traffic shows up on the DMA planes of the heatmap.
+        assert!(report.heatmap.total_flits() > 0);
+        assert_eq!(run.metrics.frames, 3);
+        assert!(session.profiles_json().contains("denoiser"));
+        assert!(session.profile_summary().contains("bottleneck"));
+    }
+
+    #[test]
+    fn multi_tile_stages_stay_distinct() {
+        let mut session = TraceSession::profiled(None);
+        AppRun::execute_traced(
+            &CaseApp::MultiTileClassifier,
+            &models(),
+            2,
+            ExecMode::Pipe,
+            &mut session,
+        )
+        .unwrap();
+        let report = &session.profiles()[0];
+        // Five sequential single-instance stages must not be merged.
+        let names: Vec<&str> = report.run.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["cls_l0", "cls_l1", "cls_l2", "cls_l3", "cls_l4"]);
+        assert_eq!(report.run.frames, 2);
     }
 
     #[test]

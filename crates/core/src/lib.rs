@@ -58,7 +58,7 @@ pub mod soc_config;
 pub use apps::{CaseApp, TrainedModels};
 pub use error::Esp4mlError;
 pub use flow::Esp4mlFlow;
-pub use observe::TraceSession;
+pub use observe::{ProfileReport, TraceSession};
 
 // Re-export the substrate crates under one roof, as the public surface of
 // the reproduction.

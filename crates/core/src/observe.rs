@@ -9,18 +9,40 @@
 //! [`esp4ml_trace::TraceEvent::RunStart`] marker so the exporter can
 //! split runs into separate process tracks).
 
-use esp4ml_noc::NocStats;
-use esp4ml_trace::{CounterSeries, Tracer};
+use esp4ml_noc::{NocHeatmap, NocStats};
+use esp4ml_trace::{CounterSeries, ProfileCollector, RunProfile, Tracer};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+
+/// The complete profiling output of one run: the event-derived
+/// [`RunProfile`] plus the link-level NoC heatmap snapshotted from the
+/// run's mesh.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Frame-latency histograms, time-in-state utilization and
+    /// bottleneck analysis reconstructed from the trace stream.
+    pub run: RunProfile,
+    /// Per-router, per-link occupancy and credit-stall counters.
+    pub heatmap: NocHeatmap,
+}
+
+impl ProfileReport {
+    /// Renders the bottleneck report followed by the NoC heatmap.
+    pub fn render_text(&self) -> String {
+        format!("{}{}", self.run.render_text(), self.heatmap.render_ascii())
+    }
+}
 
 /// Shared observability state for a sequence of experiment runs.
 #[derive(Debug, Default)]
 pub struct TraceSession {
     tracer: Tracer,
     sample_every: Option<u64>,
+    profiler: Option<ProfileCollector>,
     series: Vec<(String, CounterSeries)>,
     noc: Vec<(String, NocStats)>,
+    profiles: Vec<ProfileReport>,
 }
 
 impl TraceSession {
@@ -43,6 +65,20 @@ impl TraceSession {
         }
     }
 
+    /// A session that profiles every run online: events flow through a
+    /// [`ProfileCollector`] into a ring-buffer sink, and each completed
+    /// run leaves a [`ProfileReport`] in [`TraceSession::profiles`].
+    /// `sample_every` optionally enables counter sampling as well.
+    pub fn profiled(sample_every: Option<u64>) -> Self {
+        let profiler = ProfileCollector::new();
+        TraceSession {
+            tracer: profiler.ring_buffer_tracer(),
+            sample_every,
+            profiler: Some(profiler),
+            ..Default::default()
+        }
+    }
+
     /// A no-op session: events are discarded and nothing is sampled.
     pub fn disabled() -> Self {
         TraceSession::default()
@@ -58,6 +94,11 @@ impl TraceSession {
         self.sample_every
     }
 
+    /// The online profile collector, when profiling is on.
+    pub fn profiler(&self) -> Option<&ProfileCollector> {
+        self.profiler.as_ref()
+    }
+
     /// Records the observability output of one completed run.
     pub(crate) fn record_run(
         &mut self,
@@ -69,6 +110,31 @@ impl TraceSession {
             self.series.push((label.clone(), series));
         }
         self.noc.push((label, noc));
+    }
+
+    /// Records one completed run's profile.
+    pub(crate) fn record_profile(&mut self, profile: ProfileReport) {
+        self.profiles.push(profile);
+    }
+
+    /// Accumulated per-run profile reports, in run order.
+    pub fn profiles(&self) -> &[ProfileReport] {
+        &self.profiles
+    }
+
+    /// Serializes every profile report as one JSON array.
+    pub fn profiles_json(&self) -> String {
+        serde_json::to_string_pretty(&self.profiles).expect("profile serialization")
+    }
+
+    /// Renders every profile report as human-readable text.
+    pub fn profile_summary(&self) -> String {
+        let mut out = String::new();
+        for p in &self.profiles {
+            out.push_str(&p.render_text());
+            out.push('\n');
+        }
+        out
     }
 
     /// Accumulated `(run label, counter series)` pairs, in run order.

@@ -42,6 +42,7 @@
 mod coord;
 mod error;
 mod flit;
+mod heatmap;
 mod mesh;
 mod packet;
 mod plane;
@@ -53,6 +54,7 @@ mod stats;
 pub use coord::Coord;
 pub use error::NocError;
 pub use flit::{Flit, FlitKind};
+pub use heatmap::{LinkLoad, NocHeatmap, PlaneHeatmap};
 pub use mesh::{Mesh, MeshConfig};
 pub use packet::{MsgKind, Packet};
 pub use plane::Plane;

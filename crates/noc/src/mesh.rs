@@ -1,6 +1,7 @@
 //! The 2D-mesh NoC: routers, links, injection/ejection interfaces.
 
 use crate::flit::{Flit, Reassembler};
+use crate::heatmap::{LinkLoad, NocHeatmap, PlaneHeatmap};
 use crate::router::{Port, Router, RouterConfig, Transfer};
 use crate::schedule::{Progress, Schedulable};
 use crate::{Coord, NocError, NocStats, Packet, Plane};
@@ -162,6 +163,38 @@ impl Mesh {
                     .collect()
             })
             .collect()
+    }
+
+    /// Snapshots per-router, per-link occupancy and credit-stall
+    /// counters for every plane.
+    pub fn link_heatmap(&self) -> NocHeatmap {
+        let planes = Plane::ALL
+            .iter()
+            .map(|&plane| {
+                let mut links = vec![vec![LinkLoad::default(); self.config.cols]; self.config.rows];
+                let mut credit_stalls = vec![vec![0u64; self.config.cols]; self.config.rows];
+                for y in 0..self.config.rows {
+                    for x in 0..self.config.cols {
+                        let router = &self.routers[y * self.config.cols + x];
+                        for port in Port::ALL {
+                            links[y][x].set_port(port, router.link_flits(plane, port));
+                        }
+                        credit_stalls[y][x] = router.credit_stalls(plane);
+                    }
+                }
+                PlaneHeatmap {
+                    plane: plane.to_string(),
+                    links,
+                    credit_stalls,
+                }
+            })
+            .collect();
+        NocHeatmap {
+            cols: self.config.cols,
+            rows: self.config.rows,
+            cycles: self.cycle,
+            planes,
+        }
     }
 
     /// Access the router at `coord` (e.g. to install a custom routing table).

@@ -140,6 +140,12 @@ pub struct Router {
     planes: Vec<PlaneRouter>,
     /// Flits this router forwarded onto mesh links (all planes).
     forwarded_flits: u64,
+    /// Flits moved through each `(plane, output port)` — link occupancy
+    /// counters for the NoC heatmap (the Local column counts ejections).
+    link_flits: Vec<[u64; Port::COUNT]>,
+    /// Per-plane cycles a selected wormhole stalled on downstream
+    /// back-pressure (zero credits).
+    credit_stalls: Vec<u64>,
 }
 
 /// A transfer selected during the arbitration phase of a cycle.
@@ -159,6 +165,8 @@ impl Router {
             config,
             planes: (0..Plane::COUNT).map(|_| PlaneRouter::new()).collect(),
             forwarded_flits: 0,
+            link_flits: vec![[0; Port::COUNT]; Plane::COUNT],
+            credit_stalls: vec![0; Plane::COUNT],
         }
     }
 
@@ -171,6 +179,18 @@ impl Router {
     /// per-router congestion indicator.
     pub fn forwarded_flits(&self) -> u64 {
         self.forwarded_flits
+    }
+
+    /// Flits moved through output `port` of `plane` (the Local port
+    /// counts ejections into the tile).
+    pub fn link_flits(&self, plane: Plane, port: Port) -> u64 {
+        self.link_flits[plane.index()][port.index()]
+    }
+
+    /// Cycles a selected wormhole on `plane` stalled because the
+    /// downstream queue had no free credit.
+    pub fn credit_stalls(&self, plane: Plane) -> u64 {
+        self.credit_stalls[plane.index()]
     }
 
     /// The routing table in use (XY by default).
@@ -257,6 +277,7 @@ impl Router {
                 }
                 let Some(inp) = chosen else { continue };
                 if downstream_free(plane, out) == 0 {
+                    self.credit_stalls[plane.index()] += 1;
                     continue; // back-pressure: stall this wormhole
                 }
                 let flit = pr.inputs[inp.index()]
@@ -272,6 +293,7 @@ impl Router {
                 if out != Port::Local {
                     self.forwarded_flits += 1;
                 }
+                self.link_flits[plane.index()][oi] += 1;
                 transfers.push(Transfer {
                     plane,
                     out_port: out,
@@ -391,6 +413,49 @@ mod tests {
             assert_eq!(east.len(), 1);
             assert_eq!(east[0].flit.kind, FlitKind::Tail);
         }
+    }
+
+    #[test]
+    fn link_counters_track_forwards_and_ejections() {
+        let mut r = Router::new(Coord::new(0, 0), 3, 3, RouterConfig::default());
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(2, 0), FlitKind::HeadTail),
+        );
+        r.push_input(
+            Plane::DmaReq,
+            Port::West,
+            flit(Coord::new(0, 0), FlitKind::HeadTail),
+        );
+        let t = r.select(|_, _| 4);
+        assert_eq!(t.len(), 2);
+        assert_eq!(r.link_flits(Plane::DmaReq, Port::East), 1);
+        assert_eq!(r.link_flits(Plane::DmaReq, Port::Local), 1);
+        assert_eq!(r.link_flits(Plane::DmaReq, Port::North), 0);
+        assert_eq!(r.link_flits(Plane::CohReq, Port::East), 0);
+        // Ejections count on the Local column but not as forwards.
+        assert_eq!(r.forwarded_flits(), 1);
+        assert_eq!(r.credit_stalls(Plane::DmaReq), 0);
+    }
+
+    #[test]
+    fn credit_stalls_count_backpressured_cycles() {
+        let mut r = Router::new(Coord::new(0, 0), 3, 3, RouterConfig::default());
+        r.push_input(
+            Plane::DmaReq,
+            Port::Local,
+            flit(Coord::new(2, 0), FlitKind::HeadTail),
+        );
+        for _ in 0..3 {
+            assert!(r.select(|_, _| 0).is_empty());
+        }
+        assert_eq!(r.credit_stalls(Plane::DmaReq), 3);
+        assert_eq!(r.link_flits(Plane::DmaReq, Port::East), 0);
+        let t = r.select(|_, _| 4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(r.credit_stalls(Plane::DmaReq), 3);
+        assert_eq!(r.link_flits(Plane::DmaReq, Port::East), 1);
     }
 
     #[test]

@@ -144,6 +144,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_division_guards_return_finite_zero() {
+        // Even with residual counter state, a zero denominator must yield
+        // exactly 0.0 (not NaN/inf) for both derived rates.
+        let s = PlaneStats {
+            total_latency: 123,
+            flit_hops: 456,
+            packets_delivered: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_latency(), 0.0);
+        assert!(s.avg_latency().is_finite());
+        assert_eq!(s.utilization(0), 0.0);
+        assert!(s.utilization(0).is_finite());
+    }
+
+    #[test]
     fn avg_latency_divides() {
         let s = PlaneStats {
             packets_delivered: 4,

@@ -10,7 +10,7 @@ use crate::stats::SocStats;
 use crate::SocError;
 use esp4ml_hls::Resources;
 use esp4ml_mem::{CacheConfig, CacheStats, DramConfig, PageTable};
-use esp4ml_noc::{Coord, Mesh, MeshConfig, NocStats};
+use esp4ml_noc::{Coord, Mesh, MeshConfig, NocHeatmap, NocStats};
 use esp4ml_trace::{CounterRegistry, CounterSeries, Tracer};
 use std::collections::HashMap;
 
@@ -755,6 +755,12 @@ impl Soc {
         self.mesh.traffic_matrix()
     }
 
+    /// Per-router, per-link occupancy and credit-stall snapshot for
+    /// every NoC plane (the profiling heatmap).
+    pub fn noc_heatmap(&self) -> NocHeatmap {
+        self.mesh.link_heatmap()
+    }
+
     /// Aggregated SoC statistics.
     pub fn stats(&self) -> SocStats {
         SocStats {
@@ -1354,6 +1360,13 @@ mod engine_equivalence_tests {
         assert_eq!(
             naive.counter_registry().snapshot(),
             event.counter_registry().snapshot()
+        );
+        // Link-level heatmap counters only move during real mesh ticks,
+        // so fast-forward must leave them cycle-exact too.
+        assert_eq!(
+            naive.noc_heatmap(),
+            event.noc_heatmap(),
+            "per-link NoC heatmap diverged"
         );
     }
 

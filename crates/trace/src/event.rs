@@ -2,9 +2,13 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// A tile position on the 2D mesh (mirrors `esp4ml_noc::Coord` without
 /// depending on it — the NoC crate depends on *this* crate).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct TileCoord {
     /// Column.
     pub x: u8,

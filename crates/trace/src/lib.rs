@@ -23,6 +23,10 @@
 //!   ui.perfetto.dev) with one track per tile and one per NoC plane.
 //! - [`CounterSeries`]: a flat CSV/JSON time-series of counter
 //!   snapshots taken every N cycles.
+//! - [`profile`]: online bottleneck analysis — per-frame latency
+//!   [`Histogram`]s, per-tile time-in-state utilization, and a
+//!   critical-path report, built by a [`ProfileCollector`] that
+//!   consumes the event stream as it is produced.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ mod counters;
 mod event;
 mod metrics;
 pub mod perfetto;
+pub mod profile;
 mod sink;
 mod timeseries;
 mod tracer;
@@ -38,6 +43,7 @@ mod tracer;
 pub use counters::{CounterRegistry, CounterSnapshot};
 pub use event::{DmaKind, TileCoord, TimedEvent, TraceEvent};
 pub use metrics::frames_per_second;
+pub use profile::{Histogram, ProfileCollector, RunProfile};
 pub use sink::{RingBufferSink, TraceSink};
 pub use timeseries::{CounterSeries, SampleRow};
 pub use tracer::Tracer;

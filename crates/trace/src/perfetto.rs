@@ -279,11 +279,32 @@ fn metadata_row(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Value {
 
 /// Converts recorded events into a Chrome `trace_event` JSON document.
 pub fn chrome_trace(events: &[TimedEvent]) -> Value {
+    chrome_trace_with_dropped(events, 0)
+}
+
+/// Like [`chrome_trace`], but also records how many events the sink
+/// discarded under capacity pressure. When `dropped > 0` a
+/// `trace_dropped_events` metadata row is appended so truncated traces
+/// are self-describing.
+pub fn chrome_trace_with_dropped(events: &[TimedEvent], dropped: u64) -> Value {
     let mut builder = Builder::new();
     for ev in events {
         builder.push_event(ev);
     }
-    builder.finish()
+    let mut doc = builder.finish();
+    if dropped > 0 {
+        let mut args = serde_json::Map::new();
+        args.insert("dropped".into(), Value::from(dropped));
+        let mut row = serde_json::Map::new();
+        row.insert("name".into(), Value::from("trace_dropped_events"));
+        row.insert("ph".into(), Value::from("M"));
+        row.insert("pid".into(), Value::from(1u64));
+        row.insert("args".into(), Value::Object(args));
+        if let Some(Value::Array(rows)) = doc.get_mut("traceEvents") {
+            rows.push(Value::Object(row));
+        }
+    }
+    doc
 }
 
 /// Serializes [`chrome_trace`] output to pretty JSON text.
@@ -293,7 +314,20 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
 
 /// Writes [`chrome_trace`] output to a file.
 pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[TimedEvent]) -> io::Result<()> {
-    std::fs::write(path, chrome_trace_json(events))
+    write_chrome_trace_with_dropped(path, events, 0)
+}
+
+/// Writes [`chrome_trace_with_dropped`] output to a file.
+pub fn write_chrome_trace_with_dropped(
+    path: impl AsRef<Path>,
+    events: &[TimedEvent],
+    dropped: u64,
+) -> io::Result<()> {
+    let doc = chrome_trace_with_dropped(events, dropped);
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("trace JSON serialization"),
+    )
 }
 
 #[cfg(test)]
@@ -476,5 +510,24 @@ mod tests {
             .map(|r| r["pid"].as_u64().unwrap())
             .collect();
         assert_eq!(pids.len(), 2, "expected two processes, got {pids:?}");
+    }
+
+    #[test]
+    fn dropped_events_become_metadata() {
+        let doc = chrome_trace_with_dropped(&sample_events(), 42);
+        let rows = doc["traceEvents"].as_array().unwrap();
+        let row = rows
+            .iter()
+            .find(|r| r["name"].as_str() == Some("trace_dropped_events"))
+            .expect("dropped-event metadata missing");
+        assert_eq!(row["ph"].as_str(), Some("M"));
+        assert_eq!(row["args"]["dropped"].as_u64(), Some(42));
+        // A lossless trace stays clean: no metadata row.
+        let clean = chrome_trace_with_dropped(&sample_events(), 0);
+        assert!(!clean["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r["name"].as_str() == Some("trace_dropped_events")));
     }
 }

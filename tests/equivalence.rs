@@ -5,8 +5,9 @@
 //! in a `progress`/`advance` implementation, never a tolerance issue.
 
 use esp4ml::apps::TrainedModels;
-use esp4ml::experiments::{Fig7, Fig8, GridPoint, Table1};
+use esp4ml::experiments::{AppRun, Fig7, Fig8, GridPoint, Table1};
 use esp4ml::soc::SocEngine;
+use esp4ml::TraceSession;
 use esp4ml_runtime::ExecMode;
 use proptest::prelude::*;
 
@@ -48,6 +49,46 @@ fn engines_agree_on_every_fig7_grid_point() {
         assert!(
             fig7.contains(point),
             "{} not covered by the fig7 sweep",
+            point.label()
+        );
+    }
+}
+
+/// Runs `point` with the online profiler attached and returns the
+/// serialized profile report list.
+fn profile_json(
+    point: &GridPoint,
+    models: &TrainedModels,
+    frames: u64,
+    engine: SocEngine,
+) -> String {
+    let mut session = TraceSession::profiled(None);
+    AppRun::execute_traced_on(&point.app, models, frames, point.mode, engine, &mut session)
+        .unwrap_or_else(|e| panic!("{} profiled run failed: {e}", point.label()));
+    serde_json::to_string(session.profiles()).expect("profile serialization")
+}
+
+/// The profiler consumes the trace stream online, so it is only
+/// engine-safe if both engines emit identical event streams. Prove it
+/// end-to-end: on every Fig. 7 grid point the full profile report —
+/// frame-latency histograms, per-stage time-in-state breakdowns,
+/// bottleneck analysis, and the per-link NoC heatmap — must serialize
+/// byte-identically under both engines.
+#[test]
+fn engines_agree_on_profile_reports() {
+    let models = TrainedModels::untrained();
+    for point in &Fig7::grid() {
+        let naive = profile_json(point, &models, 2, SocEngine::Naive);
+        let event = profile_json(point, &models, 2, SocEngine::EventDriven);
+        assert!(
+            !naive.is_empty() && naive != "[]",
+            "{}: profiled run produced no report",
+            point.label()
+        );
+        assert_eq!(
+            naive,
+            event,
+            "{}: profile reports diverged between engines",
             point.label()
         );
     }

@@ -151,7 +151,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,

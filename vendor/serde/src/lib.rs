@@ -338,3 +338,37 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
             .collect()
     }
 }
+
+// Integer-keyed maps serialize like real serde_json: keys become their
+// decimal string form, in the map's (numeric) iteration order.
+macro_rules! impl_int_key_btreemap {
+    ($($k:ty),*) => {$(
+        impl<V: Serialize> Serialize for std::collections::BTreeMap<$k, V> {
+            fn to_value(&self) -> Value {
+                let mut map = Map::new();
+                for (k, v) in self {
+                    map.insert(k.to_string(), v.to_value());
+                }
+                Value::Object(map)
+            }
+        }
+
+        impl<V: Deserialize> Deserialize for std::collections::BTreeMap<$k, V> {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let obj = value
+                    .as_object()
+                    .ok_or_else(|| Error::custom(format!("expected object, got {value:?}")))?;
+                obj.iter()
+                    .map(|(k, v)| {
+                        let key: $k = k
+                            .parse()
+                            .map_err(|e| Error::custom(format!("bad integer key {k:?}: {e}")))?;
+                        Ok((key, V::from_value(v)?))
+                    })
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_int_key_btreemap!(u32, u64, usize);

@@ -168,6 +168,13 @@ impl Map {
             .find_map(|(k, v)| (k == key).then_some(v))
     }
 
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
     /// True when the key is present.
     pub fn contains_key(&self, key: &str) -> bool {
         self.get(key).is_some()
@@ -289,6 +296,14 @@ impl Value {
     /// Object field lookup that returns `None` for non-objects.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Mutable object field lookup that returns `None` for non-objects.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
+            _ => None,
+        }
     }
 }
 
