@@ -27,8 +27,14 @@ fn main() {
             args.frames,
             args.engine,
             args.jobs,
+            args.sanitize,
         )
-        .and_then(|runs| Fig7::assemble(&runs)),
+        .and_then(|runs| {
+            if args.sanitize {
+                eprintln!("sanitizer: clean across {} runs", runs.len());
+            }
+            Fig7::assemble(&runs)
+        }),
     };
     match result {
         Ok(fig) => {

@@ -26,8 +26,14 @@ fn main() {
             args.frames,
             args.engine,
             args.jobs,
+            args.sanitize,
         )
-        .and_then(|runs| Fig8::assemble(&runs)),
+        .and_then(|runs| {
+            if args.sanitize {
+                eprintln!("sanitizer: clean across {} runs", runs.len());
+            }
+            Fig8::assemble(&runs)
+        }),
     };
     match result {
         Ok(fig) => {

@@ -27,8 +27,14 @@ fn main() {
             args.frames,
             args.engine,
             args.jobs,
+            args.sanitize,
         )
-        .and_then(|runs| Table1::assemble(&models, &runs)),
+        .and_then(|runs| {
+            if args.sanitize {
+                eprintln!("sanitizer: clean across {} runs", runs.len());
+            }
+            Table1::assemble(&models, &runs)
+        }),
     };
     match result {
         Ok(table) => {

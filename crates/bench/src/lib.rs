@@ -19,11 +19,14 @@
 //! write the JSON bottleneck/latency/heatmap report, printing the text
 //! report to stdout), `--sample-every <cycles>` (with `--trace`, also
 //! write a `<path>.counters.csv` time-series of the SoC counters),
-//! `--engine naive|event` (the simulation engine) and `--jobs N` (worker
+//! `--engine naive|event` (the simulation engine), `--jobs N` (worker
 //! threads for the experiment grid; tracing/profiling forces serial
-//! execution). The dedicated `espprof` binary runs one configuration
+//! execution) and `--sanitize` (audit every run with the runtime
+//! invariant sanitizer; any violation fails the harness with typed
+//! diagnostics). The dedicated `espprof` binary runs one configuration
 //! across execution modes and checks the bottleneck report against the
-//! measured throughput ordering.
+//! measured throughput ordering; `espcheck` statically lints SoC
+//! configurations and dataflows without simulating a cycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +60,10 @@ pub struct HarnessArgs {
     pub engine: SocEngine,
     /// Worker threads for grid execution (ignored when tracing).
     pub jobs: usize,
+    /// Run every grid point with the runtime invariant sanitizer armed
+    /// (`esp4ml_soc::SanitizerConfig::all`); any violation fails the
+    /// harness with the typed diagnostics.
+    pub sanitize: bool,
 }
 
 impl Default for HarnessArgs {
@@ -71,6 +78,7 @@ impl Default for HarnessArgs {
             sample_every: None,
             engine: SocEngine::default(),
             jobs: parallel::default_jobs(),
+            sanitize: false,
         }
     }
 }
@@ -107,6 +115,7 @@ impl HarnessArgs {
                     out.profile = Some(PathBuf::from(path));
                 }
                 "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
+                "--sanitize" => out.sanitize = true,
                 "--jobs" => out.jobs = grab("--jobs")? as usize,
                 "--engine" => {
                     let v = it.next().ok_or("--engine needs naive or event")?;
@@ -120,7 +129,7 @@ impl HarnessArgs {
                     return Err(format!(
                         "unknown option {other}; supported: --frames N --train --no-train \
                          --samples N --epochs N --trace PATH --profile PATH \
-                         --sample-every CYCLES --engine naive|event --jobs N"
+                         --sample-every CYCLES --engine naive|event --jobs N --sanitize"
                     ))
                 }
             }
@@ -136,6 +145,11 @@ impl HarnessArgs {
         }
         if out.jobs == 0 {
             return Err("--jobs must be at least 1".into());
+        }
+        if out.sanitize && (out.trace.is_some() || out.profile.is_some()) {
+            return Err(
+                "--sanitize cannot be combined with --trace/--profile; run them separately".into(),
+            );
         }
         Ok(out)
     }
@@ -203,6 +217,15 @@ mod tests {
         assert!(parse(&["--frames"]).is_err());
         assert!(parse(&["--frames", "abc"]).is_err());
         assert!(parse(&["--frames", "0"]).is_err());
+    }
+
+    #[test]
+    fn sanitize_option() {
+        let a = parse(&["--sanitize"]).unwrap();
+        assert!(a.sanitize);
+        assert!(!parse(&[]).unwrap().sanitize);
+        assert!(parse(&["--sanitize", "--trace", "/tmp/t.json"]).is_err());
+        assert!(parse(&["--sanitize", "--profile", "/tmp/p.json"]).is_err());
     }
 
     #[test]

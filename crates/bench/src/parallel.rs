@@ -32,22 +32,32 @@ pub fn default_jobs() -> usize {
 /// thread with no pool at all, so the serial path stays the trivially
 /// auditable oracle.
 ///
+/// With `sanitize` set, every point runs under the full runtime
+/// invariant sanitizer ([`esp4ml_soc::SanitizerConfig::all`]); the first
+/// violated invariant fails the grid with its typed diagnostics.
+///
 /// # Errors
 ///
-/// The first (in grid order) point that failed to build or run.
+/// The first (in grid order) point that failed to build or run, or whose
+/// sanitizer found violations.
 pub fn run_grid(
     points: &[GridPoint],
     models: &TrainedModels,
     frames: u64,
     engine: SocEngine,
     jobs: usize,
+    sanitize: bool,
 ) -> Result<Vec<AppRun>, ExperimentError> {
+    let exec = |p: &GridPoint| {
+        if sanitize {
+            p.run_sanitized(models, frames, engine)
+        } else {
+            p.run(models, frames, engine)
+        }
+    };
     let jobs = jobs.min(points.len());
     if jobs <= 1 {
-        return points
-            .iter()
-            .map(|p| p.run(models, frames, engine))
-            .collect();
+        return points.iter().map(exec).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<AppRun, ExperimentError>>>> =
@@ -57,7 +67,7 @@ pub fn run_grid(
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
-                let result = point.run(models, frames, engine);
+                let result = exec(point);
                 *slots[i].lock().expect("slot lock") = Some(result);
             });
         }
@@ -82,8 +92,8 @@ mod tests {
     fn parallel_matches_serial_on_fig8_grid() {
         let models = TrainedModels::untrained();
         let grid = Fig8::grid();
-        let serial = run_grid(&grid, &models, 2, SocEngine::EventDriven, 1).unwrap();
-        let parallel = run_grid(&grid, &models, 2, SocEngine::EventDriven, 4).unwrap();
+        let serial = run_grid(&grid, &models, 2, SocEngine::EventDriven, 1, false).unwrap();
+        let parallel = run_grid(&grid, &models, 2, SocEngine::EventDriven, 4, false).unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.label, p.label);

@@ -1,0 +1,164 @@
+//! Channel-dependency-graph (CDG) deadlock analysis for wormhole routes.
+//!
+//! Dally & Seitz: a wormhole network is deadlock-free iff its channel
+//! dependency graph is acyclic. The nodes of the CDG are the directed
+//! physical links of one NoC plane; each route contributes a dependency
+//! edge between every pair of consecutive links it traverses (a worm
+//! holding link *a* while waiting for link *b*).
+//!
+//! The mesh simulator routes in dimension order (XY), which is provably
+//! acyclic — so on a stock configuration the linter's `E0302` check is a
+//! safety net. It earns its keep when routing tables are customized
+//! (`Router::set_table`) or when a config mixes routing disciplines: the
+//! analysis is purely geometric, so `espcheck` can flag a deadlocking
+//! route set without simulating a single cycle.
+//!
+//! Everything here is pure: coordinates are `(x, y)` tuples, a link is a
+//! directed coordinate pair, a route is the link sequence a packet
+//! occupies in order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A mesh coordinate as a plain `(x, y)` tuple.
+pub type Node = (u8, u8);
+
+/// A directed physical channel from one router to a neighbor.
+pub type Link = (Node, Node);
+
+/// The link sequence of a dimension-order (XY) route from `src` to
+/// `dst`: first along x, then along y. Empty when `src == dst`.
+pub fn xy_route(src: Node, dst: Node) -> Vec<Link> {
+    let mut links = Vec::new();
+    let (mut x, mut y) = src;
+    while x != dst.0 {
+        let nx = if dst.0 > x { x + 1 } else { x - 1 };
+        links.push(((x, y), (nx, y)));
+        x = nx;
+    }
+    while y != dst.1 {
+        let ny = if dst.1 > y { y + 1 } else { y - 1 };
+        links.push(((x, y), (x, ny)));
+        y = ny;
+    }
+    links
+}
+
+/// Searches the channel dependency graph of `routes` for a cycle.
+///
+/// Returns the links of one cycle (each waiting on the next, the last
+/// waiting on the first), or `None` when the CDG is acyclic and the
+/// route set is wormhole-deadlock-free.
+pub fn find_cycle(routes: &[Vec<Link>]) -> Option<Vec<Link>> {
+    let mut deps: BTreeMap<Link, BTreeSet<Link>> = BTreeMap::new();
+    for route in routes {
+        for pair in route.windows(2) {
+            deps.entry(pair[0]).or_default().insert(pair[1]);
+            deps.entry(pair[1]).or_default();
+        }
+    }
+    // Iterative DFS with an explicit on-stack path for cycle recovery.
+    let mut state: BTreeMap<Link, u8> = BTreeMap::new(); // 1 = on stack, 2 = done
+    for &start in deps.keys() {
+        if state.contains_key(&start) {
+            continue;
+        }
+        let mut path: Vec<(Link, Vec<Link>)> = Vec::new();
+        let succs = deps[&start].iter().rev().copied().collect();
+        path.push((start, succs));
+        state.insert(start, 1);
+        while let Some((node, succs)) = path.last_mut() {
+            let node = *node;
+            match succs.pop() {
+                Some(next) => match state.get(&next) {
+                    Some(1) => {
+                        // Found: unwind the explicit stack from `next`.
+                        let pos = path.iter().position(|(n, _)| *n == next).expect("on stack");
+                        return Some(path[pos..].iter().map(|(n, _)| *n).collect());
+                    }
+                    Some(_) => {}
+                    None => {
+                        let nsuccs = deps[&next].iter().rev().copied().collect();
+                        path.push((next, nsuccs));
+                        state.insert(next, 1);
+                    }
+                },
+                None => {
+                    state.insert(node, 2);
+                    path.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: the XY routes of a set of `(src, dst)` flows, ready for
+/// [`find_cycle`].
+pub fn xy_routes(flows: &[(Node, Node)]) -> Vec<Vec<Link>> {
+    flows.iter().map(|&(s, d)| xy_route(s, d)).collect()
+}
+
+/// Renders a link as `(x,y)->(x,y)` for diagnostics.
+pub fn render_link(link: &Link) -> String {
+    format!(
+        "({},{})->({},{})",
+        link.0 .0, link.0 .1, link.1 .0, link.1 .1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let r = xy_route((0, 0), (2, 1));
+        assert_eq!(
+            r,
+            vec![((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (2, 1)),]
+        );
+        assert!(xy_route((3, 3), (3, 3)).is_empty());
+    }
+
+    #[test]
+    fn xy_flows_are_deadlock_free() {
+        // Dense all-to-all on a 4x4 mesh: XY must stay acyclic.
+        let mut flows = Vec::new();
+        for sx in 0..4u8 {
+            for sy in 0..4u8 {
+                for dx in 0..4u8 {
+                    for dy in 0..4u8 {
+                        if (sx, sy) != (dx, dy) {
+                            flows.push(((sx, sy), (dx, dy)));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(find_cycle(&xy_routes(&flows)).is_none());
+    }
+
+    #[test]
+    fn turn_cycle_is_detected() {
+        // Four YX-ish routes chasing each other around the unit square —
+        // the canonical four-turn cycle XY routing forbids.
+        let routes = vec![
+            vec![((0, 0), (1, 0)), ((1, 0), (1, 1))],
+            vec![((1, 0), (1, 1)), ((1, 1), (0, 1))],
+            vec![((1, 1), (0, 1)), ((0, 1), (0, 0))],
+            vec![((0, 1), (0, 0)), ((0, 0), (1, 0))],
+        ];
+        let cycle = find_cycle(&routes).expect("cycle");
+        assert_eq!(cycle.len(), 4);
+        // Every link in the reported cycle depends on its successor.
+        for w in cycle.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "links must chain through a router");
+        }
+    }
+
+    #[test]
+    fn single_route_has_no_cycle() {
+        let routes = vec![xy_route((0, 0), (3, 2))];
+        assert!(find_cycle(&routes).is_none());
+    }
+}

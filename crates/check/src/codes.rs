@@ -1,0 +1,111 @@
+//! The stable error-code registry.
+//!
+//! Codes are grouped by the layer that owns the rule:
+//!
+//! | Range   | Layer |
+//! |---------|-------|
+//! | `E01xx` | SoC floorplan (tile map) |
+//! | `E02xx` | Dataflow structure |
+//! | `E03xx` | Dataflow-to-SoC mapping and NoC routing |
+//! | `E04xx` | Runtime sanitizer invariants |
+//! | `E05xx` | Deadlock diagnosis |
+//!
+//! Once published a code never changes meaning; retired rules leave a
+//! hole rather than being reused. CI scripts may match on these strings.
+
+/// `E0101`: two tiles occupy the same mesh coordinate.
+pub const DUPLICATE_TILE: &str = "E0101";
+/// `E0102`: a tile lies outside the mesh bounds and is unreachable.
+pub const TILE_OUT_OF_BOUNDS: &str = "E0102";
+/// `E0103`: the floorplan lacks a required tile (processor or memory).
+pub const MISSING_REQUIRED_TILE: &str = "E0103";
+/// `E0104`: two accelerator tiles share a device name.
+pub const DUPLICATE_DEVICE_NAME: &str = "E0104";
+
+/// `E0201`: the dataflow has no stages.
+pub const EMPTY_DATAFLOW: &str = "E0201";
+/// `E0202`: a stage has no device instances.
+pub const EMPTY_STAGE: &str = "E0202";
+/// `E0203`: a stage exceeds the `P2P_REG` fan-in limit of 4 sources.
+pub const STAGE_FAN_IN: &str = "E0203";
+/// `E0204`: adjacent stage widths are neither equal nor fan-in-to-one.
+pub const STAGE_WIDTHS: &str = "E0204";
+/// `E0205`: a device appears in more than one stage slot.
+pub const DUPLICATE_STAGE_DEVICE: &str = "E0205";
+/// `E0206`: the dataflow JSON failed to parse.
+pub const DATAFLOW_PARSE: &str = "E0206";
+
+/// `E0301`: a dataflow stage names a device the SoC does not host.
+pub const UNMAPPED_DEVICE: &str = "E0301";
+/// `E0302`: the p2p routes form a channel-dependency-graph cycle — a
+/// wormhole deadlock risk on that plane.
+pub const CDG_CYCLE: &str = "E0302";
+/// `E0303`: a message was injected on a plane that does not carry its
+/// kind (plane misassignment breaks the deadlock-avoidance argument).
+pub const PLANE_MISASSIGNMENT: &str = "E0303";
+/// `E0304`: an accelerator's PLM is too small for its model footprint.
+pub const PLM_OVERFLOW: &str = "E0304";
+/// `W0305`: a frame working set needs more TLB entries than the socket
+/// provides; every frame will pay miss penalties.
+pub const TLB_PRESSURE: &str = "W0305";
+
+/// `E0401`: per-link credit conservation violated (shadow occupancy
+/// disagrees with the router queue).
+pub const CREDIT_CONSERVATION: &str = "E0401";
+/// `E0402`: flit conservation violated (injected != ejected + in-flight).
+pub const FLIT_CONSERVATION: &str = "E0402";
+/// `E0403`: wormhole non-interleaving violated at an ejection port.
+pub const WORMHOLE_INTERLEAVING: &str = "E0403";
+/// `E0404`: DMA byte accounting mismatch at an idle boundary.
+pub const DMA_ACCOUNTING: &str = "E0404";
+
+/// `E0501`: the wait-for graph at timeout contains a cycle or a stalled
+/// chain (deadlock diagnosis attached to `RunOutcome::TimedOut`).
+pub const DEADLOCK: &str = "E0501";
+
+/// One registry row: code, summary.
+pub const ALL: &[(&str, &str)] = &[
+    (DUPLICATE_TILE, "two tiles occupy the same mesh coordinate"),
+    (TILE_OUT_OF_BOUNDS, "tile outside the mesh bounds"),
+    (MISSING_REQUIRED_TILE, "missing processor or memory tile"),
+    (DUPLICATE_DEVICE_NAME, "duplicate accelerator device name"),
+    (EMPTY_DATAFLOW, "dataflow has no stages"),
+    (EMPTY_STAGE, "stage has no device instances"),
+    (STAGE_FAN_IN, "stage exceeds the P2P_REG fan-in limit"),
+    (STAGE_WIDTHS, "illegal stage width transition"),
+    (
+        DUPLICATE_STAGE_DEVICE,
+        "device appears twice in the dataflow",
+    ),
+    (DATAFLOW_PARSE, "dataflow JSON parse failure"),
+    (UNMAPPED_DEVICE, "stage device missing from the SoC"),
+    (CDG_CYCLE, "p2p routes form a channel-dependency cycle"),
+    (
+        PLANE_MISASSIGNMENT,
+        "message injected on the wrong NoC plane",
+    ),
+    (PLM_OVERFLOW, "PLM smaller than the model footprint"),
+    (TLB_PRESSURE, "frame working set exceeds the socket TLB"),
+    (CREDIT_CONSERVATION, "per-link credit conservation violated"),
+    (FLIT_CONSERVATION, "flit conservation violated"),
+    (WORMHOLE_INTERLEAVING, "wormhole non-interleaving violated"),
+    (DMA_ACCOUNTING, "DMA byte accounting mismatch"),
+    (DEADLOCK, "wait-for graph deadlock at timeout"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (code, summary) in ALL {
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert!(!summary.is_empty());
+            assert_eq!(code.len(), 5, "{code}");
+            assert!(code.starts_with('E') || code.starts_with('W'), "{code}");
+            assert!(code[1..].chars().all(|c| c.is_ascii_digit()), "{code}");
+        }
+    }
+}

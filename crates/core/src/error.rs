@@ -130,7 +130,10 @@ mod tests {
             Ok(())
         }
         fn runtime() -> Result<(), Esp4mlError> {
-            Err(RuntimeError::Timeout { cycles: 1 })?;
+            Err(RuntimeError::Timeout {
+                cycles: 1,
+                diagnosis: None,
+            })?;
             Ok(())
         }
         assert!(matches!(noc().unwrap_err(), Esp4mlError::Noc(_)));

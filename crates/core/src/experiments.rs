@@ -16,8 +16,9 @@ use crate::apps::{argmax, decode_values, encode_image, CaseApp, TrainedModels};
 use crate::flow::Esp4mlFlow;
 use crate::observe::{ProfileReport, TraceSession};
 use esp4ml_baseline::{Platform, Workload};
+use esp4ml_check::Report;
 use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunMetrics, RunSpec, RuntimeError};
-use esp4ml_soc::SocEngine;
+use esp4ml_soc::{SanitizerConfig, SocEngine};
 use esp4ml_trace::{TileCoord, TraceEvent};
 use esp4ml_vision::SvhnGenerator;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,13 @@ pub enum ExperimentError {
     Run(RuntimeError),
     /// Grid assembly was handed results that don't match the grid.
     Grid(String),
+    /// The runtime sanitizer found invariant violations during a run.
+    Sanitizer {
+        /// Which run violated invariants.
+        label: String,
+        /// The violations, as typed diagnostics.
+        report: Report,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -45,6 +53,11 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Build(e) => write!(f, "build failed: {e}"),
             ExperimentError::Run(e) => write!(f, "run failed: {e}"),
             ExperimentError::Grid(msg) => write!(f, "grid assembly failed: {msg}"),
+            ExperimentError::Sanitizer { label, report } => write!(
+                f,
+                "sanitizer found {} violation(s) in {label}:\n{report}",
+                report.error_count()
+            ),
         }
     }
 }
@@ -55,6 +68,7 @@ impl Error for ExperimentError {
             ExperimentError::Build(e) => Some(e),
             ExperimentError::Run(e) => Some(e),
             ExperimentError::Grid(_) => None,
+            ExperimentError::Sanitizer { .. } => None,
         }
     }
 }
@@ -108,6 +122,24 @@ impl GridPoint {
     ) -> Result<AppRun, ExperimentError> {
         AppRun::execute_on(&self.app, models, frames, self.mode, engine)
     }
+
+    /// [`GridPoint::run`] with the runtime sanitizer armed
+    /// ([`SanitizerConfig::all`]). The run fails with
+    /// [`ExperimentError::Sanitizer`] on any invariant violation;
+    /// otherwise the (clean) verdict is attached to the returned
+    /// [`AppRun::sanitizer`].
+    ///
+    /// # Errors
+    ///
+    /// Build, runtime, or sanitizer failures.
+    pub fn run_sanitized(
+        &self,
+        models: &TrainedModels,
+        frames: u64,
+        engine: SocEngine,
+    ) -> Result<AppRun, ExperimentError> {
+        AppRun::execute_sanitized(&self.app, models, frames, self.mode, engine)
+    }
 }
 
 /// One measured execution of a case-study application on its SoC.
@@ -126,6 +158,11 @@ pub struct AppRun {
     pub predictions: Vec<usize>,
     /// Ground-truth label per frame.
     pub labels: Vec<usize>,
+    /// The sanitizer's verdict when the run was sanitized (`None` when
+    /// the sanitizer was off). An attached report never carries errors —
+    /// those abort the run with [`ExperimentError::Sanitizer`] — but may
+    /// carry warnings.
+    pub sanitizer: Option<Report>,
 }
 
 impl AppRun {
@@ -141,7 +178,7 @@ impl AppRun {
         frames: u64,
         mode: ExecMode,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, SocEngine::default(), None)
+        Self::execute_with(app, models, frames, mode, SocEngine::default(), None, false)
     }
 
     /// [`AppRun::execute`] under an explicit simulation engine
@@ -158,7 +195,28 @@ impl AppRun {
         mode: ExecMode,
         engine: SocEngine,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, engine, None)
+        Self::execute_with(app, models, frames, mode, engine, None, false)
+    }
+
+    /// [`AppRun::execute_on`] with the full runtime sanitizer armed:
+    /// credit/flit conservation, wormhole framing, plane discipline and
+    /// DMA byte accounting are audited throughout the run (at every tick
+    /// under [`SocEngine::Naive`], additionally at every fast-forward
+    /// boundary under [`SocEngine::EventDriven`] — the verdicts are
+    /// identical either way).
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures, or [`ExperimentError::Sanitizer`] when
+    /// any invariant was violated.
+    pub fn execute_sanitized(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        engine: SocEngine,
+    ) -> Result<AppRun, ExperimentError> {
+        Self::execute_with(app, models, frames, mode, engine, None, true)
     }
 
     /// [`AppRun::execute`] with observability: events flow into the
@@ -185,6 +243,7 @@ impl AppRun {
             mode,
             SocEngine::default(),
             Some(session),
+            false,
         )
     }
 
@@ -203,7 +262,7 @@ impl AppRun {
         engine: SocEngine,
         session: &mut TraceSession,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, engine, Some(session))
+        Self::execute_with(app, models, frames, mode, engine, Some(session), false)
     }
 
     /// Derives profiler stage groups `(stage name, member instances)`
@@ -238,9 +297,13 @@ impl AppRun {
         mode: ExecMode,
         engine: SocEngine,
         mut session: Option<&mut TraceSession>,
+        sanitize: bool,
     ) -> Result<AppRun, ExperimentError> {
         let mut soc = app.build_soc(models)?;
         soc.set_engine(engine);
+        if sanitize {
+            soc.enable_sanitizer(SanitizerConfig::all());
+        }
         let run_label = format!("{} {}", app.label(), mode.label());
         let dataflow = app.dataflow();
         if let Some(session) = session.as_deref_mut() {
@@ -271,6 +334,15 @@ impl AppRun {
             labels.push(label);
         }
         let metrics = rt.run(&RunSpec::new(&dataflow).mode(mode), &buf)?;
+        let sanitizer = match rt.soc().sanitizer_report() {
+            Some(report) if report.has_errors() => {
+                return Err(ExperimentError::Sanitizer {
+                    label: run_label,
+                    report,
+                });
+            }
+            verdict => verdict,
+        };
         // Snapshot the profile at run completion, before prediction
         // readback (which does not simulate cycles).
         let profile = session.as_deref_mut().and_then(|s| {
@@ -300,6 +372,7 @@ impl AppRun {
             watts,
             predictions,
             labels,
+            sanitizer,
         })
     }
 
@@ -450,6 +523,7 @@ impl Table1 {
                 point.mode,
                 SocEngine::default(),
                 session.as_deref_mut(),
+                false,
             )?);
         }
         Self::assemble(models, &runs)
@@ -657,6 +731,7 @@ impl Fig7 {
                 point.mode,
                 SocEngine::default(),
                 session.as_deref_mut(),
+                false,
             )?);
         }
         Self::assemble(&runs)
@@ -808,6 +883,7 @@ impl Fig8 {
                 point.mode,
                 SocEngine::default(),
                 session.as_deref_mut(),
+                false,
             )?);
         }
         Self::assemble(&runs)

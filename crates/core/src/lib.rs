@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod check;
 pub mod error;
 pub mod experiments;
 pub mod flow;

@@ -89,6 +89,29 @@ pub struct TileSpec {
     pub y: u8,
     /// Contents.
     pub kind: TileSpecKind,
+    /// Declared PLM budget of an accelerator tile, in 64-bit words
+    /// (`None` = unconstrained). `esp4ml-check` verifies the model's
+    /// buffer footprint fits (`E0304`).
+    #[serde(default)]
+    pub plm_words: Option<u64>,
+}
+
+impl TileSpec {
+    /// A tile at `(x, y)` with no declared PLM budget.
+    pub fn new(x: u8, y: u8, kind: TileSpecKind) -> Self {
+        TileSpec {
+            x,
+            y,
+            kind,
+            plm_words: None,
+        }
+    }
+
+    /// Declares the tile's PLM budget in words (builder style).
+    pub fn with_plm_words(mut self, words: u64) -> Self {
+        self.plm_words = Some(words);
+        self
+    }
 }
 
 /// A complete SoC configuration document.
@@ -175,60 +198,48 @@ impl SocConfigFile {
             reuse: reuse.to_vec(),
         };
         let mut tiles = vec![
-            TileSpec {
-                x: 0,
-                y: 0,
-                kind: TileSpecKind::Processor,
-            },
-            TileSpec {
-                x: 1,
-                y: 0,
-                kind: TileSpecKind::Memory,
-            },
-            TileSpec {
-                x: 2,
-                y: 0,
-                kind: TileSpecKind::Auxiliary,
-            },
+            TileSpec::new(0, 0, TileSpecKind::Processor),
+            TileSpec::new(1, 0, TileSpecKind::Memory),
+            TileSpec::new(2, 0, TileSpecKind::Auxiliary),
         ];
         for (i, (x, y)) in [(3u8, 0u8), (4, 0), (0, 1), (1, 1)].into_iter().enumerate() {
-            tiles.push(TileSpec {
+            tiles.push(TileSpec::new(
                 x,
                 y,
-                kind: TileSpecKind::NightVision {
+                TileSpecKind::NightVision {
                     name: format!("nv{i}"),
                 },
-            });
+            ));
         }
         for (i, (x, y)) in [(2u8, 1u8), (3, 1), (4, 1), (0, 2)].into_iter().enumerate() {
-            tiles.push(TileSpec {
+            tiles.push(TileSpec::new(
                 x,
                 y,
-                kind: ml(
+                ml(
                     &format!("cl{i}"),
                     MlModelRef::Classifier,
                     &crate::apps::CLASSIFIER_REUSE,
                 ),
-            });
+            ));
         }
-        tiles.push(TileSpec {
-            x: 1,
-            y: 2,
-            kind: ml(
+        tiles.push(TileSpec::new(
+            1,
+            2,
+            ml(
                 "denoiser",
                 MlModelRef::Denoiser,
                 &crate::apps::DENOISER_REUSE,
             ),
-        });
-        tiles.push(TileSpec {
-            x: 2,
-            y: 2,
-            kind: ml(
+        ));
+        tiles.push(TileSpec::new(
+            2,
+            2,
+            ml(
                 "cl_de",
                 MlModelRef::Classifier,
                 &crate::apps::CLASSIFIER_REUSE,
             ),
-        });
+        ));
         SocConfigFile {
             name: "esp4ml-soc1".into(),
             cols: 5,
@@ -277,11 +288,7 @@ mod tests {
     #[test]
     fn bad_floorplan_is_rejected_at_build() {
         let mut cfg = SocConfigFile::soc1();
-        cfg.tiles.push(TileSpec {
-            x: 0,
-            y: 0,
-            kind: TileSpecKind::Auxiliary,
-        });
+        cfg.tiles.push(TileSpec::new(0, 0, TileSpecKind::Auxiliary));
         assert!(cfg.build(&TrainedModels::untrained()).is_err());
     }
 

@@ -84,6 +84,21 @@ impl Flit {
     }
 }
 
+/// Wormhole-invariant violations observable at an ejection port.
+///
+/// Routers hold a per-output lock from head to tail, so flits of two
+/// packets can never interleave on one (plane, path). If one of these
+/// fires, arbitration (or a fault) broke the wormhole discipline. The
+/// mesh turns them into `debug_assert!`s on plain runs and into `E0403`
+/// diagnostics when the sanitizer is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReasmViolation {
+    /// A head flit arrived while another packet was still reassembling.
+    HeadInterleaved,
+    /// A body or tail flit arrived with no packet under reassembly.
+    StrayFlit,
+}
+
 /// Incremental packet reassembler used at ejection ports.
 ///
 /// Flits of a given packet arrive in order on a given plane (wormhole
@@ -95,14 +110,19 @@ pub(crate) struct Reassembler {
 }
 
 impl Reassembler {
-    /// Feeds one flit; returns a completed packet when the tail arrives.
-    pub(crate) fn push(&mut self, flit: Flit) -> Option<Packet> {
+    /// Feeds one flit; returns a completed packet when the tail arrives,
+    /// plus any wormhole violation the flit exposed. On violation the
+    /// reassembler keeps the pre-existing recovery behaviour (an
+    /// interleaving head restarts reassembly; a stray flit is dropped).
+    pub(crate) fn push(&mut self, flit: Flit) -> (Option<Packet>, Option<ReasmViolation>) {
+        let mut violation = None;
         if flit.kind.is_head() {
-            debug_assert!(
-                self.current.is_none(),
-                "head flit while a packet is still being reassembled"
-            );
+            if self.current.is_some() {
+                violation = Some(ReasmViolation::HeadInterleaved);
+            }
             self.current = Some((flit.clone(), Vec::new()));
+        } else if self.current.is_none() {
+            violation = Some(ReasmViolation::StrayFlit);
         }
         let finish = flit.kind.is_tail();
         if let Some((_, words)) = self.current.as_mut() {
@@ -113,10 +133,20 @@ impl Reassembler {
                 let (head, words) = self.current.take().expect("current packet");
                 let mut pkt = Packet::new(head.src, head.dest, head.plane, head.msg, words);
                 pkt.inject_cycle = head.inject_cycle;
-                return Some(pkt);
+                return (Some(pkt), violation);
             }
         }
-        None
+        (None, violation)
+    }
+
+    /// Flits absorbed into the partial packet under reassembly (0 when
+    /// between packets) — the reassembler's share of in-flight flits for
+    /// the conservation audit.
+    pub(crate) fn pending_flits(&self) -> usize {
+        self.current
+            .as_ref()
+            .map(|(_, words)| 1 + words.len())
+            .unwrap_or(0)
     }
 }
 
@@ -159,11 +189,14 @@ mod tests {
         let mut r = Reassembler::default();
         let mut out = None;
         for f in Flit::from_packet(&original) {
-            if let Some(p) = r.push(f) {
+            let (p, v) = r.push(f);
+            assert_eq!(v, None);
+            if let Some(p) = p {
                 out = Some(p);
             }
         }
         assert_eq!(out.expect("complete"), original);
+        assert_eq!(r.pending_flits(), 0);
     }
 
     #[test]
@@ -171,8 +204,9 @@ mod tests {
         let original = pkt(vec![]);
         let mut r = Reassembler::default();
         let flits = Flit::from_packet(&original);
-        let out = r.push(flits[0].clone()).expect("complete");
-        assert_eq!(out, original);
+        let (out, v) = r.push(flits[0].clone());
+        assert_eq!(v, None);
+        assert_eq!(out.expect("complete"), original);
     }
 
     #[test]
@@ -185,10 +219,40 @@ mod tests {
             .into_iter()
             .chain(Flit::from_packet(&b))
         {
-            if let Some(p) = r.push(f) {
+            let (p, v) = r.push(f);
+            assert_eq!(v, None);
+            if let Some(p) = p {
                 done.push(p);
             }
         }
         assert_eq!(done, vec![a, b]);
+    }
+
+    #[test]
+    fn interleaved_head_is_flagged_and_restarts() {
+        let a = pkt(vec![1, 2]);
+        let b = pkt(vec![3]);
+        let mut r = Reassembler::default();
+        let a_flits = Flit::from_packet(&a);
+        assert_eq!(r.push(a_flits[0].clone()), (None, None));
+        assert_eq!(r.pending_flits(), 1);
+        // A second head before a's tail: interleaving violation, and the
+        // reassembler restarts on the new packet.
+        let b_flits = Flit::from_packet(&b);
+        let (p, v) = r.push(b_flits[0].clone());
+        assert_eq!(p, None);
+        assert_eq!(v, Some(ReasmViolation::HeadInterleaved));
+        let (p, v) = r.push(b_flits[1].clone());
+        assert_eq!(v, None);
+        assert_eq!(p.expect("b completes"), b);
+    }
+
+    #[test]
+    fn stray_flit_is_flagged_and_dropped() {
+        let a = pkt(vec![1, 2]);
+        let mut r = Reassembler::default();
+        let tail = Flit::from_packet(&a).pop().expect("tail");
+        assert_eq!(r.push(tail), (None, Some(ReasmViolation::StrayFlit)));
+        assert_eq!(r.pending_flits(), 0);
     }
 }

@@ -48,6 +48,7 @@ mod packet;
 mod plane;
 mod router;
 mod routing;
+mod sanitizer;
 mod schedule;
 mod stats;
 
@@ -60,5 +61,6 @@ pub use packet::{MsgKind, Packet};
 pub use plane::Plane;
 pub use router::{Port, Router, RouterConfig};
 pub use routing::{Route, RoutingTable};
+pub use sanitizer::{expected_planes, plane_carries};
 pub use schedule::{Progress, Schedulable};
 pub use stats::{NocStats, PlaneStats};

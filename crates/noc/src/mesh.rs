@@ -1,10 +1,12 @@
 //! The 2D-mesh NoC: routers, links, injection/ejection interfaces.
 
-use crate::flit::{Flit, Reassembler};
+use crate::flit::{Flit, ReasmViolation, Reassembler};
 use crate::heatmap::{LinkLoad, NocHeatmap, PlaneHeatmap};
 use crate::router::{Port, Router, RouterConfig, Transfer};
+use crate::sanitizer::{expected_planes, plane_carries, MeshSanitizer};
 use crate::schedule::{Progress, Schedulable};
 use crate::{Coord, NocError, NocStats, Packet, Plane};
+use esp4ml_check::{codes, Diagnostic, Report, SanitizerConfig};
 use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -73,6 +75,7 @@ pub struct Mesh {
     stats: NocStats,
     cycle: u64,
     tracer: Tracer,
+    sanitizer: Option<Box<MeshSanitizer>>,
 }
 
 impl Mesh {
@@ -107,7 +110,59 @@ impl Mesh {
             stats: NocStats::new(),
             cycle: 0,
             tracer: Tracer::disabled(),
+            sanitizer: None,
         })
+    }
+
+    /// Installs the invariant sanitizer. From now on, every tick and
+    /// every fast-forward boundary audits the enabled invariants (see
+    /// [`SanitizerConfig`]); violations accumulate deduplicated in
+    /// [`Mesh::sanitizer_report`]. The audits also fire in release
+    /// builds — this is the opt-in replacement for the `debug_assert!`s
+    /// guarding the same invariants on plain runs.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.sanitizer = Some(Box::new(MeshSanitizer::new(config, self.routers.len())));
+    }
+
+    /// Whether a sanitizer is installed.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The sanitizer verdict so far: `None` when no sanitizer is
+    /// installed, otherwise the sorted, deduplicated violation report
+    /// (empty report = all invariants held).
+    pub fn sanitizer_report(&self) -> Option<Report> {
+        self.sanitizer.as_ref().map(|s| s.report())
+    }
+
+    /// Fault injection for sanitizer tests: leak one credit on the
+    /// input link `(coord, plane, port)`, as a flow-control bug would.
+    /// The next audit must flag `E0401` on that link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sanitizer is installed or `coord` is out of bounds.
+    pub fn fault_leak_credit(&mut self, coord: Coord, plane: Plane, port: Port) {
+        self.check_bounds(coord).expect("coordinate in bounds");
+        let i = self.tile_index(coord);
+        self.sanitizer
+            .as_deref_mut()
+            .expect("sanitizer installed")
+            .fault_leak_credit(i, plane, port);
+    }
+
+    /// Fault injection for sanitizer tests: account a flit that was
+    /// never injected. The next audit must flag `E0402` on `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sanitizer is installed.
+    pub fn fault_phantom_flit(&mut self, plane: Plane) {
+        self.sanitizer
+            .as_deref_mut()
+            .expect("sanitizer installed")
+            .fault_phantom_flit(plane);
     }
 
     /// The mesh configuration.
@@ -243,6 +298,32 @@ impl Mesh {
         packet.inject_cycle = self.cycle;
         let flits = Flit::from_packet(&packet);
         let i = self.tile_index(src);
+        if let Some(san) = self.sanitizer.as_deref_mut() {
+            if san.config.flits {
+                san.injected[plane.index()] += flits.len() as u64;
+            }
+            if san.config.planes && !plane_carries(plane, packet.kind()) {
+                let expected: Vec<String> = expected_planes(packet.kind())
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect();
+                san.record(
+                    Diagnostic::error(
+                        codes::PLANE_MISASSIGNMENT,
+                        format!("tile({},{}) plane {plane}", src.x, src.y),
+                        format!(
+                            "{} message injected on plane {plane}; this kind rides {}",
+                            packet.kind(),
+                            expected.join(" or ")
+                        ),
+                    )
+                    .with_hint(
+                        "plane misassignment voids the NoC's message-dependent \
+                         deadlock avoidance; inject on the canonical plane",
+                    ),
+                );
+            }
+        }
         self.endpoints[i][plane.index()].inject.extend(flits);
         self.stats.plane_mut(plane).packets_injected += 1;
         self.tracer.emit(self.cycle, trace_coord(src), || {
@@ -317,6 +398,9 @@ impl Mesh {
                 }
                 if let Some(flit) = self.endpoints[ti][plane.index()].inject.pop_front() {
                     self.routers[ti].push_input(plane, Port::Local, flit);
+                    if let Some(san) = self.sanitizer.as_deref_mut() {
+                        san.observe_push(ti, plane, Port::Local);
+                    }
                 }
             }
         }
@@ -382,6 +466,11 @@ impl Mesh {
                     *slot = slot.saturating_sub(1);
                 }
             }
+            if let Some(san) = self.sanitizer.as_deref_mut() {
+                for t in &transfers {
+                    san.observe_pop(ti, t.plane, t.in_port);
+                }
+            }
             all_transfers.extend(transfers.into_iter().map(|t| (ti, t)));
         }
 
@@ -392,8 +481,36 @@ impl Mesh {
                 let is_tail = t.flit.kind.is_tail();
                 let inject_cycle = t.flit.inject_cycle;
                 let ep = &mut self.endpoints[ti][plane.index()];
-                if let Some(pkt) = ep.reasm.push(t.flit) {
+                let (completed, violation) = ep.reasm.push(t.flit);
+                if let Some(v) = violation {
+                    let coord = self.routers[ti].coord();
+                    match self.sanitizer.as_deref_mut() {
+                        Some(san) if san.config.wormhole => san.record(Diagnostic::error(
+                            codes::WORMHOLE_INTERLEAVING,
+                            format!("tile({},{}) plane {plane}", coord.x, coord.y),
+                            match v {
+                                ReasmViolation::HeadInterleaved => {
+                                    "wormhole interleaving: a head flit arrived while \
+                                     another packet was still reassembling"
+                                }
+                                ReasmViolation::StrayFlit => {
+                                    "wormhole interleaving: a body or tail flit arrived \
+                                     with no packet under reassembly"
+                                }
+                            },
+                        )),
+                        _ => debug_assert!(
+                            false,
+                            "wormhole violation {v:?} at ({},{}) plane {plane}",
+                            coord.x, coord.y
+                        ),
+                    }
+                }
+                if let Some(pkt) = completed {
                     debug_assert!(is_tail);
+                    if let Some(san) = self.sanitizer.as_deref_mut() {
+                        san.delivered[plane.index()] += pkt.flit_len() as u64;
+                    }
                     let latency = (self.cycle + 1).saturating_sub(inject_cycle);
                     self.stats.plane_mut(plane).record_delivery(latency);
                     let dest = self.routers[ti].coord();
@@ -403,6 +520,7 @@ impl Mesh {
                             latency,
                         }
                     });
+                    let ep = &mut self.endpoints[ti][plane.index()];
                     ep.eject.push_back(pkt);
                 }
             } else {
@@ -411,11 +529,81 @@ impl Mesh {
                 let ni = self.tile_index(nc);
                 self.stats.plane_mut(t.plane).flit_hops += 1;
                 self.routers[ni].push_input(t.plane, t.out_port.opposite(), t.flit);
+                if let Some(san) = self.sanitizer.as_deref_mut() {
+                    san.observe_push(ni, t.plane, t.out_port.opposite());
+                }
             }
         }
 
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.sanitizer.is_some() {
+            self.sanitize_audit();
+        }
+    }
+
+    /// Audits the conservation invariants against the live state; any
+    /// divergence becomes a deduplicated diagnostic. Runs after every
+    /// tick and at fast-forward boundaries when the sanitizer is on.
+    fn sanitize_audit(&mut self) {
+        let Some(mut san) = self.sanitizer.take() else {
+            return;
+        };
+        if san.config.credits {
+            for (ti, r) in self.routers.iter().enumerate() {
+                let coord = r.coord();
+                for plane in Plane::ALL {
+                    for port in Port::ALL {
+                        let shadow = san.shadow_occupancy(ti, plane, port);
+                        let actual = r.occupancy(plane, port) as u64;
+                        if shadow != actual {
+                            san.record(
+                                Diagnostic::error(
+                                    codes::CREDIT_CONSERVATION,
+                                    format!(
+                                        "router({},{}) plane {plane} port {port}",
+                                        coord.x, coord.y
+                                    ),
+                                    "credit conservation violated: shadow link occupancy \
+                                     diverges from the router queue",
+                                )
+                                .with_hint(
+                                    "a credit was lost or duplicated on this link; every \
+                                     queue push/pop must move exactly one credit",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if san.config.flits {
+            for plane in Plane::ALL {
+                let pi = plane.index();
+                let mut in_flight = 0u64;
+                for (ti, r) in self.routers.iter().enumerate() {
+                    in_flight += self.endpoints[ti][pi].inject.len() as u64;
+                    in_flight += self.endpoints[ti][pi].reasm.pending_flits() as u64;
+                    for port in Port::ALL {
+                        in_flight += r.occupancy(plane, port) as u64;
+                    }
+                }
+                if san.injected[pi] != san.delivered[pi] + in_flight {
+                    san.record(
+                        Diagnostic::error(
+                            codes::FLIT_CONSERVATION,
+                            format!("plane {plane}"),
+                            "flit conservation violated: injected != delivered + in-flight",
+                        )
+                        .with_hint(
+                            "a flit was dropped or fabricated between injection and \
+                             ejection; check queue commits and reassembly",
+                        ),
+                    );
+                }
+            }
+        }
+        self.sanitizer = Some(san);
     }
 
     /// Ticks until the network drains or `max_cycles` elapse; returns the
@@ -449,6 +637,13 @@ impl Mesh {
         );
         self.cycle += delta;
         self.stats.cycles = self.cycle;
+        // Fast-forward boundary: the span was traffic-free, so no new
+        // violation can arise inside it, but auditing here keeps the
+        // event-driven verdict aligned with the naive engine's
+        // every-cycle audits.
+        if self.sanitizer.is_some() {
+            self.sanitize_audit();
+        }
     }
 }
 
@@ -719,5 +914,131 @@ mod traffic_tests {
         assert_eq!(t[0][1], 3);
         assert_eq!(t[0][2], 0); // destination only ejects locally
         assert_eq!(t[1][0], 0); // off-route routers untouched
+    }
+}
+
+#[cfg(test)]
+mod sanitizer_tests {
+    use super::*;
+    use crate::MsgKind;
+    use esp4ml_check::codes;
+
+    fn sanitized_mesh() -> Mesh {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).expect("valid mesh");
+        m.enable_sanitizer(SanitizerConfig::noc_only());
+        m
+    }
+
+    fn dma_pkt(src: (u8, u8), dst: (u8, u8), words: Vec<u64>) -> Packet {
+        Packet::new(
+            Coord::new(src.0, src.1),
+            Coord::new(dst.0, dst.1),
+            Plane::DmaRsp,
+            MsgKind::DmaData,
+            words,
+        )
+    }
+
+    #[test]
+    fn clean_traffic_yields_clean_verdict() {
+        let mut m = sanitized_mesh();
+        for y in 0..3u8 {
+            m.inject(dma_pkt((0, y), (2, 2 - y), vec![1, 2, 3, 4]))
+                .unwrap();
+        }
+        m.run_until_idle(1_000);
+        let report = m.sanitizer_report().expect("sanitizer installed");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn leaked_credit_is_caught() {
+        let mut m = sanitized_mesh();
+        m.inject(dma_pkt((0, 0), (2, 2), vec![7])).unwrap();
+        m.fault_leak_credit(Coord::new(1, 0), Plane::DmaRsp, Port::West);
+        m.run_until_idle(1_000);
+        let report = m.sanitizer_report().expect("sanitizer installed");
+        assert!(report.has_errors());
+        let diag = &report.diagnostics[0];
+        assert_eq!(diag.code, codes::CREDIT_CONSERVATION);
+        assert!(diag.location.contains("router(1,0)"), "{diag}");
+        // The verdict is deduplicated: one finding per leaked link, no
+        // matter how many cycles the audit re-observes it.
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == codes::CREDIT_CONSERVATION)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn phantom_flit_breaks_conservation() {
+        let mut m = sanitized_mesh();
+        m.inject(dma_pkt((0, 0), (1, 1), vec![1])).unwrap();
+        m.fault_phantom_flit(Plane::DmaRsp);
+        m.run_until_idle(1_000);
+        let report = m.sanitizer_report().expect("sanitizer installed");
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::FLIT_CONSERVATION && d.location.contains("dma-rsp")));
+    }
+
+    #[test]
+    fn plane_misassignment_is_flagged_at_inject() {
+        let mut m = sanitized_mesh();
+        // An IRQ does not belong on the DMA response plane.
+        m.inject(Packet::new(
+            Coord::new(0, 0),
+            Coord::new(2, 0),
+            Plane::DmaRsp,
+            MsgKind::Irq,
+            vec![],
+        ))
+        .unwrap();
+        m.run_until_idle(1_000);
+        let report = m.sanitizer_report().expect("sanitizer installed");
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::PLANE_MISASSIGNMENT)
+            .expect("plane misassignment flagged");
+        assert!(diag.message.contains("io-irq"), "{diag}");
+        // The mis-planed packet itself is otherwise conserved.
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::FLIT_CONSERVATION));
+    }
+
+    #[test]
+    fn verdict_is_identical_across_tick_and_advance_audits() {
+        // Same faulty scenario, audited densely (extra ticks) vs
+        // sparsely (advance over the idle tail): byte-identical reports.
+        let run = |idle_ticks: bool| {
+            let mut m = sanitized_mesh();
+            m.inject(dma_pkt((0, 0), (2, 2), vec![7])).unwrap();
+            m.fault_leak_credit(Coord::new(1, 0), Plane::DmaRsp, Port::West);
+            m.run_until_idle(1_000);
+            if idle_ticks {
+                for _ in 0..50 {
+                    m.tick();
+                }
+            } else {
+                m.advance(50);
+            }
+            serde_json::to_string(&m.sanitizer_report().expect("report")).unwrap()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn without_sanitizer_no_report() {
+        let m = Mesh::new(MeshConfig::new(2, 2)).unwrap();
+        assert!(!m.sanitizer_enabled());
+        assert!(m.sanitizer_report().is_none());
     }
 }

@@ -152,6 +152,7 @@ pub struct Router {
 #[derive(Debug, Clone)]
 pub(crate) struct Transfer {
     pub(crate) plane: Plane,
+    pub(crate) in_port: Port,
     pub(crate) out_port: Port,
     pub(crate) flit: Flit,
 }
@@ -296,6 +297,7 @@ impl Router {
                 self.link_flits[plane.index()][oi] += 1;
                 transfers.push(Transfer {
                     plane,
+                    in_port: inp,
                     out_port: out,
                     flit,
                 });

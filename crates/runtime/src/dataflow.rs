@@ -1,5 +1,6 @@
 //! User-level dataflow descriptions (the generated `dflow.h` analog).
 
+use esp4ml_check::{codes, Diagnostic};
 use serde::{Deserialize, Serialize};
 
 /// One pipeline stage: one or more identical device instances that share
@@ -98,39 +99,79 @@ impl Dataflow {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first structural problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a typed [`Diagnostic`] for the first structural problem
+    /// found (its `Display` carries the same description as ever).
+    pub fn validate(&self) -> Result<(), Diagnostic> {
+        match self.lint().into_iter().next() {
+            Some(diag) => Err(diag),
+            None => Ok(()),
+        }
+    }
+
+    /// Structural linting: like [`Dataflow::validate`] but collects
+    /// *every* finding instead of stopping at the first.
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        let mut found = Vec::new();
         if self.stages.is_empty() {
-            return Err("dataflow has no stages".into());
+            found.push(
+                Diagnostic::error(codes::EMPTY_DATAFLOW, "dataflow", "dataflow has no stages")
+                    .with_hint("declare at least one stage with one device instance"),
+            );
+            return found;
         }
         for (i, s) in self.stages.iter().enumerate() {
             if s.devices.is_empty() {
-                return Err(format!("stage {i} has no device instances"));
+                found.push(Diagnostic::error(
+                    codes::EMPTY_STAGE,
+                    format!("stage {i}"),
+                    format!("stage {i} has no device instances"),
+                ));
             }
             if s.devices.len() > 4 {
-                return Err(format!(
-                    "stage {i} has {} instances; the P2P_REG supports at most 4 sources",
-                    s.devices.len()
-                ));
+                found.push(
+                    Diagnostic::error(
+                        codes::STAGE_FAN_IN,
+                        format!("stage {i}"),
+                        format!(
+                            "stage {i} has {} instances; the P2P_REG supports at most 4 sources",
+                            s.devices.len()
+                        ),
+                    )
+                    .with_hint("split the stage or reduce its instance count to 4"),
+                );
             }
         }
-        for w in self.stages.windows(2) {
+        for (i, w) in self.stages.windows(2).enumerate() {
             let (a, b) = (w[0].width(), w[1].width());
             if a != b && b != 1 {
-                return Err(format!(
-                    "stage widths {a} -> {b}: only equal-width or fan-in-to-one supported"
-                ));
+                found.push(
+                    Diagnostic::error(
+                        codes::STAGE_WIDTHS,
+                        format!("stages {i} -> {}", i + 1),
+                        format!(
+                            "stage widths {a} -> {b}: only equal-width or fan-in-to-one supported"
+                        ),
+                    )
+                    .with_hint(
+                        "the on-demand p2p service preserves frame order only for \
+                         equal-width or fan-in-to-one stage transitions",
+                    ),
+                );
             }
         }
         let mut seen = std::collections::BTreeSet::new();
         for s in &self.stages {
             for d in &s.devices {
                 if !seen.insert(d.clone()) {
-                    return Err(format!("device {d} appears twice in the dataflow"));
+                    found.push(Diagnostic::error(
+                        codes::DUPLICATE_STAGE_DEVICE,
+                        format!("device {d}"),
+                        format!("device {d} appears twice in the dataflow"),
+                    ));
                 }
             }
         }
-        Ok(())
+        found
     }
 }
 
@@ -195,9 +236,11 @@ impl Dataflow {
     ///
     /// # Errors
     ///
-    /// Malformed JSON or a structurally invalid dataflow.
-    pub fn from_json(json: &str) -> Result<Dataflow, String> {
-        let df: Dataflow = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    /// Malformed JSON (`E0206`) or a structurally invalid dataflow
+    /// (`E0201`–`E0205`).
+    pub fn from_json(json: &str) -> Result<Dataflow, Diagnostic> {
+        let df: Dataflow = serde_json::from_str(json)
+            .map_err(|e| Diagnostic::error(codes::DATAFLOW_PARSE, "dataflow", e.to_string()))?;
         df.validate()?;
         Ok(df)
     }

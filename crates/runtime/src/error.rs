@@ -1,5 +1,6 @@
 //! Runtime error type.
 
+use esp4ml_check::Diagnostic;
 use esp4ml_mem::AllocError;
 use esp4ml_soc::SocError;
 use std::error::Error;
@@ -18,13 +19,17 @@ pub enum RuntimeError {
         /// The missing device name.
         name: String,
     },
-    /// The dataflow is structurally invalid.
-    BadDataflow(String),
+    /// The dataflow is structurally invalid. The [`Diagnostic`] carries
+    /// the stable error code (`E02xx`/`E03xx`) and fix hint.
+    BadDataflow(Diagnostic),
     /// The simulated execution did not finish within the cycle budget
     /// (deadlock or missing configuration).
     Timeout {
         /// Cycles executed before giving up.
         cycles: u64,
+        /// Wait-for-graph deadlock diagnosis, when the SoC had blocked
+        /// tiles at timeout (see `esp4ml_soc::DeadlockDiagnosis`).
+        diagnosis: Option<String>,
     },
 }
 
@@ -34,9 +39,13 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Soc(e) => write!(f, "soc error: {e}"),
             RuntimeError::Alloc(e) => write!(f, "allocation error: {e}"),
             RuntimeError::UnknownDevice { name } => write!(f, "no such device: {name}"),
-            RuntimeError::BadDataflow(msg) => write!(f, "invalid dataflow: {msg}"),
-            RuntimeError::Timeout { cycles } => {
-                write!(f, "execution did not finish within {cycles} cycles")
+            RuntimeError::BadDataflow(diag) => write!(f, "invalid dataflow: {}", diag.message),
+            RuntimeError::Timeout { cycles, diagnosis } => {
+                write!(f, "execution did not finish within {cycles} cycles")?;
+                if let Some(d) = diagnosis {
+                    write!(f, " ({d})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -73,8 +82,35 @@ mod tests {
         assert!(RuntimeError::UnknownDevice { name: "nv".into() }
             .to_string()
             .contains("nv"));
-        assert!(RuntimeError::Timeout { cycles: 5 }
-            .to_string()
-            .contains('5'));
+        assert!(RuntimeError::Timeout {
+            cycles: 5,
+            diagnosis: None
+        }
+        .to_string()
+        .contains('5'));
+    }
+
+    #[test]
+    fn timeout_display_appends_diagnosis() {
+        let e = RuntimeError::Timeout {
+            cycles: 7,
+            diagnosis: Some("blocked: tile(1,1) waiting".into()),
+        };
+        let text = e.to_string();
+        assert!(text.contains("7 cycles"));
+        assert!(text.contains("tile(1,1)"));
+    }
+
+    #[test]
+    fn bad_dataflow_display_keeps_message() {
+        let diag = Diagnostic::error(
+            esp4ml_check::codes::EMPTY_DATAFLOW,
+            "dataflow",
+            "dataflow has no stages",
+        );
+        assert_eq!(
+            RuntimeError::BadDataflow(diag).to_string(),
+            "invalid dataflow: dataflow has no stages"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! `esp_alloc` / `esp_run` / `esp_cleanup`: the runtime engine.
 
 use crate::{Dataflow, DeviceInfo, DeviceRegistry, ExecMode, RunMetrics, RuntimeError};
+use esp4ml_check::{codes, Diagnostic};
 use esp4ml_mem::{ContigAlloc, ContigHandle};
 use esp4ml_noc::Coord;
 use esp4ml_soc::{AccelConfig, Soc};
@@ -164,9 +165,13 @@ impl Plan {
                     || other.output_values != first.output_values
                     || other.data_bits != first.data_bits
                 {
-                    return Err(RuntimeError::BadDataflow(format!(
-                        "stage instances {} and {} have different I/O shapes",
-                        first.name, other.name
+                    return Err(RuntimeError::BadDataflow(Diagnostic::error(
+                        codes::STAGE_WIDTHS,
+                        format!("device {}", other.name),
+                        format!(
+                            "stage instances {} and {} have different I/O shapes",
+                            first.name, other.name
+                        ),
                     )));
                 }
             }
@@ -175,9 +180,13 @@ impl Plan {
         for w in stages.windows(2) {
             let (a, b) = (&w[0][0], &w[1][0]);
             if a.output_values != b.input_values {
-                return Err(RuntimeError::BadDataflow(format!(
-                    "stage output {} values does not feed stage input {} values",
-                    a.output_values, b.input_values
+                return Err(RuntimeError::BadDataflow(Diagnostic::error(
+                    codes::STAGE_WIDTHS,
+                    format!("device {}", b.name),
+                    format!(
+                        "stage output {} values does not feed stage input {} values",
+                        a.output_values, b.input_values
+                    ),
                 )));
             }
         }
@@ -587,6 +596,7 @@ impl EspRuntime {
             if self.soc.cycle() > deadline {
                 return Err(RuntimeError::Timeout {
                     cycles: TIMEOUT_CYCLES,
+                    diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
                 });
             }
         }
@@ -649,6 +659,7 @@ impl EspRuntime {
             if self.soc.cycle() > deadline {
                 return Err(RuntimeError::Timeout {
                     cycles: TIMEOUT_CYCLES,
+                    diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
                 });
             }
         }
@@ -665,6 +676,7 @@ impl EspRuntime {
             if self.soc.cycle() > deadline {
                 return Err(RuntimeError::Timeout {
                     cycles: TIMEOUT_CYCLES,
+                    diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
                 });
             }
         }

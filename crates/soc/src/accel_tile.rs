@@ -16,12 +16,14 @@ use crate::regs::{
     REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_N_FRAMES, REG_P2P, REG_SRC_OFFSET,
     STATUS_DONE, STATUS_RUNNING,
 };
+use crate::sanitize::{tile_location, BlockedTile};
 use crate::stats::AccelStats;
+use esp4ml_check::{codes, Diagnostic};
 use esp4ml_mem::{PageTable, Tlb};
 use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Cycles of socket overhead to set up one DMA burst descriptor.
 const DMA_SETUP_CYCLES: u64 = 2;
@@ -263,6 +265,11 @@ pub struct AccelTile {
     stall: u64,
 
     stats: AccelStats,
+    /// Sanitizer mode: promoted invariant asserts record typed
+    /// diagnostics here (in release builds too) instead of only
+    /// `debug_assert!`-ing.
+    sanitize: bool,
+    sanitizer_violations: BTreeSet<Diagnostic>,
     tracer: Tracer,
     /// Mesh cycle latched at the top of [`AccelTile::tick`], so FSM
     /// helpers can stamp trace events without threading the mesh through.
@@ -313,9 +320,91 @@ impl AccelTile {
             output_buffer: Vec::new(),
             stall: 0,
             stats: AccelStats::default(),
+            sanitize: false,
+            sanitizer_violations: BTreeSet::new(),
             tracer: Tracer::disabled(),
             cycle: 0,
         }
+    }
+
+    /// Switches the promoted invariant asserts into diagnostic mode.
+    pub(crate) fn enable_sanitize(&mut self) {
+        self.sanitize = true;
+    }
+
+    pub(crate) fn sanitizer_violations(&self) -> &BTreeSet<Diagnostic> {
+        &self.sanitizer_violations
+    }
+
+    /// Fault hook (sanitizer testing): inflates the received-word counter
+    /// so the quiescent DMA-accounting audit must flag the imbalance.
+    pub(crate) fn fault_phantom_words(&mut self, words: u64) {
+        self.stats.words_received += words;
+    }
+
+    /// What this tile is waiting on, for the timeout deadlock diagnosis.
+    /// Returns `None` when the tile is making progress on its own.
+    pub(crate) fn blocked_info(&self) -> Option<BlockedTile> {
+        let half = if self.dbuf {
+            (self.frame_idx % 2) as usize
+        } else {
+            0
+        };
+        let (waits_on, plane, reason) = match self.state {
+            AccelState::LoadWait if self.rx_counts[half] < self.rx_expect => {
+                if self.p2p.load_enabled {
+                    let sources = &self.p2p.sources;
+                    let src = sources[(self.frame_idx as usize) % sources.len()];
+                    (
+                        Some((src.x, src.y)),
+                        "dma-rsp",
+                        format!(
+                            "waiting for p2p data from tile({},{}) for frame {} ({} of {} words received)",
+                            src.x, src.y, self.frame_idx, self.rx_counts[half], self.rx_expect
+                        ),
+                    )
+                } else {
+                    let (src, _) = self.mem_map.owner(self.src_base);
+                    (
+                        Some((src.x, src.y)),
+                        "dma-rsp",
+                        format!(
+                            "waiting for DMA data from memory for frame {} ({} of {} words received)",
+                            self.frame_idx, self.rx_counts[half], self.rx_expect
+                        ),
+                    )
+                }
+            }
+            AccelState::StoreWaitReq if self.pending_p2p_reqs.is_empty() => (
+                None,
+                "dma-req",
+                format!(
+                    "output frame {} ready; waiting for a consumer P2pLoadReq",
+                    self.frame_idx
+                ),
+            ),
+            AccelState::StoreWaitAck if self.store_acked_words < self.out_words => {
+                let (dst, _) = self.mem_map.owner(self.dst_base);
+                (
+                    Some((dst.x, dst.y)),
+                    "dma-rsp",
+                    format!(
+                        "waiting for DMA store acknowledgement ({} of {} words acked)",
+                        self.store_acked_words, self.out_words
+                    ),
+                )
+            }
+            _ => return None,
+        };
+        Some(BlockedTile {
+            x: self.coord.x,
+            y: self.coord.y,
+            device: self.kernel.name().to_string(),
+            state: self.state.name().to_string(),
+            waits_on,
+            plane: plane.to_string(),
+            reason,
+        })
     }
 
     /// Installs a tracer for phase-change, TLB-miss, p2p and
@@ -567,6 +656,17 @@ impl AccelTile {
                             0
                         };
                         self.rx_counts[half] += data.len() as u64;
+                    } else if self.sanitize {
+                        self.sanitizer_violations.insert(Diagnostic::error(
+                            codes::DMA_ACCOUNTING,
+                            tile_location(self.coord),
+                            format!(
+                                "DmaData burst of {} words at offset {offset} overruns the \
+                                 {}-word receive buffer",
+                                data.len(),
+                                self.rx_buf.len()
+                            ),
+                        ));
                     } else {
                         debug_assert!(false, "DmaData offset {offset} outside the receive buffer");
                     }
@@ -641,11 +741,23 @@ impl AccelTile {
             AccelState::StoreIssue => self.issue_store(),
             AccelState::StoreWaitReq => {
                 if let Some((requester, len, dest_base)) = self.pending_p2p_reqs.pop_front() {
-                    debug_assert_eq!(
-                        len, self.out_words,
-                        "p2p consumer requested {len} words, producer frame is {} words",
-                        self.out_words
-                    );
+                    if len != self.out_words && self.sanitize {
+                        self.sanitizer_violations.insert(Diagnostic::error(
+                            codes::DMA_ACCOUNTING,
+                            tile_location(self.coord),
+                            format!(
+                                "p2p consumer tile({},{}) requested {len} words but the \
+                                 producer frame is {} words",
+                                requester.x, requester.y, self.out_words
+                            ),
+                        ));
+                    } else {
+                        debug_assert_eq!(
+                            len, self.out_words,
+                            "p2p consumer requested {len} words, producer frame is {} words",
+                            self.out_words
+                        );
+                    }
                     let data = std::mem::take(&mut self.output_buffer);
                     let words = data.len() as u64;
                     self.tracer

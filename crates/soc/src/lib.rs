@@ -63,6 +63,7 @@ mod mem_map;
 mod mem_tile;
 mod proc_tile;
 pub mod regs;
+mod sanitize;
 mod soc;
 mod stats;
 
@@ -73,8 +74,13 @@ pub use mem_map::MemMap;
 pub use mem_tile::MemTile;
 pub use proc_tile::ProcTile;
 pub use regs::P2pConfig;
+pub use sanitize::{BlockedTile, DeadlockDiagnosis};
 pub use soc::{RunOutcome, Soc, SocBuilder, SocEngine, TileKind};
 pub use stats::{AccelStats, SocStats};
+
+// Diagnostic vocabulary of the sanitizer, re-exported so `Soc` users can
+// arm it and consume its verdicts without naming the check crate.
+pub use esp4ml_check::{Diagnostic, Report, SanitizerConfig, Severity};
 
 // The event-driven scheduling contract all tiles implement (defined next
 // to the mesh, re-exported here for tile users).

@@ -47,6 +47,11 @@ impl MemMap {
         self.coords.len()
     }
 
+    /// Memory-tile coordinates, in interleave order.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
     /// Total words of the interleaved address space.
     pub fn total_words(&self) -> u64 {
         self.tile_words * self.coords.len() as u64

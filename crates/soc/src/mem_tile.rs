@@ -1,9 +1,11 @@
 //! The memory tile: DMA service over off-chip DRAM.
 
+use crate::sanitize::tile_location;
+use esp4ml_check::{codes, Diagnostic};
 use esp4ml_mem::{CacheConfig, CacheStats, CachedDram, DramConfig, DramStats};
 use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use esp4ml_trace::{DmaKind, TileCoord, TraceEvent, Tracer};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Maximum payload words per DMA data packet on the NoC. Long bursts are
 /// split into multiple packets; wormhole routing keeps each packet intact.
@@ -33,6 +35,10 @@ pub struct MemTile {
     queue: VecDeque<Packet>,
     current: Option<Pending>,
     outgoing: VecDeque<Packet>,
+    /// Sanitizer mode: unserviceable requests record typed diagnostics
+    /// (in release builds too) instead of only `debug_assert!`-ing.
+    sanitize: bool,
+    sanitizer_violations: BTreeSet<Diagnostic>,
     tracer: Tracer,
 }
 
@@ -46,6 +52,8 @@ impl MemTile {
             queue: VecDeque::new(),
             current: None,
             outgoing: VecDeque::new(),
+            sanitize: false,
+            sanitizer_violations: BTreeSet::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -59,6 +67,8 @@ impl MemTile {
             queue: VecDeque::new(),
             current: None,
             outgoing: VecDeque::new(),
+            sanitize: false,
+            sanitizer_violations: BTreeSet::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -66,6 +76,15 @@ impl MemTile {
     /// Installs the trace sink handle shared with the rest of the SoC.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Switches the promoted invariant asserts into diagnostic mode.
+    pub(crate) fn enable_sanitize(&mut self) {
+        self.sanitize = true;
+    }
+
+    pub(crate) fn sanitizer_violations(&self) -> &BTreeSet<Diagnostic> {
+        &self.sanitizer_violations
     }
 
     /// LLC counters, when this tile hosts an LLC partition.
@@ -221,7 +240,18 @@ impl MemTile {
                 (latency, vec![ack])
             }
             other => {
-                debug_assert!(false, "memory tile cannot service {other}");
+                if self.sanitize {
+                    self.sanitizer_violations.insert(Diagnostic::error(
+                        codes::PLANE_MISASSIGNMENT,
+                        tile_location(self.coord),
+                        format!(
+                            "memory tile cannot service {other} from tile({},{})",
+                            requester.x, requester.y
+                        ),
+                    ));
+                } else {
+                    debug_assert!(false, "memory tile cannot service {other}");
+                }
                 (1, Vec::new())
             }
         }

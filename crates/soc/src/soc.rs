@@ -6,8 +6,10 @@ use crate::mem_map::MemMap;
 use crate::mem_tile::MemTile;
 use crate::proc_tile::ProcTile;
 use crate::regs::{self, CMD_START};
+use crate::sanitize::{wait_cycle, SocSanitizer};
 use crate::stats::SocStats;
-use crate::SocError;
+use crate::{BlockedTile, DeadlockDiagnosis, SocError};
+use esp4ml_check::{codes, Diagnostic, Report, SanitizerConfig};
 use esp4ml_hls::Resources;
 use esp4ml_mem::{CacheConfig, CacheStats, DramConfig, PageTable};
 use esp4ml_noc::{Coord, Mesh, MeshConfig, NocHeatmap, NocStats};
@@ -29,7 +31,7 @@ pub enum SocEngine {
 
 /// How a bounded run ([`Soc::run_until_idle`]) ended.
 #[must_use]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
     /// The SoC went quiescent after this many cycles.
     Idle {
@@ -41,14 +43,17 @@ pub enum RunOutcome {
     TimedOut {
         /// Cycles executed (the full budget).
         cycles: u64,
+        /// Wait-for-graph walk of the stuck SoC, when any tile was
+        /// blocked at timeout. Identical across engines.
+        diagnosis: Option<Box<DeadlockDiagnosis>>,
     },
 }
 
 impl RunOutcome {
     /// Cycles executed, however the run ended.
     pub fn cycles(&self) -> u64 {
-        match *self {
-            RunOutcome::Idle { cycles } | RunOutcome::TimedOut { cycles } => cycles,
+        match self {
+            RunOutcome::Idle { cycles } | RunOutcome::TimedOut { cycles, .. } => *cycles,
         }
     }
 
@@ -60,6 +65,16 @@ impl RunOutcome {
     /// True when the cycle budget ran out first.
     pub fn timed_out(&self) -> bool {
         matches!(self, RunOutcome::TimedOut { .. })
+    }
+
+    /// The deadlock diagnosis attached to a timeout, when one exists.
+    pub fn diagnosis(&self) -> Option<&DeadlockDiagnosis> {
+        match self {
+            RunOutcome::TimedOut {
+                diagnosis: Some(d), ..
+            } => Some(d),
+            _ => None,
+        }
     }
 }
 
@@ -252,6 +267,7 @@ impl SocBuilder {
             tracer: Tracer::disabled(),
             series: None,
             engine: self.engine,
+            sanitizer: None,
         })
     }
 }
@@ -273,6 +289,7 @@ pub struct Soc {
     tracer: Tracer,
     series: Option<CounterSeries>,
     engine: SocEngine,
+    sanitizer: Option<SocSanitizer>,
 }
 
 impl Soc {
@@ -591,6 +608,9 @@ impl Soc {
                 .expect("sampling on")
                 .record(cycle, snap);
         }
+        if self.sanitizer.is_some() {
+            self.sanitize_audit();
+        }
     }
 
     /// Advances the SoC by at least one and at most `limit` cycles and
@@ -670,6 +690,9 @@ impl Soc {
                 due += every;
             }
         }
+        if self.sanitizer.is_some() {
+            self.sanitize_audit();
+        }
     }
 
     /// Runs `n` cycles.
@@ -686,13 +709,149 @@ impl Soc {
         while !self.is_idle() {
             let elapsed = self.cycle() - start;
             if elapsed >= max_cycles {
-                return RunOutcome::TimedOut { cycles: elapsed };
+                return RunOutcome::TimedOut {
+                    cycles: elapsed,
+                    diagnosis: self.diagnose_deadlock().map(Box::new),
+                };
             }
             self.step(max_cycles - elapsed);
         }
         RunOutcome::Idle {
             cycles: self.cycle() - start,
         }
+    }
+
+    /// Arms the runtime invariant sanitizer: the mesh shadows its flow
+    /// control state (credit/flit conservation, wormhole framing, plane
+    /// assignment) and the SoC audits end-to-end DMA word accounting at
+    /// every quiescent point. Promoted tile-level invariant asserts fire
+    /// as typed diagnostics in release builds too.
+    ///
+    /// Audits run after every tick and at every fast-forward boundary,
+    /// and verdicts are deduplicated, so [`SocEngine::Naive`] and
+    /// [`SocEngine::EventDriven`] produce byte-identical reports.
+    pub fn enable_sanitizer(&mut self, config: SanitizerConfig) {
+        self.mesh.enable_sanitizer(config);
+        for a in &mut self.accel_tiles {
+            a.enable_sanitize();
+        }
+        for m in &mut self.mem_tiles {
+            m.enable_sanitize();
+        }
+        self.sanitizer = Some(SocSanitizer::new(config));
+    }
+
+    /// Whether [`Soc::enable_sanitizer`] was called.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// The accumulated sanitizer verdict: every violation observed so
+    /// far, across the mesh and all tiles, sorted and deduplicated.
+    /// `None` when the sanitizer is not armed.
+    pub fn sanitizer_report(&self) -> Option<Report> {
+        let san = self.sanitizer.as_ref()?;
+        let mut report = self.mesh.sanitizer_report().unwrap_or_default();
+        san.merge_into(&mut report);
+        for a in &self.accel_tiles {
+            for d in a.sanitizer_violations() {
+                report.push(d.clone());
+            }
+        }
+        for m in &self.mem_tiles {
+            for d in m.sanitizer_violations() {
+                report.push(d.clone());
+            }
+        }
+        report.normalize();
+        Some(report)
+    }
+
+    /// Walks the wait-for graph of the accelerator wrappers and names
+    /// every blocked tile — and the wait cycle, when the blocking waits
+    /// close one. `None` when nothing is blocked (e.g. the timeout came
+    /// from slow but progressing work).
+    ///
+    /// Works whether or not the sanitizer is armed; `run_until_idle`
+    /// attaches the result to [`RunOutcome::TimedOut`].
+    pub fn diagnose_deadlock(&self) -> Option<DeadlockDiagnosis> {
+        let blocked: Vec<BlockedTile> = self
+            .accel_tiles
+            .iter()
+            .filter_map(AccelTile::blocked_info)
+            .collect();
+        if blocked.is_empty() {
+            return None;
+        }
+        let cycle = wait_cycle(&blocked);
+        Some(DeadlockDiagnosis { blocked, cycle })
+    }
+
+    /// SoC-level sanitizer audit, run at every tick and fast-forward
+    /// boundary: end-to-end DMA word accounting across the accelerator
+    /// sockets. The conservation law only holds at quiescent points
+    /// (in-flight bursts are legitimately unaccounted), so the audit
+    /// gates on [`Soc::is_idle`].
+    fn sanitize_audit(&mut self) {
+        let Some(san) = self.sanitizer.as_ref() else {
+            return;
+        };
+        if !san.config.dma_accounting || !self.is_idle() {
+            return;
+        }
+        let mut received = 0u64;
+        let mut loaded = 0u64;
+        let mut p2p_sent = 0u64;
+        for a in &self.accel_tiles {
+            let s = a.stats();
+            received += s.words_received;
+            loaded += s.dma_words_loaded;
+            p2p_sent += s.p2p_words_sent;
+        }
+        if received != loaded + p2p_sent {
+            let diag = Diagnostic::error(
+                codes::DMA_ACCOUNTING,
+                "soc",
+                format!(
+                    "DMA word accounting violated at quiescence: accelerators received \
+                     {received} words but {loaded} were DMA-loaded and {p2p_sent} were \
+                     p2p-forwarded"
+                ),
+            )
+            .with_hint("a socket dropped or duplicated DmaData words; check the offending tile's receive buffer bounds");
+            self.sanitizer
+                .as_mut()
+                .expect("sanitizer armed")
+                .record(diag);
+        }
+    }
+
+    /// Fault hook (sanitizer testing): corrupts the shadow credit state
+    /// of one router input queue so the next audit reports `E0401`.
+    ///
+    /// # Panics
+    ///
+    /// If the sanitizer is not armed or `coord` is out of bounds.
+    pub fn fault_leak_credit(&mut self, coord: Coord, plane: esp4ml_noc::Plane) {
+        self.mesh
+            .fault_leak_credit(coord, plane, esp4ml_noc::Port::Local);
+    }
+
+    /// Fault hook (sanitizer testing): corrupts an accelerator's receive
+    /// statistics so the next quiescent DMA-accounting audit reports
+    /// `E0404`.
+    ///
+    /// # Panics
+    ///
+    /// If the sanitizer is not armed or `coord` is not an accelerator.
+    pub fn fault_phantom_words(&mut self, coord: Coord, words: u64) {
+        assert!(self.sanitizer.is_some(), "sanitizer not armed");
+        let a = self
+            .accel_tiles
+            .iter_mut()
+            .find(|a| a.coord() == coord)
+            .expect("accelerator tile");
+        a.fault_phantom_words(words);
     }
 
     /// Installs a trace sink handle, distributing clones into the mesh,
@@ -1306,6 +1465,16 @@ mod engine_equivalence_tests {
     use super::*;
     use crate::kernel::ScaleKernel;
 
+    fn basic_soc() -> Soc {
+        SocBuilder::new(3, 2)
+            .processor(Coord::new(0, 0))
+            .memory(Coord::new(1, 0))
+            .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("a0", 16, 2)))
+            .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("a1", 16, 3)))
+            .build()
+            .expect("valid floorplan")
+    }
+
     /// A two-accelerator SoC with a moderately interesting workload:
     /// multi-frame DMA on a DVFS-throttled accelerator, so boring spans
     /// (stalls, slow compute) dominate and fast-forward actually engages.
@@ -1422,5 +1591,119 @@ mod engine_equivalence_tests {
         assert_eq!(naive_outcome.cycles(), event_outcome.cycles());
         assert_eq!(naive_cycle, event_cycle);
         assert_eq!(naive_stats, event_stats);
+        // Both engines attach the same deadlock diagnosis: the consumer
+        // is parked in LoadWait on its silent producer.
+        assert_eq!(naive_outcome, event_outcome);
+        let diag = naive_outcome.diagnosis().expect("diagnosis attached");
+        assert_eq!(diag.blocked.len(), 1);
+        assert_eq!((diag.blocked[0].x, diag.blocked[0].y), (1, 1));
+        assert_eq!(diag.blocked[0].waits_on, Some((0, 1)));
+        assert!(diag.cycle.is_none());
+        assert!(diag
+            .to_string()
+            .contains("waiting for p2p data from tile(0,1)"));
+    }
+
+    #[test]
+    fn sanitized_run_is_clean() {
+        // A healthy DMA round trip must produce a clean verdict: no
+        // credit, flit, wormhole, plane or DMA-accounting findings.
+        let mut soc = basic_soc();
+        soc.enable_sanitizer(SanitizerConfig::all());
+        let accel = Coord::new(0, 1);
+        let input: Vec<u64> = (1..=16).collect();
+        soc.dram_write_values(0, &input, 16).unwrap();
+        soc.map_contiguous(accel, 0, 4096).unwrap();
+        soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+            .unwrap();
+        soc.start_accel(accel).unwrap();
+        assert!(soc.run_until_idle(100_000).is_idle());
+        let report = soc.sanitizer_report().expect("sanitizer armed");
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn phantom_words_breach_dma_accounting() {
+        let mut soc = basic_soc();
+        soc.enable_sanitizer(SanitizerConfig::all());
+        let accel = Coord::new(0, 1);
+        let input: Vec<u64> = (1..=16).collect();
+        soc.dram_write_values(0, &input, 16).unwrap();
+        soc.map_contiguous(accel, 0, 4096).unwrap();
+        soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+            .unwrap();
+        soc.start_accel(accel).unwrap();
+        soc.fault_phantom_words(accel, 3);
+        assert!(soc.run_until_idle(100_000).is_idle());
+        let report = soc.sanitizer_report().expect("sanitizer armed");
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, "E0404");
+    }
+
+    #[test]
+    fn leaked_credit_is_reported_through_soc() {
+        let mut soc = basic_soc();
+        soc.enable_sanitizer(SanitizerConfig::all());
+        soc.fault_leak_credit(Coord::new(1, 0), esp4ml_noc::Plane::DmaReq);
+        soc.run_cycles(5);
+        let report = soc.sanitizer_report().expect("sanitizer armed");
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics[0].code, "E0401");
+    }
+
+    #[test]
+    fn mutual_p2p_wait_is_diagnosed_as_cycle() {
+        // Two consumers each configured to p2p-load from the other: both
+        // park in LoadWait and the wait-for graph closes a cycle.
+        let mut soc = basic_soc();
+        let (a, b) = (Coord::new(0, 1), Coord::new(1, 1));
+        soc.map_contiguous(a, 0, 4096).unwrap();
+        soc.map_contiguous(b, 0, 4096).unwrap();
+        soc.configure_accel(a, &AccelConfig::p2p_to_dma(vec![b], 100, 1))
+            .unwrap();
+        soc.configure_accel(b, &AccelConfig::p2p_to_dma(vec![a], 200, 1))
+            .unwrap();
+        soc.start_accel(a).unwrap();
+        soc.start_accel(b).unwrap();
+        let outcome = soc.run_until_idle(10_000);
+        assert!(outcome.timed_out());
+        let diag = outcome.diagnosis().expect("diagnosis attached");
+        assert_eq!(diag.cycle, Some(vec![(0, 1), (1, 1)]));
+        assert_eq!(diag.blocked.len(), 2);
+        let typed = diag.diagnostic();
+        assert_eq!(typed.code, "E0501");
+        assert_eq!(typed.location, "tile(0,1) -> tile(1,1)");
+    }
+
+    #[test]
+    fn engines_agree_on_sanitizer_verdict() {
+        // The event-driven engine audits only at tick and fast-forward
+        // boundaries, yet its (deduplicated) verdict must be
+        // byte-identical to the naive engine's per-cycle audit.
+        let run = |engine: SocEngine| {
+            let mut soc = SocBuilder::new(3, 2)
+                .processor(Coord::new(0, 0))
+                .memory(Coord::new(1, 0))
+                .accelerator(Coord::new(0, 1), Box::new(ScaleKernel::new("a0", 16, 2)))
+                .accelerator(Coord::new(1, 1), Box::new(ScaleKernel::new("a1", 16, 3)))
+                .engine(engine)
+                .build()
+                .unwrap();
+            soc.enable_sanitizer(SanitizerConfig::all());
+            let accel = Coord::new(1, 1);
+            let input: Vec<u64> = (1..=16).collect();
+            soc.dram_write_values(0, &input, 16).unwrap();
+            soc.map_contiguous(accel, 0, 4096).unwrap();
+            soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+                .unwrap();
+            soc.start_accel(accel).unwrap();
+            soc.fault_phantom_words(accel, 7);
+            assert!(soc.run_until_idle(100_000).is_idle());
+            serde_json::to_string(&soc.sanitizer_report().expect("sanitizer armed")).unwrap()
+        };
+        let naive = run(SocEngine::Naive);
+        let event = run(SocEngine::EventDriven);
+        assert_eq!(naive, event);
+        assert!(naive.contains("E0404"));
     }
 }
