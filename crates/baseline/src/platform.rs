@@ -53,6 +53,24 @@ impl Platform {
         }
     }
 
+    /// The Ariane RV64 processor tile of the ESP SoC itself — the
+    /// software-fallback path the runtime degrades to when a pipeline
+    /// stage loses every accelerator (and spare). A single in-order core
+    /// at ~78 MHz without SIMD: effective dense-inference throughput of
+    /// roughly 0.03 GFLOP/s (scalar FPU MACs with load/store overhead)
+    /// and ~3 Mop/s on the branchy pixel kernels, drawing about half a
+    /// watt. Degraded frames/s reported through this model are meant to
+    /// look bad — that is the honest cost of losing the accelerators.
+    pub fn ariane() -> Self {
+        Platform {
+            name: "Ariane RV64 (software fallback)".into(),
+            nn_gflops: 0.03,
+            scalar_mops: 3.0,
+            nn_watts: 0.5,
+            scalar_watts: 0.5,
+        }
+    }
+
     /// Seconds to process one frame of `workload`.
     pub fn frame_seconds(&self, workload: &Workload) -> f64 {
         let nn = (2.0 * workload.nn_macs as f64) / (self.nn_gflops * 1e9);
@@ -153,6 +171,17 @@ mod tests {
         let mixed = Workload::night_vision().then(Workload::classifier());
         let w = tx1.average_watts(&mixed);
         assert!(w > 1.5 && w < 10.0);
+    }
+
+    #[test]
+    fn ariane_fallback_is_much_slower_than_both_baselines() {
+        let ariane = Platform::ariane();
+        for (_, w) in Workload::table1_apps() {
+            let fps = ariane.frames_per_second(&w);
+            assert!(fps > 0.0);
+            assert!(fps < Platform::jetson_tx1().frames_per_second(&w) / 10.0);
+            assert!(fps < Platform::intel_i7_8700k().frames_per_second(&w) / 10.0);
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.faults.is_some() {
+        eprintln!("accuracy does not support --faults; use fig7/fig8 or the espfault campaign");
+        std::process::exit(2);
+    }
     args.train = true;
     let models = args.models();
     match AccuracyReport::generate(&models, args.frames) {

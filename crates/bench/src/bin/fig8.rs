@@ -17,6 +17,18 @@ fn main() {
         }
     };
     let models = args.models();
+    let faults = match args.fault_config() {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(fc) = &faults {
+        if HarnessArgs::lint_faults(fc, &Fig8::grid()) {
+            std::process::exit(2);
+        }
+    }
     let mut session = esp4ml_bench::observe::session_from_args(&args);
     let result = match session.as_mut() {
         Some(session) => Fig8::generate_traced(&models, args.frames, session),
@@ -27,10 +39,25 @@ fn main() {
             args.engine,
             args.jobs,
             args.sanitize,
+            faults.as_ref(),
         )
         .and_then(|runs| {
             if args.sanitize {
                 eprintln!("sanitizer: clean across {} runs", runs.len());
+            }
+            if faults.is_some() {
+                let (retries, failovers, degraded) = runs.iter().fold((0, 0, 0), |acc, r| {
+                    (
+                        acc.0 + r.metrics.retries,
+                        acc.1 + r.metrics.failovers,
+                        acc.2 + u64::from(r.software_fallback),
+                    )
+                });
+                eprintln!(
+                    "faults: {retries} retries, {failovers} failovers, \
+                     {degraded} software-degraded run(s) across {} runs",
+                    runs.len()
+                );
             }
             Fig8::assemble(&runs)
         }),

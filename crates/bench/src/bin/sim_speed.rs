@@ -53,7 +53,7 @@ fn measure(
                 jobs: usize|
      -> Result<(Vec<AppRun>, f64), Box<dyn std::error::Error>> {
         let start = Instant::now();
-        let runs = parallel::run_grid(points, models, frames, engine, jobs, false)?;
+        let runs = parallel::run_grid(points, models, frames, engine, jobs, false, None)?;
         Ok((runs, start.elapsed().as_secs_f64()))
     };
     let (naive, naive_serial_secs) = time(SocEngine::Naive, 1)?;

@@ -17,6 +17,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.faults.is_some() {
+        eprintln!("table1 does not support --faults; use fig7/fig8 or the espfault campaign");
+        std::process::exit(2);
+    }
     let models = args.models();
     let mut session = esp4ml_bench::observe::session_from_args(&args);
     let result = match session.as_mut() {
@@ -28,6 +32,7 @@ fn main() {
             args.engine,
             args.jobs,
             args.sanitize,
+            None,
         )
         .and_then(|runs| {
             if args.sanitize {

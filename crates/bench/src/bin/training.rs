@@ -22,6 +22,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.faults.is_some() {
+        eprintln!("training does not support --faults; use fig7/fig8 or the espfault campaign");
+        std::process::exit(2);
+    }
     args.train = true;
     let models: TrainedModels = args.models();
 

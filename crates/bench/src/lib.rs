@@ -21,12 +21,17 @@
 //! write a `<path>.counters.csv` time-series of the SoC counters),
 //! `--engine naive|event` (the simulation engine), `--jobs N` (worker
 //! threads for the experiment grid; tracing/profiling forces serial
-//! execution) and `--sanitize` (audit every run with the runtime
+//! execution), `--sanitize` (audit every run with the runtime
 //! invariant sanitizer; any violation fails the harness with typed
-//! diagnostics). The dedicated `espprof` binary runs one configuration
-//! across execution modes and checks the bottleneck report against the
-//! measured throughput ordering; `espcheck` statically lints SoC
-//! configurations and dataflows without simulating a cycle.
+//! diagnostics) and `--faults <plan.json>` (install a fault plan on
+//! every run's SoC, with the watchdog/retry/failover recovery layer
+//! armed; the plan is linted first — `espcheck` codes `E06xx`). The
+//! dedicated `espprof` binary runs one configuration across execution
+//! modes and checks the bottleneck report against the measured
+//! throughput ordering; `espcheck` statically lints SoC configurations
+//! and dataflows without simulating a cycle; `espfault` sweeps seeded
+//! fault campaigns over the Fig. 7 pipelines and classifies every run
+//! as clean/recovered/degraded/failed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +41,9 @@ pub mod observe;
 pub mod parallel;
 
 use esp4ml::apps::TrainedModels;
+use esp4ml::experiments::GridPoint;
+use esp4ml::faults::FaultConfig;
+use esp4ml_fault::FaultPlan;
 use esp4ml_soc::SocEngine;
 use std::path::PathBuf;
 
@@ -64,6 +72,9 @@ pub struct HarnessArgs {
     /// (`esp4ml_soc::SanitizerConfig::all`); any violation fails the
     /// harness with the typed diagnostics.
     pub sanitize: bool,
+    /// Fault plan JSON to install on every run's SoC, with the
+    /// watchdog/retry/failover recovery layer armed.
+    pub faults: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -79,6 +90,7 @@ impl Default for HarnessArgs {
             engine: SocEngine::default(),
             jobs: parallel::default_jobs(),
             sanitize: false,
+            faults: None,
         }
     }
 }
@@ -116,6 +128,10 @@ impl HarnessArgs {
                 }
                 "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
                 "--sanitize" => out.sanitize = true,
+                "--faults" => {
+                    let path = it.next().ok_or("--faults needs a fault-plan JSON path")?;
+                    out.faults = Some(PathBuf::from(path));
+                }
                 "--jobs" => out.jobs = grab("--jobs")? as usize,
                 "--engine" => {
                     let v = it.next().ok_or("--engine needs naive or event")?;
@@ -129,7 +145,8 @@ impl HarnessArgs {
                     return Err(format!(
                         "unknown option {other}; supported: --frames N --train --no-train \
                          --samples N --epochs N --trace PATH --profile PATH \
-                         --sample-every CYCLES --engine naive|event --jobs N --sanitize"
+                         --sample-every CYCLES --engine naive|event --jobs N --sanitize \
+                         --faults PLAN.json"
                     ))
                 }
             }
@@ -151,7 +168,55 @@ impl HarnessArgs {
                 "--sanitize cannot be combined with --trace/--profile; run them separately".into(),
             );
         }
+        if out.faults.is_some() && (out.trace.is_some() || out.profile.is_some() || out.sanitize) {
+            return Err(
+                "--faults cannot be combined with --trace/--profile/--sanitize; \
+                 injected faults deliberately break the invariants those audit"
+                    .into(),
+            );
+        }
         Ok(out)
+    }
+
+    /// Loads the `--faults` plan file into a [`FaultConfig`] (`None`
+    /// when the flag was not given). The harness uses the campaign
+    /// watchdog ([`esp4ml::faults::CAMPAIGN_WATCHDOG_CYCLES`]) rather
+    /// than the conservative runtime default: the figure pipelines'
+    /// healthy invocations finish orders of magnitude sooner, and a
+    /// tight deadline keeps recovered runs' throughput interpretable.
+    ///
+    /// # Errors
+    ///
+    /// File or JSON failures, as a printable message.
+    pub fn fault_config(&self) -> Result<Option<FaultConfig>, String> {
+        let Some(path) = &self.faults else {
+            return Ok(None);
+        };
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("--faults {}: {e}", path.display()))?;
+        let plan = FaultPlan::from_json(&json)
+            .map_err(|e| format!("--faults {}: not a fault plan: {e}", path.display()))?;
+        Ok(Some(
+            FaultConfig::from_plan(plan).with_watchdog(esp4ml::faults::CAMPAIGN_WATCHDOG_CYCLES),
+        ))
+    }
+
+    /// Lints a `--faults` plan against every device the grid's
+    /// dataflows name, printing diagnostics to stderr. Returns `true`
+    /// when the plan has errors and the harness should refuse to run.
+    pub fn lint_faults(config: &FaultConfig, grid: &[GridPoint]) -> bool {
+        let mut hosted: Vec<String> = grid
+            .iter()
+            .flat_map(|p| p.app.dataflow().stages)
+            .flat_map(|s| s.devices)
+            .collect();
+        hosted.sort();
+        hosted.dedup();
+        let report = esp4ml::faults::lint_fault_plan(&config.plan, &hosted);
+        for d in &report.diagnostics {
+            eprintln!("{d}");
+        }
+        report.has_errors()
     }
 
     /// Builds the models per the options (training prints its progress).
@@ -237,6 +302,37 @@ mod tests {
         assert_eq!(a.engine, SocEngine::EventDriven);
         assert!(parse(&["--engine", "warp"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn faults_option() {
+        let a = parse(&["--faults", "/tmp/plan.json"]).unwrap();
+        assert_eq!(
+            a.faults.as_deref(),
+            Some(std::path::Path::new("/tmp/plan.json"))
+        );
+        assert!(parse(&[]).unwrap().faults.is_none());
+        assert!(parse(&["--faults"]).is_err());
+        assert!(parse(&["--faults", "p.json", "--sanitize"]).is_err());
+        assert!(parse(&["--faults", "p.json", "--trace", "/tmp/t.json"]).is_err());
+        assert!(parse(&["--faults", "p.json", "--profile", "/tmp/p.json"]).is_err());
+    }
+
+    #[test]
+    fn fault_config_loads_a_plan_file() {
+        use esp4ml_fault::FaultSpec;
+        let dir = std::env::temp_dir().join("esp4ml_bench_faults_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let plan = FaultPlan::new(9).with(FaultSpec::transient_hang("nv0", 0));
+        std::fs::write(&path, plan.to_json().unwrap()).unwrap();
+        let args = parse(&["--faults", path.to_str().unwrap()]).unwrap();
+        let config = args.fault_config().unwrap().unwrap();
+        assert_eq!(config.plan, plan);
+        assert!(config.software_fallback);
+        std::fs::write(&path, "not json").unwrap();
+        assert!(args.fault_config().is_err());
+        assert!(parse(&[]).unwrap().fault_config().unwrap().is_none());
     }
 
     #[test]

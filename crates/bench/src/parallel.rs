@@ -14,6 +14,7 @@
 
 use esp4ml::apps::TrainedModels;
 use esp4ml::experiments::{AppRun, ExperimentError, GridPoint};
+use esp4ml::faults::FaultConfig;
 use esp4ml_soc::SocEngine;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -36,6 +37,11 @@ pub fn default_jobs() -> usize {
 /// invariant sanitizer ([`esp4ml_soc::SanitizerConfig::all`]); the first
 /// violated invariant fails the grid with its typed diagnostics.
 ///
+/// With `faults` set, every point installs the fault plan on its SoC
+/// and arms the watchdog/retry/failover recovery layer
+/// ([`GridPoint::run_faulted`]) — every worker injects the same plan,
+/// so the grid stays deterministic.
+///
 /// # Errors
 ///
 /// The first (in grid order) point that failed to build or run, or whose
@@ -47,10 +53,13 @@ pub fn run_grid(
     engine: SocEngine,
     jobs: usize,
     sanitize: bool,
+    faults: Option<&FaultConfig>,
 ) -> Result<Vec<AppRun>, ExperimentError> {
     let exec = |p: &GridPoint| {
         if sanitize {
             p.run_sanitized(models, frames, engine)
+        } else if let Some(fc) = faults {
+            p.run_faulted(models, frames, engine, fc)
         } else {
             p.run(models, frames, engine)
         }
@@ -92,8 +101,8 @@ mod tests {
     fn parallel_matches_serial_on_fig8_grid() {
         let models = TrainedModels::untrained();
         let grid = Fig8::grid();
-        let serial = run_grid(&grid, &models, 2, SocEngine::EventDriven, 1, false).unwrap();
-        let parallel = run_grid(&grid, &models, 2, SocEngine::EventDriven, 4, false).unwrap();
+        let serial = run_grid(&grid, &models, 2, SocEngine::EventDriven, 1, false, None).unwrap();
+        let parallel = run_grid(&grid, &models, 2, SocEngine::EventDriven, 4, false, None).unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.label, p.label);

@@ -9,6 +9,7 @@
 //! | `E03xx` | Dataflow-to-SoC mapping and NoC routing |
 //! | `E04xx` | Runtime sanitizer invariants |
 //! | `E05xx` | Deadlock diagnosis |
+//! | `E06xx` | Fault-plan lints |
 //!
 //! Once published a code never changes meaning; retired rules leave a
 //! hole rather than being reused. CI scripts may match on these strings.
@@ -63,6 +64,13 @@ pub const DMA_ACCOUNTING: &str = "E0404";
 /// chain (deadlock diagnosis attached to `RunOutcome::TimedOut`).
 pub const DEADLOCK: &str = "E0501";
 
+/// `E0601`: a fault plan targets a device the SoC does not host.
+pub const FAULT_UNKNOWN_DEVICE: &str = "E0601";
+/// `E0602`: a fault plan names a NoC plane index outside the mesh.
+pub const FAULT_BAD_PLANE: &str = "E0602";
+/// `W0603`: a fault plan schedules no faults (nothing will be injected).
+pub const FAULT_EMPTY_PLAN: &str = "W0603";
+
 /// One registry row: code, summary.
 pub const ALL: &[(&str, &str)] = &[
     (DUPLICATE_TILE, "two tiles occupy the same mesh coordinate"),
@@ -91,6 +99,9 @@ pub const ALL: &[(&str, &str)] = &[
     (WORMHOLE_INTERLEAVING, "wormhole non-interleaving violated"),
     (DMA_ACCOUNTING, "DMA byte accounting mismatch"),
     (DEADLOCK, "wait-for graph deadlock at timeout"),
+    (FAULT_UNKNOWN_DEVICE, "fault plan targets an unknown device"),
+    (FAULT_BAD_PLANE, "fault plan names an invalid NoC plane"),
+    (FAULT_EMPTY_PLAN, "fault plan schedules no faults"),
 ];
 
 #[cfg(test)]

@@ -299,17 +299,24 @@ pub fn build_soc1(models: &TrainedModels) -> Result<Soc, BuildError> {
         Coord::new(4, 1),
         Coord::new(0, 2),
     ];
+    // All classifier copies share a kind (same compiled network), so the
+    // runtime can fail over between them when one breaks.
     for (i, &c) in cl_coords.iter().enumerate() {
-        let kernel =
-            flow.ml_accelerator(&models.classifier, &format!("cl{i}"), &CLASSIFIER_REUSE)?;
+        let kernel = flow
+            .ml_accelerator(&models.classifier, &format!("cl{i}"), &CLASSIFIER_REUSE)?
+            .with_kind("svhn_classifier");
         b = b.accelerator(c, Box::new(kernel));
     }
-    let denoiser = flow.ml_accelerator(&models.denoiser, "denoiser", &DENOISER_REUSE)?;
+    let denoiser = flow
+        .ml_accelerator(&models.denoiser, "denoiser", &DENOISER_REUSE)?
+        .with_kind("svhn_denoiser");
     b = b.accelerator(Coord::new(1, 2), Box::new(denoiser));
     // The denoiser pipeline has its own downstream classifier tile (Fig. 6
     // maps the De→Cl chain onto dedicated tiles), bringing SoC-1 to the
     // paper's "up to ten" accelerators.
-    let cl_de = flow.ml_accelerator(&models.classifier, "cl_de", &CLASSIFIER_REUSE)?;
+    let cl_de = flow
+        .ml_accelerator(&models.classifier, "cl_de", &CLASSIFIER_REUSE)?
+        .with_kind("svhn_classifier");
     b = b.accelerator(Coord::new(2, 2), Box::new(cl_de));
     Ok(b.build()?)
 }

@@ -13,9 +13,10 @@
 //! drift apart.
 
 use crate::apps::{argmax, decode_values, encode_image, CaseApp, TrainedModels};
+use crate::faults::FaultConfig;
 use crate::flow::Esp4mlFlow;
 use crate::observe::{ProfileReport, TraceSession};
-use esp4ml_baseline::{Platform, Workload};
+use esp4ml_baseline::{Platform, SoftwareApp, Workload};
 use esp4ml_check::Report;
 use esp4ml_runtime::{Dataflow, EspRuntime, ExecMode, RunMetrics, RunSpec, RuntimeError};
 use esp4ml_soc::{SanitizerConfig, SocEngine};
@@ -140,6 +141,23 @@ impl GridPoint {
     ) -> Result<AppRun, ExperimentError> {
         AppRun::execute_sanitized(&self.app, models, frames, self.mode, engine)
     }
+
+    /// [`GridPoint::run`] under injected hardware faults
+    /// ([`AppRun::execute_faulted`]): the plan is installed on the SoC
+    /// and the watchdog/retry/failover recovery layer is armed.
+    ///
+    /// # Errors
+    ///
+    /// Build failures, or runtime failures recovery could not absorb.
+    pub fn run_faulted(
+        &self,
+        models: &TrainedModels,
+        frames: u64,
+        engine: SocEngine,
+        faults: &FaultConfig,
+    ) -> Result<AppRun, ExperimentError> {
+        AppRun::execute_faulted(&self.app, models, frames, self.mode, engine, faults)
+    }
 }
 
 /// One measured execution of a case-study application on its SoC.
@@ -163,6 +181,12 @@ pub struct AppRun {
     /// those abort the run with [`ExperimentError::Sanitizer`] — but may
     /// carry warnings.
     pub sanitizer: Option<Report>,
+    /// Whether the run degraded to the processor-tile software path
+    /// after the hardware pipeline proved unrecoverable (only possible
+    /// under a [`FaultConfig`] with `software_fallback` enabled). When
+    /// set, `metrics` and `watts` come from the Ariane platform model,
+    /// not the accelerator pipeline.
+    pub software_fallback: bool,
 }
 
 impl AppRun {
@@ -178,7 +202,16 @@ impl AppRun {
         frames: u64,
         mode: ExecMode,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, SocEngine::default(), None, false)
+        Self::execute_with(
+            app,
+            models,
+            frames,
+            mode,
+            SocEngine::default(),
+            None,
+            false,
+            None,
+        )
     }
 
     /// [`AppRun::execute`] under an explicit simulation engine
@@ -195,7 +228,29 @@ impl AppRun {
         mode: ExecMode,
         engine: SocEngine,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, engine, None, false)
+        Self::execute_with(app, models, frames, mode, engine, None, false, None)
+    }
+
+    /// [`AppRun::execute_on`] under injected hardware faults: the
+    /// config's [`esp4ml_fault::FaultPlan`] is installed on the SoC
+    /// before the run, the watchdog/recovery policy is armed on the
+    /// [`RunSpec`], and — when the config allows it — an unrecoverable
+    /// pipeline degrades to the processor-tile software path instead of
+    /// failing (flagged on the returned run's `software_fallback` field).
+    ///
+    /// # Errors
+    ///
+    /// Build failures, or runtime failures the recovery machinery could
+    /// not absorb.
+    pub fn execute_faulted(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        engine: SocEngine,
+        faults: &FaultConfig,
+    ) -> Result<AppRun, ExperimentError> {
+        Self::execute_with(app, models, frames, mode, engine, None, false, Some(faults))
     }
 
     /// [`AppRun::execute_on`] with the full runtime sanitizer armed:
@@ -216,7 +271,7 @@ impl AppRun {
         mode: ExecMode,
         engine: SocEngine,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, engine, None, true)
+        Self::execute_with(app, models, frames, mode, engine, None, true, None)
     }
 
     /// [`AppRun::execute`] with observability: events flow into the
@@ -244,6 +299,7 @@ impl AppRun {
             SocEngine::default(),
             Some(session),
             false,
+            None,
         )
     }
 
@@ -262,7 +318,16 @@ impl AppRun {
         engine: SocEngine,
         session: &mut TraceSession,
     ) -> Result<AppRun, ExperimentError> {
-        Self::execute_with(app, models, frames, mode, engine, Some(session), false)
+        Self::execute_with(
+            app,
+            models,
+            frames,
+            mode,
+            engine,
+            Some(session),
+            false,
+            None,
+        )
     }
 
     /// Derives profiler stage groups `(stage name, member instances)`
@@ -290,6 +355,7 @@ impl AppRun {
             .collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_with(
         app: &CaseApp,
         models: &TrainedModels,
@@ -298,11 +364,17 @@ impl AppRun {
         engine: SocEngine,
         mut session: Option<&mut TraceSession>,
         sanitize: bool,
+        faults: Option<&FaultConfig>,
     ) -> Result<AppRun, ExperimentError> {
         let mut soc = app.build_soc(models)?;
         soc.set_engine(engine);
         if sanitize {
             soc.enable_sanitizer(SanitizerConfig::all());
+        }
+        if let Some(fc) = faults {
+            if !fc.plan.is_empty() {
+                soc.install_fault_plan(&fc.plan);
+            }
         }
         let run_label = format!("{} {}", app.label(), mode.label());
         let dataflow = app.dataflow();
@@ -333,7 +405,22 @@ impl AppRun {
             rt.write_frame(&buf, f, &encode_image(&image))?;
             labels.push(label);
         }
-        let metrics = rt.run(&RunSpec::new(&dataflow).mode(mode), &buf)?;
+        let mut spec = RunSpec::new(&dataflow).mode(mode);
+        if let Some(fc) = faults {
+            spec = spec
+                .watchdog_cycles(fc.watchdog_cycles)
+                .recover(fc.recovery);
+        }
+        let metrics = match rt.run(&spec, &buf) {
+            Ok(m) => m,
+            Err(RuntimeError::Timeout { .. }) if faults.is_some_and(|fc| fc.software_fallback) => {
+                // Graceful degradation: the hardware pipeline is
+                // unrecoverable (retries and spares exhausted), so the
+                // application reruns on the processor tile in software.
+                return Self::software_fallback(app, models, frames, mode, &rt, labels);
+            }
+            Err(e) => return Err(e.into()),
+        };
         let sanitizer = match rt.soc().sanitizer_report() {
             Some(report) if report.has_errors() => {
                 return Err(ExperimentError::Sanitizer {
@@ -373,6 +460,70 @@ impl AppRun {
             predictions,
             labels,
             sanitizer,
+            software_fallback: false,
+        })
+    }
+
+    /// The graceful-degradation path: reruns the application on the
+    /// Ariane processor tile in software (float models, no
+    /// accelerators) and reports metrics through the honest
+    /// [`Platform::ariane`] performance/power model. Cycles are modeled
+    /// at the SoC clock so throughput stays comparable with the
+    /// hardware runs it replaces.
+    fn software_fallback(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        rt: &EspRuntime,
+        labels: Vec<usize>,
+    ) -> Result<AppRun, ExperimentError> {
+        let proc = rt.soc().primary_proc();
+        let from = app.label();
+        rt.soc()
+            .tracer()
+            .emit(rt.soc().cycle(), TileCoord::new(proc.x, proc.y), || {
+                TraceEvent::FailedOver {
+                    from,
+                    to: "software".to_string(),
+                }
+            });
+        let sw = SoftwareApp::new(
+            Some(models.classifier.clone()),
+            Some(models.denoiser.clone()),
+        );
+        let mut gen = SvhnGenerator::new(DATA_SEED);
+        let mut predictions = Vec::with_capacity(frames as usize);
+        for _ in 0..frames {
+            let (image, _) = app.input_frame(&mut gen);
+            predictions.push(match app {
+                CaseApp::NightVisionClassifier { .. } => sw.night_vision_classify(&image),
+                CaseApp::DenoiserClassifier => sw.denoise_classify(&image),
+                CaseApp::MultiTileClassifier => sw.classify(&image),
+            });
+        }
+        let ariane = Platform::ariane();
+        let (_, workload) = Workload::table1_apps()
+            .into_iter()
+            .find(|(name, _)| *name == app.app_name())
+            .expect("every case app has a Table I workload");
+        let clock_hz = rt.soc().clock_hz();
+        let metrics = RunMetrics {
+            frames,
+            cycles: (frames as f64 * ariane.frame_seconds(&workload) * clock_hz).ceil() as u64,
+            clock_hz,
+            faults_injected: rt.soc().faults_injected(),
+            ..RunMetrics::default()
+        };
+        Ok(AppRun {
+            label: app.label(),
+            mode,
+            metrics,
+            watts: ariane.average_watts(&workload),
+            predictions,
+            labels,
+            sanitizer: None,
+            software_fallback: true,
         })
     }
 
@@ -524,6 +675,7 @@ impl Table1 {
                 SocEngine::default(),
                 session.as_deref_mut(),
                 false,
+                None,
             )?);
         }
         Self::assemble(models, &runs)
@@ -732,6 +884,7 @@ impl Fig7 {
                 SocEngine::default(),
                 session.as_deref_mut(),
                 false,
+                None,
             )?);
         }
         Self::assemble(&runs)
@@ -884,6 +1037,7 @@ impl Fig8 {
                 SocEngine::default(),
                 session.as_deref_mut(),
                 false,
+                None,
             )?);
         }
         Self::assemble(&runs)

@@ -52,18 +52,21 @@ pub mod apps;
 pub mod check;
 pub mod error;
 pub mod experiments;
+pub mod faults;
 pub mod flow;
 pub mod observe;
 pub mod soc_config;
 
 pub use apps::{CaseApp, TrainedModels};
 pub use error::Esp4mlError;
+pub use faults::{lint_fault_plan, CampaignReport, FaultConfig};
 pub use flow::Esp4mlFlow;
 pub use observe::{ProfileReport, TraceSession};
 
 // Re-export the substrate crates under one roof, as the public surface of
 // the reproduction.
 pub use esp4ml_baseline as baseline;
+pub use esp4ml_fault as fault;
 pub use esp4ml_hls as hls;
 pub use esp4ml_hls4ml as hls4ml;
 pub use esp4ml_mem as mem;

@@ -5,8 +5,9 @@ use crate::heatmap::{LinkLoad, NocHeatmap, PlaneHeatmap};
 use crate::router::{Port, Router, RouterConfig, Transfer};
 use crate::sanitizer::{expected_planes, plane_carries, MeshSanitizer};
 use crate::schedule::{Progress, Schedulable};
-use crate::{Coord, NocError, NocStats, Packet, Plane};
+use crate::{Coord, MsgKind, NocError, NocStats, Packet, Plane};
 use esp4ml_check::{codes, Diagnostic, Report, SanitizerConfig};
+use esp4ml_fault::{CycleWindow, FaultKind, FaultSpec};
 use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -62,6 +63,64 @@ struct TileEndpoint {
     reasm: Reassembler,
 }
 
+/// An armed NoC link-degradation fault (see [`FaultKind::NocDelay`]).
+#[derive(Debug, Clone)]
+struct DelayFault {
+    plane: usize,
+    from_packet: u64,
+    count: u64,
+    extra_cycles: u64,
+    window: CycleWindow,
+}
+
+/// An armed flit-corruption fault (see [`FaultKind::NocCorrupt`]).
+#[derive(Debug, Clone)]
+struct CorruptFault {
+    plane: usize,
+    from_packet: u64,
+    count: u64,
+    xor_mask: u64,
+    window: CycleWindow,
+}
+
+/// A packet held back by a [`DelayFault`] before entering the network.
+#[derive(Debug)]
+struct DelayedPacket {
+    tile: usize,
+    plane: Plane,
+    flits: Vec<Flit>,
+    release: u64,
+}
+
+/// The mesh-side state of an installed fault plan. Allocated only when
+/// NoC faults are armed — fault-free runs never touch it.
+#[derive(Debug, Default)]
+struct MeshFaults {
+    delays: Vec<DelayFault>,
+    corrupts: Vec<CorruptFault>,
+    /// Packets injected per plane since installation (delay trigger).
+    inject_seen: [u64; Plane::COUNT],
+    /// Data-bearing packets delivered per plane (corruption trigger).
+    data_ejected: [u64; Plane::COUNT],
+    /// Packets held back by link degradation, in injection order.
+    delayed: VecDeque<DelayedPacket>,
+    /// Total fault firings so far.
+    fired: u64,
+}
+
+/// Whether a delivered packet carries corruptible data words in its
+/// payload tail. Header/control words are never corrupted — NoC headers
+/// are ECC-protected in real fabrics, and corrupting an address or
+/// length would crash the simulator instead of modelling silent data
+/// corruption.
+fn corruptible(pkt: &Packet) -> bool {
+    match pkt.kind() {
+        MsgKind::DmaData => pkt.payload().len() >= 2,
+        MsgKind::DmaStoreReq => pkt.payload().len() >= 3,
+        _ => false,
+    }
+}
+
 /// A cycle-level 2D-mesh NoC.
 ///
 /// Tiles interact with the mesh through [`Mesh::inject`] / [`Mesh::eject`]
@@ -76,6 +135,7 @@ pub struct Mesh {
     cycle: u64,
     tracer: Tracer,
     sanitizer: Option<Box<MeshSanitizer>>,
+    faults: Option<Box<MeshFaults>>,
 }
 
 impl Mesh {
@@ -111,7 +171,60 @@ impl Mesh {
             cycle: 0,
             tracer: Tracer::disabled(),
             sanitizer: None,
+            faults: None,
         })
+    }
+
+    /// Installs one NoC fault from a fault plan. Returns `false` (and
+    /// installs nothing) for non-NoC fault kinds, so callers can route a
+    /// mixed plan through every component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names a plane index outside the mesh's planes.
+    pub fn install_fault(&mut self, spec: &FaultSpec) -> bool {
+        match &spec.kind {
+            FaultKind::NocDelay {
+                plane,
+                from_packet,
+                count,
+                extra_cycles,
+            } => {
+                assert!(*plane < Plane::COUNT, "plane index {plane} out of range");
+                let f = self.faults.get_or_insert_with(Default::default);
+                f.delays.push(DelayFault {
+                    plane: *plane,
+                    from_packet: *from_packet,
+                    count: *count,
+                    extra_cycles: *extra_cycles,
+                    window: spec.window,
+                });
+                true
+            }
+            FaultKind::NocCorrupt {
+                plane,
+                from_packet,
+                count,
+                xor_mask,
+            } => {
+                assert!(*plane < Plane::COUNT, "plane index {plane} out of range");
+                let f = self.faults.get_or_insert_with(Default::default);
+                f.corrupts.push(CorruptFault {
+                    plane: *plane,
+                    from_packet: *from_packet,
+                    count: *count,
+                    xor_mask: *xor_mask,
+                    window: spec.window,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// How many NoC faults have fired so far (0 when no plan installed).
+    pub fn faults_fired(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.fired)
     }
 
     /// Installs the invariant sanitizer. From now on, every tick and
@@ -324,7 +437,9 @@ impl Mesh {
                 );
             }
         }
-        self.endpoints[i][plane.index()].inject.extend(flits);
+        if let Some(flits) = self.fault_intercept(i, src, plane, flits) {
+            self.endpoints[i][plane.index()].inject.extend(flits);
+        }
         self.stats.plane_mut(plane).packets_injected += 1;
         self.tracer.emit(self.cycle, trace_coord(src), || {
             TraceEvent::NocPacketInject {
@@ -332,6 +447,147 @@ impl Mesh {
             }
         });
         Ok(())
+    }
+
+    /// Applies any armed link-degradation fault to a packet about to enter
+    /// its injection queue. Returns the flits back when the packet proceeds
+    /// normally; `None` when a [`DelayFault`] (or FIFO ordering behind an
+    /// earlier held packet on the same `(tile, plane)` link) holds it in
+    /// [`MeshFaults::delayed`] until its release cycle.
+    fn fault_intercept(
+        &mut self,
+        tile: usize,
+        src: Coord,
+        plane: Plane,
+        flits: Vec<Flit>,
+    ) -> Option<Vec<Flit>> {
+        let cycle = self.cycle;
+        let Some(f) = self.faults.as_deref_mut() else {
+            return Some(flits);
+        };
+        let pi = plane.index();
+        let seq = f.inject_seen[pi];
+        f.inject_seen[pi] += 1;
+        let (hit, extra) = match f.delays.iter().find(|d| {
+            d.plane == pi
+                && seq >= d.from_packet
+                && seq - d.from_packet < d.count
+                && d.window.contains(cycle)
+        }) {
+            Some(d) => (true, d.extra_cycles),
+            None => (false, 0),
+        };
+        // A packet behind a held one on the same (tile, plane) must wait
+        // too: the degraded link preserves order, it only adds latency.
+        let behind = f
+            .delayed
+            .iter()
+            .filter(|d| d.tile == tile && d.plane == plane)
+            .map(|d| d.release)
+            .max();
+        if !hit && behind.is_none() {
+            return Some(flits);
+        }
+        let release = (cycle + extra).max(behind.unwrap_or(0));
+        f.delayed.push_back(DelayedPacket {
+            tile,
+            plane,
+            flits,
+            release,
+        });
+        if hit {
+            f.fired += 1;
+            let detail = format!(
+                "noc_delay: plane {plane} packet {seq} at ({},{}) held until cycle {release}",
+                src.x, src.y
+            );
+            self.tracer
+                .emit(cycle, trace_coord(src), || TraceEvent::FaultInjected {
+                    fault: "noc_delay",
+                    detail,
+                });
+        }
+        None
+    }
+
+    /// Moves delayed packets whose release cycle has arrived into their
+    /// injection queues, preserving per-link order. Runs at the top of
+    /// every tick; a no-op unless a delay fault has fired.
+    fn release_delayed(&mut self) {
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        if !f.delayed.is_empty() {
+            let cycle = self.cycle;
+            // A (tile, plane) link whose oldest held packet is not yet due
+            // (or cannot fit) blocks every later packet on the same link.
+            let mut blocked: Vec<(usize, Plane)> = Vec::new();
+            let mut idx = 0;
+            while idx < f.delayed.len() {
+                let d = &f.delayed[idx];
+                let key = (d.tile, d.plane);
+                if blocked.contains(&key) {
+                    idx += 1;
+                    continue;
+                }
+                let queue = &mut self.endpoints[d.tile][d.plane.index()].inject;
+                let free = self.config.inject_queue_depth.saturating_sub(queue.len());
+                if d.release > cycle || free < d.flits.len() {
+                    blocked.push(key);
+                    idx += 1;
+                    continue;
+                }
+                let d = f.delayed.remove(idx).expect("index in bounds");
+                self.endpoints[d.tile][d.plane.index()]
+                    .inject
+                    .extend(d.flits);
+            }
+        }
+        self.faults = Some(f);
+    }
+
+    /// Applies any armed flit-corruption fault to a completed packet about
+    /// to be handed to its destination tile. Only trailing *data* words of
+    /// DMA payloads are corruptible (see [`corruptible`]); the flip is a
+    /// single XOR so the packet's length and routing are untouched.
+    fn fault_corrupt(&mut self, dest: Coord, pkt: &mut Packet) {
+        let cycle = self.cycle;
+        let Some(f) = self.faults.as_deref_mut() else {
+            return;
+        };
+        if !corruptible(pkt) {
+            return;
+        }
+        let plane = pkt.plane();
+        let pi = plane.index();
+        let seq = f.data_ejected[pi];
+        f.data_ejected[pi] += 1;
+        let Some(c) = f.corrupts.iter().find(|c| {
+            c.plane == pi
+                && seq >= c.from_packet
+                && seq - c.from_packet < c.count
+                && c.window.contains(cycle)
+        }) else {
+            return;
+        };
+        let mask = c.xor_mask;
+        f.fired += 1;
+        let last = pkt
+            .payload_mut()
+            .last_mut()
+            .expect("corruptible packets have data words");
+        *last ^= mask;
+        let kind = pkt.kind();
+        let detail = format!(
+            "noc_corrupt: plane {plane} {kind} packet {seq} at ({},{}): \
+             last data word xor {mask:#x}",
+            dest.x, dest.y
+        );
+        self.tracer
+            .emit(cycle, trace_coord(dest), || TraceEvent::FaultInjected {
+                fault: "noc_corrupt",
+                detail,
+            });
     }
 
     /// Returns a reference to the oldest delivered packet at `(coord,
@@ -363,9 +619,17 @@ impl Mesh {
     }
 
     /// Whether any traffic (queued flits or partial packets) remains in the
-    /// network. Delivered-but-unejected packets do not count as in-flight;
-    /// see [`Mesh::undelivered_total`] for those.
+    /// network, including packets held back by an armed delay fault.
+    /// Delivered-but-unejected packets do not count as in-flight; see
+    /// [`Mesh::undelivered_total`] for those.
     pub fn is_idle(&self) -> bool {
+        self.traffic_idle() && self.faults.as_deref().is_none_or(|f| f.delayed.is_empty())
+    }
+
+    /// Whether the queues and routers themselves are empty — the
+    /// fast-forward precondition (fault-delayed packets carry an absolute
+    /// release cycle, so bulk-advancing over them is safe).
+    fn traffic_idle(&self) -> bool {
         for (ti, r) in self.routers.iter().enumerate() {
             for plane in Plane::ALL {
                 if !self.endpoints[ti][plane.index()].inject.is_empty() {
@@ -387,6 +651,12 @@ impl Mesh {
         let cols = self.config.cols;
         let rows = self.config.rows;
         let n = cols * rows;
+
+        // Phase 0: hand any fault-delayed packets whose release cycle has
+        // arrived to their injection queues (no-op without armed faults).
+        if self.faults.is_some() {
+            self.release_delayed();
+        }
 
         // Phase 1: move up to one flit per (tile, plane) from the injection
         // queue into the router's local input port.
@@ -506,7 +776,7 @@ impl Mesh {
                         ),
                     }
                 }
-                if let Some(pkt) = completed {
+                if let Some(mut pkt) = completed {
                     debug_assert!(is_tail);
                     if let Some(san) = self.sanitizer.as_deref_mut() {
                         san.delivered[plane.index()] += pkt.flit_len() as u64;
@@ -520,6 +790,9 @@ impl Mesh {
                             latency,
                         }
                     });
+                    if self.faults.is_some() {
+                        self.fault_corrupt(dest, &mut pkt);
+                    }
                     let ep = &mut self.endpoints[ti][plane.index()];
                     ep.eject.push_back(pkt);
                 }
@@ -588,6 +861,16 @@ impl Mesh {
                         in_flight += r.occupancy(plane, port) as u64;
                     }
                 }
+                // Packets held by a delay fault were counted at injection
+                // but sit outside the queues; they are still in flight.
+                if let Some(f) = self.faults.as_deref() {
+                    in_flight += f
+                        .delayed
+                        .iter()
+                        .filter(|d| d.plane.index() == pi)
+                        .map(|d| d.flits.len() as u64)
+                        .sum::<u64>();
+                }
                 if san.injected[pi] != san.delivered[pi] + in_flight {
                     san.record(
                         Diagnostic::error(
@@ -620,20 +903,37 @@ impl Mesh {
     /// while any flit is queued or in flight, or while delivered packets
     /// sit unejected (their tiles will drain them on the next tick);
     /// otherwise it is quiescent. A router moves flits every cycle it has
-    /// any, so the mesh never blocks on an internal latency.
+    /// any, so the mesh never blocks on an internal latency — except for
+    /// packets held by a delay fault, whose absolute release cycle is
+    /// reported as [`Progress::Blocked`] so fast-forward stays exact.
     pub fn progress(&self) -> Progress {
-        if !self.is_idle() || self.undelivered_total() > 0 {
-            Progress::Active
-        } else {
-            Progress::Quiescent
+        if !self.traffic_idle() || self.undelivered_total() > 0 {
+            return Progress::Active;
         }
+        if let Some(f) = self.faults.as_deref() {
+            if let Some(release) = f.delayed.iter().map(|d| d.release).min() {
+                return if release <= self.cycle {
+                    Progress::Active
+                } else {
+                    Progress::Blocked { until: release }
+                };
+            }
+        }
+        Progress::Quiescent
     }
 
     /// Bulk-advances the clock over `delta` traffic-free cycles.
     pub fn advance(&mut self, delta: u64) {
         debug_assert!(
-            self.is_idle(),
+            self.traffic_idle(),
             "mesh fast-forward with traffic in flight would skip flit hops"
+        );
+        debug_assert!(
+            self.faults
+                .as_deref()
+                .and_then(|f| f.delayed.iter().map(|d| d.release).min())
+                .is_none_or(|release| self.cycle + delta <= release),
+            "mesh fast-forward past a delayed packet's release cycle"
         );
         self.cycle += delta;
         self.stats.cycles = self.cycle;
@@ -914,6 +1214,193 @@ mod traffic_tests {
         assert_eq!(t[0][1], 3);
         assert_eq!(t[0][2], 0); // destination only ejects locally
         assert_eq!(t[1][0], 0); // off-route routers untouched
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::MsgKind;
+    use esp4ml_fault::{FaultKind, FaultSpec};
+
+    fn dma_pkt(src: (u8, u8), dst: (u8, u8), words: Vec<u64>) -> Packet {
+        Packet::new(
+            Coord::new(src.0, src.1),
+            Coord::new(dst.0, dst.1),
+            Plane::DmaRsp,
+            MsgKind::DmaData,
+            words,
+        )
+    }
+
+    fn delay_spec(from_packet: u64, count: u64, extra_cycles: u64) -> FaultSpec {
+        FaultSpec::new(FaultKind::NocDelay {
+            plane: Plane::DmaRsp.index(),
+            from_packet,
+            count,
+            extra_cycles,
+        })
+    }
+
+    #[test]
+    fn non_noc_faults_are_not_installed() {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        let spec = FaultSpec::permanent_hang("nv0");
+        assert!(!m.install_fault(&spec));
+        assert_eq!(m.faults_fired(), 0);
+    }
+
+    #[test]
+    fn delay_fault_adds_exactly_extra_cycles() {
+        let latency_with_extra = |extra: Option<u64>| {
+            let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+            if let Some(extra) = extra {
+                assert!(m.install_fault(&delay_spec(0, 1, extra)));
+            }
+            m.inject(dma_pkt((0, 0), (2, 2), vec![1, 2, 3])).unwrap();
+            m.run_until_idle(10_000);
+            assert_eq!(m.stats().plane(Plane::DmaRsp).packets_delivered, 1);
+            m.stats().plane(Plane::DmaRsp).max_latency
+        };
+        let base = latency_with_extra(None);
+        let delayed = latency_with_extra(Some(75));
+        assert_eq!(delayed, base + 75, "delay must add exactly extra_cycles");
+    }
+
+    #[test]
+    fn delay_fault_counts_as_fired_and_traced() {
+        use esp4ml_trace::Tracer;
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        let tracer = Tracer::ring_buffer_with_capacity(64);
+        m.set_tracer(tracer.clone());
+        assert!(m.install_fault(&delay_spec(0, 1, 20)));
+        m.inject(dma_pkt((0, 0), (1, 1), vec![9])).unwrap();
+        m.run_until_idle(10_000);
+        assert_eq!(m.faults_fired(), 1);
+        let events = tracer.drain();
+        assert!(events.iter().any(|e| matches!(
+            &e.event,
+            TraceEvent::FaultInjected {
+                fault: "noc_delay",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn delayed_link_preserves_packet_order() {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        // Delay only the first packet; the second must still arrive after it.
+        assert!(m.install_fault(&delay_spec(0, 1, 200)));
+        m.inject(dma_pkt((0, 0), (2, 0), vec![0, 111])).unwrap();
+        m.inject(dma_pkt((0, 0), (2, 0), vec![0, 222])).unwrap();
+        m.run_until_idle(10_000);
+        let first = m.eject(Coord::new(2, 0), Plane::DmaRsp).expect("first");
+        let second = m.eject(Coord::new(2, 0), Plane::DmaRsp).expect("second");
+        assert_eq!(first.payload(), &[0, 111]);
+        assert_eq!(second.payload(), &[0, 222]);
+    }
+
+    #[test]
+    fn delayed_packet_reports_blocked_progress() {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        assert!(m.install_fault(&delay_spec(0, 1, 100)));
+        m.inject(dma_pkt((0, 0), (2, 2), vec![5])).unwrap();
+        // The packet is held outside the queues: traffic is idle but the
+        // mesh is not, and progress points at the release cycle.
+        assert!(!m.is_idle());
+        assert_eq!(m.progress(), Progress::Blocked { until: 100 });
+        // Fast-forwarding to the release cycle then ticking delivers it.
+        m.advance(100);
+        m.run_until_idle(10_000);
+        assert!(m.is_idle());
+        assert_eq!(m.stats().plane(Plane::DmaRsp).packets_delivered, 1);
+    }
+
+    #[test]
+    fn sanitizer_stays_clean_across_delay_fault() {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        m.enable_sanitizer(SanitizerConfig::noc_only());
+        assert!(m.install_fault(&delay_spec(0, 1, 40)));
+        m.inject(dma_pkt((0, 0), (2, 2), vec![1, 2, 3, 4])).unwrap();
+        // Audit while the packet is still held: its flits are in flight.
+        m.tick();
+        m.run_until_idle(10_000);
+        let report = m.sanitizer_report().expect("sanitizer installed");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn corrupt_fault_flips_exactly_one_data_word() {
+        let mask = 0x0f0f;
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        assert!(m.install_fault(&FaultSpec::new(FaultKind::NocCorrupt {
+            plane: Plane::DmaRsp.index(),
+            from_packet: 0,
+            count: 1,
+            xor_mask: mask,
+        })));
+        m.inject(dma_pkt((0, 0), (2, 1), vec![7, 10, 20])).unwrap();
+        m.run_until_idle(10_000);
+        m.inject(dma_pkt((0, 0), (2, 1), vec![7, 30, 40])).unwrap();
+        m.run_until_idle(10_000);
+        let hit = m.eject(Coord::new(2, 1), Plane::DmaRsp).expect("first");
+        let clean = m.eject(Coord::new(2, 1), Plane::DmaRsp).expect("second");
+        // Only the last data word of the first matching packet is flipped;
+        // the offset header and every other packet are untouched.
+        assert_eq!(hit.payload(), &[7, 10, 20 ^ mask]);
+        assert_eq!(clean.payload(), &[7, 30, 40]);
+        assert_eq!(m.faults_fired(), 1);
+    }
+
+    #[test]
+    fn corrupt_fault_skips_headers_and_control_packets() {
+        let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+        assert!(m.install_fault(&FaultSpec::new(FaultKind::NocCorrupt {
+            plane: Plane::IoIrq.index(),
+            from_packet: 0,
+            count: u64::MAX,
+            xor_mask: 0xffff,
+        })));
+        // IRQs carry no corruptible data words: the fault never fires.
+        m.inject(Packet::new(
+            Coord::new(0, 0),
+            Coord::new(2, 0),
+            Plane::IoIrq,
+            MsgKind::Irq,
+            vec![],
+        ))
+        .unwrap();
+        m.run_until_idle(10_000);
+        assert_eq!(m.faults_fired(), 0);
+        assert!(m.eject(Coord::new(2, 0), Plane::IoIrq).is_some());
+    }
+
+    #[test]
+    fn fault_free_runs_are_untouched_by_armed_other_plane() {
+        // A fault armed on a different plane never fires and never delays.
+        let run = |armed: bool| {
+            let mut m = Mesh::new(MeshConfig::new(3, 3)).unwrap();
+            if armed {
+                assert!(m.install_fault(&FaultSpec::new(FaultKind::NocDelay {
+                    plane: Plane::DmaReq.index(),
+                    from_packet: 0,
+                    count: u64::MAX,
+                    extra_cycles: 500,
+                })));
+            }
+            m.inject(dma_pkt((0, 0), (2, 2), vec![1, 2, 3])).unwrap();
+            m.run_until_idle(10_000);
+            (
+                m.cycle(),
+                m.stats().plane(Plane::DmaRsp).max_latency,
+                m.faults_fired(),
+            )
+        };
+        let (c0, l0, f0) = run(false);
+        let (c1, l1, f1) = run(true);
+        assert_eq!((c0, l0), (c1, l1));
+        assert_eq!((f0, f1), (0, 0));
     }
 }
 

@@ -136,6 +136,12 @@ impl Packet {
         self.payload
     }
 
+    /// Mutable payload access — only the fault-injection layer rewrites
+    /// payloads (flit corruption); regular tile logic never does.
+    pub(crate) fn payload_mut(&mut self) -> &mut [u64] {
+        &mut self.payload
+    }
+
     /// Length of the packet in flits (head + one flit per payload word;
     /// an empty payload still needs its single head/tail flit).
     pub fn flit_len(&self) -> usize {

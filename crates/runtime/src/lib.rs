@@ -68,4 +68,4 @@ pub use dataflow::{Dataflow, ExecMode, StageSpec};
 pub use error::RuntimeError;
 pub use metrics::RunMetrics;
 pub use registry::{DeviceInfo, DeviceRegistry};
-pub use runtime::{AppBuffers, EspRuntime, RunSpec};
+pub use runtime::{AppBuffers, EspRuntime, RecoveryPolicy, RunSpec, DEFAULT_WATCHDOG_CYCLES};

@@ -16,6 +16,12 @@ use std::sync::Arc;
 pub struct DeviceInfo {
     /// Device name (the kernel name).
     pub name: String,
+    /// Device kind: the interchangeability class used by failover remaps.
+    /// Devices of the same kind and I/O shape run the same computation
+    /// (see `AcceleratorKernel::kind`). Defaults to the device name for
+    /// records written before kinds existed.
+    #[serde(default)]
+    pub kind: String,
     /// Tile coordinates, read from `LOCATION_REG` at probe time.
     pub coord: Coord,
     /// Input values per invocation.
@@ -67,6 +73,7 @@ impl DeviceRegistry {
             let kernel = tile.kernel();
             registry.register(DeviceInfo {
                 name: kernel.name().to_string(),
+                kind: kernel.kind().to_string(),
                 coord: loc,
                 input_values: kernel.input_values(),
                 output_values: kernel.output_values(),
@@ -130,6 +137,7 @@ mod tests {
     fn word_counts_round_up() {
         let d = DeviceInfo {
             name: "x".into(),
+            kind: "x".into(),
             coord: Coord::default(),
             input_values: 10,
             output_values: 1,
@@ -146,6 +154,7 @@ mod tests {
         let r2 = r1.clone();
         r1.register(DeviceInfo {
             name: "dev".into(),
+            kind: "dev".into(),
             coord: Coord::new(1, 1),
             input_values: 4,
             output_values: 4,

@@ -7,13 +7,79 @@ use esp4ml_noc::Coord;
 use esp4ml_soc::{AccelConfig, Soc};
 use esp4ml_trace::{CounterRegistry, TileCoord, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Driver/syscall overhead charged per accelerator invocation, in SoC
 /// cycles: the `ioctl` path through the Linux kernel on the Ariane core.
 const DEFAULT_IOCTL_CYCLES: u64 = 300;
 
-/// Cycle budget multiplier guard against misconfigured runs.
-const TIMEOUT_CYCLES: u64 = 500_000_000;
+/// Default per-invocation watchdog deadline, in cycles: how long the
+/// driver waits for a completion interrupt before declaring the
+/// invocation lost. Override per run with [`RunSpec::watchdog_cycles`].
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 500_000_000;
+
+/// What the runtime does when an invocation's watchdog expires: bounded
+/// retry with exponential backoff, then (optionally) remap the stage
+/// instance to a spare device of the same kind.
+///
+/// Without a policy ([`RunSpec::recover`] never called) a watchdog expiry
+/// is fatal, exactly as before the recovery layer existed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Re-issues of one invocation after watchdog expiries before the
+    /// runtime gives up on the device.
+    pub max_retries: u32,
+    /// Backoff burned before the first retry, in cycles (a wedged device
+    /// may need its reset to propagate; immediate re-issue also risks
+    /// re-triggering a transient fault window).
+    pub backoff_cycles: u64,
+    /// Multiplier applied to the backoff on each subsequent retry
+    /// (exponential backoff; 1 = constant).
+    pub backoff_factor: u64,
+    /// After retries are exhausted, remap the stage instance to an idle
+    /// spare device of the same kind and I/O shape.
+    pub failover: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_cycles: 1_000,
+            backoff_factor: 2,
+            failover: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff for retry `attempt` (1-based): `backoff_cycles *
+    /// backoff_factor^(attempt-1)`, saturating.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        self.backoff_cycles.saturating_mul(
+            self.backoff_factor
+                .saturating_pow(attempt.saturating_sub(1)),
+        )
+    }
+}
+
+/// Book-keeping for one recovering run.
+#[derive(Debug)]
+struct RecoveryCtx {
+    /// Per-invocation watchdog deadline in cycles.
+    watchdog: u64,
+    /// Recovery policy; `None` = watchdog expiry is fatal.
+    policy: Option<RecoveryPolicy>,
+    /// Cycle at which the run started (timeouts report measured elapsed
+    /// cycles, not the configured budget).
+    start_cycle: u64,
+    /// Invocations re-issued after a watchdog expiry.
+    retries: u64,
+    /// Stage instances remapped to a spare.
+    failovers: u64,
+    /// Devices abandoned by failover — never picked as spares again.
+    banned: HashSet<Coord>,
+}
 
 /// A typed description of one `esp_run` invocation: the dataflow plus the
 /// run options that used to be scattered across runtime setters
@@ -32,6 +98,8 @@ pub struct RunSpec<'a> {
     mode: ExecMode,
     ioctl_cycles: Option<u64>,
     tracer: Option<Tracer>,
+    watchdog_cycles: Option<u64>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -42,6 +110,8 @@ impl<'a> RunSpec<'a> {
             mode: ExecMode::Base,
             ioctl_cycles: None,
             tracer: None,
+            watchdog_cycles: None,
+            recovery: None,
         }
     }
 
@@ -60,6 +130,23 @@ impl<'a> RunSpec<'a> {
     /// Installs `tracer` on the runtime and SoC before the run.
     pub fn trace(mut self, tracer: Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Overrides the per-invocation watchdog deadline for this run
+    /// (defaults to [`DEFAULT_WATCHDOG_CYCLES`]). The watchdog replaces
+    /// the old global run timeout: every invocation must raise its
+    /// completion interrupt within `cycles` of being issued.
+    pub fn watchdog_cycles(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
+    /// Enables fault recovery for this run: on a watchdog expiry the
+    /// runtime resets and retries the invocation per `policy`, then fails
+    /// over to a spare device of the same kind if the policy allows it.
+    pub fn recover(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -408,7 +495,8 @@ impl EspRuntime {
         if let Some(cycles) = spec.ioctl_cycles {
             self.ioctl_cycles = cycles;
         }
-        let result = self.run_spec_inner(spec.dataflow, buf, spec.mode);
+        let watchdog = spec.watchdog_cycles.unwrap_or(DEFAULT_WATCHDOG_CYCLES);
+        let result = self.run_spec_inner(spec.dataflow, buf, spec.mode, watchdog, spec.recovery);
         self.ioctl_cycles = saved_ioctl;
         result
     }
@@ -418,17 +506,30 @@ impl EspRuntime {
         dataflow: &Dataflow,
         buf: &AppBuffers,
         mode: ExecMode,
+        watchdog: u64,
+        policy: Option<RecoveryPolicy>,
     ) -> Result<RunMetrics, RuntimeError> {
-        let plan = Plan::resolve(dataflow, &self.registry)?;
+        // The plan is mutable: failover remaps stage instances in place,
+        // and the remap is sticky for the rest of the run.
+        let mut plan = Plan::resolve(dataflow, &self.registry)?;
         let start_cycle = self.soc.cycle();
         let stats0 = self.soc.stats();
         let hops0 = self.soc.noc_stats().total_flit_hops();
+        let faults0 = self.soc.faults_injected();
         self.soc.take_irqs(); // discard stale interrupts
+        let mut ctx = RecoveryCtx {
+            watchdog,
+            policy,
+            start_cycle,
+            retries: 0,
+            failovers: 0,
+            banned: HashSet::new(),
+        };
 
         let invocations = match mode {
-            ExecMode::Base => self.run_base(&plan, buf)?,
-            ExecMode::Pipe => self.run_pipe(&plan, buf)?,
-            ExecMode::P2p => self.run_p2p(&plan, buf)?,
+            ExecMode::Base => self.run_base(&mut plan, buf, &mut ctx)?,
+            ExecMode::Pipe => self.run_pipe(&mut plan, buf, &mut ctx)?,
+            ExecMode::P2p => self.run_p2p(&plan, buf, &mut ctx)?,
         };
 
         let stats1 = self.soc.stats();
@@ -442,6 +543,9 @@ impl EspRuntime {
             noc_flit_hops: self.soc.noc_stats().total_flit_hops() - hops0,
             invocations,
             clock_hz: self.soc.clock_hz(),
+            faults_injected: self.soc.faults_injected() - faults0,
+            retries: ctx.retries,
+            failovers: ctx.failovers,
         };
         self.counters.add("runtime.frames", metrics.frames);
         self.counters
@@ -450,7 +554,114 @@ impl EspRuntime {
         self.counters.add("soc.dram_reads", metrics.dram_reads);
         self.counters.add("soc.dram_writes", metrics.dram_writes);
         self.counters.add("noc.flit_hops", metrics.noc_flit_hops);
+        // Recovery counters only exist once something goes wrong, keeping
+        // healthy-run counter dumps byte-identical to the pre-fault era.
+        if metrics.faults_injected > 0 {
+            self.counters
+                .add("soc.faults_injected", metrics.faults_injected);
+        }
+        if metrics.retries > 0 {
+            self.counters.add("runtime.retries", metrics.retries);
+        }
+        if metrics.failovers > 0 {
+            self.counters.add("runtime.failovers", metrics.failovers);
+        }
         Ok(metrics)
+    }
+
+    /// Builds the timeout error, reporting how long the run actually ran
+    /// (not the configured budget) plus a deadlock diagnosis if the
+    /// sanitizer can name one.
+    fn timeout_err(&self, ctx: &RecoveryCtx) -> RuntimeError {
+        RuntimeError::Timeout {
+            cycles: self.soc.cycle() - ctx.start_cycle,
+            diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
+        }
+    }
+
+    /// Resets a wedged device and burns the policy's backoff before the
+    /// caller re-issues the invocation (`attempt` is 1-based).
+    fn retry_backoff(
+        &mut self,
+        coord: Coord,
+        name: &str,
+        attempt: u32,
+        policy: &RecoveryPolicy,
+        ctx: &mut RecoveryCtx,
+    ) -> Result<(), RuntimeError> {
+        let proc = self.soc.primary_proc();
+        let backoff = policy.backoff_for(attempt);
+        let device = name.to_string();
+        self.tracer
+            .emit(self.soc.cycle(), TileCoord::new(proc.x, proc.y), || {
+                TraceEvent::RetryScheduled {
+                    device,
+                    attempt,
+                    backoff,
+                }
+            });
+        self.soc.reset_accel(coord)?;
+        if backoff > 0 {
+            self.soc.run_cycles(backoff);
+        }
+        ctx.retries += 1;
+        Ok(())
+    }
+
+    /// Finds an idle spare for `failed`: same kind and I/O shape, not part
+    /// of the plan, not previously abandoned.
+    fn find_spare(
+        &self,
+        plan: &Plan,
+        failed: &DeviceInfo,
+        ctx: &RecoveryCtx,
+    ) -> Option<DeviceInfo> {
+        if failed.kind.is_empty() {
+            return None; // hand-registered record predating kinds
+        }
+        let in_plan: HashSet<Coord> = plan
+            .stages
+            .iter()
+            .flat_map(|st| st.iter().map(|d| d.coord))
+            .collect();
+        self.registry.devices().into_iter().find(|d| {
+            d.kind == failed.kind
+                && d.input_values == failed.input_values
+                && d.output_values == failed.output_values
+                && d.data_bits == failed.data_bits
+                && !in_plan.contains(&d.coord)
+                && !ctx.banned.contains(&d.coord)
+        })
+    }
+
+    /// Remaps stage `s`, instance `j` to a spare device. Returns `false`
+    /// when no spare exists (the caller then gives up).
+    fn failover(
+        &mut self,
+        plan: &mut Plan,
+        s: usize,
+        j: usize,
+        buf: &AppBuffers,
+        ctx: &mut RecoveryCtx,
+    ) -> Result<bool, RuntimeError> {
+        let failed = plan.stages[s][j].clone();
+        let Some(spare) = self.find_spare(plan, &failed, ctx) else {
+            return Ok(false);
+        };
+        // `prepare` only mapped the planned devices; the spare needs the
+        // application buffer in its VA space before it can DMA.
+        self.soc
+            .map_contiguous(spare.coord, 0, buf.handle.base + buf.handle.len)?;
+        ctx.banned.insert(failed.coord);
+        let proc = self.soc.primary_proc();
+        let (from, to) = (failed.name.clone(), spare.name.clone());
+        self.tracer
+            .emit(self.soc.cycle(), TileCoord::new(proc.x, proc.y), || {
+                TraceEvent::FailedOver { from, to }
+            });
+        plan.stages[s][j] = spare;
+        ctx.failovers += 1;
+        Ok(true)
     }
 
     /// Source address of stage `s`, instance `j`, frame `f` in DMA modes.
@@ -503,32 +714,68 @@ impl EspRuntime {
         self.soc.run_cycles(self.ioctl_cycles);
     }
 
-    fn run_base(&mut self, plan: &Plan, buf: &AppBuffers) -> Result<u64, RuntimeError> {
+    fn run_base(
+        &mut self,
+        plan: &mut Plan,
+        buf: &AppBuffers,
+        ctx: &mut RecoveryCtx,
+    ) -> Result<u64, RuntimeError> {
         let mut invocations = 0u64;
         for f in 0..buf.frames {
-            for (s, stage) in plan.stages.iter().enumerate() {
-                let j = (f % stage.len() as u64) as usize;
-                let coord = stage[j].coord;
-                let src = self.dma_src(buf, plan, s, f);
-                let dst = self.dma_dst(buf, plan, s, f);
-                self.issue_dma_invocation(coord, src, dst)?;
-                invocations += 1;
-                self.wait_for_irq(coord)?;
+            for s in 0..plan.stages.len() {
+                let j = (f % plan.stages[s].len() as u64) as usize;
+                let mut attempt: u32 = 0;
+                loop {
+                    let coord = plan.stages[s][j].coord;
+                    let src = self.dma_src(buf, plan, s, f);
+                    let dst = self.dma_dst(buf, plan, s, f);
+                    self.issue_dma_invocation(coord, src, dst)?;
+                    invocations += 1;
+                    if self.wait_for_irq(coord, ctx.watchdog) {
+                        break;
+                    }
+                    // Watchdog expired: retry with backoff, then fail over.
+                    let Some(policy) = ctx.policy else {
+                        return Err(self.timeout_err(ctx));
+                    };
+                    attempt += 1;
+                    if attempt <= policy.max_retries {
+                        let info = plan.stages[s][j].clone();
+                        self.retry_backoff(coord, &info.name, attempt, &policy, ctx)?;
+                        continue;
+                    }
+                    // Quiesce the abandoned device so it stops holding NoC
+                    // or PLM resources, then try a spare.
+                    self.soc.reset_accel(coord)?;
+                    if policy.failover && self.failover(plan, s, j, buf, ctx)? {
+                        attempt = 0;
+                        continue;
+                    }
+                    return Err(self.timeout_err(ctx));
+                }
             }
         }
         Ok(invocations)
     }
 
-    fn run_pipe(&mut self, plan: &Plan, buf: &AppBuffers) -> Result<u64, RuntimeError> {
+    fn run_pipe(
+        &mut self,
+        plan: &mut Plan,
+        buf: &AppBuffers,
+        ctx: &mut RecoveryCtx,
+    ) -> Result<u64, RuntimeError> {
         let depth = plan.stages.len();
         let frames = buf.frames;
         // Per stage: which frames have completed.
         let mut done: Vec<Vec<bool>> = (0..depth).map(|_| vec![false; frames as usize]).collect();
-        // Per instance: busy frame (if any) and next local frame index.
+        // Per instance: busy frame (if any), next local frame index, and
+        // the watchdog state of the in-flight invocation.
         #[derive(Clone, Copy)]
         struct Inst {
             busy_frame: Option<u64>,
             next_local: u64,
+            issued_at: u64,
+            attempts: u32,
         }
         let mut insts: Vec<Vec<Inst>> = plan
             .stages
@@ -537,26 +784,26 @@ impl EspRuntime {
                 vec![
                     Inst {
                         busy_frame: None,
-                        next_local: 0
+                        next_local: 0,
+                        issued_at: 0,
+                        attempts: 0,
                     };
                     st.len()
                 ]
             })
             .collect();
-        let mut coord_to_inst = std::collections::HashMap::new();
-        for (s, stage) in plan.stages.iter().enumerate() {
-            for (j, info) in stage.iter().enumerate() {
-                coord_to_inst.insert(info.coord, (s, j));
-            }
-        }
         let mut invocations = 0u64;
-        let deadline = self.soc.cycle() + TIMEOUT_CYCLES;
         loop {
-            // Retire finished invocations.
+            // Retire finished invocations. Coordinates are looked up in
+            // the (possibly failed-over) live plan, not a frozen map.
             for coord in self.soc.take_irqs() {
-                if let Some(&(s, j)) = coord_to_inst.get(&coord) {
-                    if let Some(f) = insts[s][j].busy_frame.take() {
-                        done[s][f as usize] = true;
+                for (s, stage) in plan.stages.iter().enumerate() {
+                    for (j, info) in stage.iter().enumerate() {
+                        if info.coord == coord {
+                            if let Some(f) = insts[s][j].busy_frame.take() {
+                                done[s][f as usize] = true;
+                            }
+                        }
                     }
                 }
             }
@@ -586,28 +833,100 @@ impl EspRuntime {
                     invocations += 1;
                     insts[s][j].busy_frame = Some(f);
                     insts[s][j].next_local += 1;
+                    insts[s][j].issued_at = self.soc.cycle();
+                    insts[s][j].attempts = 0;
                 }
             }
-            // Fast-forwards to the next interesting cycle under the
-            // event-driven engine; a single naive tick otherwise. Issue
+            // Expire overdue invocations (per-invocation watchdog).
+            let now = self.soc.cycle();
+            // Indexed loops: `s`/`j` address insts[][] while `plan` is
+            // re-borrowed mutably on failover, so enumerate() can't hold
+            // a borrow across the body.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..depth {
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..plan.stages[s].len() {
+                    let inst = insts[s][j];
+                    let Some(f) = inst.busy_frame else { continue };
+                    if now <= inst.issued_at + ctx.watchdog {
+                        continue;
+                    }
+                    let Some(policy) = ctx.policy else {
+                        return Err(self.timeout_err(ctx));
+                    };
+                    let coord = plan.stages[s][j].coord;
+                    let attempt = inst.attempts + 1;
+                    if attempt <= policy.max_retries {
+                        let name = plan.stages[s][j].name.clone();
+                        self.retry_backoff(coord, &name, attempt, &policy, ctx)?;
+                    } else {
+                        self.soc.reset_accel(coord)?;
+                        if !(policy.failover && self.failover(plan, s, j, buf, ctx)?) {
+                            return Err(self.timeout_err(ctx));
+                        }
+                    }
+                    // Re-issue the same frame on the (possibly remapped)
+                    // instance.
+                    let coord = plan.stages[s][j].coord;
+                    let src = self.dma_src(buf, plan, s, f);
+                    let dst = self.dma_dst(buf, plan, s, f);
+                    self.issue_dma_invocation(coord, src, dst)?;
+                    invocations += 1;
+                    insts[s][j].issued_at = self.soc.cycle();
+                    insts[s][j].attempts = if attempt <= policy.max_retries {
+                        attempt
+                    } else {
+                        0 // fresh device, fresh retry budget
+                    };
+                }
+            }
+            // Fast-forward to the earliest watchdog deadline among busy
+            // instances: the event-driven engine stops sooner at the next
+            // interesting cycle, the naive engine ticks once. Issue
             // decisions only change when an IRQ retires, so skipping
             // boring cycles cannot alter the schedule.
-            self.soc.step(deadline + 1 - self.soc.cycle());
-            if self.soc.cycle() > deadline {
-                return Err(RuntimeError::Timeout {
-                    cycles: TIMEOUT_CYCLES,
-                    diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
-                });
-            }
+            let next_deadline = insts
+                .iter()
+                .flatten()
+                .filter(|i| i.busy_frame.is_some())
+                .map(|i| i.issued_at + ctx.watchdog)
+                .min();
+            let Some(next_deadline) = next_deadline else {
+                // Nothing in flight yet frames remain: the schedule is
+                // wedged (cannot happen with a well-formed plan).
+                return Err(self.timeout_err(ctx));
+            };
+            let now = self.soc.cycle();
+            self.soc
+                .step((next_deadline + 1).saturating_sub(now).max(1));
         }
         Ok(invocations)
     }
 
-    fn run_p2p(&mut self, plan: &Plan, buf: &AppBuffers) -> Result<u64, RuntimeError> {
+    fn run_p2p(
+        &mut self,
+        plan: &Plan,
+        buf: &AppBuffers,
+        ctx: &mut RecoveryCtx,
+    ) -> Result<u64, RuntimeError> {
         let depth = plan.stages.len();
         let frames = buf.frames;
         let mut invocations = 0u64;
-        let mut expected_irqs = Vec::new();
+        // One outstanding batch invocation per instance, with its config
+        // retained for watchdog-driven re-issue. Failover is NOT supported
+        // in p2p mode: peers address their sources by tile coordinate in
+        // `P2P_REG`, so swapping one instance would require reconfiguring
+        // (and restarting) every consumer mid-flight. Retry alone still
+        // recovers hangs at start: a restarted producer finds its
+        // consumers parked in LOAD, waiting for the p2p data.
+        struct P2pWait {
+            coord: Coord,
+            name: String,
+            cfg: AccelConfig,
+            issued_at: u64,
+            attempts: u32,
+        }
+        let mut waits: Vec<P2pWait> = Vec::new();
         for (s, stage) in plan.stages.iter().enumerate() {
             let k = stage.len() as u64;
             for (j, info) in stage.iter().enumerate() {
@@ -642,43 +961,69 @@ impl EspRuntime {
                 self.soc.start_accel(info.coord)?;
                 self.ioctl(info.coord);
                 invocations += 1;
-                expected_irqs.push(info.coord);
+                waits.push(P2pWait {
+                    coord: info.coord,
+                    name: info.name.clone(),
+                    cfg,
+                    issued_at: self.soc.cycle(),
+                    attempts: 0,
+                });
             }
         }
         // Hardware synchronizes the pipeline; wait for every instance.
-        let deadline = self.soc.cycle() + TIMEOUT_CYCLES;
-        let mut remaining: std::collections::HashSet<Coord> = expected_irqs.into_iter().collect();
-        while !remaining.is_empty() {
-            for coord in self.soc.take_irqs() {
-                remaining.remove(&coord);
-            }
-            if remaining.is_empty() {
+        while !waits.is_empty() {
+            let irqs = self.soc.take_irqs();
+            waits.retain(|w| !irqs.contains(&w.coord));
+            if waits.is_empty() {
                 break;
             }
-            self.soc.step(deadline + 1 - self.soc.cycle());
-            if self.soc.cycle() > deadline {
-                return Err(RuntimeError::Timeout {
-                    cycles: TIMEOUT_CYCLES,
-                    diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
-                });
+            // Expire overdue batch invocations and re-issue them with
+            // their retained config (bounded retry, no failover).
+            let now = self.soc.cycle();
+            for w in waits.iter_mut() {
+                if now <= w.issued_at + ctx.watchdog {
+                    continue;
+                }
+                let Some(policy) = ctx.policy else {
+                    return Err(self.timeout_err(ctx));
+                };
+                w.attempts += 1;
+                if w.attempts > policy.max_retries {
+                    return Err(self.timeout_err(ctx));
+                }
+                self.retry_backoff(w.coord, &w.name, w.attempts, &policy, ctx)?;
+                self.soc.configure_accel(w.coord, &w.cfg)?;
+                self.soc.start_accel(w.coord)?;
+                self.ioctl(w.coord);
+                invocations += 1;
+                w.issued_at = self.soc.cycle();
             }
+            let next_deadline = waits
+                .iter()
+                .map(|w| w.issued_at + ctx.watchdog)
+                .min()
+                .expect("waits is non-empty");
+            let now = self.soc.cycle();
+            self.soc
+                .step((next_deadline + 1).saturating_sub(now).max(1));
         }
         Ok(invocations)
     }
 
-    fn wait_for_irq(&mut self, coord: Coord) -> Result<(), RuntimeError> {
-        let deadline = self.soc.cycle() + TIMEOUT_CYCLES;
+    /// Steps the SoC until `coord` raises its completion interrupt.
+    /// Returns `false` when the per-invocation watchdog expires first
+    /// (the caller decides whether that is fatal).
+    fn wait_for_irq(&mut self, coord: Coord, watchdog: u64) -> bool {
+        let deadline = self.soc.cycle() + watchdog;
         loop {
             if self.soc.take_irqs().contains(&coord) {
-                return Ok(());
+                return true;
             }
-            self.soc.step(deadline + 1 - self.soc.cycle());
             if self.soc.cycle() > deadline {
-                return Err(RuntimeError::Timeout {
-                    cycles: TIMEOUT_CYCLES,
-                    diagnosis: self.soc.diagnose_deadlock().map(|d| d.to_string()),
-                });
+                return false;
             }
+            self.soc
+                .step((deadline + 1).saturating_sub(self.soc.cycle()).max(1));
         }
     }
 }
@@ -686,7 +1031,8 @@ impl EspRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use esp4ml_soc::{ScaleKernel, SocBuilder};
+    use esp4ml_fault::{FaultPlan, FaultSpec};
+    use esp4ml_soc::{ScaleKernel, SocBuilder, SocEngine};
 
     /// Fallible helpers: tests bubble failures up with `?` instead of
     /// unwrapping at every call site.
@@ -891,6 +1237,183 @@ mod tests {
         // longer ioctl window hides.
         assert!(run_with(1000)? > run_with(10)? + 4000);
         Ok(())
+    }
+
+    #[test]
+    fn watchdog_retry_recovers_transient_hang() -> Result<(), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
+        // Swallow the second start command x2 receives (frame 1).
+        let plan = FaultPlan::new(0).with(FaultSpec::transient_hang("x2", 1));
+        rt.soc_mut().install_fault_plan(&plan);
+        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+        let frames = 3;
+        let buf = rt.prepare(&df, frames)?;
+        for f in 0..frames {
+            rt.write_frame(&buf, f, &[f + 1; 16])?;
+        }
+        let spec = RunSpec::new(&df)
+            .watchdog_cycles(50_000)
+            .recover(RecoveryPolicy::default());
+        let m = rt.run(&spec, &buf)?;
+        assert!(m.retries >= 1, "no retry recorded: {m:?}");
+        assert_eq!(m.failovers, 0);
+        assert!(m.faults_injected >= 1);
+        for f in 0..frames {
+            assert_eq!(rt.read_frame(&buf, f)?, vec![(f + 1) * 6; 16], "frame {f}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn permanent_hang_fails_over_to_spare() -> Result<(), RuntimeError> {
+        let soc = SocBuilder::new(3, 2)
+            .processor(Coord::new(0, 0))
+            .memory(Coord::new(1, 0))
+            .accelerator(
+                Coord::new(0, 1),
+                Box::new(ScaleKernel::new("x2", 16, 2).with_kind("doubler")),
+            )
+            .accelerator(
+                Coord::new(1, 1),
+                Box::new(ScaleKernel::new("x2_spare", 16, 2).with_kind("doubler")),
+            )
+            .accelerator(Coord::new(2, 1), Box::new(ScaleKernel::new("x3", 16, 3)))
+            .build()
+            .map_err(RuntimeError::Soc)?;
+        let mut rt = EspRuntime::new(soc)?;
+        let plan = FaultPlan::new(0).with(FaultSpec::permanent_hang("x2"));
+        rt.soc_mut().install_fault_plan(&plan);
+        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+        let buf = rt.prepare(&df, 2)?;
+        for f in 0..2 {
+            rt.write_frame(&buf, f, &[5; 16])?;
+        }
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            backoff_cycles: 100,
+            backoff_factor: 2,
+            failover: true,
+        };
+        let spec = RunSpec::new(&df)
+            .mode(ExecMode::Pipe)
+            .watchdog_cycles(50_000)
+            .recover(policy);
+        let m = rt.run(&spec, &buf)?;
+        assert_eq!(m.failovers, 1, "{m:?}");
+        assert!(m.retries >= 1, "{m:?}");
+        for f in 0..2 {
+            assert_eq!(rt.read_frame(&buf, f)?, vec![30; 16], "frame {f}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn p2p_retries_hang_at_start() -> Result<(), RuntimeError> {
+        let mut rt = two_stage_runtime()?;
+        // The consumer never starts its batch on the first attempt; the
+        // producer parks in STORE waiting for p2p requests, so both
+        // invocations eventually trip their watchdogs and restart.
+        let plan = FaultPlan::new(0).with(FaultSpec::transient_hang("x3", 0));
+        rt.soc_mut().install_fault_plan(&plan);
+        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+        let frames = 4;
+        let buf = rt.prepare(&df, frames)?;
+        for f in 0..frames {
+            rt.write_frame(&buf, f, &[f + 1; 16])?;
+        }
+        let spec = RunSpec::new(&df)
+            .mode(ExecMode::P2p)
+            .watchdog_cycles(50_000)
+            .recover(RecoveryPolicy::default());
+        let m = rt.run(&spec, &buf)?;
+        assert!(m.retries >= 1, "{m:?}");
+        assert_eq!(m.failovers, 0, "p2p never fails over");
+        for f in 0..frames {
+            assert_eq!(rt.read_frame(&buf, f)?, vec![(f + 1) * 6; 16], "frame {f}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn timeout_reports_measured_elapsed_cycles() {
+        let run = |engine: SocEngine| {
+            let mut rt = two_stage_runtime().unwrap();
+            rt.soc_mut().set_engine(engine);
+            let plan = FaultPlan::new(0).with(FaultSpec::permanent_hang("x2"));
+            rt.soc_mut().install_fault_plan(&plan);
+            let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+            let buf = rt.prepare(&df, 1).unwrap();
+            rt.write_frame(&buf, 0, &[1; 16]).unwrap();
+            match rt.run(&RunSpec::new(&df).watchdog_cycles(50_000), &buf) {
+                Err(RuntimeError::Timeout { cycles, .. }) => cycles,
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        };
+        let naive = run(SocEngine::Naive);
+        let event = run(SocEngine::EventDriven);
+        assert_eq!(naive, event, "engines disagree on measured elapsed");
+        // The error reports how long the run actually ran, not the
+        // configured watchdog constant.
+        assert!(naive > 50_000 && naive < DEFAULT_WATCHDOG_CYCLES);
+    }
+
+    #[test]
+    fn exhausted_retries_without_spare_time_out() {
+        let mut rt = two_stage_runtime().unwrap();
+        let plan = FaultPlan::new(0).with(FaultSpec::permanent_hang("x2"));
+        rt.soc_mut().install_fault_plan(&plan);
+        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+        let buf = rt.prepare(&df, 1).unwrap();
+        rt.write_frame(&buf, 0, &[1; 16]).unwrap();
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            backoff_cycles: 10,
+            backoff_factor: 2,
+            failover: true, // no same-kind spare exists
+        };
+        let err = rt
+            .run(
+                &RunSpec::new(&df).watchdog_cycles(20_000).recover(policy),
+                &buf,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn recovery_policy_is_free_on_healthy_runs() -> Result<(), RuntimeError> {
+        let run = |recover: bool| -> Result<RunMetrics, RuntimeError> {
+            let mut rt = two_stage_runtime()?;
+            let df = Dataflow::linear(&[&["x2"], &["x3"]]);
+            let buf = rt.prepare(&df, 4)?;
+            for f in 0..4 {
+                rt.write_frame(&buf, f, &[1; 16])?;
+            }
+            let mut spec = RunSpec::new(&df).mode(ExecMode::Pipe);
+            if recover {
+                spec = spec.recover(RecoveryPolicy::default());
+            }
+            rt.run(&spec, &buf)
+        };
+        let plain = run(false)?;
+        let recov = run(true)?;
+        assert_eq!(plain, recov, "recovery arming must be zero-cost");
+        assert_eq!(recov.retries, 0);
+        assert_eq!(recov.faults_injected, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RecoveryPolicy {
+            max_retries: 5,
+            backoff_cycles: 100,
+            backoff_factor: 3,
+            failover: false,
+        };
+        assert_eq!(p.backoff_for(1), 100);
+        assert_eq!(p.backoff_for(2), 300);
+        assert_eq!(p.backoff_for(3), 900);
     }
 
     #[test]

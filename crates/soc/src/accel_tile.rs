@@ -14,11 +14,12 @@ use crate::mem_tile::MAX_DMA_PACKET_WORDS;
 use crate::regs::{
     P2pConfig, RegisterFile, CMD_START, FLAG_DOUBLE_BUFFER, REG_CMD, REG_CONF_OUT_SIZE,
     REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_N_FRAMES, REG_P2P, REG_SRC_OFFSET,
-    STATUS_DONE, STATUS_RUNNING,
+    STATUS_DONE, STATUS_IDLE, STATUS_RUNNING,
 };
 use crate::sanitize::{tile_location, BlockedTile};
 use crate::stats::AccelStats;
 use esp4ml_check::{codes, Diagnostic};
+use esp4ml_fault::{CycleWindow, FaultKind, FaultSpec};
 use esp4ml_mem::{PageTable, Tlb};
 use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use esp4ml_trace::{TileCoord, TraceEvent, Tracer};
@@ -221,6 +222,35 @@ mod tests {
     }
 }
 
+/// An armed invocation-hang fault (see [`FaultKind::AccelHang`]).
+#[derive(Debug, Clone)]
+struct HangFault {
+    from_invocation: u64,
+    count: u64,
+    window: CycleWindow,
+}
+
+/// An armed wrong-length-result fault (see [`FaultKind::AccelShortOutput`]).
+#[derive(Debug, Clone)]
+struct ShortFault {
+    from_invocation: u64,
+    count: u64,
+    drop_words: u64,
+    window: CycleWindow,
+}
+
+/// Tile-side state of installed accelerator faults. Allocated only when a
+/// fault plan names this device — fault-free runs never touch it.
+#[derive(Debug, Default)]
+struct AccelFaults {
+    hangs: Vec<HangFault>,
+    shorts: Vec<ShortFault>,
+    /// Start commands seen since installation (the fault trigger index).
+    invocations: u64,
+    /// Total fault firings so far.
+    fired: u64,
+}
+
 /// An accelerator tile: socket (registers, DMA engine, TLB, p2p service)
 /// plus the plugged-in kernel.
 #[derive(Debug)]
@@ -263,6 +293,10 @@ pub struct AccelTile {
     compute_countdown: u64,
     output_buffer: Vec<u64>,
     stall: u64,
+    /// Words to drop from every output frame of the current batch
+    /// (0 = healthy; latched from a matching short-output fault).
+    short_drop: u64,
+    faults: Option<Box<AccelFaults>>,
 
     stats: AccelStats,
     /// Sanitizer mode: promoted invariant asserts record typed
@@ -319,6 +353,8 @@ impl AccelTile {
             compute_countdown: 0,
             output_buffer: Vec::new(),
             stall: 0,
+            short_drop: 0,
+            faults: None,
             stats: AccelStats::default(),
             sanitize: false,
             sanitizer_violations: BTreeSet::new(),
@@ -340,6 +376,75 @@ impl AccelTile {
     /// so the quiescent DMA-accounting audit must flag the imbalance.
     pub(crate) fn fault_phantom_words(&mut self, words: u64) {
         self.stats.words_received += words;
+    }
+
+    /// Installs one accelerator fault from a fault plan. Returns `false`
+    /// (and installs nothing) when the spec targets another device or is
+    /// not an accelerator fault, so callers can route a mixed plan through
+    /// every component.
+    pub fn install_fault(&mut self, spec: &FaultSpec) -> bool {
+        match &spec.kind {
+            FaultKind::AccelHang {
+                device,
+                from_invocation,
+                count,
+            } if device == self.kernel.name() => {
+                let f = self.faults.get_or_insert_with(Default::default);
+                f.hangs.push(HangFault {
+                    from_invocation: *from_invocation,
+                    count: *count,
+                    window: spec.window,
+                });
+                true
+            }
+            FaultKind::AccelShortOutput {
+                device,
+                from_invocation,
+                count,
+                drop_words,
+            } if device == self.kernel.name() => {
+                let f = self.faults.get_or_insert_with(Default::default);
+                f.shorts.push(ShortFault {
+                    from_invocation: *from_invocation,
+                    count: *count,
+                    drop_words: *drop_words,
+                    window: spec.window,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// How many accelerator faults have fired on this tile so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.fired)
+    }
+
+    /// Hard-resets the socket wrapper back to [`AccelState::Idle`] — the
+    /// recovery path a driver takes after a watchdog expiry. In-flight
+    /// batch state (partial frames, queued packets, pending p2p requests)
+    /// is discarded; the configuration registers, armed faults and
+    /// cumulative statistics all survive, so the driver can re-issue the
+    /// batch immediately.
+    pub fn reset(&mut self) {
+        self.set_state(AccelState::Idle);
+        self.n_frames = 0;
+        self.frame_idx = 0;
+        self.rx_buf.clear();
+        self.rx_counts = [0; 2];
+        self.rx_expect = 0;
+        self.dbuf = false;
+        self.loads_issued = 0;
+        self.dvfs_phase = 0;
+        self.tx_queue.clear();
+        self.store_acked_words = 0;
+        self.pending_p2p_reqs.clear();
+        self.compute_countdown = 0;
+        self.output_buffer.clear();
+        self.stall = 0;
+        self.short_drop = 0;
+        self.regs.set_status(STATUS_IDLE);
     }
 
     /// What this tile is waiting on, for the timeout deadlock diagnosis.
@@ -679,8 +784,67 @@ impl AccelTile {
         }
     }
 
+    /// Evaluates armed faults against this start command. Returns `true`
+    /// when a hang fault swallows the command; latches `short_drop` when a
+    /// short-output fault matches. Trigger indices count *start commands*,
+    /// so a bounded hang clears itself on the driver's retry.
+    fn fault_on_start(&mut self) -> bool {
+        let cycle = self.cycle;
+        let Some(f) = self.faults.as_deref_mut() else {
+            return false;
+        };
+        let seq = f.invocations;
+        f.invocations += 1;
+        let hit = |from: u64, count: u64, window: &CycleWindow| {
+            seq >= from && seq - from < count && window.contains(cycle)
+        };
+        if f.hangs
+            .iter()
+            .any(|h| hit(h.from_invocation, h.count, &h.window))
+        {
+            f.fired += 1;
+            // The hung device accepted the command (status says running)
+            // but its FSM never leaves Idle: only the driver's watchdog
+            // can tell the difference.
+            self.regs.set_status(STATUS_RUNNING);
+            let name = self.kernel.name().to_string();
+            let detail = format!("accel_hang: {name} swallowed start command for invocation {seq}");
+            self.tracer
+                .emit(cycle, self.trace_coord(), || TraceEvent::FaultInjected {
+                    fault: "accel_hang",
+                    detail,
+                });
+            return true;
+        }
+        let short = f
+            .shorts
+            .iter()
+            .find(|s| hit(s.from_invocation, s.count, &s.window))
+            .map(|s| s.drop_words);
+        if let Some(drop_words) = short {
+            f.fired += 1;
+            self.short_drop = drop_words;
+            let name = self.kernel.name().to_string();
+            let detail = format!(
+                "accel_short_output: {name} will drop {drop_words} output words per frame \
+                 of invocation {seq}"
+            );
+            self.tracer
+                .emit(cycle, self.trace_coord(), || TraceEvent::FaultInjected {
+                    fault: "accel_short_output",
+                    detail,
+                });
+        } else {
+            self.short_drop = 0;
+        }
+        false
+    }
+
     fn start_batch(&mut self) {
         if matches!(self.state, AccelState::Idle | AccelState::Done) {
+            if self.fault_on_start() {
+                return;
+            }
             self.in_values = match self.regs.read(REG_CONF_SIZE) {
                 0 => self.kernel.input_values(),
                 v => v,
@@ -901,6 +1065,15 @@ impl AccelTile {
         );
         self.output_buffer = pack_values(&out.values, bits);
         debug_assert_eq!(self.output_buffer.len() as u64, self.out_words);
+        if self.short_drop > 0 {
+            // Wrong-length-result fault: the datapath produced fewer words
+            // than the descriptor promised. At least one word survives so
+            // the store still engages (and then starves on the shortfall).
+            let keep = (self.output_buffer.len() as u64)
+                .saturating_sub(self.short_drop)
+                .max(1);
+            self.output_buffer.truncate(keep as usize);
+        }
         self.compute_countdown = out.cycles.max(1);
         self.set_state(AccelState::Compute);
     }
@@ -929,16 +1102,23 @@ impl AccelTile {
         self.store_acked_words = 0;
         let mut data = std::mem::take(&mut self.output_buffer);
         let mut cursor = 0usize;
-        for (paddr, len) in chunks {
+        'chunks: for (paddr, len) in chunks {
             for (mem_tile, local_addr, l) in self.mem_map.split_range(paddr, len) {
                 // A per-tile chunk may exceed the packet cap; sub-split it.
                 let mut sub_addr = local_addr;
                 let mut remaining = l as usize;
                 while remaining > 0 {
                     let take = remaining.min(MAX_DMA_PACKET_WORDS);
-                    let mut payload = vec![sub_addr, take as u64];
-                    payload.extend_from_slice(&data[cursor..cursor + take]);
-                    self.stats.dma_words_stored += take as u64;
+                    // A short-output fault leaves fewer words in the PLM
+                    // than the descriptor covers; only what exists is sent
+                    // (the ack shortfall is what the watchdog then sees).
+                    let send = take.min(data.len() - cursor);
+                    if send == 0 {
+                        break 'chunks;
+                    }
+                    let mut payload = vec![sub_addr, send as u64];
+                    payload.extend_from_slice(&data[cursor..cursor + send]);
+                    self.stats.dma_words_stored += send as u64;
                     self.tx_queue.push_back(Packet::new(
                         self.coord,
                         mem_tile,
@@ -946,8 +1126,8 @@ impl AccelTile {
                         MsgKind::DmaStoreReq,
                         payload,
                     ));
-                    cursor += take;
-                    sub_addr += take as u64;
+                    cursor += send;
+                    sub_addr += send as u64;
                     remaining -= take;
                 }
             }

@@ -24,6 +24,15 @@ pub trait AcceleratorKernel: Send {
     /// Kernel name (for driver discovery and reports).
     fn name(&self) -> &str;
 
+    /// Device kind: the interchangeability class used by the runtime's
+    /// failover remap. Two devices of the same kind (and I/O shape) run
+    /// the same computation, so one can substitute for the other when it
+    /// breaks. Defaults to the instance name, i.e. nothing is
+    /// interchangeable unless a kernel opts in.
+    fn kind(&self) -> &str {
+        self.name()
+    }
+
     /// Input values consumed per invocation.
     fn input_values(&self) -> u64;
 
@@ -115,6 +124,7 @@ pub(crate) fn words_for(values: u64, data_bits: u32) -> u64 {
 #[derive(Debug, Clone)]
 pub struct ScaleKernel {
     name: String,
+    kind: Option<String>,
     values: u64,
     factor: u64,
     cycles_per_value: u64,
@@ -126,6 +136,7 @@ impl ScaleKernel {
     pub fn new(name: &str, values: u64, factor: u64) -> Self {
         ScaleKernel {
             name: name.to_string(),
+            kind: None,
             values,
             factor,
             cycles_per_value: 1,
@@ -138,11 +149,22 @@ impl ScaleKernel {
         self.cycles_per_value = cycles;
         self
     }
+
+    /// Declares the interchangeability class (builder style): instances
+    /// sharing a kind can substitute for each other under failover.
+    pub fn with_kind(mut self, kind: &str) -> Self {
+        self.kind = Some(kind.to_string());
+        self
+    }
 }
 
 impl AcceleratorKernel for ScaleKernel {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn kind(&self) -> &str {
+        self.kind.as_deref().unwrap_or(&self.name)
     }
 
     fn input_values(&self) -> u64 {
@@ -177,12 +199,22 @@ impl AcceleratorKernel for ScaleKernel {
 #[derive(Debug, Clone)]
 pub struct NnKernel {
     nn: CompiledNn,
+    kind: Option<String>,
 }
 
 impl NnKernel {
     /// Wraps a compiled network.
     pub fn new(nn: CompiledNn) -> Self {
-        NnKernel { nn }
+        NnKernel { nn, kind: None }
+    }
+
+    /// Declares the interchangeability class (builder style): copies of
+    /// the same compiled network deployed under different instance names
+    /// (e.g. `cl0`..`cl3`) share a kind so the runtime can fail over
+    /// between them.
+    pub fn with_kind(mut self, kind: &str) -> Self {
+        self.kind = Some(kind.to_string());
+        self
     }
 
     /// The wrapped network.
@@ -205,6 +237,10 @@ impl NnKernel {
 impl AcceleratorKernel for NnKernel {
     fn name(&self) -> &str {
         self.nn.name()
+    }
+
+    fn kind(&self) -> &str {
+        self.kind.as_deref().unwrap_or_else(|| self.nn.name())
     }
 
     fn input_values(&self) -> u64 {
@@ -269,6 +305,15 @@ mod tests {
         assert_eq!(words_for(10, 16), 3);
         assert_eq!(words_for(1, 64), 1);
         assert_eq!(words_for(0, 16), 0);
+    }
+
+    #[test]
+    fn kind_defaults_to_name_until_overridden() {
+        let k = ScaleKernel::new("x3", 4, 3);
+        assert_eq!(k.kind(), "x3");
+        let k = k.with_kind("scaler");
+        assert_eq!(k.kind(), "scaler");
+        assert_eq!(k.name(), "x3");
     }
 
     #[test]

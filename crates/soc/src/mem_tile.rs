@@ -2,6 +2,7 @@
 
 use crate::sanitize::tile_location;
 use esp4ml_check::{codes, Diagnostic};
+use esp4ml_fault::{CycleWindow, FaultKind, FaultSpec};
 use esp4ml_mem::{CacheConfig, CacheStats, CachedDram, DramConfig, DramStats};
 use esp4ml_noc::{Coord, Mesh, MsgKind, Packet, Plane, Progress, Schedulable};
 use esp4ml_trace::{DmaKind, TileCoord, TraceEvent, Tracer};
@@ -19,6 +20,26 @@ struct Pending {
     /// Remaining busy cycles before the responses are released.
     busy: u64,
     responses: Vec<Packet>,
+}
+
+/// An armed DMA word-drop fault (see [`FaultKind::DmaDropWords`]).
+#[derive(Debug, Clone)]
+struct DropFault {
+    from_burst: u64,
+    count: u64,
+    drop_words: u64,
+    window: CycleWindow,
+}
+
+/// Tile-side state of installed memory faults. Allocated only when a
+/// fault plan targets the memory tiles — fault-free runs never touch it.
+#[derive(Debug, Default)]
+struct MemFaults {
+    drops: Vec<DropFault>,
+    /// Load bursts serviced since installation (the fault trigger index).
+    load_bursts: u64,
+    /// Total fault firings so far.
+    fired: u64,
 }
 
 /// The memory tile of an ESP SoC.
@@ -40,6 +61,7 @@ pub struct MemTile {
     sanitize: bool,
     sanitizer_violations: BTreeSet<Diagnostic>,
     tracer: Tracer,
+    faults: Option<Box<MemFaults>>,
 }
 
 impl MemTile {
@@ -55,6 +77,7 @@ impl MemTile {
             sanitize: false,
             sanitizer_violations: BTreeSet::new(),
             tracer: Tracer::disabled(),
+            faults: None,
         }
     }
 
@@ -70,7 +93,69 @@ impl MemTile {
             sanitize: false,
             sanitizer_violations: BTreeSet::new(),
             tracer: Tracer::disabled(),
+            faults: None,
         }
+    }
+
+    /// Installs one memory fault from a fault plan. Returns `false` (and
+    /// installs nothing) for non-memory fault kinds, so callers can route
+    /// a mixed plan through every component.
+    pub fn install_fault(&mut self, spec: &FaultSpec) -> bool {
+        match &spec.kind {
+            FaultKind::DmaDropWords {
+                from_burst,
+                count,
+                drop_words,
+            } => {
+                let f = self.faults.get_or_insert_with(Default::default);
+                f.drops.push(DropFault {
+                    from_burst: *from_burst,
+                    count: *count,
+                    drop_words: *drop_words,
+                    window: spec.window,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// How many memory faults have fired on this tile so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.fired)
+    }
+
+    /// Applies any armed word-drop fault to a serviced load burst,
+    /// truncating the response data in place. Trigger indices count
+    /// serviced load bursts on this tile.
+    fn fault_drop(&mut self, data: &mut Vec<u64>, requester: Coord, cycle: u64) {
+        let Some(f) = self.faults.as_deref_mut() else {
+            return;
+        };
+        let seq = f.load_bursts;
+        f.load_bursts += 1;
+        let Some(d) = f.drops.iter().find(|d| {
+            seq >= d.from_burst && seq - d.from_burst < d.count && d.window.contains(cycle)
+        }) else {
+            return;
+        };
+        let keep = (data.len() as u64).saturating_sub(d.drop_words);
+        let dropped = data.len() as u64 - keep;
+        if dropped == 0 {
+            return;
+        }
+        data.truncate(keep as usize);
+        f.fired += 1;
+        let detail = format!(
+            "dma_drop_words: burst {seq} for tile({},{}) lost its last {dropped} words",
+            requester.x, requester.y
+        );
+        let coord = TileCoord::new(self.coord.x, self.coord.y);
+        self.tracer
+            .emit(cycle, coord, || TraceEvent::FaultInjected {
+                fault: "dma_drop_words",
+                detail,
+            });
     }
 
     /// Installs the trace sink handle shared with the rest of the SoC.
@@ -200,7 +285,10 @@ impl MemTile {
                 let addr = request.payload()[0];
                 let len = request.payload()[1];
                 let dest_offset = request.payload().get(2).copied().unwrap_or(0);
-                let (data, latency) = self.dram.read_burst(addr, len);
+                let (mut data, latency) = self.dram.read_burst(addr, len);
+                if self.faults.is_some() {
+                    self.fault_drop(&mut data, requester, cycle);
+                }
                 self.tracer.emit(cycle, coord, || TraceEvent::DmaBurst {
                     kind: DmaKind::Read,
                     words: len,

@@ -10,6 +10,7 @@ use crate::sanitize::{wait_cycle, SocSanitizer};
 use crate::stats::SocStats;
 use crate::{BlockedTile, DeadlockDiagnosis, SocError};
 use esp4ml_check::{codes, Diagnostic, Report, SanitizerConfig};
+use esp4ml_fault::{FaultKind, FaultPlan};
 use esp4ml_hls::Resources;
 use esp4ml_mem::{CacheConfig, CacheStats, DramConfig, PageTable};
 use esp4ml_noc::{Coord, Mesh, MeshConfig, NocHeatmap, NocStats};
@@ -826,6 +827,67 @@ impl Soc {
         }
     }
 
+    /// Installs every fault of a plan into its target component: NoC
+    /// faults into the mesh, accelerator faults into the named device's
+    /// tile, DMA drop faults into the first memory tile. Returns how many
+    /// specs found a target (a spec naming an unknown device installs
+    /// nowhere and simply never fires).
+    ///
+    /// Fault triggers count architectural events (invocations, bursts,
+    /// packets), which occur at identical cycles under both engines, so an
+    /// installed plan perturbs [`SocEngine::Naive`] and
+    /// [`SocEngine::EventDriven`] runs byte-identically.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> usize {
+        let mut installed = 0;
+        for spec in &plan.faults {
+            if self.mesh.install_fault(spec) {
+                installed += 1;
+                continue;
+            }
+            if self.accel_tiles.iter_mut().any(|a| a.install_fault(spec)) {
+                installed += 1;
+                continue;
+            }
+            if matches!(spec.kind, FaultKind::DmaDropWords { .. }) {
+                if let Some(m) = self.mem_tiles.first_mut() {
+                    if m.install_fault(spec) {
+                        installed += 1;
+                    }
+                }
+            }
+        }
+        installed
+    }
+
+    /// Total fault firings so far across the mesh and every tile (0 when
+    /// no plan is installed).
+    pub fn faults_injected(&self) -> u64 {
+        self.mesh.faults_fired()
+            + self
+                .accel_tiles
+                .iter()
+                .map(AccelTile::faults_fired)
+                .sum::<u64>()
+            + self
+                .mem_tiles
+                .iter()
+                .map(MemTile::faults_fired)
+                .sum::<u64>()
+    }
+
+    /// Hard-resets the accelerator tile at `coord` back to idle — the
+    /// driver's recovery action after a watchdog expiry, before retrying
+    /// the invocation. Configuration registers and statistics survive.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::WrongTile`] if `coord` is not an accelerator tile.
+    pub fn reset_accel(&mut self, coord: Coord) -> Result<(), SocError> {
+        let idx = self.accel_index(coord)?;
+        self.accel_tiles[idx].reset();
+        Ok(())
+    }
+
     /// Fault hook (sanitizer testing): corrupts the shadow credit state
     /// of one router input queue so the next audit reports `E0401`.
     ///
@@ -1205,6 +1267,159 @@ mod tests {
         let rb = big.resources();
         assert!(rb.luts > rs.luts);
         assert!(rb.dsps >= rs.dsps);
+    }
+
+    #[test]
+    fn hang_fault_recovers_after_reset_and_retry() {
+        use crate::regs::STATUS_RUNNING;
+        use esp4ml_fault::{FaultPlan, FaultSpec};
+        let run = |engine: SocEngine| {
+            let mut soc = basic_soc();
+            soc.set_engine(engine);
+            let accel = Coord::new(0, 1);
+            let plan = FaultPlan::new(1).with(FaultSpec::transient_hang("a0", 0));
+            assert_eq!(soc.install_fault_plan(&plan), 1);
+            let input: Vec<u64> = (1..=16).collect();
+            soc.dram_write_values(0, &input, 16).unwrap();
+            soc.map_contiguous(accel, 0, 4096).unwrap();
+            soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+                .unwrap();
+            soc.start_accel(accel).unwrap();
+            // The hang signature: the SoC goes quiescent with the status
+            // register claiming a batch is running and no IRQ ever raised.
+            assert!(soc.run_until_idle(10_000).is_idle());
+            assert!(soc.take_irqs().is_empty());
+            assert_eq!(soc.read_reg(accel, REG_STATUS).unwrap(), STATUS_RUNNING);
+            assert_eq!(soc.faults_injected(), 1);
+            // Watchdog recovery: reset the tile and re-issue the start;
+            // the transient fault does not re-fire on invocation 1.
+            soc.reset_accel(accel).unwrap();
+            soc.start_accel(accel).unwrap();
+            assert!(soc.run_until_idle(100_000).is_idle());
+            assert_eq!(soc.take_irqs(), vec![accel]);
+            let out = soc.dram_read_values(100, 16, 16).unwrap();
+            assert_eq!(out, input.iter().map(|v| v * 2).collect::<Vec<_>>());
+            soc.cycle()
+        };
+        // Fault firing and recovery are cycle-identical across engines.
+        assert_eq!(run(SocEngine::Naive), run(SocEngine::EventDriven));
+    }
+
+    #[test]
+    fn short_output_fault_starves_store_then_retry_succeeds() {
+        use esp4ml_fault::{FaultPlan, FaultSpec};
+        let run = |engine: SocEngine| {
+            let mut soc = basic_soc();
+            soc.set_engine(engine);
+            let accel = Coord::new(0, 1);
+            let plan = FaultPlan::new(1).with(FaultSpec::short_output("a0", 0, 2));
+            assert_eq!(soc.install_fault_plan(&plan), 1);
+            let input: Vec<u64> = (1..=16).collect();
+            soc.dram_write_values(0, &input, 16).unwrap();
+            soc.map_contiguous(accel, 0, 4096).unwrap();
+            soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+                .unwrap();
+            soc.start_accel(accel).unwrap();
+            // The truncated store never collects enough acks: the wrapper
+            // wedges in store_wait_ack and the run times out.
+            let outcome = soc.run_until_idle(5_000);
+            assert!(outcome.timed_out());
+            let diag = outcome.diagnosis().expect("blocked tile named");
+            assert_eq!(diag.blocked[0].state, "store_wait_ack");
+            assert_eq!(soc.faults_injected(), 1);
+            soc.reset_accel(accel).unwrap();
+            soc.start_accel(accel).unwrap();
+            assert!(soc.run_until_idle(100_000).is_idle());
+            let out = soc.dram_read_values(100, 16, 16).unwrap();
+            assert_eq!(out, input.iter().map(|v| v * 2).collect::<Vec<_>>());
+            soc.cycle()
+        };
+        assert_eq!(run(SocEngine::Naive), run(SocEngine::EventDriven));
+    }
+
+    #[test]
+    fn dma_drop_fault_starves_load_then_retry_succeeds() {
+        use esp4ml_fault::{FaultKind, FaultPlan, FaultSpec};
+        let run = |engine: SocEngine| {
+            let mut soc = basic_soc();
+            soc.set_engine(engine);
+            let accel = Coord::new(0, 1);
+            let plan = FaultPlan::new(1).with(FaultSpec::new(FaultKind::DmaDropWords {
+                from_burst: 0,
+                count: 1,
+                drop_words: 2,
+            }));
+            assert_eq!(soc.install_fault_plan(&plan), 1);
+            let input: Vec<u64> = (1..=16).collect();
+            soc.dram_write_values(0, &input, 16).unwrap();
+            soc.map_contiguous(accel, 0, 4096).unwrap();
+            soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+                .unwrap();
+            soc.start_accel(accel).unwrap();
+            // The dropped response words leave the load forever short.
+            let outcome = soc.run_until_idle(5_000);
+            assert!(outcome.timed_out());
+            let diag = outcome.diagnosis().expect("blocked tile named");
+            assert_eq!(diag.blocked[0].state, "load_wait");
+            assert_eq!(soc.faults_injected(), 1);
+            // Retry: the fault was bounded to the first burst.
+            soc.reset_accel(accel).unwrap();
+            soc.start_accel(accel).unwrap();
+            assert!(soc.run_until_idle(100_000).is_idle());
+            let out = soc.dram_read_values(100, 16, 16).unwrap();
+            assert_eq!(out, input.iter().map(|v| v * 2).collect::<Vec<_>>());
+            soc.cycle()
+        };
+        assert_eq!(run(SocEngine::Naive), run(SocEngine::EventDriven));
+    }
+
+    #[test]
+    fn noc_delay_fault_is_engine_identical_end_to_end() {
+        use esp4ml_fault::{FaultKind, FaultPlan, FaultSpec};
+        use esp4ml_noc::Plane;
+        let run = |engine: SocEngine| {
+            let mut soc = basic_soc();
+            soc.set_engine(engine);
+            let accel = Coord::new(0, 1);
+            let plan = FaultPlan::new(1).with(FaultSpec::new(FaultKind::NocDelay {
+                plane: Plane::DmaRsp.index(),
+                from_packet: 0,
+                count: 1,
+                extra_cycles: 300,
+            }));
+            assert_eq!(soc.install_fault_plan(&plan), 1);
+            let input: Vec<u64> = (1..=16).collect();
+            soc.dram_write_values(0, &input, 16).unwrap();
+            soc.map_contiguous(accel, 0, 4096).unwrap();
+            soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+                .unwrap();
+            soc.start_accel(accel).unwrap();
+            assert!(soc.run_until_idle(100_000).is_idle());
+            assert_eq!(soc.faults_injected(), 1);
+            let out = soc.dram_read_values(100, 16, 16).unwrap();
+            assert_eq!(out, input.iter().map(|v| v * 2).collect::<Vec<_>>());
+            soc.cycle()
+        };
+        let naive = run(SocEngine::Naive);
+        let event = run(SocEngine::EventDriven);
+        assert_eq!(naive, event);
+        // And the delay is actually visible: a fault-free run is faster.
+        let baseline = {
+            let mut soc = basic_soc();
+            let accel = Coord::new(0, 1);
+            soc.dram_write_values(0, &(1..=16).collect::<Vec<_>>(), 16)
+                .unwrap();
+            soc.map_contiguous(accel, 0, 4096).unwrap();
+            soc.configure_accel(accel, &AccelConfig::dma_to_dma(0, 100, 1))
+                .unwrap();
+            soc.start_accel(accel).unwrap();
+            assert!(soc.run_until_idle(100_000).is_idle());
+            soc.cycle()
+        };
+        assert!(
+            naive >= baseline + 300,
+            "delay not visible: {naive} vs {baseline}"
+        );
     }
 
     #[test]

@@ -121,6 +121,30 @@ pub enum TraceEvent {
         /// Zero-based frame index within the run.
         frame: u64,
     },
+    /// A scheduled hardware fault fired (fault-injection layer).
+    FaultInjected {
+        /// Stable fault-kind label (e.g. "accel_hang").
+        fault: &'static str,
+        /// Human-readable description of what broke.
+        detail: String,
+    },
+    /// The runtime's watchdog expired and a retry was scheduled.
+    RetryScheduled {
+        /// Device being retried.
+        device: String,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff cycles burned before the retry.
+        backoff: u64,
+    },
+    /// The runtime gave up on a device and remapped its work.
+    FailedOver {
+        /// Device that was abandoned.
+        from: String,
+        /// Replacement ("spare" device name, or "software" for the
+        /// processor-tile fallback).
+        to: String,
+    },
 }
 
 impl TraceEvent {
@@ -136,6 +160,9 @@ impl TraceEvent {
             TraceEvent::TlbMiss { .. } => "tlb_miss",
             TraceEvent::IoctlIssue { .. } => "ioctl_issue",
             TraceEvent::FrameComplete { .. } => "frame_complete",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::FailedOver { .. } => "failed_over",
         }
     }
 }

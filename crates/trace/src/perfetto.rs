@@ -232,6 +232,48 @@ impl Builder {
                     Value::Object(args),
                 );
             }
+            TraceEvent::FaultInjected { fault, detail } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("detail".into(), Value::from(detail.as_str()));
+                self.instant(
+                    &format!("fault {fault}"),
+                    "fault_injected",
+                    cycle,
+                    tid,
+                    Value::Object(args),
+                );
+            }
+            TraceEvent::RetryScheduled {
+                device,
+                attempt,
+                backoff,
+            } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("attempt".into(), Value::from(*attempt));
+                args.insert("backoff".into(), Value::from(*backoff));
+                self.instant(
+                    &format!("retry {device} #{attempt}"),
+                    "retry_scheduled",
+                    cycle,
+                    tid,
+                    Value::Object(args),
+                );
+            }
+            TraceEvent::FailedOver { from, to } => {
+                let tid = self.tile_track(ev.source);
+                let mut args = serde_json::Map::new();
+                args.insert("from".into(), Value::from(from.as_str()));
+                args.insert("to".into(), Value::from(to.as_str()));
+                self.instant(
+                    &format!("failover {from} -> {to}"),
+                    "failed_over",
+                    cycle,
+                    tid,
+                    Value::Object(args),
+                );
+            }
         }
     }
 

@@ -360,7 +360,10 @@ impl RunAccum {
             TraceEvent::TlbMiss { .. } => self.tlb_misses += 1,
             TraceEvent::RunStart { .. }
             | TraceEvent::NocPacketInject { .. }
-            | TraceEvent::IoctlIssue { .. } => {}
+            | TraceEvent::IoctlIssue { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::RetryScheduled { .. }
+            | TraceEvent::FailedOver { .. } => {}
         }
     }
 

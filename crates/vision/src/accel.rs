@@ -80,6 +80,12 @@ impl AcceleratorKernel for NightVisionKernel {
         &self.name
     }
 
+    fn kind(&self) -> &str {
+        // Every instance runs the same fixed pixel pipeline, so all
+        // Night-Vision tiles are interchangeable under failover.
+        "night_vision"
+    }
+
     fn input_values(&self) -> u64 {
         self.pixels
     }

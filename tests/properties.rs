@@ -226,3 +226,75 @@ proptest! {
         prop_assert_eq!(model.forward(&x), rebuilt.forward(&x));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `suggest_stage_widths` returns a wiring-legal width vector that
+    /// meets the balancing target with the minimum number of accelerator
+    /// instances, verified against an independent exhaustive search over
+    /// every legal vector.
+    #[test]
+    fn suggested_stage_widths_are_optimal(
+        iis in proptest::collection::vec(1u64..20_000, 1..5),
+        max_width in 1usize..5,
+    ) {
+        use esp4ml::runtime::balance::{pipeline_interval, suggest_stage_widths};
+
+        let suggested = suggest_stage_widths(&iis, max_width);
+
+        // Shape and wiring legality: one width per stage, each within
+        // 1..=max_width, and each transition either keeps the width or
+        // fans in to a single instance.
+        prop_assert_eq!(suggested.len(), iis.len());
+        prop_assert!(suggested.iter().all(|&k| (1..=max_width).contains(&k)));
+        for pair in suggested.windows(2) {
+            prop_assert!(pair[0] == pair[1] || pair[1] == 1);
+        }
+
+        // The suggestion meets the target interval: the fastest stage's
+        // single-instance II, floored by what max_width can achieve on
+        // the slowest stage.
+        let fastest = *iis.iter().min().unwrap();
+        let floor = iis
+            .iter()
+            .map(|&ii| ii.div_ceil(max_width as u64))
+            .max()
+            .unwrap();
+        let target = fastest.max(floor);
+        prop_assert!(pipeline_interval(&iis, &suggested) <= target);
+
+        // Exhaustive search: enumerate every wiring-legal width vector
+        // and find the cheapest one meeting the target. The suggestion
+        // must tie it on total instance count.
+        let n = iis.len();
+        let mut best = usize::MAX;
+        let mut widths = vec![1usize; n];
+        loop {
+            let legal = widths
+                .windows(2)
+                .all(|p| p[0] == p[1] || p[1] == 1);
+            if legal && pipeline_interval(&iis, &widths) <= target {
+                best = best.min(widths.iter().sum());
+            }
+            // Odometer increment over {1..=max_width}^n.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    break;
+                }
+                widths[i] += 1;
+                if widths[i] <= max_width {
+                    break;
+                }
+                widths[i] = 1;
+                i += 1;
+            }
+            if i == n {
+                break;
+            }
+        }
+        prop_assert!(best != usize::MAX);
+        prop_assert_eq!(suggested.iter().sum::<usize>(), best);
+    }
+}
