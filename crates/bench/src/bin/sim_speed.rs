@@ -56,6 +56,9 @@ fn measure(
         let runs = parallel::run_grid(points, models, frames, engine, jobs, false, None)?;
         Ok((runs, start.elapsed().as_secs_f64()))
     };
+    // `run_grid` clamps the pool to the grid size; report the worker
+    // count that actually ran so the JSON artifact is honest.
+    let jobs = jobs.min(points.len());
     let (naive, naive_serial_secs) = time(SocEngine::Naive, 1)?;
     let (event, event_serial_secs) = time(SocEngine::EventDriven, 1)?;
     let (par, event_parallel_secs) = time(SocEngine::EventDriven, jobs)?;
@@ -83,7 +86,10 @@ fn measure(
 
 fn main() {
     let mut frames = 16u64;
-    let mut jobs = parallel::default_jobs();
+    // The parallel leg must actually exercise the pool: on a single-core
+    // box `default_jobs()` is 1, which silently degenerated the
+    // "parallel" measurement into a second serial run.
+    let mut jobs = parallel::default_jobs().max(2);
     let mut out = PathBuf::from("BENCH_sim_speed.json");
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {

@@ -19,6 +19,10 @@
 //! write the JSON bottleneck/latency/heatmap report, printing the text
 //! report to stdout), `--sample-every <cycles>` (with `--trace`, also
 //! write a `<path>.counters.csv` time-series of the SoC counters),
+//! `--spans <path>` (assemble causal frame-level span trees per run and
+//! write the span-report JSON there, plus a Perfetto flow-linked span
+//! trace at `<path>.perfetto.json` and the critical-path text report on
+//! stdout; composable with `--trace`/`--profile`),
 //! `--engine naive|event` (the simulation engine), `--jobs N` (worker
 //! threads for the experiment grid; tracing/profiling forces serial
 //! execution), `--sanitize` (audit every run with the runtime
@@ -31,7 +35,10 @@
 //! throughput ordering; `espcheck` statically lints SoC configurations
 //! and dataflows without simulating a cycle; `espfault` sweeps seeded
 //! fault campaigns over the Fig. 7 pipelines and classifies every run
-//! as clean/recovered/degraded/failed.
+//! as clean/recovered/degraded/failed; `espspan` runs one
+//! configuration across execution modes with span assembly on and
+//! verifies both the attribution invariant and that the critical path
+//! names the same limiting stage as the profiler's bottleneck report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +69,9 @@ pub struct HarnessArgs {
     pub trace: Option<PathBuf>,
     /// Where to write the profile report JSON, when profiling is on.
     pub profile: Option<PathBuf>,
+    /// Where to write the span-report JSON, when span assembly is on
+    /// (a Perfetto flow-linked span trace lands next to it).
+    pub spans: Option<PathBuf>,
     /// Counter sampling period in cycles (requires `trace`).
     pub sample_every: Option<u64>,
     /// Simulation engine driving every run.
@@ -86,6 +96,7 @@ impl Default for HarnessArgs {
             epochs: 30,
             trace: None,
             profile: None,
+            spans: None,
             sample_every: None,
             engine: SocEngine::default(),
             jobs: parallel::default_jobs(),
@@ -126,6 +137,10 @@ impl HarnessArgs {
                     let path = it.next().ok_or("--profile needs a file path")?;
                     out.profile = Some(PathBuf::from(path));
                 }
+                "--spans" => {
+                    let path = it.next().ok_or("--spans needs a file path")?;
+                    out.spans = Some(PathBuf::from(path));
+                }
                 "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
                 "--sanitize" => out.sanitize = true,
                 "--faults" => {
@@ -144,7 +159,7 @@ impl HarnessArgs {
                 other => {
                     return Err(format!(
                         "unknown option {other}; supported: --frames N --train --no-train \
-                         --samples N --epochs N --trace PATH --profile PATH \
+                         --samples N --epochs N --trace PATH --profile PATH --spans PATH \
                          --sample-every CYCLES --engine naive|event --jobs N --sanitize \
                          --faults PLAN.json"
                     ))
@@ -163,14 +178,18 @@ impl HarnessArgs {
         if out.jobs == 0 {
             return Err("--jobs must be at least 1".into());
         }
-        if out.sanitize && (out.trace.is_some() || out.profile.is_some()) {
+        if out.sanitize && (out.trace.is_some() || out.profile.is_some() || out.spans.is_some()) {
             return Err(
-                "--sanitize cannot be combined with --trace/--profile; run them separately".into(),
+                "--sanitize cannot be combined with --trace/--profile/--spans; \
+                 run them separately"
+                    .into(),
             );
         }
-        if out.faults.is_some() && (out.trace.is_some() || out.profile.is_some() || out.sanitize) {
+        if out.faults.is_some()
+            && (out.trace.is_some() || out.profile.is_some() || out.spans.is_some() || out.sanitize)
+        {
             return Err(
-                "--faults cannot be combined with --trace/--profile/--sanitize; \
+                "--faults cannot be combined with --trace/--profile/--spans/--sanitize; \
                  injected faults deliberately break the invariants those audit"
                     .into(),
             );
@@ -344,6 +363,23 @@ mod tests {
         );
         assert!(a.trace.is_none());
         assert!(parse(&["--profile"]).is_err());
+    }
+
+    #[test]
+    fn spans_option() {
+        let a = parse(&["--spans", "/tmp/s.json"]).unwrap();
+        assert_eq!(
+            a.spans.as_deref(),
+            Some(std::path::Path::new("/tmp/s.json"))
+        );
+        assert!(parse(&[]).unwrap().spans.is_none());
+        assert!(parse(&["--spans"]).is_err());
+        // Spans compose with trace and profile...
+        assert!(parse(&["--spans", "s.json", "--trace", "t.json"]).is_ok());
+        assert!(parse(&["--spans", "s.json", "--profile", "p.json"]).is_ok());
+        // ...but not with the sanitizer or fault injection.
+        assert!(parse(&["--spans", "s.json", "--sanitize"]).is_err());
+        assert!(parse(&["--spans", "s.json", "--faults", "f.json"]).is_err());
     }
 
     #[test]

@@ -6,12 +6,19 @@ use esp4ml::TraceSession;
 use std::path::PathBuf;
 
 /// Builds the observability session requested on the command line, or
-/// `None` when neither `--trace` nor `--profile` was given.
+/// `None` when none of `--trace`, `--profile`, `--spans` was given.
 ///
-/// `--profile` wins the session shape: the profiled session still
-/// buffers events in a ring-buffer sink, so `--trace` export keeps
-/// working on top of it.
+/// `--spans` wins the session shape (optionally chaining a profiler in
+/// front when `--profile` is also set), then `--profile`: both still
+/// buffer events in a ring-buffer sink, so `--trace` export keeps
+/// working on top of either.
 pub fn session_from_args(args: &HarnessArgs) -> Option<TraceSession> {
+    if args.spans.is_some() {
+        return Some(TraceSession::spanned(
+            args.sample_every,
+            args.profile.is_some(),
+        ));
+    }
     if args.profile.is_some() {
         return Some(TraceSession::profiled(args.sample_every));
     }
@@ -30,11 +37,21 @@ fn counters_path(trace: &std::path::Path) -> PathBuf {
     trace.with_file_name(name)
 }
 
+/// The Perfetto span-trace path derived from the span-report path.
+fn span_trace_path(spans: &std::path::Path) -> PathBuf {
+    let mut name = spans.file_name().unwrap_or_default().to_os_string();
+    name.push(".perfetto.json");
+    spans.with_file_name(name)
+}
+
 /// Writes the session's artifacts: the Chrome trace JSON at `--trace`
-/// (with the ring buffer's dropped-event count attached as metadata),
-/// the counter CSV next to it when `--sample-every` was given, the
-/// profile report JSON at `--profile` (plus the text report on stdout),
-/// and the per-run NoC traffic summary to stdout.
+/// (with the ring buffer's dropped-event and dropped-span counts
+/// attached as metadata), the counter CSV next to it when
+/// `--sample-every` was given, the profile report JSON at `--profile`
+/// (plus the text report on stdout), the span-report JSON at `--spans`
+/// (plus the Perfetto flow-linked span trace next to it and the
+/// critical-path text report on stdout), and the per-run NoC traffic
+/// summary to stdout.
 ///
 /// # Errors
 ///
@@ -42,11 +59,15 @@ fn counters_path(trace: &std::path::Path) -> PathBuf {
 pub fn finish_session(args: &HarnessArgs, session: &TraceSession) -> std::io::Result<()> {
     if let Some(path) = args.trace.as_ref() {
         let dropped = session.tracer().dropped();
+        let dropped_spans = session.tracer().dropped_spans();
         let events = session.tracer().drain();
-        perfetto::write_chrome_trace_with_dropped(path, &events, dropped)?;
+        perfetto::write_chrome_trace_with_drop_counts(path, &events, dropped, dropped_spans)?;
         println!("wrote {} trace events to {}", events.len(), path.display());
         if dropped > 0 {
-            eprintln!("warning: ring buffer dropped {dropped} oldest events");
+            eprintln!(
+                "warning: ring buffer dropped {dropped} oldest events \
+                 ({dropped_spans} span-relevant)"
+            );
         }
         if args.sample_every.is_some() {
             let csv = counters_path(path);
@@ -66,7 +87,22 @@ pub fn finish_session(args: &HarnessArgs, session: &TraceSession) -> std::io::Re
             println!("\nPer-run profiles:\n{summary}");
         }
     }
-    if args.trace.is_some() || args.profile.is_some() {
+    if let Some(path) = args.spans.as_ref() {
+        std::fs::write(path, session.span_reports_json())?;
+        println!(
+            "wrote {} span reports to {}",
+            session.span_reports().len(),
+            path.display()
+        );
+        let trace = span_trace_path(path);
+        perfetto::write_span_trace(&trace, session.span_reports())?;
+        println!("wrote span trace to {}", trace.display());
+        let summary = session.span_summary();
+        if !summary.is_empty() {
+            println!("\nPer-run critical paths:\n{summary}");
+        }
+    }
+    if args.trace.is_some() || args.profile.is_some() || args.spans.is_some() {
         let summary = session.noc_summary();
         if !summary.is_empty() {
             println!("\nPer-run NoC traffic:\n{summary}");
@@ -105,6 +141,31 @@ mod tests {
         let session = session_from_args(&profiled).expect("session");
         assert!(session.tracer().is_enabled());
         assert!(session.profiler().is_some());
+    }
+
+    #[test]
+    fn spans_flag_builds_spanned_session() {
+        let mut args = HarnessArgs {
+            spans: Some(PathBuf::from("/tmp/s.json")),
+            ..HarnessArgs::default()
+        };
+        let session = session_from_args(&args).expect("session");
+        assert!(session.tracer().is_enabled());
+        assert!(session.span_collector().is_some());
+        assert!(session.profiler().is_none());
+        // --spans --profile chains a profiler in front of the collector.
+        args.profile = Some(PathBuf::from("/tmp/p.json"));
+        let both = session_from_args(&args).expect("session");
+        assert!(both.span_collector().is_some());
+        assert!(both.profiler().is_some());
+    }
+
+    #[test]
+    fn span_trace_path_appends_suffix() {
+        assert_eq!(
+            span_trace_path(std::path::Path::new("/tmp/fig8.spans.json")),
+            PathBuf::from("/tmp/fig8.spans.json.perfetto.json")
+        );
     }
 
     #[test]

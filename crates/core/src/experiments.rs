@@ -330,6 +330,34 @@ impl AppRun {
         )
     }
 
+    /// [`AppRun::execute_faulted`] with observability: injected faults
+    /// and the recovery layer on a traced run, so retry backoffs and
+    /// failovers land in the session's event stream (and span trees).
+    ///
+    /// # Errors
+    ///
+    /// Build or runtime failures.
+    pub fn execute_faulted_traced(
+        app: &CaseApp,
+        models: &TrainedModels,
+        frames: u64,
+        mode: ExecMode,
+        engine: SocEngine,
+        faults: &FaultConfig,
+        session: &mut TraceSession,
+    ) -> Result<AppRun, ExperimentError> {
+        Self::execute_with(
+            app,
+            models,
+            frames,
+            mode,
+            engine,
+            Some(session),
+            false,
+            Some(faults),
+        )
+    }
+
     /// Derives profiler stage groups `(stage name, member instances)`
     /// from a dataflow, in pipeline order. Multi-instance stages are
     /// named by their kernel prefix (instance digits stripped);
@@ -382,6 +410,9 @@ impl AppRun {
             if let Some(profiler) = session.profiler() {
                 profiler.set_stage_groups(Self::stage_groups(&dataflow));
             }
+            if let Some(spans) = session.span_collector() {
+                spans.set_stage_groups(Self::stage_groups(&dataflow));
+            }
             let proc = soc.primary_proc();
             let label = run_label.clone();
             session
@@ -397,6 +428,12 @@ impl AppRun {
         let flow = Esp4mlFlow::new();
         let watts = flow.estimate_power(&soc).total_watts();
         let mut rt = EspRuntime::new(soc)?;
+        // The runtime constructs with a disabled tracer of its own, so
+        // runtime-emitted events (ioctls, retry/failover records) need
+        // the session handle installed again at this level.
+        if let Some(s) = session.as_deref() {
+            rt.set_tracer(s.tracer().clone());
+        }
         let buf = rt.prepare(&dataflow, frames)?;
         let mut gen = SvhnGenerator::new(DATA_SEED);
         let mut labels = Vec::with_capacity(frames as usize);
@@ -440,6 +477,15 @@ impl AppRun {
                     heatmap: rt.soc().noc_heatmap(),
                 })
         });
+        // Close the span run at the same instant, carrying over any
+        // ring-buffer span losses so a saturated trace yields a report
+        // flagged partial instead of a silently wrong one.
+        let spans = session.as_deref_mut().and_then(|s| {
+            s.span_collector().and_then(|c| {
+                c.note_dropped_spans(s.tracer().dropped_spans());
+                c.close_run(rt.soc().cycle())
+            })
+        });
         let mut predictions = Vec::with_capacity(frames as usize);
         for f in 0..frames {
             let logits = decode_values(&rt.read_frame(&buf, f)?);
@@ -450,6 +496,9 @@ impl AppRun {
             session.record_run(run_label, series, rt.soc().noc_stats().clone());
             if let Some(profile) = profile {
                 session.record_profile(profile);
+            }
+            if let Some(spans) = spans {
+                session.record_spans(spans);
             }
         }
         Ok(AppRun {

@@ -10,7 +10,9 @@
 //! split runs into separate process tracks).
 
 use esp4ml_noc::{NocHeatmap, NocStats};
-use esp4ml_trace::{CounterSeries, ProfileCollector, RunProfile, Tracer};
+use esp4ml_trace::{
+    CounterSeries, ProfileCollector, RingBufferSink, RunProfile, SpanCollector, SpanReport, Tracer,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -40,9 +42,11 @@ pub struct TraceSession {
     tracer: Tracer,
     sample_every: Option<u64>,
     profiler: Option<ProfileCollector>,
+    spans: Option<SpanCollector>,
     series: Vec<(String, CounterSeries)>,
     noc: Vec<(String, NocStats)>,
     profiles: Vec<ProfileReport>,
+    span_reports: Vec<SpanReport>,
 }
 
 impl TraceSession {
@@ -79,6 +83,35 @@ impl TraceSession {
         }
     }
 
+    /// A session that assembles causal frame-level span trees for every
+    /// run: events flow through a [`SpanCollector`] (which embeds its own
+    /// profiler for critical-path agreement) into a ring-buffer sink, and
+    /// each completed run leaves a [`SpanReport`] in
+    /// [`TraceSession::span_reports`]. When `profile` is also set, a
+    /// [`ProfileCollector`] observes the identical stream first and each
+    /// run additionally leaves a [`ProfileReport`].
+    pub fn spanned(sample_every: Option<u64>, profile: bool) -> Self {
+        let spans = SpanCollector::new();
+        if profile {
+            let profiler = ProfileCollector::new();
+            let sink = profiler.sink(Box::new(spans.sink(Box::<RingBufferSink>::default())));
+            TraceSession {
+                tracer: Tracer::with_sink(Box::new(sink)),
+                sample_every,
+                profiler: Some(profiler),
+                spans: Some(spans),
+                ..Default::default()
+            }
+        } else {
+            TraceSession {
+                tracer: spans.ring_buffer_tracer(),
+                sample_every,
+                spans: Some(spans),
+                ..Default::default()
+            }
+        }
+    }
+
     /// A no-op session: events are discarded and nothing is sampled.
     pub fn disabled() -> Self {
         TraceSession::default()
@@ -99,6 +132,11 @@ impl TraceSession {
         self.profiler.as_ref()
     }
 
+    /// The online span collector, when span assembly is on.
+    pub fn span_collector(&self) -> Option<&SpanCollector> {
+        self.spans.as_ref()
+    }
+
     /// Records the observability output of one completed run.
     pub(crate) fn record_run(
         &mut self,
@@ -117,9 +155,34 @@ impl TraceSession {
         self.profiles.push(profile);
     }
 
+    /// Records one completed run's span report.
+    pub(crate) fn record_spans(&mut self, report: SpanReport) {
+        self.span_reports.push(report);
+    }
+
     /// Accumulated per-run profile reports, in run order.
     pub fn profiles(&self) -> &[ProfileReport] {
         &self.profiles
+    }
+
+    /// Accumulated per-run span reports, in run order.
+    pub fn span_reports(&self) -> &[SpanReport] {
+        &self.span_reports
+    }
+
+    /// Serializes every span report as one JSON array.
+    pub fn span_reports_json(&self) -> String {
+        serde_json::to_string_pretty(&self.span_reports).expect("span serialization")
+    }
+
+    /// Renders every span report as human-readable text.
+    pub fn span_summary(&self) -> String {
+        let mut out = String::new();
+        for r in &self.span_reports {
+            out.push_str(&r.render_text());
+            out.push('\n');
+        }
+        out
     }
 
     /// Serializes every profile report as one JSON array.

@@ -51,6 +51,8 @@ pub struct Flit {
     pub payload: u64,
     /// Cycle the carrying packet was injected (for latency accounting).
     pub inject_cycle: u64,
+    /// Global frame id of the carrying packet, if tagged.
+    pub frame: Option<u64>,
 }
 
 impl Flit {
@@ -66,6 +68,7 @@ impl Flit {
             msg: pkt.kind(),
             payload,
             inject_cycle: pkt.inject_cycle(),
+            frame: pkt.frame(),
         };
         if n == 0 {
             flits.push(mk(FlitKind::HeadTail, 0));
@@ -131,7 +134,8 @@ impl Reassembler {
             }
             if finish {
                 let (head, words) = self.current.take().expect("current packet");
-                let mut pkt = Packet::new(head.src, head.dest, head.plane, head.msg, words);
+                let mut pkt = Packet::new(head.src, head.dest, head.plane, head.msg, words)
+                    .with_frame(head.frame);
                 pkt.inject_cycle = head.inject_cycle;
                 return (Some(pkt), violation);
             }
@@ -197,6 +201,20 @@ mod tests {
         }
         assert_eq!(out.expect("complete"), original);
         assert_eq!(r.pending_flits(), 0);
+    }
+
+    #[test]
+    fn frame_tag_survives_flit_round_trip() {
+        let original = pkt(vec![1, 2]).with_frame(Some(9));
+        let mut r = Reassembler::default();
+        let mut out = None;
+        for f in Flit::from_packet(&original) {
+            assert_eq!(f.frame, Some(9));
+            if let (Some(p), _) = r.push(f) {
+                out = Some(p);
+            }
+        }
+        assert_eq!(out.expect("complete").frame(), Some(9));
     }
 
     #[test]

@@ -441,9 +441,11 @@ impl Mesh {
             self.endpoints[i][plane.index()].inject.extend(flits);
         }
         self.stats.plane_mut(plane).packets_injected += 1;
+        let frame = packet.frame();
         self.tracer.emit(self.cycle, trace_coord(src), || {
             TraceEvent::NocPacketInject {
                 plane: plane.index(),
+                frame,
             }
         });
         Ok(())
@@ -784,10 +786,12 @@ impl Mesh {
                     let latency = (self.cycle + 1).saturating_sub(inject_cycle);
                     self.stats.plane_mut(plane).record_delivery(latency);
                     let dest = self.routers[ti].coord();
+                    let frame = pkt.frame();
                     self.tracer.emit(self.cycle + 1, trace_coord(dest), || {
                         TraceEvent::NocPacketEject {
                             plane: plane.index(),
                             latency,
+                            frame,
                         }
                     });
                     if self.faults.is_some() {
@@ -1160,7 +1164,7 @@ mod tests {
         assert_eq!(injects[0].source, esp4ml_trace::TileCoord::new(0, 0));
         assert_eq!(ejects[0].source, esp4ml_trace::TileCoord::new(2, 1));
         // The eject event's latency matches the stats the mesh recorded.
-        if let TraceEvent::NocPacketEject { plane, latency } = ejects[0].event {
+        if let TraceEvent::NocPacketEject { plane, latency, .. } = ejects[0].event {
             assert_eq!(plane, Plane::DmaRsp.index());
             assert_eq!(latency, m.stats().plane(Plane::DmaRsp).max_latency);
             assert!(ejects[0].cycle >= injects[0].cycle + latency.min(ejects[0].cycle));

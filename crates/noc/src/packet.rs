@@ -88,6 +88,10 @@ pub struct Packet {
     payload: Vec<u64>,
     /// Cycle at which the packet was injected (filled by the mesh).
     pub(crate) inject_cycle: u64,
+    /// Global frame id this packet services, when known (metadata only:
+    /// carried alongside the header, never occupies payload words).
+    #[serde(default)]
+    frame: Option<u64>,
 }
 
 impl Packet {
@@ -103,7 +107,14 @@ impl Packet {
             kind,
             payload,
             inject_cycle: 0,
+            frame: None,
         }
+    }
+
+    /// Tags the packet with the global frame id it services.
+    pub fn with_frame(mut self, frame: Option<u64>) -> Self {
+        self.frame = frame;
+        self
     }
 
     /// Source tile coordinate.
@@ -151,6 +162,11 @@ impl Packet {
     /// Cycle at which the packet entered the network (0 before injection).
     pub fn inject_cycle(&self) -> u64 {
         self.inject_cycle
+    }
+
+    /// Global frame id this packet services, if tagged.
+    pub fn frame(&self) -> Option<u64> {
+        self.frame
     }
 
     /// Validates the packet against a mesh of the given dimensions.

@@ -329,6 +329,7 @@ mod tests {
             msg: MsgKind::DmaData,
             payload: 0,
             inject_cycle: 0,
+            frame: None,
         }
     }
 

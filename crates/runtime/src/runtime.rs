@@ -683,15 +683,16 @@ impl EspRuntime {
         }
     }
 
-    /// Issues one single-frame DMA invocation (configure + start), charging
-    /// the ioctl overhead.
+    /// Issues one single-frame DMA invocation (configure + start) for
+    /// global frame `frame`, charging the ioctl overhead.
     fn issue_dma_invocation(
         &mut self,
         coord: Coord,
         src: u64,
         dst: u64,
+        frame: u64,
     ) -> Result<(), RuntimeError> {
-        let cfg = AccelConfig::dma_to_dma(src, dst, 1);
+        let cfg = AccelConfig::dma_to_dma(src, dst, 1).with_frame_ids(frame, 1);
         self.soc.configure_accel(coord, &cfg)?;
         self.soc.start_accel(coord)?;
         self.ioctl(coord);
@@ -729,7 +730,7 @@ impl EspRuntime {
                     let coord = plan.stages[s][j].coord;
                     let src = self.dma_src(buf, plan, s, f);
                     let dst = self.dma_dst(buf, plan, s, f);
-                    self.issue_dma_invocation(coord, src, dst)?;
+                    self.issue_dma_invocation(coord, src, dst, f)?;
                     invocations += 1;
                     if self.wait_for_irq(coord, ctx.watchdog) {
                         break;
@@ -829,7 +830,7 @@ impl EspRuntime {
                     let coord = plan.stages[s][j].coord;
                     let src = self.dma_src(buf, plan, s, f);
                     let dst = self.dma_dst(buf, plan, s, f);
-                    self.issue_dma_invocation(coord, src, dst)?;
+                    self.issue_dma_invocation(coord, src, dst, f)?;
                     invocations += 1;
                     insts[s][j].busy_frame = Some(f);
                     insts[s][j].next_local += 1;
@@ -870,7 +871,7 @@ impl EspRuntime {
                     let coord = plan.stages[s][j].coord;
                     let src = self.dma_src(buf, plan, s, f);
                     let dst = self.dma_dst(buf, plan, s, f);
-                    self.issue_dma_invocation(coord, src, dst)?;
+                    self.issue_dma_invocation(coord, src, dst, f)?;
                     invocations += 1;
                     insts[s][j].issued_at = self.soc.cycle();
                     insts[s][j].attempts = if attempt <= policy.max_retries {
@@ -957,6 +958,9 @@ impl EspRuntime {
                         AccelConfig::p2p_to_p2p(sources, n)
                     }
                 };
+                // Instance `j` of a width-`k` stage serves global frames
+                // j, j+k, j+2k, ... (the round-robin frame assignment).
+                let cfg = cfg.with_frame_ids(j as u64, k);
                 self.soc.configure_accel(info.coord, &cfg)?;
                 self.soc.start_accel(info.coord)?;
                 self.ioctl(info.coord);

@@ -13,8 +13,8 @@ use crate::mem_map::MemMap;
 use crate::mem_tile::MAX_DMA_PACKET_WORDS;
 use crate::regs::{
     P2pConfig, RegisterFile, CMD_START, FLAG_DOUBLE_BUFFER, REG_CMD, REG_CONF_OUT_SIZE,
-    REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_N_FRAMES, REG_P2P, REG_SRC_OFFSET,
-    STATUS_DONE, STATUS_IDLE, STATUS_RUNNING,
+    REG_CONF_SIZE, REG_DST_OFFSET, REG_DVFS, REG_FLAGS, REG_FRAME_BASE, REG_FRAME_STRIDE,
+    REG_N_FRAMES, REG_P2P, REG_SRC_OFFSET, STATUS_DONE, STATUS_IDLE, STATUS_RUNNING,
 };
 use crate::sanitize::{tile_location, BlockedTile};
 use crate::stats::AccelStats;
@@ -106,6 +106,13 @@ pub struct AccelConfig {
     pub flags: u64,
     /// Datapath clock divider (`DVFS_REG`; 0 or 1 = full speed).
     pub dvfs_divider: u64,
+    /// Global frame id of the batch's first frame (`FRAME_BASE_REG`).
+    #[serde(default)]
+    pub frame_base: u64,
+    /// Global frame id stride between batch frames (`FRAME_STRIDE_REG`;
+    /// 0 is treated as 1, so a deserialized default of 0 is equivalent).
+    #[serde(default)]
+    pub frame_stride: u64,
 }
 
 impl AccelConfig {
@@ -120,6 +127,8 @@ impl AccelConfig {
             p2p: P2pConfig::disabled(),
             flags: 0,
             dvfs_divider: 0,
+            frame_base: 0,
+            frame_stride: 1,
         }
     }
 
@@ -134,6 +143,8 @@ impl AccelConfig {
             p2p: P2pConfig::store(),
             flags: 0,
             dvfs_divider: 0,
+            frame_base: 0,
+            frame_stride: 1,
         }
     }
 
@@ -148,6 +159,8 @@ impl AccelConfig {
             p2p: P2pConfig::load_from(sources),
             flags: 0,
             dvfs_divider: 0,
+            frame_base: 0,
+            frame_stride: 1,
         }
     }
 
@@ -162,6 +175,8 @@ impl AccelConfig {
             p2p: P2pConfig::load_and_store(sources),
             flags: 0,
             dvfs_divider: 0,
+            frame_base: 0,
+            frame_stride: 1,
         }
     }
 
@@ -176,6 +191,16 @@ impl AccelConfig {
     /// ESP's per-tile fine-grained DVFS.
     pub fn with_dvfs_divider(mut self, divider: u64) -> Self {
         self.dvfs_divider = divider;
+        self
+    }
+
+    /// Assigns the batch's global frame ids (builder style): batch frame
+    /// `i` becomes global frame `base + i * stride`. A width-`k` parallel
+    /// stage runs instance `j` with `base = j, stride = k` so the stage's
+    /// instances interleave over the run's frame sequence.
+    pub fn with_frame_ids(mut self, base: u64, stride: u64) -> Self {
+        self.frame_base = base;
+        self.frame_stride = stride.max(1);
         self
     }
 
@@ -267,6 +292,8 @@ pub struct AccelTile {
     // Batch context, latched at start.
     n_frames: u64,
     frame_idx: u64,
+    frame_base: u64,
+    frame_stride: u64,
     in_values: u64,
     out_values: u64,
     in_words: u64,
@@ -333,6 +360,8 @@ impl AccelTile {
             state: AccelState::Idle,
             n_frames: 0,
             frame_idx: 0,
+            frame_base: 0,
+            frame_stride: 1,
             in_values: 0,
             out_values: 0,
             in_words: 0,
@@ -431,6 +460,8 @@ impl AccelTile {
         self.set_state(AccelState::Idle);
         self.n_frames = 0;
         self.frame_idx = 0;
+        self.frame_base = 0;
+        self.frame_stride = 1;
         self.rx_buf.clear();
         self.rx_counts = [0; 2];
         self.rx_expect = 0;
@@ -522,16 +553,27 @@ impl AccelTile {
         TileCoord::new(self.coord.x, self.coord.y)
     }
 
+    /// Global frame id of batch frame `idx` under the latched base/stride.
+    fn global_frame(&self, idx: u64) -> u64 {
+        self.frame_base + idx * self.frame_stride.max(1)
+    }
+
     /// Moves the FSM to `to`, emitting an [`TraceEvent::AccelPhaseChange`]
-    /// when the phase actually changes.
+    /// when the phase actually changes. Working phases carry the global id
+    /// of the frame they serve; `Idle`/`Done` carry no frame.
     fn set_state(&mut self, to: AccelState) {
         if self.state != to {
             let from = self.state.name();
+            let frame = match to {
+                AccelState::Idle | AccelState::Done => None,
+                _ => Some(self.global_frame(self.frame_idx)),
+            };
             self.tracer.emit(self.cycle, self.trace_coord(), || {
                 TraceEvent::AccelPhaseChange {
                     accel: self.kernel.name().to_string(),
                     from,
                     to: to.name(),
+                    frame,
                 }
             });
         }
@@ -862,6 +904,8 @@ impl AccelTile {
             self.p2p = P2pConfig::from_reg(self.regs.read(REG_P2P));
             self.dbuf = (self.regs.read(REG_FLAGS) & FLAG_DOUBLE_BUFFER) != 0 && self.n_frames > 1;
             self.dvfs_divider = self.regs.read(REG_DVFS).max(1);
+            self.frame_base = self.regs.read(REG_FRAME_BASE);
+            self.frame_stride = self.regs.read(REG_FRAME_STRIDE).max(1);
             self.frame_idx = 0;
             self.loads_issued = 0;
             self.rx_counts = [0; 2];
@@ -924,22 +968,27 @@ impl AccelTile {
                     }
                     let data = std::mem::take(&mut self.output_buffer);
                     let words = data.len() as u64;
+                    let frame = Some(self.global_frame(self.frame_idx));
                     self.tracer
                         .emit(self.cycle, self.trace_coord(), || TraceEvent::P2pTransfer {
                             dest: TileCoord::new(requester.x, requester.y),
                             words,
+                            frame,
                         });
                     for (k, chunk) in data.chunks(MAX_DMA_PACKET_WORDS).enumerate() {
                         self.stats.p2p_words_sent += chunk.len() as u64;
                         let mut payload = vec![dest_base + (k * MAX_DMA_PACKET_WORDS) as u64];
                         payload.extend_from_slice(chunk);
-                        self.tx_queue.push_back(Packet::new(
-                            self.coord,
-                            requester,
-                            Plane::DmaRsp,
-                            MsgKind::DmaData,
-                            payload,
-                        ));
+                        self.tx_queue.push_back(
+                            Packet::new(
+                                self.coord,
+                                requester,
+                                Plane::DmaRsp,
+                                MsgKind::DmaData,
+                                payload,
+                            )
+                            .with_frame(frame),
+                        );
                     }
                     self.set_state(AccelState::StoreSend);
                 } else {
@@ -993,16 +1042,20 @@ impl AccelTile {
         } else {
             0
         };
+        let global = Some(self.global_frame(frame));
         if self.p2p.load_enabled {
             let sources = &self.p2p.sources;
             let src = sources[(frame as usize) % sources.len()];
-            self.tx_queue.push_back(Packet::new(
-                self.coord,
-                src,
-                Plane::DmaReq,
-                MsgKind::P2pLoadReq,
-                vec![self.in_words, dest_base],
-            ));
+            self.tx_queue.push_back(
+                Packet::new(
+                    self.coord,
+                    src,
+                    Plane::DmaReq,
+                    MsgKind::P2pLoadReq,
+                    vec![self.in_words, dest_base],
+                )
+                .with_frame(global),
+            );
             return;
         }
         let va = self.src_base + frame * self.in_words;
@@ -1025,13 +1078,16 @@ impl AccelTile {
         for (paddr, len) in chunks {
             for (mem_tile, local_addr, l) in self.mem_map.split_range(paddr, len) {
                 self.stats.dma_words_loaded += l;
-                self.tx_queue.push_back(Packet::new(
-                    self.coord,
-                    mem_tile,
-                    Plane::DmaReq,
-                    MsgKind::DmaLoadReq,
-                    vec![local_addr, l, dest_offset],
-                ));
+                self.tx_queue.push_back(
+                    Packet::new(
+                        self.coord,
+                        mem_tile,
+                        Plane::DmaReq,
+                        MsgKind::DmaLoadReq,
+                        vec![local_addr, l, dest_offset],
+                    )
+                    .with_frame(global),
+                );
                 dest_offset += l;
             }
         }
@@ -1099,6 +1155,7 @@ impl AccelTile {
         let chunks = table
             .translate_range(va, self.out_words)
             .expect("mapped store range");
+        let global = Some(self.global_frame(self.frame_idx));
         self.store_acked_words = 0;
         let mut data = std::mem::take(&mut self.output_buffer);
         let mut cursor = 0usize;
@@ -1119,13 +1176,16 @@ impl AccelTile {
                     let mut payload = vec![sub_addr, send as u64];
                     payload.extend_from_slice(&data[cursor..cursor + send]);
                     self.stats.dma_words_stored += send as u64;
-                    self.tx_queue.push_back(Packet::new(
-                        self.coord,
-                        mem_tile,
-                        Plane::DmaReq,
-                        MsgKind::DmaStoreReq,
-                        payload,
-                    ));
+                    self.tx_queue.push_back(
+                        Packet::new(
+                            self.coord,
+                            mem_tile,
+                            Plane::DmaReq,
+                            MsgKind::DmaStoreReq,
+                            payload,
+                        )
+                        .with_frame(global),
+                    );
                     cursor += send;
                     sub_addr += send as u64;
                     remaining -= take;
@@ -1138,7 +1198,7 @@ impl AccelTile {
 
     fn finish_frame(&mut self) {
         self.stats.frames_done += 1;
-        let frame = self.frame_idx;
+        let frame = self.global_frame(self.frame_idx);
         self.tracer.emit(self.cycle, self.trace_coord(), || {
             TraceEvent::FrameComplete {
                 accel: self.kernel.name().to_string(),

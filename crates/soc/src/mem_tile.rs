@@ -285,6 +285,7 @@ impl MemTile {
                 let addr = request.payload()[0];
                 let len = request.payload()[1];
                 let dest_offset = request.payload().get(2).copied().unwrap_or(0);
+                let frame = request.frame();
                 let (mut data, latency) = self.dram.read_burst(addr, len);
                 if self.faults.is_some() {
                     self.fault_drop(&mut data, requester, cycle);
@@ -293,18 +294,22 @@ impl MemTile {
                     kind: DmaKind::Read,
                     words: len,
                     latency,
+                    frame,
                 });
                 let mut responses = Vec::new();
                 for (k, chunk) in data.chunks(MAX_DMA_PACKET_WORDS).enumerate() {
                     let mut payload = vec![dest_offset + (k * MAX_DMA_PACKET_WORDS) as u64];
                     payload.extend_from_slice(chunk);
-                    responses.push(Packet::new(
-                        self.coord,
-                        requester,
-                        Plane::DmaRsp,
-                        MsgKind::DmaData,
-                        payload,
-                    ));
+                    responses.push(
+                        Packet::new(
+                            self.coord,
+                            requester,
+                            Plane::DmaRsp,
+                            MsgKind::DmaData,
+                            payload,
+                        )
+                        .with_frame(frame),
+                    );
                 }
                 (latency, responses)
             }
@@ -312,11 +317,13 @@ impl MemTile {
                 let addr = request.payload()[0];
                 let len = request.payload()[1] as usize;
                 let data = &request.payload()[2..2 + len];
+                let frame = request.frame();
                 let latency = self.dram.write_burst(addr, data);
                 self.tracer.emit(cycle, coord, || TraceEvent::DmaBurst {
                     kind: DmaKind::Write,
                     words: len as u64,
                     latency,
+                    frame,
                 });
                 let ack = Packet::new(
                     self.coord,
@@ -324,7 +331,8 @@ impl MemTile {
                     Plane::DmaRsp,
                     MsgKind::DmaStoreAck,
                     vec![len as u64],
-                );
+                )
+                .with_frame(frame);
                 (latency, vec![ack])
             }
             other => {

@@ -34,9 +34,18 @@ pub const REG_FLAGS: u64 = 9;
 /// NoC interface always run at the NoC clock, as in ESP's fine-grained
 /// DVFS infrastructure.
 pub const REG_DVFS: u64 = 10;
+/// `FRAME_BASE_REG`: global frame id of the batch's first frame. The
+/// socket stamps frame `i` of the batch as `base + i * stride` on its
+/// trace events and outgoing NoC packets, giving every frame a
+/// run-unique id for causal span assembly.
+pub const REG_FRAME_BASE: u64 = 11;
+/// `FRAME_STRIDE_REG`: global frame id stride between consecutive
+/// batch frames (0 is treated as 1). A width-`k` parallel stage runs
+/// instance `j` with `base = j, stride = k`.
+pub const REG_FRAME_STRIDE: u64 = 12;
 
 /// Number of registers in the socket register file.
-pub const REG_COUNT: usize = 11;
+pub const REG_COUNT: usize = 13;
 
 /// `CMD_REG` value that starts the accelerator.
 pub const CMD_START: u64 = 1;

@@ -423,6 +423,8 @@ impl Soc {
         self.write_reg(coord, regs::REG_P2P, cfg.p2p.to_reg())?;
         self.write_reg(coord, regs::REG_FLAGS, cfg.flags)?;
         self.write_reg(coord, regs::REG_DVFS, cfg.dvfs_divider)?;
+        self.write_reg(coord, regs::REG_FRAME_BASE, cfg.frame_base)?;
+        self.write_reg(coord, regs::REG_FRAME_STRIDE, cfg.frame_stride)?;
         Ok(())
     }
 

@@ -66,6 +66,37 @@ impl CounterRegistry {
             values: self.values.clone(),
         }
     }
+
+    /// Renders every counter in the Prometheus text exposition format:
+    /// one `# HELP` / `# TYPE` header pair per metric followed by its
+    /// sample line. Dotted registry names become underscore-separated
+    /// Prometheus names (`soc.dram_reads` → `soc_dram_reads`); all
+    /// registry values are exposed as `counter`s.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.values {
+            let metric = prometheus_name(name);
+            out.push_str(&format!(
+                "# HELP {metric} Simulator counter {name}.\n\
+                 # TYPE {metric} counter\n\
+                 {metric} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Sanitizes a registry name into the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 /// An immutable point-in-time capture of a [`CounterRegistry`].
@@ -156,6 +187,30 @@ mod tests {
         let d2 = empty.diff(&before);
         assert_eq!(d2.get("x"), 0);
         assert!(d2.names().any(|n| n == "x"));
+    }
+
+    #[test]
+    fn prometheus_exposition_snapshot() {
+        let mut reg = CounterRegistry::new();
+        reg.add("soc.dram_reads", 12);
+        reg.add("noc.flit_hops", 42);
+        // Snapshot of the exact text format `espserve` will scrape.
+        assert_eq!(
+            reg.render_prometheus(),
+            "# HELP noc_flit_hops Simulator counter noc.flit_hops.\n\
+             # TYPE noc_flit_hops counter\n\
+             noc_flit_hops 42\n\
+             # HELP soc_dram_reads Simulator counter soc.dram_reads.\n\
+             # TYPE soc_dram_reads counter\n\
+             soc_dram_reads 12\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("soc.dram_reads"), "soc_dram_reads");
+        assert_eq!(prometheus_name("noc.plane-0/hops"), "noc_plane_0_hops");
+        assert_eq!(prometheus_name("0weird"), "_0weird");
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub enum TraceEvent {
         from: &'static str,
         /// Phase being entered.
         to: &'static str,
+        /// Global frame id the socket is working on (`None` when the
+        /// transition leaves the batch, e.g. into `idle`/`done`).
+        frame: Option<u64>,
     },
     /// A memory tile serviced a DRAM burst.
     DmaBurst {
@@ -83,6 +86,9 @@ pub enum TraceEvent {
         words: u64,
         /// Modelled DRAM latency in cycles.
         latency: u64,
+        /// Global frame id the burst belongs to, when the requesting
+        /// packet carried one.
+        frame: Option<u64>,
     },
     /// An accelerator streamed a frame directly to a consumer tile
     /// (point-to-point, bypassing DRAM).
@@ -91,11 +97,15 @@ pub enum TraceEvent {
         dest: TileCoord,
         /// Payload words sent.
         words: u64,
+        /// Global frame id of the transferred frame.
+        frame: Option<u64>,
     },
     /// A packet entered a NoC plane at the source tile.
     NocPacketInject {
         /// NoC plane index.
         plane: usize,
+        /// Global frame id carried by the packet, if any.
+        frame: Option<u64>,
     },
     /// A packet was fully ejected at its destination tile.
     NocPacketEject {
@@ -103,6 +113,8 @@ pub enum TraceEvent {
         plane: usize,
         /// End-to-end packet latency in cycles.
         latency: u64,
+        /// Global frame id carried by the packet, if any.
+        frame: Option<u64>,
     },
     /// An accelerator TLB lookup missed and paid a refill penalty.
     TlbMiss {
@@ -118,7 +130,8 @@ pub enum TraceEvent {
     FrameComplete {
         /// Accelerator instance name.
         accel: String,
-        /// Zero-based frame index within the run.
+        /// Global zero-based frame id within the run (latched from
+        /// `FRAME_BASE_REG`/`FRAME_STRIDE_REG` by the socket).
         frame: u64,
     },
     /// A scheduled hardware fault fired (fault-injection layer).
@@ -195,7 +208,11 @@ mod tests {
             }
             .kind(),
             TraceEvent::TlbMiss { penalty: 1 }.kind(),
-            TraceEvent::NocPacketInject { plane: 0 }.kind(),
+            TraceEvent::NocPacketInject {
+                plane: 0,
+                frame: None,
+            }
+            .kind(),
         ];
         assert_eq!(
             kinds.len(),

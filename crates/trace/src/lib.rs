@@ -27,6 +27,10 @@
 //!   [`Histogram`]s, per-tile time-in-state utilization, and a
 //!   critical-path report, built by a [`ProfileCollector`] that
 //!   consumes the event stream as it is produced.
+//! - [`span`]: causal frame-level span trees — every frame's
+//!   end-to-end latency is attributed cycle-exactly to compute, DMA,
+//!   NoC, queueing, and retry spans, with a [`CriticalPath`] report
+//!   that provably agrees with the profiler's bottleneck selection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,13 +41,15 @@ mod metrics;
 pub mod perfetto;
 pub mod profile;
 mod sink;
+pub mod span;
 mod timeseries;
 mod tracer;
 
-pub use counters::{CounterRegistry, CounterSnapshot};
+pub use counters::{prometheus_name, CounterRegistry, CounterSnapshot};
 pub use event::{DmaKind, TileCoord, TimedEvent, TraceEvent};
 pub use metrics::frames_per_second;
 pub use profile::{Histogram, ProfileCollector, RunProfile};
 pub use sink::{RingBufferSink, TraceSink};
+pub use span::{CriticalPath, FrameSpans, SpanCollector, SpanKind, SpanReport};
 pub use timeseries::{CounterSeries, SampleRow};
 pub use tracer::Tracer;

@@ -17,6 +17,7 @@
 //!   (1 cycle = 1 µs in the viewer).
 
 use crate::event::{TileCoord, TimedEvent, TraceEvent};
+use crate::span::SpanReport;
 use serde_json::Value;
 use std::collections::HashMap;
 use std::io;
@@ -37,8 +38,9 @@ pub fn plane_tid(plane: usize) -> u64 {
 
 struct Builder {
     rows: Vec<Value>,
-    /// (pid, tid) -> (phase name, start cycle) of the open accel span.
-    open_spans: HashMap<(u64, u64), (String, u64)>,
+    /// (pid, tid) -> (phase name, start cycle, frame tag) of the open
+    /// accel span.
+    open_spans: HashMap<(u64, u64), (String, u64, Option<u64>)>,
     /// (pid, tid) -> track name; accel names win over defaults.
     track_names: HashMap<(u64, u64), (String, bool)>,
     /// pid -> process (run) name.
@@ -113,12 +115,20 @@ impl Builder {
 
     /// Ends the open accelerator span on `(pid, tid)` at `cycle`.
     fn close_span(&mut self, tid: u64, cycle: u64) {
-        if let Some((phase, start)) = self.open_spans.remove(&(self.pid, tid)) {
+        if let Some((phase, start, frame)) = self.open_spans.remove(&(self.pid, tid)) {
             // Idle gaps carry no information; eliding them keeps the
             // phase tracks readable.
             if phase != "Idle" {
                 let dur = cycle.saturating_sub(start);
-                self.duration(&phase, "accel_phase", start, dur, tid, Value::Null);
+                let args = match frame {
+                    Some(f) => {
+                        let mut map = serde_json::Map::new();
+                        map.insert("frame".into(), Value::from(f));
+                        Value::Object(map)
+                    }
+                    None => Value::Null,
+                };
+                self.duration(&phase, "accel_phase", start, dur, tid, args);
             }
         }
     }
@@ -146,21 +156,27 @@ impl Builder {
                 }
                 self.process_names.push((self.pid, label.clone()));
             }
-            TraceEvent::AccelPhaseChange { accel, from: _, to } => {
+            TraceEvent::AccelPhaseChange {
+                accel, to, frame, ..
+            } => {
                 let tid = self.tile_track(ev.source);
                 self.name_track(tid, format!("accel {accel} {}", ev.source), true);
                 self.close_span(tid, cycle);
                 self.open_spans
-                    .insert((self.pid, tid), (to.to_string(), cycle));
+                    .insert((self.pid, tid), (to.to_string(), cycle, *frame));
             }
             TraceEvent::DmaBurst {
                 kind,
                 words,
                 latency,
+                frame,
             } => {
                 let tid = self.tile_track(ev.source);
                 let mut args = serde_json::Map::new();
                 args.insert("words".into(), Value::from(*words));
+                if let Some(f) = frame {
+                    args.insert("frame".into(), Value::from(*f));
+                }
                 self.duration(
                     &format!("dram {}", kind.label()),
                     "dma_burst",
@@ -170,11 +186,14 @@ impl Builder {
                     Value::Object(args),
                 );
             }
-            TraceEvent::P2pTransfer { dest, words } => {
+            TraceEvent::P2pTransfer { dest, words, frame } => {
                 let tid = self.tile_track(ev.source);
                 let mut args = serde_json::Map::new();
                 args.insert("dest".into(), Value::from(dest.to_string()));
                 args.insert("words".into(), Value::from(*words));
+                if let Some(f) = frame {
+                    args.insert("frame".into(), Value::from(*f));
+                }
                 self.instant(
                     &format!("p2p to {dest}"),
                     "p2p_transfer",
@@ -183,17 +202,27 @@ impl Builder {
                     Value::Object(args),
                 );
             }
-            TraceEvent::NocPacketInject { plane } => {
+            TraceEvent::NocPacketInject { plane, frame } => {
                 let tid = self.plane_track(*plane);
                 let mut args = serde_json::Map::new();
                 args.insert("src".into(), Value::from(ev.source.to_string()));
+                if let Some(f) = frame {
+                    args.insert("frame".into(), Value::from(*f));
+                }
                 self.instant("inject", "noc_packet", cycle, tid, Value::Object(args));
             }
-            TraceEvent::NocPacketEject { plane, latency } => {
+            TraceEvent::NocPacketEject {
+                plane,
+                latency,
+                frame,
+            } => {
                 let tid = self.plane_track(*plane);
                 let mut args = serde_json::Map::new();
                 args.insert("dest".into(), Value::from(ev.source.to_string()));
                 args.insert("latency".into(), Value::from(*latency));
+                if let Some(f) = frame {
+                    args.insert("frame".into(), Value::from(*f));
+                }
                 self.duration(
                     "packet",
                     "noc_packet",
@@ -329,16 +358,35 @@ pub fn chrome_trace(events: &[TimedEvent]) -> Value {
 /// `trace_dropped_events` metadata row is appended so truncated traces
 /// are self-describing.
 pub fn chrome_trace_with_dropped(events: &[TimedEvent], dropped: u64) -> Value {
+    chrome_trace_with_drop_counts(events, dropped, 0)
+}
+
+/// Like [`chrome_trace_with_dropped`], but additionally records how
+/// many of the discarded events the span assembler needed. When
+/// `dropped_spans > 0` a `trace_dropped_spans` metadata row is
+/// appended so span trees derived from the trace are known-partial.
+pub fn chrome_trace_with_drop_counts(
+    events: &[TimedEvent],
+    dropped: u64,
+    dropped_spans: u64,
+) -> Value {
     let mut builder = Builder::new();
     for ev in events {
         builder.push_event(ev);
     }
     let mut doc = builder.finish();
+    let mut extra = Vec::new();
     if dropped > 0 {
+        extra.push(("trace_dropped_events", "dropped", dropped));
+    }
+    if dropped_spans > 0 {
+        extra.push(("trace_dropped_spans", "dropped_spans", dropped_spans));
+    }
+    for (name, key, value) in extra {
         let mut args = serde_json::Map::new();
-        args.insert("dropped".into(), Value::from(dropped));
+        args.insert(key.into(), Value::from(value));
         let mut row = serde_json::Map::new();
-        row.insert("name".into(), Value::from("trace_dropped_events"));
+        row.insert("name".into(), Value::from(name));
         row.insert("ph".into(), Value::from("M"));
         row.insert("pid".into(), Value::from(1u64));
         row.insert("args".into(), Value::Object(args));
@@ -365,10 +413,131 @@ pub fn write_chrome_trace_with_dropped(
     events: &[TimedEvent],
     dropped: u64,
 ) -> io::Result<()> {
-    let doc = chrome_trace_with_dropped(events, dropped);
+    write_chrome_trace_with_drop_counts(path, events, dropped, 0)
+}
+
+/// Writes [`chrome_trace_with_drop_counts`] output to a file.
+pub fn write_chrome_trace_with_drop_counts(
+    path: impl AsRef<Path>,
+    events: &[TimedEvent],
+    dropped: u64,
+    dropped_spans: u64,
+) -> io::Result<()> {
+    let doc = chrome_trace_with_drop_counts(events, dropped, dropped_spans);
     std::fs::write(
         path,
         serde_json::to_string_pretty(&doc).expect("trace JSON serialization"),
+    )
+}
+
+/// Base offset separating per-stage span tracks from tile/plane tracks.
+const STAGE_TID_BASE: u64 = 2_000_000;
+
+/// Converts assembled span reports into a flow-linked Chrome
+/// `trace_event` JSON document: one process per run, one track per
+/// pipeline stage, one duration row per span (instants for zero-length
+/// markers), and `s`/`t`/`f` flow events chaining each frame's spans
+/// causally so the viewer draws the frame's critical path as arrows.
+/// Partial reports carry a `trace_dropped_spans` metadata row.
+pub fn span_chrome_trace(reports: &[SpanReport]) -> Value {
+    let mut rows = Vec::new();
+    for (i, report) in reports.iter().enumerate() {
+        let pid = i as u64 + 1;
+        rows.push(metadata_row("process_name", pid, None, &report.label));
+
+        // Stage tracks in order of first appearance.
+        let mut stage_tids: Vec<(String, u64)> = Vec::new();
+        let mut tid_of = |stage: &str, out: &mut Vec<Value>| -> u64 {
+            if let Some((_, tid)) = stage_tids.iter().find(|(n, _)| n == stage) {
+                return *tid;
+            }
+            let tid = STAGE_TID_BASE + stage_tids.len() as u64;
+            stage_tids.push((stage.to_string(), tid));
+            out.push(metadata_row(
+                "thread_name",
+                pid,
+                Some(tid),
+                &format!("stage {stage}"),
+            ));
+            tid
+        };
+
+        for frame in &report.frames {
+            // One flow chain per frame; ids are unique across runs.
+            let flow_id = (pid << 40) | frame.frame;
+            let mut flat: Vec<(u64, &str)> = Vec::new(); // (begin, stage)
+            for stage in &frame.stages {
+                let tid = tid_of(&stage.stage, &mut rows);
+                for span in &stage.spans {
+                    let mut args = serde_json::Map::new();
+                    args.insert("frame".into(), Value::from(frame.frame));
+                    args.insert("owner".into(), Value::from(stage.owner.as_str()));
+                    let mut map = serde_json::Map::new();
+                    map.insert("name".into(), Value::from(span.kind.label()));
+                    map.insert("cat".into(), Value::from("span"));
+                    map.insert("ts".into(), Value::from(span.begin));
+                    map.insert("pid".into(), Value::from(pid));
+                    map.insert("tid".into(), Value::from(tid));
+                    if span.cycles() == 0 {
+                        map.insert("ph".into(), Value::from("i"));
+                        map.insert("s".into(), Value::from("t"));
+                    } else {
+                        map.insert("ph".into(), Value::from("X"));
+                        map.insert("dur".into(), Value::from(span.cycles()));
+                        flat.push((span.begin, stage.stage.as_str()));
+                    }
+                    map.insert("args".into(), Value::Object(args));
+                    rows.push(Value::Object(map));
+                }
+            }
+            for (j, (begin, stage)) in flat.iter().enumerate() {
+                let ph = if j == 0 {
+                    "s"
+                } else if j + 1 == flat.len() {
+                    "f"
+                } else {
+                    "t"
+                };
+                let tid = tid_of(stage, &mut rows);
+                let mut map = serde_json::Map::new();
+                map.insert("name".into(), Value::from(format!("frame {}", frame.frame)));
+                map.insert("cat".into(), Value::from("frame_flow"));
+                map.insert("ph".into(), Value::from(ph));
+                map.insert("id".into(), Value::from(flow_id));
+                map.insert("ts".into(), Value::from(*begin));
+                map.insert("pid".into(), Value::from(pid));
+                map.insert("tid".into(), Value::from(tid));
+                if ph == "f" {
+                    map.insert("bp".into(), Value::from("e"));
+                }
+                rows.push(Value::Object(map));
+            }
+        }
+
+        if report.dropped_spans > 0 {
+            let mut args = serde_json::Map::new();
+            args.insert("dropped_spans".into(), Value::from(report.dropped_spans));
+            let mut row = serde_json::Map::new();
+            row.insert("name".into(), Value::from("trace_dropped_spans"));
+            row.insert("ph".into(), Value::from("M"));
+            row.insert("pid".into(), Value::from(pid));
+            row.insert("args".into(), Value::Object(args));
+            rows.push(Value::Object(row));
+        }
+    }
+
+    let mut top = serde_json::Map::new();
+    top.insert("traceEvents".into(), Value::Array(rows));
+    top.insert("displayTimeUnit".into(), Value::from("ms"));
+    Value::Object(top)
+}
+
+/// Writes [`span_chrome_trace`] output to a file.
+pub fn write_span_trace(path: impl AsRef<Path>, reports: &[SpanReport]) -> io::Result<()> {
+    let doc = span_chrome_trace(reports);
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&doc).expect("span trace JSON serialization"),
     )
 }
 
@@ -403,6 +572,7 @@ mod tests {
                     accel: "nightvision0".into(),
                     from: "Idle",
                     to: "LoadIssue",
+                    frame: Some(0),
                 },
             ),
             at(6, 1, 1, TraceEvent::TlbMiss { penalty: 20 }),
@@ -414,9 +584,18 @@ mod tests {
                     kind: DmaKind::Read,
                     words: 128,
                     latency: 40,
+                    frame: Some(0),
                 },
             ),
-            at(9, 0, 1, TraceEvent::NocPacketInject { plane: 3 }),
+            at(
+                9,
+                0,
+                1,
+                TraceEvent::NocPacketInject {
+                    plane: 3,
+                    frame: Some(0),
+                },
+            ),
             at(
                 30,
                 1,
@@ -424,6 +603,7 @@ mod tests {
                 TraceEvent::NocPacketEject {
                     plane: 3,
                     latency: 21,
+                    frame: Some(0),
                 },
             ),
             at(
@@ -434,6 +614,7 @@ mod tests {
                     accel: "nightvision0".into(),
                     from: "LoadIssue",
                     to: "Compute",
+                    frame: Some(0),
                 },
             ),
             at(
@@ -571,5 +752,139 @@ mod tests {
             .unwrap()
             .iter()
             .any(|r| r["name"].as_str() == Some("trace_dropped_events")));
+    }
+
+    #[test]
+    fn dropped_spans_become_metadata() {
+        let doc = chrome_trace_with_drop_counts(&sample_events(), 42, 7);
+        let rows = doc["traceEvents"].as_array().unwrap();
+        let row = rows
+            .iter()
+            .find(|r| r["name"].as_str() == Some("trace_dropped_spans"))
+            .expect("dropped-span metadata missing");
+        assert_eq!(row["args"]["dropped_spans"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn phase_spans_carry_frame_args() {
+        let doc = chrome_trace(&sample_events());
+        let rows = doc["traceEvents"].as_array().unwrap();
+        let phase = rows
+            .iter()
+            .find(|r| r["cat"].as_str() == Some("accel_phase"))
+            .expect("no phase span");
+        assert_eq!(phase["args"]["frame"].as_u64(), Some(0));
+        let burst = rows
+            .iter()
+            .find(|r| r["cat"].as_str() == Some("dma_burst"))
+            .expect("no dma burst");
+        assert_eq!(burst["args"]["frame"].as_u64(), Some(0));
+    }
+
+    fn span_report() -> crate::span::SpanReport {
+        use crate::span::SpanCollector;
+        let c = SpanCollector::new();
+        c.set_stage_groups(vec![
+            ("nv".to_string(), vec!["nv0".to_string()]),
+            ("cl".to_string(), vec!["cl0".to_string()]),
+        ]);
+        let seq = [
+            at(
+                0,
+                0,
+                0,
+                TraceEvent::RunStart {
+                    label: "spans".into(),
+                },
+            ),
+            at(
+                10,
+                1,
+                1,
+                TraceEvent::AccelPhaseChange {
+                    accel: "nv0".into(),
+                    from: "idle",
+                    to: "compute",
+                    frame: Some(0),
+                },
+            ),
+            at(
+                100,
+                1,
+                1,
+                TraceEvent::FrameComplete {
+                    accel: "nv0".into(),
+                    frame: 0,
+                },
+            ),
+            at(
+                120,
+                2,
+                1,
+                TraceEvent::AccelPhaseChange {
+                    accel: "cl0".into(),
+                    from: "idle",
+                    to: "compute",
+                    frame: Some(0),
+                },
+            ),
+            at(
+                150,
+                2,
+                1,
+                TraceEvent::FrameComplete {
+                    accel: "cl0".into(),
+                    frame: 0,
+                },
+            ),
+        ];
+        for ev in &seq {
+            c.observe(ev);
+        }
+        c.close_run(200).expect("run open")
+    }
+
+    #[test]
+    fn span_trace_links_frames_with_flows() {
+        let report = span_report();
+        let doc = span_chrome_trace(std::slice::from_ref(&report));
+        let rows = doc["traceEvents"].as_array().unwrap();
+        // Every non-marker span became a duration row on a stage track.
+        let spans: Vec<&Value> = rows
+            .iter()
+            .filter(|r| r["cat"].as_str() == Some("span"))
+            .collect();
+        assert!(!spans.is_empty());
+        for s in &spans {
+            assert_eq!(s["args"]["frame"].as_u64(), Some(0));
+        }
+        // The frame's flow chain opens with "s" and closes with "f".
+        let flow_phases: Vec<&str> = rows
+            .iter()
+            .filter(|r| r["cat"].as_str() == Some("frame_flow"))
+            .map(|r| r["ph"].as_str().unwrap())
+            .collect();
+        assert_eq!(flow_phases.first(), Some(&"s"));
+        assert_eq!(flow_phases.last(), Some(&"f"));
+        // Stage tracks are named.
+        assert!(rows
+            .iter()
+            .any(|r| r["name"].as_str() == Some("thread_name")
+                && r["args"]["name"].as_str() == Some("stage nv")));
+        // Round-trips through serde.
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let _: Value = serde_json::from_str(&text).unwrap();
+    }
+
+    #[test]
+    fn partial_span_report_flags_trace() {
+        let mut report = span_report();
+        report.dropped_spans = 3;
+        let doc = span_chrome_trace(std::slice::from_ref(&report));
+        assert!(doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r["name"].as_str() == Some("trace_dropped_spans")));
     }
 }

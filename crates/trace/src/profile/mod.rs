@@ -318,7 +318,9 @@ impl RunAccum {
 
     fn observe(&mut self, ev: &TimedEvent) {
         match &ev.event {
-            TraceEvent::AccelPhaseChange { accel, from, to } => {
+            TraceEvent::AccelPhaseChange {
+                accel, from, to, ..
+            } => {
                 let start = self.start_cycle;
                 let acc = self
                     .accels
@@ -353,7 +355,7 @@ impl RunAccum {
                 DmaKind::Read => self.dma_read.record(*latency),
                 DmaKind::Write => self.dma_write.record(*latency),
             },
-            TraceEvent::NocPacketEject { plane, latency } => {
+            TraceEvent::NocPacketEject { plane, latency, .. } => {
                 self.noc_latency.entry(*plane).or_default().record(*latency);
             }
             TraceEvent::P2pTransfer { words, .. } => self.p2p_words += *words,
@@ -631,6 +633,10 @@ impl TraceSink for ProfilingSink {
         self.inner.dropped()
     }
 
+    fn dropped_spans(&self) -> u64 {
+        self.inner.dropped_spans()
+    }
+
     fn drain(&mut self) -> Vec<TimedEvent> {
         self.inner.drain()
     }
@@ -655,6 +661,7 @@ mod tests {
                 accel: accel.to_string(),
                 from,
                 to,
+                frame: None,
             },
         )
     }
@@ -822,6 +829,7 @@ mod tests {
                 TraceEvent::NocPacketEject {
                     plane: 3,
                     latency: 11,
+                    frame: None,
                 },
             ));
             c.observe(&at(
@@ -830,6 +838,7 @@ mod tests {
                     kind: DmaKind::Read,
                     words: 16,
                     latency: 40,
+                    frame: None,
                 },
             ));
             serde_json::to_string(&c.close_run(20).expect("run open")).expect("serialize")

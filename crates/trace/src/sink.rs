@@ -23,8 +23,24 @@ pub trait TraceSink: Send {
     /// Events discarded due to capacity pressure.
     fn dropped(&self) -> u64;
 
+    /// Discarded events that the span assembler needed (phase changes,
+    /// frame completions, run starts, recovery events). Counted
+    /// separately from [`TraceSink::dropped`] so span reports can flag
+    /// themselves as partial. Defaults to 0 for sinks that never drop.
+    fn dropped_spans(&self) -> u64 {
+        0
+    }
+
     /// Removes and returns all held events in chronological order.
     fn drain(&mut self) -> Vec<TimedEvent>;
+}
+
+/// Whether a discarded event would have fed the span assembler.
+pub(crate) fn is_span_event(event: &TimedEvent) -> bool {
+    matches!(
+        event.event.kind(),
+        "accel_phase_change" | "frame_complete" | "run_start" | "retry_scheduled" | "failed_over"
+    )
 }
 
 /// Bounded FIFO sink: keeps the most recent `capacity` events and
@@ -34,6 +50,7 @@ pub struct RingBufferSink {
     buf: VecDeque<TimedEvent>,
     capacity: usize,
     dropped: u64,
+    dropped_spans: u64,
 }
 
 impl RingBufferSink {
@@ -47,6 +64,7 @@ impl RingBufferSink {
             buf: VecDeque::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            dropped_spans: 0,
         }
     }
 
@@ -65,7 +83,11 @@ impl Default for RingBufferSink {
 impl TraceSink for RingBufferSink {
     fn record(&mut self, event: TimedEvent) {
         if self.buf.len() == self.capacity {
-            self.buf.pop_front();
+            if let Some(evicted) = self.buf.pop_front() {
+                if is_span_event(&evicted) {
+                    self.dropped_spans += 1;
+                }
+            }
             self.dropped += 1;
         }
         self.buf.push_back(event);
@@ -77,6 +99,10 @@ impl TraceSink for RingBufferSink {
 
     fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
     }
 
     fn drain(&mut self) -> Vec<TimedEvent> {
@@ -93,7 +119,10 @@ mod tests {
         TimedEvent {
             cycle,
             source: TileCoord::new(0, 0),
-            event: TraceEvent::NocPacketInject { plane: 0 },
+            event: TraceEvent::NocPacketInject {
+                plane: 0,
+                frame: None,
+            },
         }
     }
 
@@ -108,6 +137,26 @@ mod tests {
         let cycles: Vec<u64> = sink.drain().into_iter().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![2, 3, 4]);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn span_relevant_drops_are_counted_separately() {
+        let mut sink = RingBufferSink::new(2);
+        sink.record(TimedEvent {
+            cycle: 0,
+            source: TileCoord::new(0, 0),
+            event: TraceEvent::FrameComplete {
+                accel: "nv0".into(),
+                frame: 0,
+            },
+        });
+        for c in 1..4 {
+            sink.record(ev(c));
+        }
+        // The frame completion and one packet event were evicted; only
+        // the former counts against the span assembler.
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.dropped_spans(), 1);
     }
 
     #[test]

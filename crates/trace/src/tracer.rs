@@ -100,6 +100,15 @@ impl Tracer {
         }
     }
 
+    /// Discarded events the span assembler needed, counted separately
+    /// from [`Tracer::dropped`].
+    pub fn dropped_spans(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.sink.lock().map(|s| s.dropped_spans()).unwrap_or(0),
+            None => 0,
+        }
+    }
+
     /// Removes and returns all buffered events in chronological order.
     pub fn drain(&self) -> Vec<TimedEvent> {
         match &self.0 {
@@ -128,7 +137,10 @@ mod tests {
         let mut built = false;
         tracer.emit(1, TileCoord::new(0, 0), || {
             built = true;
-            TraceEvent::NocPacketInject { plane: 0 }
+            TraceEvent::NocPacketInject {
+                plane: 0,
+                frame: None,
+            }
         });
         assert!(!built, "payload closure ran on a disabled tracer");
         assert!(tracer.is_empty());
@@ -156,11 +168,13 @@ mod tests {
         let b = a.clone();
         b.emit(5, TileCoord::new(0, 1), || TraceEvent::NocPacketInject {
             plane: 2,
+            frame: None,
         });
         assert_eq!(a.len(), 1);
         a.set_enabled(false);
         b.emit(6, TileCoord::new(0, 1), || TraceEvent::NocPacketInject {
             plane: 2,
+            frame: None,
         });
         assert_eq!(a.len(), 1, "paused tracer still recorded");
     }

@@ -94,6 +94,75 @@ fn engines_agree_on_profile_reports() {
     }
 }
 
+/// Runs `point` with the span collector (and its agreement profiler)
+/// attached and returns the serialized span report list.
+fn span_json(point: &GridPoint, models: &TrainedModels, frames: u64, engine: SocEngine) -> String {
+    let mut session = TraceSession::spanned(None, true);
+    AppRun::execute_traced_on(&point.app, models, frames, point.mode, engine, &mut session)
+        .unwrap_or_else(|e| panic!("{} spanned run failed: {e}", point.label()));
+    serde_json::to_string(session.span_reports()).expect("span serialization")
+}
+
+/// The span assembler is event-derived exactly like the profiler, so
+/// its reports — per-frame span trees, critical links, and the
+/// aggregated critical path — must also serialize byte-identically
+/// under both engines on every Fig. 7 grid point.
+#[test]
+fn engines_agree_on_span_reports() {
+    let models = TrainedModels::untrained();
+    for point in &Fig7::grid() {
+        let naive = span_json(point, &models, 2, SocEngine::Naive);
+        let event = span_json(point, &models, 2, SocEngine::EventDriven);
+        assert!(
+            !naive.is_empty() && naive != "[]",
+            "{}: spanned run produced no report",
+            point.label()
+        );
+        assert_eq!(
+            naive,
+            event,
+            "{}: span reports diverged between engines",
+            point.label()
+        );
+    }
+}
+
+/// On every Fig. 7 grid point the aggregated critical path must name
+/// the same limiting stage as the independently-fed profiler's
+/// bottleneck report — the agreement `espspan` checks at runtime.
+#[test]
+fn span_critical_path_matches_profiler_on_every_fig7_point() {
+    let models = TrainedModels::untrained();
+    for point in &Fig7::grid() {
+        let mut session = TraceSession::spanned(None, true);
+        AppRun::execute_traced_on(
+            &point.app,
+            &models,
+            2,
+            point.mode,
+            SocEngine::EventDriven,
+            &mut session,
+        )
+        .unwrap_or_else(|e| panic!("{} spanned run failed: {e}", point.label()));
+        let report = session.span_reports().first().expect("span report");
+        let bottleneck = session
+            .profiles()
+            .first()
+            .and_then(|p| p.run.bottleneck.as_ref())
+            .unwrap_or_else(|| panic!("{}: no bottleneck report", point.label()));
+        let cp = report
+            .critical_path
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no critical path", point.label()));
+        assert_eq!(
+            cp.limiting_stage,
+            bottleneck.limiting_stage,
+            "{}: critical path disagrees with the profiler",
+            point.label()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -110,5 +179,36 @@ proptest! {
         let app = esp4ml::CaseApp::all_fig7_configs()[config];
         let mode = ExecMode::ALL[mode_idx];
         assert_engines_agree(&GridPoint { app, mode }, &models, frames);
+    }
+
+    /// The attribution invariant — every cycle of a frame's end-to-end
+    /// latency lands in exactly one span — must hold on arbitrary
+    /// (configuration, mode, frame count) points of the Fig. 7 space,
+    /// under both engines.
+    #[test]
+    fn span_attribution_is_exact_on_fig7_points(
+        config in 0usize..5,
+        mode_idx in 0usize..3,
+        frames in 1u64..6,
+    ) {
+        let models = TrainedModels::untrained();
+        let app = esp4ml::CaseApp::all_fig7_configs()[config];
+        let mode = ExecMode::ALL[mode_idx];
+        let point = GridPoint { app, mode };
+        for engine in [SocEngine::Naive, SocEngine::EventDriven] {
+            let mut session = TraceSession::spanned(None, false);
+            AppRun::execute_traced_on(&app, &models, frames, mode, engine, &mut session)
+                .unwrap_or_else(|e| panic!("{} spanned run failed: {e}", point.label()));
+            let report = session.span_reports().first().expect("span report");
+            prop_assert_eq!(
+                report.frames.len() as u64,
+                frames,
+                "{}: expected one span tree per frame",
+                point.label()
+            );
+            if let Err(e) = report.check_attribution() {
+                panic!("{} ({engine:?}): {e}", point.label());
+            }
+        }
     }
 }

@@ -7,6 +7,8 @@ use esp4ml::apps::{CaseApp, TrainedModels};
 use esp4ml::experiments::AppRun;
 use esp4ml::faults::{CampaignReport, FaultConfig, CAMPAIGN_WATCHDOG_CYCLES};
 use esp4ml::runtime::ExecMode;
+use esp4ml::trace::SpanKind;
+use esp4ml::TraceSession;
 use esp4ml_fault::{FaultPlan, FaultSpec};
 use esp4ml_soc::SocEngine;
 
@@ -110,6 +112,84 @@ fn campaign_json_is_byte_identical_across_engines() {
     assert!(
         naive.cases.iter().all(|c| c.status != "failed"),
         "recovery must absorb every injected fault:\n{naive}"
+    );
+}
+
+/// Recovery cycles are not lost by the span layer: retry backoff
+/// windows land in [`SpanKind::Retry`] spans, failovers appear as
+/// marker spans, and the attribution invariant (every latency cycle in
+/// exactly one span) survives both — the degraded frames are exactly
+/// as long as their spans say.
+#[test]
+fn recovery_cycles_appear_as_retry_and_failover_spans() {
+    let m = models();
+
+    // Transient hang: heals with retries alone, so the stretched
+    // frame's extra latency must be visible as Retry-attributed cycles.
+    let app = CaseApp::DenoiserClassifier;
+    let config = hang_config(FaultPlan::new(0).with(FaultSpec::transient_hang("denoiser", 0)));
+    let mut session = TraceSession::spanned(None, false);
+    let run = AppRun::execute_faulted_traced(
+        &app,
+        &m,
+        3,
+        ExecMode::P2p,
+        SocEngine::EventDriven,
+        &config,
+        &mut session,
+    )
+    .unwrap();
+    assert!(run.metrics.retries >= 1, "{:?}", run.metrics);
+    let report = session.span_reports().first().expect("span report");
+    report
+        .check_attribution()
+        .expect("attribution must stay exact under retries");
+    let retry_cycles: u64 = report
+        .frames
+        .iter()
+        .flat_map(|f| &f.stages)
+        .flat_map(|s| &s.spans)
+        .filter(|s| s.kind == SpanKind::Retry)
+        .map(|s| s.cycles())
+        .sum();
+    assert!(
+        retry_cycles > 0,
+        "retry backoff must be attributed as Retry spans:\n{}",
+        report.render_text()
+    );
+
+    // Permanent hang: retry exhaustion remaps the stage to the spare
+    // classifier — the remap must leave a Failover marker in the tree
+    // without breaking attribution.
+    let app = CaseApp::NightVisionClassifier { nv: 2, cl: 2 };
+    let config = hang_config(FaultPlan::new(0).with(FaultSpec::permanent_hang("cl0")));
+    let mut session = TraceSession::spanned(None, false);
+    let run = AppRun::execute_faulted_traced(
+        &app,
+        &m,
+        3,
+        ExecMode::Pipe,
+        SocEngine::EventDriven,
+        &config,
+        &mut session,
+    )
+    .unwrap();
+    assert!(run.metrics.failovers >= 1, "{:?}", run.metrics);
+    let report = session.span_reports().first().expect("span report");
+    report
+        .check_attribution()
+        .expect("attribution must stay exact under failover");
+    let failover_markers = report
+        .frames
+        .iter()
+        .flat_map(|f| &f.stages)
+        .flat_map(|s| &s.spans)
+        .filter(|s| s.kind == SpanKind::Failover)
+        .count();
+    assert!(
+        failover_markers >= 1,
+        "failover must appear as a marker span:\n{}",
+        report.render_text()
     );
 }
 

@@ -8,7 +8,7 @@ use esp4ml::noc::Coord;
 use esp4ml::runtime::{Dataflow, EspRuntime, ExecMode, RunSpec};
 use esp4ml::soc::{ScaleKernel, SocBuilder};
 use esp4ml::trace::perfetto::{self, tile_tid};
-use esp4ml::trace::{TileCoord, TraceEvent, Tracer};
+use esp4ml::trace::{RingBufferSink, SpanCollector, TileCoord, TraceEvent, Tracer};
 use esp4ml::TraceSession;
 use proptest::prelude::*;
 
@@ -159,6 +159,49 @@ fn counters_accumulate_across_runs() {
         snap.get("noc.flit_hops"),
         m1.noc_flit_hops + m2.noc_flit_hops
     );
+}
+
+/// A saturated ring buffer must not corrupt span assembly: the online
+/// collector sees every event before the buffer evicts it, so the
+/// report stays exact — but carrying over the sink's dropped-span count
+/// flags it as partial, and replaying the truncated buffer offline
+/// (having lost the `RunStart`) yields no half-open run rather than a
+/// panic.
+#[test]
+fn saturated_ring_buffer_yields_consistent_partial_spans() {
+    let spans = SpanCollector::new();
+    // 64 events is far below what a 4-frame two-stage run emits.
+    let tracer = Tracer::with_sink(Box::new(spans.sink(Box::new(RingBufferSink::new(64)))));
+    tracer.emit(0, TileCoord::new(0, 0), || TraceEvent::RunStart {
+        label: "saturated".into(),
+    });
+    let mut rt = two_stage_runtime();
+    rt.set_tracer(tracer.clone());
+    run_frames(&mut rt, 4, ExecMode::Pipe);
+    assert!(tracer.dropped() > 0, "buffer was not saturated");
+    assert!(
+        tracer.dropped_spans() > 0,
+        "no span-relevant events were evicted"
+    );
+
+    spans.note_dropped_spans(tracer.dropped_spans());
+    let end = rt.soc().cycle();
+    let report = spans.close_run(end).expect("open run closes");
+    assert!(report.partial, "dropped spans must flag the report partial");
+    assert_eq!(report.dropped_spans, tracer.dropped_spans());
+    assert_eq!(report.frames.len(), 4);
+    // The collector observed the full stream online, so attribution
+    // stays exact even though the buffered copy is truncated.
+    report.check_attribution().expect("attribution");
+
+    // Offline replay of the truncated buffer: the RunStart marker was
+    // the oldest event and is long evicted, so a fresh collector opens
+    // no run — and must say so instead of panicking or fabricating one.
+    let drained = tracer.drain();
+    assert!(drained.len() <= 64);
+    let fresh = SpanCollector::new();
+    fresh.observe_all(&drained);
+    assert!(fresh.close_run(end).is_none());
 }
 
 /// The tracer observes the full event taxonomy during a DMA-mode run:
