@@ -7,20 +7,16 @@
 //! ```
 
 use esp4ml::experiments::AccuracyReport;
-use esp4ml_bench::HarnessArgs;
+use esp4ml_bench::cli::{self, HarnessSpec, TRAINING_FLAGS};
 
 fn main() {
-    let mut args = match HarnessArgs::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if args.faults.is_some() {
-        eprintln!("accuracy does not support --faults; use fig7/fig8 or the espfault campaign");
-        std::process::exit(2);
-    }
+    let spec = HarnessSpec::new(
+        "accuracy",
+        "accuracy recovered by the vision pipelines on dark/noisy frames",
+        TRAINING_FLAGS,
+    );
+    let mut args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
     args.train = true;
     let models = args.models();
     match AccuracyReport::generate(&models, args.frames) {

@@ -17,72 +17,20 @@
 //! a location, and a fix hint — see `DESIGN.md` for the full registry.
 //! The exit status is 0 when no *errors* were found (warnings don't
 //! fail the lint), 1 on error findings, 2 on usage errors.
+//!
+//! The same lint runs as the `espserve` admission filter: every job's
+//! attached SoC configuration and fault plan pass through it before a
+//! single cycle is simulated.
 
-use esp4ml::apps::{build_soc2, CaseApp, SocId, TrainedModels};
-use esp4ml::check::{lint_all, lint_config, lint_dataflow, lint_mapping, FloorplanView};
+use esp4ml::check::lint_config;
 use esp4ml::soc_config::SocConfigFile;
+use esp4ml_bench::cli::{self, HarnessSpec, ESPCHECK_FLAGS};
+use esp4ml_bench::request::{lint_builtins, EspcheckReport, LintTarget};
 use esp4ml_check::{Diagnostic, Report};
-use serde::Serialize;
 use std::path::PathBuf;
 
-/// One linted target and its findings.
-#[derive(Debug, Serialize)]
-struct Target {
-    name: String,
-    errors: usize,
-    warnings: usize,
-    diagnostics: Vec<Diagnostic>,
-}
-
-impl Target {
-    fn new(name: impl Into<String>, report: Report) -> Target {
-        Target {
-            name: name.into(),
-            errors: report.error_count(),
-            warnings: report.warning_count(),
-            diagnostics: report.diagnostics,
-        }
-    }
-}
-
-#[derive(Debug, Serialize)]
-struct EspcheckReport {
-    version: String,
-    targets: Vec<Target>,
-    total_errors: usize,
-    total_warnings: usize,
-    clean: bool,
-}
-
-struct Args {
-    configs: Vec<PathBuf>,
-    json: Option<PathBuf>,
-}
-
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
-    let mut out = Args {
-        configs: Vec::new(),
-        json: None,
-    };
-    let mut it = args;
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
-        match arg.as_str() {
-            "--config" => out.configs.push(PathBuf::from(grab("--config")?)),
-            "--json" => out.json = Some(PathBuf::from(grab("--json")?)),
-            other => {
-                return Err(format!(
-                    "unknown option {other}; supported: --config PATH (repeatable; \
-                     lints the files instead of the built-in floorplans) --json PATH"
-                ))
-            }
-        }
-    }
-    Ok(out)
-}
-
 /// Lints one configuration file from disk.
-fn lint_file(path: &PathBuf) -> Target {
+fn lint_file(path: &PathBuf) -> LintTarget {
     let name = format!("config {}", path.display());
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -93,11 +41,11 @@ fn lint_file(path: &PathBuf) -> Target {
                 path.display().to_string(),
                 format!("cannot read configuration file: {e}"),
             ));
-            return Target::new(name, report);
+            return LintTarget::new(name, report);
         }
     };
     match SocConfigFile::from_json(&text) {
-        Ok(config) => Target::new(name, lint_config(&config)),
+        Ok(config) => LintTarget::new(name, lint_config(&config)),
         Err(e) => {
             let mut report = Report::new();
             report.push(
@@ -108,96 +56,28 @@ fn lint_file(path: &PathBuf) -> Target {
                 )
                 .with_hint("see SocConfigFile::soc1() / configs/soc1.json for the schema"),
             );
-            Target::new(name, report)
+            LintTarget::new(name, report)
         }
     }
-}
-
-/// Lints the built-in floorplans and every Fig. 7 application mapping.
-fn lint_builtins() -> Vec<Target> {
-    let mut targets = Vec::new();
-    let soc1 = SocConfigFile::soc1();
-    targets.push(Target::new("builtin soc1 floorplan", lint_config(&soc1)));
-    // SoC-2 is assembled programmatically; lint the built artifact.
-    let models = TrainedModels::untrained();
-    let soc2_view = build_soc2(&models)
-        .ok()
-        .map(|soc| FloorplanView::from_soc(&soc));
-    for app in CaseApp::all_fig7_configs() {
-        let name = format!("fig7 {} ({:?})", app.label(), app.soc_id());
-        let dataflow = app.dataflow();
-        let report = match app.soc_id() {
-            SocId::Soc1 => lint_all(&soc1, &dataflow),
-            SocId::Soc2 => match &soc2_view {
-                Some(view) => {
-                    let mut r = lint_dataflow(&dataflow);
-                    r.merge(lint_mapping(view, &dataflow));
-                    r.normalize();
-                    r
-                }
-                None => {
-                    let mut r = Report::new();
-                    r.push(Diagnostic::error(
-                        esp4ml_check::codes::MISSING_REQUIRED_TILE,
-                        "soc2",
-                        "the built-in SoC-2 floorplan failed to build",
-                    ));
-                    r
-                }
-            },
-        };
-        targets.push(Target::new(name, report));
-    }
-    targets
 }
 
 fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let targets = if args.configs.is_empty() {
+    let spec = HarnessSpec::new(
+        "espcheck",
+        "statically lint SoC floorplans, dataflows and mappings",
+        ESPCHECK_FLAGS,
+    );
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let targets = if args.config_paths.is_empty() {
         lint_builtins()
     } else {
-        args.configs.iter().map(lint_file).collect()
+        args.config_paths.iter().map(lint_file).collect()
     };
-    for target in &targets {
-        if target.diagnostics.is_empty() {
-            println!("ok   {}", target.name);
-        } else {
-            println!("FAIL {}", target.name);
-            for diag in &target.diagnostics {
-                println!("  {diag}");
-            }
-        }
-    }
-    let total_errors: usize = targets.iter().map(|t| t.errors).sum();
-    let total_warnings: usize = targets.iter().map(|t| t.warnings).sum();
-    let report = EspcheckReport {
-        version: env!("CARGO_PKG_VERSION").to_string(),
-        total_errors,
-        total_warnings,
-        clean: total_errors == 0,
-        targets,
-    };
-    println!(
-        "espcheck: {} error(s), {} warning(s) across {} target(s)",
-        report.total_errors,
-        report.total_warnings,
-        report.targets.len()
-    );
+    let report = EspcheckReport::from_targets(targets);
+    print!("{}", report.render_text());
     if let Some(path) = &args.json {
-        let json = match serde_json::to_string_pretty(&report) {
-            Ok(j) => j,
-            Err(e) => {
-                eprintln!("failed to serialize report: {e}");
-                std::process::exit(1);
-            }
-        };
-        if let Err(e) = std::fs::write(path, json + "\n") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }

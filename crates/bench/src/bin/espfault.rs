@@ -17,98 +17,26 @@
 //! The process exits 1 when any case ends in `failed` (the recovery
 //! machinery could not absorb an injected fault), so CI can gate on it.
 
-use esp4ml::apps::TrainedModels;
-use esp4ml::faults::CampaignReport;
-use esp4ml_soc::SocEngine;
-use std::path::PathBuf;
-
-struct Args {
-    frames: u64,
-    seeds: u64,
-    engine: SocEngine,
-    json: Option<PathBuf>,
-}
-
-fn parse(args: impl Iterator<Item = String>) -> Result<Args, String> {
-    let mut out = Args {
-        frames: 3,
-        seeds: 2,
-        engine: SocEngine::default(),
-        json: None,
-    };
-    let mut it = args.peekable();
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| -> Result<u64, String> {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<u64>()
-                .map_err(|e| format!("{name}: {e}"))
-        };
-        match arg.as_str() {
-            "--frames" => out.frames = grab("--frames")?,
-            "--seeds" => out.seeds = grab("--seeds")?,
-            "--json" => {
-                let path = it.next().ok_or("--json needs a file path")?;
-                out.json = Some(PathBuf::from(path));
-            }
-            "--engine" => {
-                let v = it.next().ok_or("--engine needs naive or event")?;
-                out.engine = match v.as_str() {
-                    "naive" => SocEngine::Naive,
-                    "event" | "event-driven" => SocEngine::EventDriven,
-                    other => return Err(format!("--engine: unknown engine {other}")),
-                };
-            }
-            other => {
-                return Err(format!(
-                    "unknown option {other}; supported: --frames N --seeds N \
-                     --engine naive|event --json PATH"
-                ))
-            }
-        }
-    }
-    if out.frames == 0 {
-        return Err("--frames must be at least 1".into());
-    }
-    if out.seeds == 0 {
-        return Err("--seeds must be at least 1".into());
-    }
-    Ok(out)
-}
+use esp4ml_bench::cli::{self, HarnessSpec, ESPFAULT_FLAGS};
+use esp4ml_bench::{observe, WorkloadKind};
 
 fn main() {
-    let args = match parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let models = TrainedModels::untrained();
-    let seeds: Vec<u64> = (1..=args.seeds).collect();
-    let report = match CampaignReport::generate(&models, &seeds, args.frames, args.engine) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("espfault campaign failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    println!("{report}");
-    if let Some(path) = &args.json {
-        let json = match report.to_json() {
-            Ok(j) => j,
-            Err(e) => {
-                eprintln!("failed to serialize the report: {e}");
-                std::process::exit(1);
-            }
-        };
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        eprintln!("wrote {}", path.display());
-    }
-    if report.cases.iter().any(|c| c.status == "failed") {
+    let spec = HarnessSpec::new(
+        "espfault",
+        "sweep seeded fault-injection campaigns with the recovery layer armed",
+        ESPFAULT_FLAGS,
+    )
+    .with_defaults(|d| d.frames = 3);
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let response = observe::run_workload(
+        "espfault",
+        &args,
+        WorkloadKind::Faults { seeds: args.seeds },
+    );
+    print!("{}", response.summary_text);
+    observe::write_artifacts_or_exit("espfault", &args, &response);
+    if !response.verdict.ok {
         eprintln!("espfault: unabsorbed fault(s) — see the report above");
         std::process::exit(1);
     }

@@ -1,8 +1,8 @@
-//! `espprof` — the profiling reporter: runs one accelerator
-//! configuration across execution modes with the online profiler
-//! attached, prints the frame-latency / utilization / NoC-heatmap report
-//! per mode, and cross-checks the bottleneck analysis against the
-//! measured throughput.
+//! `espprof` — the profiling reporter: runs accelerator configurations
+//! across execution modes with the online profiler attached, prints the
+//! frame-latency / utilization / NoC-heatmap report per mode, and
+//! cross-checks the bottleneck analysis against the measured
+//! throughput.
 //!
 //! ```text
 //! cargo run --release -p esp4ml-bench --bin espprof -- \
@@ -19,245 +19,30 @@
 //!    the profile agrees with the throughput ordering (p2p vs
 //!    DMA-through-DRAM).
 
-use esp4ml::apps::{CaseApp, TrainedModels};
-use esp4ml::experiments::AppRun;
-use esp4ml::{ProfileReport, TraceSession};
-use esp4ml_runtime::ExecMode;
-use esp4ml_soc::SocEngine;
-use serde::Serialize;
-use std::path::PathBuf;
-
-#[derive(Debug, Serialize)]
-struct ModeRun {
-    label: String,
-    mode: String,
-    frames_per_second: f64,
-    observed_cycles_per_frame: f64,
-    limiting_stage: Option<String>,
-    speedup_ceiling: Option<f64>,
-    profile: ProfileReport,
-}
-
-#[derive(Debug, Serialize)]
-struct EspprofReport {
-    version: String,
-    config: String,
-    frames: u64,
-    engine: String,
-    runs: Vec<ModeRun>,
-    violations: Vec<String>,
-    consistent: bool,
-}
-
-struct Args {
-    frames: u64,
-    config: usize,
-    modes: Vec<ExecMode>,
-    engine: SocEngine,
-    json: Option<PathBuf>,
-}
-
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
-    let mut out = Args {
-        frames: 8,
-        config: 3, // 1De+1Cl: the paper's denoiser-classifier pipeline
-        modes: Vec::new(),
-        engine: SocEngine::default(),
-        json: None,
-    };
-    let configs = CaseApp::all_fig7_configs();
-    let mut it = args;
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
-        match arg.as_str() {
-            "--frames" => {
-                out.frames = grab("--frames")?
-                    .parse()
-                    .map_err(|e| format!("--frames: {e}"))?
-            }
-            "--config" => {
-                out.config = grab("--config")?
-                    .parse()
-                    .map_err(|e| format!("--config: {e}"))?
-            }
-            "--mode" => {
-                let v = grab("--mode")?;
-                out.modes.push(match v.as_str() {
-                    "base" => ExecMode::Base,
-                    "pipe" => ExecMode::Pipe,
-                    "p2p" => ExecMode::P2p,
-                    other => return Err(format!("--mode: unknown mode {other}")),
-                });
-            }
-            "--engine" => {
-                let v = grab("--engine")?;
-                out.engine = match v.as_str() {
-                    "naive" => SocEngine::Naive,
-                    "event" | "event-driven" => SocEngine::EventDriven,
-                    other => return Err(format!("--engine: unknown engine {other}")),
-                };
-            }
-            "--json" => out.json = Some(PathBuf::from(grab("--json")?)),
-            other => {
-                return Err(format!(
-                    "unknown option {other}; supported: --frames N --config IDX \
-                     --mode base|pipe|p2p (repeatable) --engine naive|event --json PATH"
-                ))
-            }
-        }
-    }
-    if out.frames == 0 {
-        return Err("--frames must be at least 1".into());
-    }
-    if out.config >= configs.len() {
-        let list: Vec<String> = configs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{i}={}", c.label()))
-            .collect();
-        return Err(format!("--config: index out of range; {}", list.join(" ")));
-    }
-    if out.modes.is_empty() {
-        // Default pair: software pipeline through DRAM vs hardware p2p.
-        out.modes = vec![ExecMode::Pipe, ExecMode::P2p];
-    }
-    Ok(out)
-}
-
-fn engine_name(engine: SocEngine) -> &'static str {
-    match engine {
-        SocEngine::Naive => "naive",
-        SocEngine::EventDriven => "event-driven",
-    }
-}
-
-/// Checks the profile reports against the measured throughput; returns
-/// the list of violated invariants (empty when consistent).
-fn consistency_violations(runs: &[ModeRun]) -> Vec<String> {
-    let mut violations = Vec::new();
-    for run in runs {
-        if let Some(b) = &run.profile.run.bottleneck {
-            if b.bound_cycles_per_frame > run.observed_cycles_per_frame * (1.0 + 1e-9) {
-                violations.push(format!(
-                    "{}: limiting-stage bound {:.1} cycles/frame exceeds observed {:.1}",
-                    run.label, b.bound_cycles_per_frame, run.observed_cycles_per_frame
-                ));
-            }
-        } else {
-            violations.push(format!("{}: no bottleneck report produced", run.label));
-        }
-    }
-    for a in runs {
-        for b in runs {
-            if a.frames_per_second > b.frames_per_second
-                && a.observed_cycles_per_frame > b.observed_cycles_per_frame
-            {
-                violations.push(format!(
-                    "throughput ordering disagrees with profile: {} measures \
-                     {:.1} f/s vs {} at {:.1} f/s, yet profiles {:.1} vs {:.1} cycles/frame",
-                    a.label,
-                    a.frames_per_second,
-                    b.label,
-                    b.frames_per_second,
-                    a.observed_cycles_per_frame,
-                    b.observed_cycles_per_frame
-                ));
-            }
-        }
-    }
-    violations
-}
-
-fn run(args: &Args) -> Result<EspprofReport, Box<dyn std::error::Error>> {
-    let app = CaseApp::all_fig7_configs()[args.config];
-    let models = TrainedModels::untrained();
-    let mut runs = Vec::new();
-    for mode in &args.modes {
-        let mut session = TraceSession::profiled(None);
-        let run = AppRun::execute_traced_on(
-            &app,
-            &models,
-            args.frames,
-            *mode,
-            args.engine,
-            &mut session,
-        )?;
-        let profile = session
-            .profiles()
-            .first()
-            .cloned()
-            .ok_or("profiled run produced no profile report")?;
-        let label = format!("{} {}", app.label(), mode.label());
-        println!("=== {label} ===");
-        println!("{}", profile.render_text());
-        println!(
-            "measured throughput: {:.1} frames/s over {} frames\n",
-            run.metrics.frames_per_second(),
-            args.frames
-        );
-        runs.push(ModeRun {
-            label,
-            mode: mode.label().to_string(),
-            frames_per_second: run.metrics.frames_per_second(),
-            observed_cycles_per_frame: profile.run.observed_cycles_per_frame(),
-            limiting_stage: profile
-                .run
-                .bottleneck
-                .as_ref()
-                .map(|b| b.limiting_stage.clone()),
-            speedup_ceiling: profile.run.bottleneck.as_ref().map(|b| b.speedup_ceiling),
-            profile,
-        });
-    }
-    let violations = consistency_violations(&runs);
-    Ok(EspprofReport {
-        version: env!("CARGO_PKG_VERSION").to_string(),
-        config: app.label(),
-        frames: args.frames,
-        engine: engine_name(args.engine).to_string(),
-        consistent: violations.is_empty(),
-        violations,
-        runs,
-    })
-}
+use esp4ml_bench::cli::{self, HarnessSpec, ESPPROF_FLAGS};
+use esp4ml_bench::{observe, WorkloadKind};
 
 fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let report = match run(&args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("espprof failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    let json = match serde_json::to_string_pretty(&report) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("failed to serialize report: {e}");
-            std::process::exit(1);
-        }
-    };
-    if let Some(path) = &args.json {
-        if let Err(e) = std::fs::write(path, json + "\n") {
-            eprintln!("failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
-    }
-    if report.consistent {
+    let spec = HarnessSpec::new(
+        "espprof",
+        "profile configurations across execution modes and check the \
+         bottleneck report against the simulator",
+        ESPPROF_FLAGS,
+    )
+    .with_defaults(|d| d.frames = 8);
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let response = observe::run_workload("espprof", &args, WorkloadKind::Profile);
+    print!("{}", response.summary_text);
+    observe::write_artifacts_or_exit("espprof", &args, &response);
+    if response.verdict.ok {
         println!(
-            "profile consistent with measured throughput across {} mode(s)",
-            report.runs.len()
+            "profile consistent with measured throughput across {} run(s)",
+            response.runs.len()
         );
     } else {
         eprintln!("FAIL: profile disagrees with the simulator:");
-        for v in &report.violations {
+        for v in &response.verdict.violations {
             eprintln!("  - {v}");
         }
         std::process::exit(1);

@@ -15,8 +15,8 @@
 //!
 //! 1. **Attribution invariant** — on every frame of every run, the span
 //!    cycles sum exactly to the frame's end-to-end latency
-//!    ([`SpanReport::check_attribution`]); no cycle is lost or double
-//!    counted.
+//!    ([`SpanReport::check_attribution`](esp4ml::trace::SpanReport::check_attribution));
+//!    no cycle is lost or double counted.
 //! 2. **Critical-path agreement** — the aggregated critical path names
 //!    the same limiting stage as an independently-fed
 //!    [`ProfileCollector`](esp4ml::trace::ProfileCollector)'s
@@ -25,284 +25,31 @@
 //!
 //! `--all` sweeps every Fig. 7 configuration instead of one `--config`.
 
-use esp4ml::apps::{CaseApp, TrainedModels};
-use esp4ml::experiments::AppRun;
-use esp4ml::trace::SpanReport;
-use esp4ml::TraceSession;
-use esp4ml_runtime::ExecMode;
-use esp4ml_soc::SocEngine;
-use serde::Serialize;
-use std::path::PathBuf;
-
-#[derive(Debug, Serialize)]
-struct CaseRun {
-    label: String,
-    mode: String,
-    frames_per_second: f64,
-    /// Limiting stage per the span layer's aggregated critical path.
-    span_limiting_stage: Option<String>,
-    /// Limiting stage per the independent profiler's bottleneck report.
-    profile_limiting_stage: Option<String>,
-    report: SpanReport,
-}
-
-#[derive(Debug, Serialize)]
-struct EspspanReport {
-    version: String,
-    configs: Vec<String>,
-    frames: u64,
-    engine: String,
-    runs: Vec<CaseRun>,
-    violations: Vec<String>,
-    consistent: bool,
-}
-
-struct Args {
-    frames: u64,
-    configs: Vec<usize>,
-    modes: Vec<ExecMode>,
-    engine: SocEngine,
-    json: Option<PathBuf>,
-    flame: Option<PathBuf>,
-}
-
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
-    let mut out = Args {
-        frames: 8,
-        configs: Vec::new(),
-        modes: Vec::new(),
-        engine: SocEngine::default(),
-        json: None,
-        flame: None,
-    };
-    let mut all = false;
-    let configs = CaseApp::all_fig7_configs();
-    let mut it = args;
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
-        match arg.as_str() {
-            "--frames" => {
-                out.frames = grab("--frames")?
-                    .parse()
-                    .map_err(|e| format!("--frames: {e}"))?
-            }
-            "--config" => {
-                out.configs.push(
-                    grab("--config")?
-                        .parse()
-                        .map_err(|e| format!("--config: {e}"))?,
-                );
-            }
-            "--all" => all = true,
-            "--mode" => {
-                let v = grab("--mode")?;
-                out.modes.push(match v.as_str() {
-                    "base" => ExecMode::Base,
-                    "pipe" => ExecMode::Pipe,
-                    "p2p" => ExecMode::P2p,
-                    other => return Err(format!("--mode: unknown mode {other}")),
-                });
-            }
-            "--engine" => {
-                let v = grab("--engine")?;
-                out.engine = match v.as_str() {
-                    "naive" => SocEngine::Naive,
-                    "event" | "event-driven" => SocEngine::EventDriven,
-                    other => return Err(format!("--engine: unknown engine {other}")),
-                };
-            }
-            "--json" => out.json = Some(PathBuf::from(grab("--json")?)),
-            "--flame" => out.flame = Some(PathBuf::from(grab("--flame")?)),
-            other => {
-                return Err(format!(
-                    "unknown option {other}; supported: --frames N --config IDX (repeatable) \
-                     --all --mode base|pipe|p2p (repeatable) --engine naive|event \
-                     --json PATH --flame PATH"
-                ))
-            }
-        }
-    }
-    if out.frames == 0 {
-        return Err("--frames must be at least 1".into());
-    }
-    if all {
-        if !out.configs.is_empty() {
-            return Err("--all and --config are mutually exclusive".into());
-        }
-        out.configs = (0..configs.len()).collect();
-    }
-    if out.configs.is_empty() {
-        out.configs = vec![3]; // 1De+1Cl: the paper's denoiser-classifier pipeline
-    }
-    if let Some(&bad) = out.configs.iter().find(|&&c| c >= configs.len()) {
-        let list: Vec<String> = configs
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{i}={}", c.label()))
-            .collect();
-        return Err(format!(
-            "--config {bad}: index out of range; {}",
-            list.join(" ")
-        ));
-    }
-    if out.modes.is_empty() {
-        // Default pair: software pipeline through DRAM vs hardware p2p.
-        out.modes = vec![ExecMode::Pipe, ExecMode::P2p];
-    }
-    Ok(out)
-}
-
-fn engine_name(engine: SocEngine) -> &'static str {
-    match engine {
-        SocEngine::Naive => "naive",
-        SocEngine::EventDriven => "event-driven",
-    }
-}
-
-/// Checks every run's span report against the attribution invariant
-/// and the independent profiler; returns the list of violations.
-fn consistency_violations(runs: &[CaseRun]) -> Vec<String> {
-    let mut violations = Vec::new();
-    for run in runs {
-        if let Err(e) = run.report.check_attribution() {
-            violations.push(format!(
-                "{}: attribution invariant violated: {e}",
-                run.label
-            ));
-        }
-        if run.report.frames.is_empty() {
-            violations.push(format!("{}: no frame span trees assembled", run.label));
-        }
-        match (&run.span_limiting_stage, &run.profile_limiting_stage) {
-            (Some(s), Some(p)) if s != p => violations.push(format!(
-                "{}: span critical path names stage \"{s}\" but the profiler's \
-                 bottleneck report names \"{p}\"",
-                run.label
-            )),
-            (None, Some(p)) => violations.push(format!(
-                "{}: no critical path despite profiler bottleneck \"{p}\"",
-                run.label
-            )),
-            _ => {}
-        }
-    }
-    violations
-}
-
-fn run(args: &Args) -> Result<EspspanReport, Box<dyn std::error::Error>> {
-    let all = CaseApp::all_fig7_configs();
-    let models = TrainedModels::untrained();
-    let mut runs = Vec::new();
-    let mut labels = Vec::new();
-    for &config in &args.configs {
-        let app = all[config];
-        labels.push(app.label());
-        for mode in &args.modes {
-            // The spanned+profiled session feeds one event stream to
-            // both collectors, so the agreement check below compares
-            // two independently-maintained analyses of the same run.
-            let mut session = TraceSession::spanned(None, true);
-            let run = AppRun::execute_traced_on(
-                &app,
-                &models,
-                args.frames,
-                *mode,
-                args.engine,
-                &mut session,
-            )?;
-            let report = session
-                .span_reports()
-                .first()
-                .cloned()
-                .ok_or("spanned run produced no span report")?;
-            let profile_limiting_stage = session
-                .profiles()
-                .first()
-                .and_then(|p| p.run.bottleneck.as_ref())
-                .map(|b| b.limiting_stage.clone());
-            let label = format!("{} {}", app.label(), mode.label());
-            println!("=== {label} ===");
-            println!("{}", report.render_text());
-            println!(
-                "measured throughput: {:.1} frames/s over {} frames\n",
-                run.metrics.frames_per_second(),
-                args.frames
-            );
-            runs.push(CaseRun {
-                label,
-                mode: mode.label().to_string(),
-                frames_per_second: run.metrics.frames_per_second(),
-                span_limiting_stage: report
-                    .critical_path
-                    .as_ref()
-                    .map(|cp| cp.limiting_stage.clone()),
-                profile_limiting_stage,
-                report,
-            });
-        }
-    }
-    let violations = consistency_violations(&runs);
-    Ok(EspspanReport {
-        version: env!("CARGO_PKG_VERSION").to_string(),
-        configs: labels,
-        frames: args.frames,
-        engine: engine_name(args.engine).to_string(),
-        consistent: violations.is_empty(),
-        violations,
-        runs,
-    })
-}
+use esp4ml_bench::cli::{self, HarnessSpec, ESPSPAN_FLAGS};
+use esp4ml_bench::{observe, WorkloadKind};
 
 fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let report = match run(&args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("espspan failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    if let Some(path) = &args.flame {
-        let folded: String = report
-            .runs
-            .iter()
-            .map(|r| r.report.render_flame())
-            .collect();
-        if let Err(e) = std::fs::write(path, folded) {
-            eprintln!("failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote folded stacks to {}", path.display());
-    }
-    let json = match serde_json::to_string_pretty(&report) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("failed to serialize report: {e}");
-            std::process::exit(1);
-        }
-    };
-    if let Some(path) = &args.json {
-        if let Err(e) = std::fs::write(path, json + "\n") {
-            eprintln!("failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
-    }
-    if report.consistent {
+    let spec = HarnessSpec::new(
+        "espspan",
+        "assemble frame-level span trees across execution modes and check \
+         attribution and critical-path agreement",
+        ESPSPAN_FLAGS,
+    )
+    .with_defaults(|d| d.frames = 8);
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let response = observe::run_workload("espspan", &args, WorkloadKind::Spans);
+    print!("{}", response.summary_text);
+    observe::write_artifacts_or_exit("espspan", &args, &response);
+    if response.verdict.ok {
         println!(
-            "span attribution exact and critical path agrees with the profiler \
-             across {} run(s)",
-            report.runs.len()
+            "span attribution exact and critical path agrees with the \
+             profiler across {} run(s)",
+            response.runs.len()
         );
     } else {
-        eprintln!("FAIL: span layer disagrees with the simulator/profiler:");
-        for v in &report.violations {
+        eprintln!("FAIL: span layer disagrees with the simulator or profiler:");
+        for v in &response.verdict.violations {
             eprintln!("  - {v}");
         }
         std::process::exit(1);

@@ -6,83 +6,23 @@
 //! cargo run --release -p esp4ml-bench --bin fig7 -- --frames 64
 //! ```
 
-use esp4ml::experiments::Fig7;
-use esp4ml_bench::HarnessArgs;
+use esp4ml_bench::cli::{self, HarnessSpec, FIGURE_FLAGS};
+use esp4ml_bench::{observe, WorkloadKind};
 
 fn main() {
-    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let models = args.models();
-    let faults = match args.fault_config() {
-        Ok(f) => f,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if let Some(fc) = &faults {
-        if HarnessArgs::lint_faults(fc, &Fig7::grid()) {
-            std::process::exit(2);
-        }
-    }
-    let mut session = esp4ml_bench::observe::session_from_args(&args);
-    let result = match session.as_mut() {
-        Some(session) => Fig7::generate_traced(&models, args.frames, session),
-        None => esp4ml_bench::parallel::run_grid(
-            &Fig7::grid(),
-            &models,
-            args.frames,
-            args.engine,
-            args.jobs,
-            args.sanitize,
-            faults.as_ref(),
-        )
-        .and_then(|runs| {
-            if args.sanitize {
-                eprintln!("sanitizer: clean across {} runs", runs.len());
-            }
-            if faults.is_some() {
-                let (retries, failovers, degraded) = runs.iter().fold((0, 0, 0), |acc, r| {
-                    (
-                        acc.0 + r.metrics.retries,
-                        acc.1 + r.metrics.failovers,
-                        acc.2 + u64::from(r.software_fallback),
-                    )
-                });
-                eprintln!(
-                    "faults: {retries} retries, {failovers} failovers, \
-                     {degraded} software-degraded run(s) across {} runs",
-                    runs.len()
-                );
-            }
-            Fig7::assemble(&runs)
-        }),
-    };
-    match result {
-        Ok(fig) => {
-            println!("{fig}");
-            println!();
-            println!("{}", esp4ml_bench::chart::render_fig7(&fig));
-            println!("(measured over {} frames per bar)", args.frames);
-            println!(
-                "paper shape: pipe > base within every cluster; p2p ≈ pipe in f/s; \
-                 ESP4ML beats both baselines in f/J everywhere, by >100x in some cases"
-            );
-            if let Some(session) = session.as_ref() {
-                if let Err(e) = esp4ml_bench::observe::finish_session(&args, session) {
-                    eprintln!("failed to write trace artifacts: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-        Err(e) => {
-            eprintln!("fig7 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let spec = HarnessSpec::new(
+        "fig7",
+        "Fig. 7 — energy efficiency (frames/J) across the accelerator grid",
+        FIGURE_FLAGS,
+    );
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let response = observe::run_workload("fig7", &args, WorkloadKind::Fig7);
+    println!("{}", response.summary_text);
+    println!("(measured over {} frames per bar)", args.frames);
+    println!(
+        "paper shape: pipe > base within every cluster; p2p ≈ pipe in f/s; \
+         ESP4ML beats both baselines in f/J everywhere, by >100x in some cases"
+    );
+    observe::write_artifacts_or_exit("fig7", &args, &response);
 }

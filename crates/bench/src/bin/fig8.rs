@@ -5,78 +5,20 @@
 //! cargo run --release -p esp4ml-bench --bin fig8 -- --frames 64
 //! ```
 
-use esp4ml::experiments::Fig8;
-use esp4ml_bench::HarnessArgs;
+use esp4ml_bench::cli::{self, HarnessSpec, FIGURE_FLAGS};
+use esp4ml_bench::{observe, WorkloadKind};
 
 fn main() {
-    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let models = args.models();
-    let faults = match args.fault_config() {
-        Ok(f) => f,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if let Some(fc) = &faults {
-        if HarnessArgs::lint_faults(fc, &Fig8::grid()) {
-            std::process::exit(2);
-        }
-    }
-    let mut session = esp4ml_bench::observe::session_from_args(&args);
-    let result = match session.as_mut() {
-        Some(session) => Fig8::generate_traced(&models, args.frames, session),
-        None => esp4ml_bench::parallel::run_grid(
-            &Fig8::grid(),
-            &models,
-            args.frames,
-            args.engine,
-            args.jobs,
-            args.sanitize,
-            faults.as_ref(),
-        )
-        .and_then(|runs| {
-            if args.sanitize {
-                eprintln!("sanitizer: clean across {} runs", runs.len());
-            }
-            if faults.is_some() {
-                let (retries, failovers, degraded) = runs.iter().fold((0, 0, 0), |acc, r| {
-                    (
-                        acc.0 + r.metrics.retries,
-                        acc.1 + r.metrics.failovers,
-                        acc.2 + u64::from(r.software_fallback),
-                    )
-                });
-                eprintln!(
-                    "faults: {retries} retries, {failovers} failovers, \
-                     {degraded} software-degraded run(s) across {} runs",
-                    runs.len()
-                );
-            }
-            Fig8::assemble(&runs)
-        }),
-    };
-    match result {
-        Ok(fig) => {
-            println!("{fig}");
-            println!("(measured over {} frames per application)", args.frames);
-            println!("paper shape: p2p reduces DRAM accesses by 2x-3x for all three apps");
-            if let Some(session) = session.as_ref() {
-                if let Err(e) = esp4ml_bench::observe::finish_session(&args, session) {
-                    eprintln!("failed to write trace artifacts: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-        Err(e) => {
-            eprintln!("fig8 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let spec = HarnessSpec::new(
+        "fig8",
+        "Fig. 8 — DRAM accesses with and without p2p communication",
+        FIGURE_FLAGS,
+    );
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let response = observe::run_workload("fig8", &args, WorkloadKind::Fig8);
+    println!("{}", response.summary_text);
+    println!("(measured over {} frames per application)", args.frames);
+    println!("paper shape: p2p reduces DRAM accesses by 2x-3x for all three apps");
+    observe::write_artifacts_or_exit("fig8", &args, &response);
 }

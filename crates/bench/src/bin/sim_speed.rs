@@ -148,8 +148,9 @@ fn main() {
         eprintln!("FAIL: engines diverged — the event-driven engine is not cycle-exact");
         std::process::exit(1);
     }
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
+    match serde_json::to_value(&report) {
+        Ok(payload) => {
+            let json = esp4ml::trace::schema::envelope_json("sim-speed", payload);
             if let Err(e) = std::fs::write(&out, json + "\n") {
                 eprintln!("failed to write {}: {e}", out.display());
                 std::process::exit(1);

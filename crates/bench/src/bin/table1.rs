@@ -6,60 +6,24 @@
 //! cargo run --release -p esp4ml-bench --bin table1 -- --frames 64
 //! ```
 
-use esp4ml::experiments::Table1;
-use esp4ml_bench::HarnessArgs;
+use esp4ml_bench::cli::{self, HarnessSpec, TABLE_FLAGS};
+use esp4ml_bench::{observe, WorkloadKind};
 
 fn main() {
-    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if args.faults.is_some() {
-        eprintln!("table1 does not support --faults; use fig7/fig8 or the espfault campaign");
-        std::process::exit(2);
-    }
-    let models = args.models();
-    let mut session = esp4ml_bench::observe::session_from_args(&args);
-    let result = match session.as_mut() {
-        Some(session) => Table1::generate_traced(&models, args.frames, session),
-        None => esp4ml_bench::parallel::run_grid(
-            &Table1::grid(),
-            &models,
-            args.frames,
-            args.engine,
-            args.jobs,
-            args.sanitize,
-            None,
-        )
-        .and_then(|runs| {
-            if args.sanitize {
-                eprintln!("sanitizer: clean across {} runs", runs.len());
-            }
-            Table1::assemble(&models, &runs)
-        }),
-    };
-    match result {
-        Ok(table) => {
-            println!("{table}");
-            println!("(measured over {} frames per application)", args.frames);
-            println!(
-                "paper reference: LUTS 48/48/19%, FFS 24/24/11%, BRAMS 57/57/21%, \
-                 POWER 1.70/1.70/0.98 W, ESP4ML 35572/5220/28376 f/s, \
-                 I7 1858/30435/82476 f/s, JETSON 377/2798/6750 f/s"
-            );
-            if let Some(session) = session.as_ref() {
-                if let Err(e) = esp4ml_bench::observe::finish_session(&args, session) {
-                    eprintln!("failed to write trace artifacts: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-        Err(e) => {
-            eprintln!("table1 failed: {e}");
-            std::process::exit(1);
-        }
-    }
+    let spec = HarnessSpec::new(
+        "table1",
+        "Table I — utilization, power and frames/s vs the i7/Jetson baselines",
+        TABLE_FLAGS,
+    );
+    let args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
+    let response = observe::run_workload("table1", &args, WorkloadKind::Table1);
+    println!("{}", response.summary_text);
+    println!("(measured over {} frames per application)", args.frames);
+    println!(
+        "paper reference: LUTS 48/48/19%, FFS 24/24/11%, BRAMS 57/57/21%, \
+         POWER 1.70/1.70/0.98 W, ESP4ML 35572/5220/28376 f/s, \
+         I7 1858/30435/82476 f/s, JETSON 377/2798/6750 f/s"
+    );
+    observe::write_artifacts_or_exit("table1", &args, &response);
 }

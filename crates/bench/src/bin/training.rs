@@ -10,22 +10,18 @@
 use esp4ml::apps::TrainedModels;
 use esp4ml::apps::{CLASSIFIER_REUSE, DENOISER_REUSE};
 use esp4ml::flow::Esp4mlFlow;
-use esp4ml_bench::HarnessArgs;
+use esp4ml_bench::cli::{self, HarnessSpec, TRAINING_FLAGS};
 use esp4ml_nn::Matrix;
 use esp4ml_vision::SvhnGenerator;
 
 fn main() {
-    let mut args = match HarnessArgs::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    if args.faults.is_some() {
-        eprintln!("training does not support --faults; use fig7/fig8 or the espfault campaign");
-        std::process::exit(2);
-    }
+    let spec = HarnessSpec::new(
+        "training",
+        "§VI model quality: classifier accuracy and denoiser error",
+        TRAINING_FLAGS,
+    );
+    let mut args =
+        cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
     args.train = true;
     let models: TrainedModels = args.models();
 

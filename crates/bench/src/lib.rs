@@ -9,389 +9,39 @@
 //! | `fig7`     | Fig. 7 — frames/J for base/pipe/p2p vs baselines |
 //! | `fig8`     | Fig. 8 — DRAM accesses with/without p2p |
 //! | `training` | §VI accuracy targets (92 % classifier, 3.1 % denoiser) |
+//! | `espprof`  | profile-vs-simulator consistency verdict |
+//! | `espspan`  | span attribution / critical-path agreement verdict |
+//! | `espfault` | seeded fault-campaign absorption verdict |
+//! | `espcheck` | static SoC/dataflow lint verdict |
 //!
-//! All binaries accept `--frames N` (simulated frames per measurement),
-//! `--train` (train the models on the synthetic dataset instead of using
-//! untrained weights), `--samples N` and `--epochs N` (training budget).
-//! The figure/table binaries additionally accept `--trace <path>` (write
-//! a Chrome `trace_event` JSON of every simulated run, viewable at
-//! ui.perfetto.dev), `--profile <path>` (profile every run online and
-//! write the JSON bottleneck/latency/heatmap report, printing the text
-//! report to stdout), `--sample-every <cycles>` (with `--trace`, also
-//! write a `<path>.counters.csv` time-series of the SoC counters),
-//! `--spans <path>` (assemble causal frame-level span trees per run and
-//! write the span-report JSON there, plus a Perfetto flow-linked span
-//! trace at `<path>.perfetto.json` and the critical-path text report on
-//! stdout; composable with `--trace`/`--profile`),
-//! `--engine naive|event` (the simulation engine), `--jobs N` (worker
-//! threads for the experiment grid; tracing/profiling forces serial
-//! execution), `--sanitize` (audit every run with the runtime
-//! invariant sanitizer; any violation fails the harness with typed
-//! diagnostics) and `--faults <plan.json>` (install a fault plan on
-//! every run's SoC, with the watchdog/retry/failover recovery layer
-//! armed; the plan is linted first — `espcheck` codes `E06xx`). The
-//! dedicated `espprof` binary runs one configuration across execution
-//! modes and checks the bottleneck report against the measured
-//! throughput ordering; `espcheck` statically lints SoC configurations
-//! and dataflows without simulating a cycle; `espfault` sweeps seeded
-//! fault campaigns over the Fig. 7 pipelines and classifies every run
-//! as clean/recovered/degraded/failed; `espspan` runs one
-//! configuration across execution modes with span assembly on and
-//! verifies both the attribution invariant and that the critical path
-//! names the same limiting stage as the profiler's bottleneck report.
+//! All of them are thin clients of the same two shared layers:
+//!
+//! - [`cli`]: one table-driven command-line parser. Every binary
+//!   declares which of the common flags it accepts
+//!   ([`cli::HarnessSpec`]) and gets identical `--help` text, error
+//!   messages and validation for the flags it shares with its siblings.
+//! - [`request`]: the unified typed request API. The parsed options
+//!   become a [`request::RunRequest`] — the union of the historical
+//!   `--engine/--jobs/--trace/--profile/--spans/--sanitize/--faults`
+//!   surfaces plus a `schema_version` — and [`request::execute`] is
+//!   the single entry point that validates, admission-lints
+//!   (espcheck runs before a single cycle is simulated) and runs it.
+//!   The `espserve` job server speaks the same request type over
+//!   HTTP, so a CLI run and a server job are the same bytes end to
+//!   end.
+//!
+//! [`observe`] maps a response's observability artifacts back onto the
+//! `--trace/--profile/--spans` output files, [`parallel`] fans a grid
+//! out over worker threads, and [`chart`] renders the Fig. 7 bars.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod cli;
 pub mod observe;
 pub mod parallel;
+pub mod request;
 
-use esp4ml::apps::TrainedModels;
-use esp4ml::experiments::GridPoint;
-use esp4ml::faults::FaultConfig;
-use esp4ml_fault::FaultPlan;
-use esp4ml_soc::SocEngine;
-use std::path::PathBuf;
-
-/// Command-line options shared by the harness binaries.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HarnessArgs {
-    /// Frames to simulate per measurement point.
-    pub frames: u64,
-    /// Whether to train the models first.
-    pub train: bool,
-    /// Training samples.
-    pub samples: usize,
-    /// Training epochs.
-    pub epochs: usize,
-    /// Where to write the Chrome trace JSON, when tracing is on.
-    pub trace: Option<PathBuf>,
-    /// Where to write the profile report JSON, when profiling is on.
-    pub profile: Option<PathBuf>,
-    /// Where to write the span-report JSON, when span assembly is on
-    /// (a Perfetto flow-linked span trace lands next to it).
-    pub spans: Option<PathBuf>,
-    /// Counter sampling period in cycles (requires `trace`).
-    pub sample_every: Option<u64>,
-    /// Simulation engine driving every run.
-    pub engine: SocEngine,
-    /// Worker threads for grid execution (ignored when tracing).
-    pub jobs: usize,
-    /// Run every grid point with the runtime invariant sanitizer armed
-    /// (`esp4ml_soc::SanitizerConfig::all`); any violation fails the
-    /// harness with the typed diagnostics.
-    pub sanitize: bool,
-    /// Fault plan JSON to install on every run's SoC, with the
-    /// watchdog/retry/failover recovery layer armed.
-    pub faults: Option<PathBuf>,
-}
-
-impl Default for HarnessArgs {
-    fn default() -> Self {
-        HarnessArgs {
-            frames: 64,
-            train: false,
-            samples: 6000,
-            epochs: 30,
-            trace: None,
-            profile: None,
-            spans: None,
-            sample_every: None,
-            engine: SocEngine::default(),
-            jobs: parallel::default_jobs(),
-            sanitize: false,
-            faults: None,
-        }
-    }
-}
-
-impl HarnessArgs {
-    /// Parses `std::env::args`-style options; unknown options are
-    /// rejected with a message listing the supported ones.
-    ///
-    /// # Errors
-    ///
-    /// Returns a usage string when parsing fails.
-    pub fn parse(args: impl Iterator<Item = String>) -> Result<HarnessArgs, String> {
-        let mut out = HarnessArgs::default();
-        let mut it = args.peekable();
-        while let Some(arg) = it.next() {
-            let mut grab = |name: &str| -> Result<u64, String> {
-                it.next()
-                    .ok_or_else(|| format!("{name} needs a value"))?
-                    .parse::<u64>()
-                    .map_err(|e| format!("{name}: {e}"))
-            };
-            match arg.as_str() {
-                "--frames" => out.frames = grab("--frames")?,
-                "--samples" => out.samples = grab("--samples")? as usize,
-                "--epochs" => out.epochs = grab("--epochs")? as usize,
-                "--train" => out.train = true,
-                "--no-train" => out.train = false,
-                "--trace" => {
-                    let path = it.next().ok_or("--trace needs a file path")?;
-                    out.trace = Some(PathBuf::from(path));
-                }
-                "--profile" => {
-                    let path = it.next().ok_or("--profile needs a file path")?;
-                    out.profile = Some(PathBuf::from(path));
-                }
-                "--spans" => {
-                    let path = it.next().ok_or("--spans needs a file path")?;
-                    out.spans = Some(PathBuf::from(path));
-                }
-                "--sample-every" => out.sample_every = Some(grab("--sample-every")?),
-                "--sanitize" => out.sanitize = true,
-                "--faults" => {
-                    let path = it.next().ok_or("--faults needs a fault-plan JSON path")?;
-                    out.faults = Some(PathBuf::from(path));
-                }
-                "--jobs" => out.jobs = grab("--jobs")? as usize,
-                "--engine" => {
-                    let v = it.next().ok_or("--engine needs naive or event")?;
-                    out.engine = match v.as_str() {
-                        "naive" => SocEngine::Naive,
-                        "event" | "event-driven" => SocEngine::EventDriven,
-                        other => return Err(format!("--engine: unknown engine {other}")),
-                    };
-                }
-                other => {
-                    return Err(format!(
-                        "unknown option {other}; supported: --frames N --train --no-train \
-                         --samples N --epochs N --trace PATH --profile PATH --spans PATH \
-                         --sample-every CYCLES --engine naive|event --jobs N --sanitize \
-                         --faults PLAN.json"
-                    ))
-                }
-            }
-        }
-        if out.frames == 0 {
-            return Err("--frames must be at least 1".into());
-        }
-        if out.sample_every == Some(0) {
-            return Err("--sample-every must be at least 1".into());
-        }
-        if out.sample_every.is_some() && out.trace.is_none() {
-            return Err("--sample-every requires --trace".into());
-        }
-        if out.jobs == 0 {
-            return Err("--jobs must be at least 1".into());
-        }
-        if out.sanitize && (out.trace.is_some() || out.profile.is_some() || out.spans.is_some()) {
-            return Err(
-                "--sanitize cannot be combined with --trace/--profile/--spans; \
-                 run them separately"
-                    .into(),
-            );
-        }
-        if out.faults.is_some()
-            && (out.trace.is_some() || out.profile.is_some() || out.spans.is_some() || out.sanitize)
-        {
-            return Err(
-                "--faults cannot be combined with --trace/--profile/--spans/--sanitize; \
-                 injected faults deliberately break the invariants those audit"
-                    .into(),
-            );
-        }
-        Ok(out)
-    }
-
-    /// Loads the `--faults` plan file into a [`FaultConfig`] (`None`
-    /// when the flag was not given). The harness uses the campaign
-    /// watchdog ([`esp4ml::faults::CAMPAIGN_WATCHDOG_CYCLES`]) rather
-    /// than the conservative runtime default: the figure pipelines'
-    /// healthy invocations finish orders of magnitude sooner, and a
-    /// tight deadline keeps recovered runs' throughput interpretable.
-    ///
-    /// # Errors
-    ///
-    /// File or JSON failures, as a printable message.
-    pub fn fault_config(&self) -> Result<Option<FaultConfig>, String> {
-        let Some(path) = &self.faults else {
-            return Ok(None);
-        };
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| format!("--faults {}: {e}", path.display()))?;
-        let plan = FaultPlan::from_json(&json)
-            .map_err(|e| format!("--faults {}: not a fault plan: {e}", path.display()))?;
-        Ok(Some(
-            FaultConfig::from_plan(plan).with_watchdog(esp4ml::faults::CAMPAIGN_WATCHDOG_CYCLES),
-        ))
-    }
-
-    /// Lints a `--faults` plan against every device the grid's
-    /// dataflows name, printing diagnostics to stderr. Returns `true`
-    /// when the plan has errors and the harness should refuse to run.
-    pub fn lint_faults(config: &FaultConfig, grid: &[GridPoint]) -> bool {
-        let mut hosted: Vec<String> = grid
-            .iter()
-            .flat_map(|p| p.app.dataflow().stages)
-            .flat_map(|s| s.devices)
-            .collect();
-        hosted.sort();
-        hosted.dedup();
-        let report = esp4ml::faults::lint_fault_plan(&config.plan, &hosted);
-        for d in &report.diagnostics {
-            eprintln!("{d}");
-        }
-        report.has_errors()
-    }
-
-    /// Builds the models per the options (training prints its progress).
-    pub fn models(&self) -> TrainedModels {
-        if self.train {
-            eprintln!(
-                "training models on {} synthetic samples for {} epochs...",
-                self.samples, self.epochs
-            );
-            let m = TrainedModels::train(self.samples, self.epochs, 1);
-            if let Some(acc) = m.classifier_accuracy {
-                eprintln!("classifier test accuracy: {:.1}% (paper: 92%)", 100.0 * acc);
-            }
-            if let Some(err) = m.denoiser_error {
-                eprintln!(
-                    "denoiser reconstruction error: {:.1}% (paper: 3.1%)",
-                    100.0 * err
-                );
-            }
-            m
-        } else {
-            TrainedModels::untrained()
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(v: &[&str]) -> Result<HarnessArgs, String> {
-        HarnessArgs::parse(v.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn defaults() {
-        let a = parse(&[]).unwrap();
-        assert_eq!(a.frames, 64);
-        assert!(!a.train);
-    }
-
-    #[test]
-    fn overrides() {
-        let a = parse(&[
-            "--frames",
-            "8",
-            "--train",
-            "--samples",
-            "100",
-            "--epochs",
-            "2",
-        ])
-        .unwrap();
-        assert_eq!(a.frames, 8);
-        assert!(a.train);
-        assert_eq!(a.samples, 100);
-        assert_eq!(a.epochs, 2);
-    }
-
-    #[test]
-    fn rejects_unknown_and_invalid() {
-        assert!(parse(&["--bogus"]).is_err());
-        assert!(parse(&["--frames"]).is_err());
-        assert!(parse(&["--frames", "abc"]).is_err());
-        assert!(parse(&["--frames", "0"]).is_err());
-    }
-
-    #[test]
-    fn sanitize_option() {
-        let a = parse(&["--sanitize"]).unwrap();
-        assert!(a.sanitize);
-        assert!(!parse(&[]).unwrap().sanitize);
-        assert!(parse(&["--sanitize", "--trace", "/tmp/t.json"]).is_err());
-        assert!(parse(&["--sanitize", "--profile", "/tmp/p.json"]).is_err());
-    }
-
-    #[test]
-    fn engine_and_jobs_options() {
-        let a = parse(&["--engine", "naive", "--jobs", "3"]).unwrap();
-        assert_eq!(a.engine, SocEngine::Naive);
-        assert_eq!(a.jobs, 3);
-        let a = parse(&["--engine", "event"]).unwrap();
-        assert_eq!(a.engine, SocEngine::EventDriven);
-        assert!(parse(&["--engine", "warp"]).is_err());
-        assert!(parse(&["--jobs", "0"]).is_err());
-    }
-
-    #[test]
-    fn faults_option() {
-        let a = parse(&["--faults", "/tmp/plan.json"]).unwrap();
-        assert_eq!(
-            a.faults.as_deref(),
-            Some(std::path::Path::new("/tmp/plan.json"))
-        );
-        assert!(parse(&[]).unwrap().faults.is_none());
-        assert!(parse(&["--faults"]).is_err());
-        assert!(parse(&["--faults", "p.json", "--sanitize"]).is_err());
-        assert!(parse(&["--faults", "p.json", "--trace", "/tmp/t.json"]).is_err());
-        assert!(parse(&["--faults", "p.json", "--profile", "/tmp/p.json"]).is_err());
-    }
-
-    #[test]
-    fn fault_config_loads_a_plan_file() {
-        use esp4ml_fault::FaultSpec;
-        let dir = std::env::temp_dir().join("esp4ml_bench_faults_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("plan.json");
-        let plan = FaultPlan::new(9).with(FaultSpec::transient_hang("nv0", 0));
-        std::fs::write(&path, plan.to_json().unwrap()).unwrap();
-        let args = parse(&["--faults", path.to_str().unwrap()]).unwrap();
-        let config = args.fault_config().unwrap().unwrap();
-        assert_eq!(config.plan, plan);
-        assert!(config.software_fallback);
-        std::fs::write(&path, "not json").unwrap();
-        assert!(args.fault_config().is_err());
-        assert!(parse(&[]).unwrap().fault_config().unwrap().is_none());
-    }
-
-    #[test]
-    fn profile_option() {
-        let a = parse(&["--profile", "/tmp/p.json"]).unwrap();
-        assert_eq!(
-            a.profile.as_deref(),
-            Some(std::path::Path::new("/tmp/p.json"))
-        );
-        assert!(a.trace.is_none());
-        assert!(parse(&["--profile"]).is_err());
-    }
-
-    #[test]
-    fn spans_option() {
-        let a = parse(&["--spans", "/tmp/s.json"]).unwrap();
-        assert_eq!(
-            a.spans.as_deref(),
-            Some(std::path::Path::new("/tmp/s.json"))
-        );
-        assert!(parse(&[]).unwrap().spans.is_none());
-        assert!(parse(&["--spans"]).is_err());
-        // Spans compose with trace and profile...
-        assert!(parse(&["--spans", "s.json", "--trace", "t.json"]).is_ok());
-        assert!(parse(&["--spans", "s.json", "--profile", "p.json"]).is_ok());
-        // ...but not with the sanitizer or fault injection.
-        assert!(parse(&["--spans", "s.json", "--sanitize"]).is_err());
-        assert!(parse(&["--spans", "s.json", "--faults", "f.json"]).is_err());
-    }
-
-    #[test]
-    fn trace_options() {
-        let a = parse(&["--trace", "/tmp/t.json", "--sample-every", "500"]).unwrap();
-        assert_eq!(
-            a.trace.as_deref(),
-            Some(std::path::Path::new("/tmp/t.json"))
-        );
-        assert_eq!(a.sample_every, Some(500));
-        assert!(parse(&["--trace"]).is_err());
-        assert!(parse(&["--sample-every", "100"]).is_err(), "needs --trace");
-        assert!(parse(&["--trace", "/tmp/t.json", "--sample-every", "0"]).is_err());
-    }
-}
+pub use cli::{CliError, HarnessArgs, HarnessSpec};
+pub use request::{execute, RunRequest, RunResponse, WorkloadKind};

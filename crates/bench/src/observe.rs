@@ -1,33 +1,48 @@
-//! Trace-session plumbing shared by the figure/table binaries.
+//! Response plumbing shared by the harness binaries: run a workload
+//! through the unified request API and map the response's named
+//! artifacts back onto the output files named on the command line.
 
-use crate::HarnessArgs;
-use esp4ml::trace::{perfetto, Tracer};
-use esp4ml::TraceSession;
+use crate::cli::HarnessArgs;
+use crate::request::{self, RequestError, RunResponse, WorkloadKind};
 use std::path::PathBuf;
 
-/// Builds the observability session requested on the command line, or
-/// `None` when none of `--trace`, `--profile`, `--spans` was given.
-///
-/// `--spans` wins the session shape (optionally chaining a profiler in
-/// front when `--profile` is also set), then `--profile`: both still
-/// buffer events in a ring-buffer sink, so `--trace` export keeps
-/// working on top of either.
-pub fn session_from_args(args: &HarnessArgs) -> Option<TraceSession> {
-    if args.spans.is_some() {
-        return Some(TraceSession::spanned(
-            args.sample_every,
-            args.profile.is_some(),
-        ));
+/// Builds the request these options describe, executes it, and exits
+/// with the binary's historical codes on failure: 2 for usage errors
+/// and admission rejections (typed diagnostics on stderr, nothing
+/// simulated), 1 for run failures. Response notes (sanitizer verdicts,
+/// fault-recovery tallies, ring-buffer drops) go to stderr.
+pub fn run_workload(binary: &str, args: &HarnessArgs, workload: WorkloadKind) -> RunResponse {
+    let models = args.models();
+    let req = match args.to_request(workload) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match request::execute(&req, &models) {
+        Ok(response) => {
+            for note in &response.notes {
+                eprintln!("{binary}: {note}");
+            }
+            response
+        }
+        Err(RequestError::Invalid(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(RequestError::Rejected(report)) => {
+            for d in &report.diagnostics {
+                eprintln!("{d}");
+            }
+            eprintln!("{binary}: rejected by the admission lint; nothing was simulated");
+            std::process::exit(2);
+        }
+        Err(RequestError::Run(e)) => {
+            eprintln!("{binary} failed: {e}");
+            std::process::exit(1);
+        }
     }
-    if args.profile.is_some() {
-        return Some(TraceSession::profiled(args.sample_every));
-    }
-    args.trace.as_ref()?;
-    let tracer = Tracer::ring_buffer();
-    Some(match args.sample_every {
-        Some(every) => TraceSession::with_sampling(tracer, every),
-        None => TraceSession::new(tracer),
-    })
 }
 
 /// The counter CSV path derived from the trace path.
@@ -44,121 +59,90 @@ fn span_trace_path(spans: &std::path::Path) -> PathBuf {
     spans.with_file_name(name)
 }
 
-/// Writes the session's artifacts: the Chrome trace JSON at `--trace`
-/// (with the ring buffer's dropped-event and dropped-span counts
-/// attached as metadata), the counter CSV next to it when
-/// `--sample-every` was given, the profile report JSON at `--profile`
-/// (plus the text report on stdout), the span-report JSON at `--spans`
-/// (plus the Perfetto flow-linked span trace next to it and the
-/// critical-path text report on stdout), and the per-run NoC traffic
-/// summary to stdout.
+fn write_named(
+    response: &RunResponse,
+    key: &str,
+    what: &str,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    if let Some(body) = response.artifacts.get(key) {
+        std::fs::write(path, body)?;
+        println!("wrote {what} to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Writes the response's artifacts to the files the command line named:
+/// the Chrome trace JSON at `--trace` (counter CSV next to it under
+/// `--sample-every`), the profile report JSON at `--profile`, the
+/// span-report JSON at `--spans` (Perfetto span trace next to it), the
+/// verdict report at `--json`, the folded flame stacks at `--flame`,
+/// and the enveloped run-metrics JSON at `--metrics`. Artifact bodies
+/// are written byte-exactly — a `--metrics` file matches the espserve
+/// `metrics` artifact for the same request. Text companions
+/// (per-run profiles, critical paths, NoC traffic) go to stdout.
 ///
 /// # Errors
 ///
 /// I/O failures writing the output files.
-pub fn finish_session(args: &HarnessArgs, session: &TraceSession) -> std::io::Result<()> {
+pub fn write_artifacts(args: &HarnessArgs, response: &RunResponse) -> std::io::Result<()> {
     if let Some(path) = args.trace.as_ref() {
-        let dropped = session.tracer().dropped();
-        let dropped_spans = session.tracer().dropped_spans();
-        let events = session.tracer().drain();
-        perfetto::write_chrome_trace_with_drop_counts(path, &events, dropped, dropped_spans)?;
-        println!("wrote {} trace events to {}", events.len(), path.display());
-        if dropped > 0 {
-            eprintln!(
-                "warning: ring buffer dropped {dropped} oldest events \
-                 ({dropped_spans} span-relevant)"
-            );
-        }
+        write_named(response, "trace", "trace events", path)?;
         if args.sample_every.is_some() {
-            let csv = counters_path(path);
-            std::fs::write(&csv, session.counters_csv())?;
-            println!("wrote counter samples to {}", csv.display());
+            if let Some(csv) = response.artifacts.get("counters_csv") {
+                let p = counters_path(path);
+                std::fs::write(&p, csv)?;
+                println!("wrote counter samples to {}", p.display());
+            }
         }
     }
     if let Some(path) = args.profile.as_ref() {
-        std::fs::write(path, session.profiles_json())?;
-        println!(
-            "wrote {} profile reports to {}",
-            session.profiles().len(),
-            path.display()
-        );
-        let summary = session.profile_summary();
-        if !summary.is_empty() {
-            println!("\nPer-run profiles:\n{summary}");
+        write_named(response, "profile", "profile reports", path)?;
+        if let Some(text) = response.artifacts.get("profile_text") {
+            println!("\nPer-run profiles:\n{text}");
         }
     }
     if let Some(path) = args.spans.as_ref() {
-        std::fs::write(path, session.span_reports_json())?;
-        println!(
-            "wrote {} span reports to {}",
-            session.span_reports().len(),
-            path.display()
-        );
-        let trace = span_trace_path(path);
-        perfetto::write_span_trace(&trace, session.span_reports())?;
-        println!("wrote span trace to {}", trace.display());
-        let summary = session.span_summary();
-        if !summary.is_empty() {
-            println!("\nPer-run critical paths:\n{summary}");
+        write_named(response, "spans", "span reports", path)?;
+        if let Some(doc) = response.artifacts.get("span_trace") {
+            let p = span_trace_path(path);
+            std::fs::write(&p, doc)?;
+            println!("wrote span trace to {}", p.display());
+        }
+        if let Some(text) = response.artifacts.get("span_text") {
+            println!("\nPer-run critical paths:\n{text}");
         }
     }
     if args.trace.is_some() || args.profile.is_some() || args.spans.is_some() {
-        let summary = session.noc_summary();
-        if !summary.is_empty() {
-            println!("\nPer-run NoC traffic:\n{summary}");
+        if let Some(text) = response.artifacts.get("noc_text") {
+            println!("\nPer-run NoC traffic:\n{text}");
         }
     }
+    if let Some(path) = args.json.as_ref() {
+        write_named(response, "report", "verdict report", path)?;
+        write_named(response, "campaign", "campaign report", path)?;
+    }
+    if let Some(path) = args.flame.as_ref() {
+        write_named(response, "flame", "flame stacks", path)?;
+    }
+    if let Some(path) = args.metrics.as_ref() {
+        write_named(response, "metrics", "run metrics", path)?;
+    }
     Ok(())
+}
+
+/// [`write_artifacts`] with the binaries' historical failure handling:
+/// prints the I/O error and exits 1.
+pub fn write_artifacts_or_exit(binary: &str, args: &HarnessArgs, response: &RunResponse) {
+    if let Err(e) = write_artifacts(args, response) {
+        eprintln!("{binary}: failed to write artifacts: {e}");
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn session_only_when_trace_requested() {
-        let plain = HarnessArgs::default();
-        assert!(session_from_args(&plain).is_none());
-        let mut traced = HarnessArgs {
-            trace: Some(PathBuf::from("/tmp/t.json")),
-            ..HarnessArgs::default()
-        };
-        let session = session_from_args(&traced).expect("session");
-        assert!(session.tracer().is_enabled());
-        assert!(session.sample_every().is_none());
-        assert!(session.profiler().is_none());
-        traced.sample_every = Some(250);
-        let sampled = session_from_args(&traced).expect("session");
-        assert_eq!(sampled.sample_every(), Some(250));
-    }
-
-    #[test]
-    fn profile_flag_builds_profiled_session() {
-        let profiled = HarnessArgs {
-            profile: Some(PathBuf::from("/tmp/p.json")),
-            ..HarnessArgs::default()
-        };
-        let session = session_from_args(&profiled).expect("session");
-        assert!(session.tracer().is_enabled());
-        assert!(session.profiler().is_some());
-    }
-
-    #[test]
-    fn spans_flag_builds_spanned_session() {
-        let mut args = HarnessArgs {
-            spans: Some(PathBuf::from("/tmp/s.json")),
-            ..HarnessArgs::default()
-        };
-        let session = session_from_args(&args).expect("session");
-        assert!(session.tracer().is_enabled());
-        assert!(session.span_collector().is_some());
-        assert!(session.profiler().is_none());
-        // --spans --profile chains a profiler in front of the collector.
-        args.profile = Some(PathBuf::from("/tmp/p.json"));
-        let both = session_from_args(&args).expect("session");
-        assert!(both.span_collector().is_some());
-        assert!(both.profiler().is_some());
-    }
 
     #[test]
     fn span_trace_path_appends_suffix() {

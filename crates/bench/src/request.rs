@@ -1,0 +1,1511 @@
+//! The unified typed request API over the simulation stack.
+//!
+//! Every harness binary and the `espserve` job server funnel through
+//! one entry point: build a [`RunRequest`] (the union of the historical
+//! `--engine/--jobs/--trace/--profile/--spans/--sanitize/--faults`
+//! surfaces plus a `schema_version`), then call [`execute`]. The
+//! request is validated, linted by the espcheck admission filter
+//! ([`admission`] — broken configurations and fault plans are rejected
+//! with their `E`-codes before a single cycle is simulated), and
+//! dispatched to the same grid driver / trace session / campaign
+//! machinery the binaries always used. The [`RunResponse`] carries the
+//! per-point measurements plus every artifact as a named string, so a
+//! CLI `--metrics` file and the server's `/artifacts/metrics` body are
+//! the same bytes by construction.
+//!
+//! Requests also have a deterministic identity: [`RunRequest::cache_key`]
+//! hashes the canonical (key-sorted, jobs-stripped) JSON form, which is
+//! what makes the server's result cache sound — the simulator is proven
+//! engine-byte-identical, so equal keys imply equal responses.
+
+use crate::cli::engine_name;
+use crate::{chart, parallel};
+use esp4ml::apps::{build_soc2, CaseApp, SocId, TrainedModels};
+use esp4ml::check::{lint_all, lint_config, lint_dataflow, lint_mapping, FloorplanView};
+use esp4ml::experiments::{AppRun, ExperimentError, Fig7, Fig8, GridPoint, Table1};
+use esp4ml::faults::{lint_fault_plan, CampaignReport, FaultConfig};
+use esp4ml::soc_config::SocConfigFile;
+use esp4ml::trace::schema::envelope_json;
+use esp4ml::trace::{perfetto, Tracer};
+use esp4ml::TraceSession;
+use esp4ml_check::{Diagnostic, Report};
+use esp4ml_fault::FaultPlan;
+use esp4ml_runtime::ExecMode;
+use esp4ml_runtime::RunMetrics;
+use esp4ml_soc::SocEngine;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Version of the request/response schema (shared with the artifact
+/// envelope — one version covers the whole machine-readable surface).
+pub const SCHEMA_VERSION: u64 = esp4ml::trace::schema::SCHEMA_VERSION;
+
+/// What to run — one variant per harness workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadKind {
+    /// The Fig. 7 grid (frames/J, base/pipe/p2p × configurations).
+    Fig7,
+    /// The Fig. 8 grid (DRAM accesses with and without p2p).
+    Fig8,
+    /// The Table I grid (best configs vs i7/Jetson baselines).
+    Table1,
+    /// `espprof`: configurations across modes with the online profiler,
+    /// cross-checked against measured throughput.
+    Profile,
+    /// `espspan`: configurations across modes with span assembly,
+    /// attribution and critical-path agreement checks.
+    Spans,
+    /// `espfault`: a seeded fault-injection campaign (seeds `1..=seeds`).
+    Faults {
+        /// Number of campaign seeds to sweep.
+        seeds: u64,
+    },
+    /// `espcheck`: statically lint the request's `soc_config` (or the
+    /// built-in floorplans and Fig. 7 mappings) without simulating.
+    Check,
+}
+
+impl WorkloadKind {
+    /// Stable name used in responses and job listings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Fig7 => "fig7",
+            WorkloadKind::Fig8 => "fig8",
+            WorkloadKind::Table1 => "table1",
+            WorkloadKind::Profile => "profile",
+            WorkloadKind::Spans => "spans",
+            WorkloadKind::Faults { .. } => "faults",
+            WorkloadKind::Check => "check",
+        }
+    }
+
+    /// The labelled configuration space `configs` indexes into:
+    /// grid points for the figure/table workloads, Fig. 7 configurations
+    /// for profile/spans, empty where `configs` is meaningless.
+    pub fn config_space(&self) -> Vec<String> {
+        match self {
+            WorkloadKind::Fig7 => Fig7::grid().iter().map(GridPoint::label).collect(),
+            WorkloadKind::Fig8 => Fig8::grid().iter().map(GridPoint::label).collect(),
+            WorkloadKind::Table1 => Table1::grid().iter().map(GridPoint::label).collect(),
+            WorkloadKind::Profile | WorkloadKind::Spans => CaseApp::all_fig7_configs()
+                .iter()
+                .map(|c| c.label())
+                .collect(),
+            WorkloadKind::Faults { .. } | WorkloadKind::Check => Vec::new(),
+        }
+    }
+}
+
+/// Observability toggles — the request-level form of
+/// `--trace/--profile/--spans/--sample-every`. The artifacts land in
+/// [`RunResponse::artifacts`] rather than client-side files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserveOpts {
+    /// Capture the trace-event stream (`trace` + optional
+    /// `counters_csv` artifacts).
+    #[serde(default)]
+    pub trace: bool,
+    /// Profile every run online (`profile` + `profile_text` artifacts).
+    #[serde(default)]
+    pub profile: bool,
+    /// Assemble frame-level span trees (`spans`, `span_trace`,
+    /// `span_text` artifacts).
+    #[serde(default)]
+    pub spans: bool,
+    /// Counter sampling period in cycles (requires `trace`).
+    #[serde(default)]
+    pub sample_every: Option<u64>,
+}
+
+impl ObserveOpts {
+    /// Whether any observability layer is requested.
+    pub fn any(&self) -> bool {
+        self.trace || self.profile || self.spans
+    }
+}
+
+/// One simulation job, fully described: what to run, how, and what to
+/// observe. This is the wire format of `POST /v1/jobs` and the value
+/// every harness binary assembles from its command line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRequest {
+    /// Must be [`SCHEMA_VERSION`]; unknown versions are rejected.
+    pub schema_version: u64,
+    /// The workload to run.
+    pub workload: WorkloadKind,
+    /// Configuration indices into [`WorkloadKind::config_space`]
+    /// (empty = the whole space). Order is preserved in the response.
+    #[serde(default)]
+    pub configs: Vec<usize>,
+    /// Execution modes (`base`/`pipe`/`p2p`) for the profile/spans
+    /// workloads; empty = the default `pipe`+`p2p` pair.
+    #[serde(default)]
+    pub modes: Vec<String>,
+    /// Frames to simulate per measurement point (ignored by `check`).
+    #[serde(default)]
+    pub frames: u64,
+    /// Simulation engine: `naive`, `event` (or its alias
+    /// `event-driven`); empty = the default engine.
+    #[serde(default)]
+    pub engine: String,
+    /// Worker threads for grid execution; 0 = auto. Never affects
+    /// results, so it is excluded from [`RunRequest::cache_key`].
+    #[serde(default)]
+    pub jobs: usize,
+    /// Arm the runtime invariant sanitizer on every run.
+    #[serde(default)]
+    pub sanitize: bool,
+    /// Fault plan to install on every run's SoC (recovery layer armed,
+    /// campaign watchdog). Linted at admission (`E06xx`).
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
+    /// A SoC configuration: the lint subject for `check`, and an
+    /// admission-linted design attachment everywhere else (jobs whose
+    /// configuration has errors never reach the simulator).
+    #[serde(default)]
+    pub soc_config: Option<SocConfigFile>,
+    /// Observability toggles.
+    #[serde(default)]
+    pub observe: ObserveOpts,
+}
+
+/// One measured grid point in a response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointRun {
+    /// Application label (e.g. `1De+1Cl`).
+    pub label: String,
+    /// Execution mode label (`base`/`pipe`/`p2p`).
+    pub mode: String,
+    /// The raw runtime metrics.
+    pub metrics: RunMetrics,
+    /// SoC average dynamic power in watts.
+    pub watts: f64,
+    /// Throughput in frames per second.
+    pub frames_per_second: f64,
+    /// Energy efficiency in frames per joule.
+    pub frames_per_joule: f64,
+    /// Classification accuracy against ground truth.
+    pub accuracy: f64,
+    /// Whether the run degraded to the processor-tile software path.
+    #[serde(default)]
+    pub software_fallback: bool,
+}
+
+impl PointRun {
+    fn from_app_run(run: &AppRun) -> PointRun {
+        PointRun {
+            label: run.label.clone(),
+            mode: run.mode.label().to_string(),
+            metrics: run.metrics,
+            watts: run.watts,
+            frames_per_second: run.metrics.frames_per_second(),
+            frames_per_joule: run.frames_per_joule(),
+            accuracy: run.accuracy(),
+            software_fallback: run.software_fallback,
+        }
+    }
+}
+
+/// The workload's self-check outcome (espprof/espspan consistency,
+/// espfault absorption, espcheck cleanliness; always `ok` for plain
+/// figure runs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether every check passed.
+    pub ok: bool,
+    /// Human-readable violations when it did not.
+    #[serde(default)]
+    pub violations: Vec<String>,
+}
+
+/// The result of executing a [`RunRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResponse {
+    /// Schema version of this response (= the request's).
+    pub schema_version: u64,
+    /// [`WorkloadKind::label`] of what ran.
+    pub workload: String,
+    /// Canonical engine name that drove the runs.
+    pub engine: String,
+    /// Frames simulated per point.
+    pub frames: u64,
+    /// Per-point measurements, in request order.
+    pub runs: Vec<PointRun>,
+    /// The workload's self-check outcome.
+    pub verdict: Verdict,
+    /// Human-readable summary (figure text, campaign table, …).
+    pub summary_text: String,
+    /// Warnings that are not verdict violations (e.g. ring-buffer
+    /// event drops under `observe.trace`).
+    #[serde(default)]
+    pub notes: Vec<String>,
+    /// Named artifacts, each a complete file body (`metrics`, `figure`,
+    /// `report`, `trace`, `profile`, `spans`, `span_trace`,
+    /// `counters_csv`, `flame`, `campaign`, …).
+    pub artifacts: BTreeMap<String, String>,
+}
+
+impl RunResponse {
+    /// Serializes the response as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("response serializes")
+    }
+}
+
+/// Why a request did not produce a [`RunResponse`].
+#[derive(Debug)]
+pub enum RequestError {
+    /// The request is malformed (bad version, unknown engine, index
+    /// out of range, conflicting options…). Maps to exit 2 / HTTP 400.
+    Invalid(String),
+    /// The espcheck admission filter found errors; the report carries
+    /// the typed diagnostics with their `E`-codes. Exit 2 / HTTP 422.
+    Rejected(Report),
+    /// The simulation itself failed. Exit 1 / job state `failed`.
+    Run(ExperimentError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            RequestError::Rejected(report) => {
+                write!(
+                    f,
+                    "rejected by admission lint ({} error(s))",
+                    report.error_count()
+                )
+            }
+            RequestError::Run(e) => write!(f, "run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<ExperimentError> for RequestError {
+    fn from(e: ExperimentError) -> Self {
+        RequestError::Run(e)
+    }
+}
+
+impl RunRequest {
+    /// A request for `workload` with the workspace defaults (64 frames,
+    /// default engine, nothing observed).
+    pub fn new(workload: WorkloadKind) -> RunRequest {
+        RunRequest {
+            schema_version: SCHEMA_VERSION,
+            workload,
+            configs: Vec::new(),
+            modes: Vec::new(),
+            frames: 64,
+            engine: String::new(),
+            jobs: 0,
+            sanitize: false,
+            fault_plan: None,
+            soc_config: None,
+            observe: ObserveOpts::default(),
+        }
+    }
+
+    /// The canonical form: engine aliases resolved, defaults made
+    /// explicit where they affect execution (profile/spans mode and
+    /// config defaults), frames zeroed where ignored. Two requests
+    /// meaning the same job normalize identically, which is what the
+    /// cache key hashes.
+    pub fn normalized(&self) -> RunRequest {
+        let mut out = self.clone();
+        out.engine = match self.engine.as_str() {
+            "" | "event" | "event-driven" => "event".to_string(),
+            other => other.to_string(),
+        };
+        if matches!(self.workload, WorkloadKind::Profile | WorkloadKind::Spans) {
+            if out.configs.is_empty() {
+                // The paper's denoiser-classifier pipeline, as espprof
+                // and espspan always defaulted to.
+                out.configs = vec![3];
+            }
+            if out.modes.is_empty() {
+                out.modes = vec!["pipe".to_string(), "p2p".to_string()];
+            }
+        }
+        if matches!(self.workload, WorkloadKind::Check) {
+            out.frames = 0;
+        }
+        out
+    }
+
+    /// Validates a normalized request; the error string is the message
+    /// shown to a CLI user (exit 2) or an API client (HTTP 400).
+    fn validate_normalized(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unknown schema_version {} (this build understands {SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        match self.engine.as_str() {
+            "naive" | "event" => {}
+            other => return Err(format!("unknown engine {other}; expected naive or event")),
+        }
+        if !matches!(self.workload, WorkloadKind::Check) && self.frames == 0 {
+            return Err("frames must be at least 1".into());
+        }
+        if let WorkloadKind::Faults { seeds } = self.workload {
+            if seeds == 0 {
+                return Err("seeds must be at least 1".into());
+            }
+        }
+        if self.observe.sample_every == Some(0) {
+            return Err("sample_every must be at least 1".into());
+        }
+        if self.observe.sample_every.is_some() && !self.observe.trace {
+            return Err("sample_every requires trace".into());
+        }
+        if self.sanitize && self.observe.any() {
+            return Err(
+                "sanitize cannot be combined with trace/profile/spans; run them separately".into(),
+            );
+        }
+        if self.fault_plan.is_some() && (self.observe.any() || self.sanitize) {
+            return Err(
+                "fault_plan cannot be combined with trace/profile/spans/sanitize; \
+                 injected faults deliberately break the invariants those audit"
+                    .into(),
+            );
+        }
+        match self.workload {
+            WorkloadKind::Faults { .. } | WorkloadKind::Check => {
+                if !self.configs.is_empty() || !self.modes.is_empty() {
+                    return Err(format!(
+                        "configs/modes are not meaningful for the {} workload",
+                        self.workload.label()
+                    ));
+                }
+                if self.fault_plan.is_some() {
+                    return Err(format!(
+                        "fault_plan is not meaningful for the {} workload",
+                        self.workload.label()
+                    ));
+                }
+                if self.sanitize || self.observe.any() {
+                    return Err(format!(
+                        "sanitize/observe are not meaningful for the {} workload",
+                        self.workload.label()
+                    ));
+                }
+            }
+            WorkloadKind::Fig7 | WorkloadKind::Fig8 | WorkloadKind::Table1 => {
+                if !self.modes.is_empty() {
+                    return Err(format!(
+                        "modes are fixed by the {} grid; use configs to select points",
+                        self.workload.label()
+                    ));
+                }
+            }
+            WorkloadKind::Profile | WorkloadKind::Spans => {
+                for m in &self.modes {
+                    mode_from_name(m)?;
+                }
+            }
+        }
+        let space = self.workload.config_space();
+        if let Some(&bad) = self.configs.iter().find(|&&c| c >= space.len()) {
+            let list: Vec<String> = space
+                .iter()
+                .enumerate()
+                .map(|(i, label)| format!("{i}={label}"))
+                .collect();
+            return Err(format!(
+                "config {bad}: index out of range; {}",
+                list.join(" ")
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the request (after normalization).
+    ///
+    /// # Errors
+    ///
+    /// A printable message describing the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.normalized().validate_normalized()
+    }
+
+    /// The deterministic cache key: FNV-1a 64 over the canonical JSON
+    /// form of [`RunRequest::normalized`] with `jobs` zeroed (worker
+    /// count never changes results). Canonical JSON sorts every object's
+    /// keys, so the key is invariant under JSON key reordering — and
+    /// since runs are proven engine-byte-identical and seeded, equal
+    /// keys imply byte-equal responses.
+    pub fn cache_key(&self) -> u64 {
+        let mut canonical = self.normalized();
+        canonical.jobs = 0;
+        let value = serde_json::to_value(&canonical).expect("request serializes");
+        fnv1a64(canonical_json(&value).as_bytes())
+    }
+
+    /// The parsed engine of a normalized request.
+    fn soc_engine(&self) -> SocEngine {
+        match self.engine.as_str() {
+            "naive" => SocEngine::Naive,
+            _ => SocEngine::EventDriven,
+        }
+    }
+
+    /// The worker-thread count to use.
+    fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            parallel::default_jobs()
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// Renders a JSON value in canonical form: objects with keys sorted
+/// (recursively), compact separators, scalar leaves rendered exactly as
+/// the workspace JSON writer renders them. Used by
+/// [`RunRequest::cache_key`]; exposed for the cache-key property tests.
+pub fn canonical_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_canonical(value, &mut out);
+    out
+}
+
+fn write_canonical(value: &Value, out: &mut String) {
+    match value {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            let mut pairs: Vec<(&String, &Value)> = map.iter().collect();
+            pairs.sort_by(|a, b| a.0.cmp(b.0));
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&serde_json::to_string(*key).expect("key serializes"));
+                out.push(':');
+                write_canonical(item, out);
+            }
+            out.push('}');
+        }
+        scalar => {
+            out.push_str(&serde_json::to_string(scalar).expect("scalar serializes"));
+        }
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn mode_from_name(name: &str) -> Result<ExecMode, String> {
+    match name {
+        "base" => Ok(ExecMode::Base),
+        "pipe" => Ok(ExecMode::Pipe),
+        "p2p" => Ok(ExecMode::P2p),
+        other => Err(format!("unknown mode {other}; expected base, pipe or p2p")),
+    }
+}
+
+/// The espcheck admission filter: lints the request's attachments
+/// (SoC configuration, fault plan) statically, returning the combined
+/// diagnostic report. [`execute`] refuses requests whose report has
+/// errors — broken designs never reach the simulator. The `check`
+/// workload's own lint subject is exempt (linting it is the job).
+pub fn admission(req: &RunRequest) -> Report {
+    let req = req.normalized();
+    let mut report = Report::new();
+    if let Some(config) = &req.soc_config {
+        if !matches!(req.workload, WorkloadKind::Check) {
+            report.merge(lint_config(config));
+        }
+    }
+    if let Some(plan) = &req.fault_plan {
+        let mut hosted: Vec<String> = selected_points(&req)
+            .iter()
+            .flat_map(|p| p.app.dataflow().stages)
+            .flat_map(|s| s.devices)
+            .collect();
+        hosted.sort();
+        hosted.dedup();
+        report.merge(lint_fault_plan(plan, &hosted));
+    }
+    report.normalize();
+    report
+}
+
+/// The grid points a (normalized, validated) figure-family request
+/// selects; empty for non-grid workloads.
+fn selected_points(req: &RunRequest) -> Vec<GridPoint> {
+    let grid = match req.workload {
+        WorkloadKind::Fig7 => Fig7::grid(),
+        WorkloadKind::Fig8 => Fig8::grid(),
+        WorkloadKind::Table1 => Table1::grid(),
+        _ => return Vec::new(),
+    };
+    if req.configs.is_empty() {
+        grid
+    } else {
+        req.configs
+            .iter()
+            .filter_map(|&i| grid.get(i).copied())
+            .collect()
+    }
+}
+
+/// Executes a request end to end: normalize, validate, admission-lint,
+/// simulate, package the response. This is the single entry point both
+/// the harness binaries and the `espserve` job engine call.
+///
+/// # Errors
+///
+/// [`RequestError::Invalid`] on malformed requests,
+/// [`RequestError::Rejected`] when the admission lint finds errors,
+/// [`RequestError::Run`] when the simulation itself fails.
+pub fn execute(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+    let req = req.normalized();
+    req.validate_normalized().map_err(RequestError::Invalid)?;
+    let report = admission(&req);
+    if report.has_errors() {
+        return Err(RequestError::Rejected(report));
+    }
+    match req.workload {
+        WorkloadKind::Fig7 | WorkloadKind::Fig8 | WorkloadKind::Table1 => {
+            figure_response(&req, models)
+        }
+        WorkloadKind::Profile => profile_response(&req, models),
+        WorkloadKind::Spans => spans_response(&req, models),
+        WorkloadKind::Faults { seeds } => faults_response(&req, seeds, models),
+        WorkloadKind::Check => check_response(&req),
+    }
+}
+
+/// The enveloped run-metrics artifact — the byte-identity surface the
+/// CI smoke test compares between the server and the CLI.
+fn metrics_artifact(runs: &[PointRun]) -> String {
+    let payload = serde_json::to_value(runs).expect("runs serialize");
+    envelope_json("run-metrics", payload)
+}
+
+/// Builds the observability session a request asks for (`None` when
+/// nothing is observed). Same shape priority as the historical
+/// `--spans` > `--profile` > `--trace` session selection.
+fn session_for(observe: &ObserveOpts) -> Option<TraceSession> {
+    if observe.spans {
+        return Some(TraceSession::spanned(observe.sample_every, observe.profile));
+    }
+    if observe.profile {
+        return Some(TraceSession::profiled(observe.sample_every));
+    }
+    if !observe.trace {
+        return None;
+    }
+    let tracer = Tracer::ring_buffer();
+    Some(match observe.sample_every {
+        Some(every) => TraceSession::with_sampling(tracer, every),
+        None => TraceSession::new(tracer),
+    })
+}
+
+/// Drains a finished session into response artifacts and notes.
+fn observe_artifacts(
+    observe: &ObserveOpts,
+    session: &TraceSession,
+    artifacts: &mut BTreeMap<String, String>,
+    notes: &mut Vec<String>,
+) {
+    if observe.trace {
+        let dropped = session.tracer().dropped();
+        let dropped_spans = session.tracer().dropped_spans();
+        let events = session.tracer().drain();
+        let doc = perfetto::chrome_trace_with_drop_counts(&events, dropped, dropped_spans);
+        artifacts.insert(
+            "trace".into(),
+            serde_json::to_string_pretty(&doc).expect("trace serializes"),
+        );
+        notes.push(format!("captured {} trace events", events.len()));
+        if dropped > 0 {
+            notes.push(format!(
+                "ring buffer dropped {dropped} oldest events ({dropped_spans} span-relevant)"
+            ));
+        }
+        if observe.sample_every.is_some() {
+            artifacts.insert("counters_csv".into(), session.counters_csv());
+        }
+    }
+    if observe.profile {
+        artifacts.insert("profile".into(), session.profiles_json());
+        let summary = session.profile_summary();
+        if !summary.is_empty() {
+            artifacts.insert("profile_text".into(), summary);
+        }
+    }
+    if observe.spans {
+        artifacts.insert("spans".into(), session.span_reports_json());
+        let doc = perfetto::span_chrome_trace(session.span_reports());
+        artifacts.insert(
+            "span_trace".into(),
+            serde_json::to_string_pretty(&doc).expect("span trace serializes"),
+        );
+        let summary = session.span_summary();
+        if !summary.is_empty() {
+            artifacts.insert("span_text".into(), summary);
+        }
+    }
+    if observe.any() {
+        let summary = session.noc_summary();
+        if !summary.is_empty() {
+            artifacts.insert("noc_text".into(), summary);
+        }
+    }
+}
+
+/// Runs a figure/table workload: the selected grid points, observed /
+/// sanitized / faulted / parallel exactly as the flags always composed,
+/// plus figure assembly when the whole grid ran.
+fn figure_response(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+    let points = selected_points(req);
+    let engine = req.soc_engine();
+    let full_grid = req.configs.is_empty();
+    let faults = req.fault_plan.clone().map(|plan| {
+        FaultConfig::from_plan(plan).with_watchdog(esp4ml::faults::CAMPAIGN_WATCHDOG_CYCLES)
+    });
+    let mut artifacts = BTreeMap::new();
+    let mut notes = Vec::new();
+    let runs: Vec<AppRun> = if let Some(mut session) = session_for(&req.observe) {
+        // Observed runs are serial: the collectors are single-stream.
+        let mut runs = Vec::new();
+        for point in &points {
+            runs.push(AppRun::execute_traced_on(
+                &point.app,
+                models,
+                req.frames,
+                point.mode,
+                engine,
+                &mut session,
+            )?);
+        }
+        observe_artifacts(&req.observe, &session, &mut artifacts, &mut notes);
+        runs
+    } else {
+        parallel::run_grid(
+            &points,
+            models,
+            req.frames,
+            engine,
+            req.effective_jobs(),
+            req.sanitize,
+            faults.as_ref(),
+        )?
+    };
+    if req.sanitize {
+        notes.push(format!("sanitizer: clean across {} runs", runs.len()));
+    }
+    if faults.is_some() {
+        let (retries, failovers, degraded) = runs.iter().fold((0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.metrics.retries,
+                acc.1 + r.metrics.failovers,
+                acc.2 + u64::from(r.software_fallback),
+            )
+        });
+        notes.push(format!(
+            "faults: {retries} retries, {failovers} failovers, \
+             {degraded} software-degraded run(s) across {} runs",
+            runs.len()
+        ));
+    }
+    let mut summary_text = String::new();
+    if full_grid {
+        let figure = match req.workload {
+            WorkloadKind::Fig7 => {
+                let fig = Fig7::assemble(&runs)?;
+                format!("{fig}\n\n{}", chart::render_fig7(&fig))
+            }
+            WorkloadKind::Fig8 => Fig8::assemble(&runs)?.to_string(),
+            WorkloadKind::Table1 => Table1::assemble(models, &runs)?.to_string(),
+            _ => unreachable!("figure_response only handles grid workloads"),
+        };
+        summary_text.clone_from(&figure);
+        artifacts.insert("figure".into(), figure);
+    } else {
+        summary_text = runs
+            .iter()
+            .map(|r| format!("{} {}: {}\n", r.label, r.mode.label(), r.metrics))
+            .collect();
+    }
+    let point_runs: Vec<PointRun> = runs.iter().map(PointRun::from_app_run).collect();
+    artifacts.insert("metrics".into(), metrics_artifact(&point_runs));
+    Ok(RunResponse {
+        schema_version: SCHEMA_VERSION,
+        workload: req.workload.label().to_string(),
+        engine: engine_name(engine).to_string(),
+        frames: req.frames,
+        runs: point_runs,
+        verdict: Verdict {
+            ok: true,
+            violations: Vec::new(),
+        },
+        summary_text,
+        notes,
+        artifacts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// espprof / espspan verdict reports
+// ---------------------------------------------------------------------------
+
+/// One profiled mode run in an [`EspprofReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfiledRun {
+    /// `{config} {mode}` label.
+    pub label: String,
+    /// Execution mode label.
+    pub mode: String,
+    /// Measured throughput.
+    pub frames_per_second: f64,
+    /// Cycles per frame observed by the profiler.
+    pub observed_cycles_per_frame: f64,
+    /// The limiting stage named by the bottleneck report.
+    pub limiting_stage: Option<String>,
+    /// Throughput ceiling if the limiting stage were free.
+    pub speedup_ceiling: Option<f64>,
+    /// The full profile report.
+    pub profile: esp4ml::ProfileReport,
+}
+
+/// The espprof verdict report (`report` artifact of the `profile`
+/// workload, enveloped as kind `espprof-report`).
+#[derive(Debug, Clone, Serialize)]
+pub struct EspprofReport {
+    /// Workspace version that produced the report.
+    pub version: String,
+    /// Labels of the profiled configurations.
+    pub configs: Vec<String>,
+    /// Frames per run.
+    pub frames: u64,
+    /// Canonical engine name.
+    pub engine: String,
+    /// Per-mode profiled runs.
+    pub runs: Vec<ProfiledRun>,
+    /// Consistency violations (empty when `consistent`).
+    pub violations: Vec<String>,
+    /// Whether the profile agrees with the simulator.
+    pub consistent: bool,
+}
+
+/// Checks the profile reports against the measured throughput; returns
+/// the list of violated invariants (empty when consistent).
+fn profile_violations(runs: &[ProfiledRun]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for run in runs {
+        if let Some(b) = &run.profile.run.bottleneck {
+            if b.bound_cycles_per_frame > run.observed_cycles_per_frame * (1.0 + 1e-9) {
+                violations.push(format!(
+                    "{}: limiting-stage bound {:.1} cycles/frame exceeds observed {:.1}",
+                    run.label, b.bound_cycles_per_frame, run.observed_cycles_per_frame
+                ));
+            }
+        } else {
+            violations.push(format!("{}: no bottleneck report produced", run.label));
+        }
+    }
+    for a in runs {
+        for b in runs {
+            if a.frames_per_second > b.frames_per_second
+                && a.observed_cycles_per_frame > b.observed_cycles_per_frame
+            {
+                violations.push(format!(
+                    "throughput ordering disagrees with profile: {} measures \
+                     {:.1} f/s vs {} at {:.1} f/s, yet profiles {:.1} vs {:.1} cycles/frame",
+                    a.label,
+                    a.frames_per_second,
+                    b.label,
+                    b.frames_per_second,
+                    a.observed_cycles_per_frame,
+                    b.observed_cycles_per_frame
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn profile_response(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+    let all = CaseApp::all_fig7_configs();
+    let engine = req.soc_engine();
+    let mut runs = Vec::new();
+    let mut app_runs = Vec::new();
+    let mut labels = Vec::new();
+    let mut summary = String::new();
+    for &config in &req.configs {
+        let app = all[config];
+        labels.push(app.label());
+        for mode_name in &req.modes {
+            let mode = mode_from_name(mode_name).map_err(RequestError::Invalid)?;
+            let mut session = TraceSession::profiled(None);
+            let run =
+                AppRun::execute_traced_on(&app, models, req.frames, mode, engine, &mut session)?;
+            let profile = session.profiles().first().cloned().ok_or_else(|| {
+                RequestError::Run(ExperimentError::Grid(
+                    "profiled run produced no profile report".into(),
+                ))
+            })?;
+            let label = format!("{} {}", app.label(), mode.label());
+            summary.push_str(&format!(
+                "=== {label} ===\n{}measured throughput: {:.1} frames/s over {} frames\n\n",
+                profile.render_text(),
+                run.metrics.frames_per_second(),
+                req.frames
+            ));
+            runs.push(ProfiledRun {
+                label,
+                mode: mode.label().to_string(),
+                frames_per_second: run.metrics.frames_per_second(),
+                observed_cycles_per_frame: profile.run.observed_cycles_per_frame(),
+                limiting_stage: profile
+                    .run
+                    .bottleneck
+                    .as_ref()
+                    .map(|b| b.limiting_stage.clone()),
+                speedup_ceiling: profile.run.bottleneck.as_ref().map(|b| b.speedup_ceiling),
+                profile,
+            });
+            app_runs.push(run);
+        }
+    }
+    let violations = profile_violations(&runs);
+    let report = EspprofReport {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        configs: labels,
+        frames: req.frames,
+        engine: engine_name(engine).to_string(),
+        consistent: violations.is_empty(),
+        violations,
+        runs,
+    };
+    let point_runs: Vec<PointRun> = app_runs.iter().map(PointRun::from_app_run).collect();
+    let mut artifacts = BTreeMap::new();
+    artifacts.insert("metrics".into(), metrics_artifact(&point_runs));
+    artifacts.insert(
+        "report".into(),
+        envelope_json(
+            "espprof-report",
+            serde_json::to_value(&report).expect("report serializes"),
+        ),
+    );
+    Ok(RunResponse {
+        schema_version: SCHEMA_VERSION,
+        workload: req.workload.label().to_string(),
+        engine: report.engine.clone(),
+        frames: req.frames,
+        runs: point_runs,
+        verdict: Verdict {
+            ok: report.consistent,
+            violations: report.violations.clone(),
+        },
+        summary_text: summary,
+        notes: Vec::new(),
+        artifacts,
+    })
+}
+
+/// One spanned run in an [`EspspanReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SpannedRun {
+    /// `{config} {mode}` label.
+    pub label: String,
+    /// Execution mode label.
+    pub mode: String,
+    /// Measured throughput.
+    pub frames_per_second: f64,
+    /// Limiting stage per the span layer's aggregated critical path.
+    pub span_limiting_stage: Option<String>,
+    /// Limiting stage per the independent profiler's bottleneck report.
+    pub profile_limiting_stage: Option<String>,
+    /// The full span report.
+    pub report: esp4ml::trace::SpanReport,
+}
+
+/// The espspan verdict report (`report` artifact of the `spans`
+/// workload, enveloped as kind `espspan-report`).
+#[derive(Debug, Clone, Serialize)]
+pub struct EspspanReport {
+    /// Workspace version that produced the report.
+    pub version: String,
+    /// Labels of the spanned configurations.
+    pub configs: Vec<String>,
+    /// Frames per run.
+    pub frames: u64,
+    /// Canonical engine name.
+    pub engine: String,
+    /// Per-mode spanned runs.
+    pub runs: Vec<SpannedRun>,
+    /// Consistency violations (empty when `consistent`).
+    pub violations: Vec<String>,
+    /// Whether the span layer agrees with the simulator and profiler.
+    pub consistent: bool,
+}
+
+/// Checks every run's span report against the attribution invariant
+/// and the independent profiler; returns the list of violations.
+fn span_violations(runs: &[SpannedRun]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for run in runs {
+        if let Err(e) = run.report.check_attribution() {
+            violations.push(format!(
+                "{}: attribution invariant violated: {e}",
+                run.label
+            ));
+        }
+        if run.report.frames.is_empty() {
+            violations.push(format!("{}: no frame span trees assembled", run.label));
+        }
+        match (&run.span_limiting_stage, &run.profile_limiting_stage) {
+            (Some(s), Some(p)) if s != p => violations.push(format!(
+                "{}: span critical path names stage \"{s}\" but the profiler's \
+                 bottleneck report names \"{p}\"",
+                run.label
+            )),
+            (None, Some(p)) => violations.push(format!(
+                "{}: no critical path despite profiler bottleneck \"{p}\"",
+                run.label
+            )),
+            _ => {}
+        }
+    }
+    violations
+}
+
+fn spans_response(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+    let all = CaseApp::all_fig7_configs();
+    let engine = req.soc_engine();
+    let mut runs = Vec::new();
+    let mut app_runs = Vec::new();
+    let mut labels = Vec::new();
+    let mut summary = String::new();
+    for &config in &req.configs {
+        let app = all[config];
+        labels.push(app.label());
+        for mode_name in &req.modes {
+            let mode = mode_from_name(mode_name).map_err(RequestError::Invalid)?;
+            // The spanned+profiled session feeds one event stream to
+            // both collectors, so the agreement check compares two
+            // independently-maintained analyses of the same run.
+            let mut session = TraceSession::spanned(None, true);
+            let run =
+                AppRun::execute_traced_on(&app, models, req.frames, mode, engine, &mut session)?;
+            let report = session.span_reports().first().cloned().ok_or_else(|| {
+                RequestError::Run(ExperimentError::Grid(
+                    "spanned run produced no span report".into(),
+                ))
+            })?;
+            let profile_limiting_stage = session
+                .profiles()
+                .first()
+                .and_then(|p| p.run.bottleneck.as_ref())
+                .map(|b| b.limiting_stage.clone());
+            let label = format!("{} {}", app.label(), mode.label());
+            summary.push_str(&format!(
+                "=== {label} ===\n{}measured throughput: {:.1} frames/s over {} frames\n\n",
+                report.render_text(),
+                run.metrics.frames_per_second(),
+                req.frames
+            ));
+            runs.push(SpannedRun {
+                label,
+                mode: mode.label().to_string(),
+                frames_per_second: run.metrics.frames_per_second(),
+                span_limiting_stage: report
+                    .critical_path
+                    .as_ref()
+                    .map(|cp| cp.limiting_stage.clone()),
+                profile_limiting_stage,
+                report,
+            });
+            app_runs.push(run);
+        }
+    }
+    let violations = span_violations(&runs);
+    let flame: String = runs.iter().map(|r| r.report.render_flame()).collect();
+    let report = EspspanReport {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        configs: labels,
+        frames: req.frames,
+        engine: engine_name(engine).to_string(),
+        consistent: violations.is_empty(),
+        violations,
+        runs,
+    };
+    let point_runs: Vec<PointRun> = app_runs.iter().map(PointRun::from_app_run).collect();
+    let mut artifacts = BTreeMap::new();
+    artifacts.insert("metrics".into(), metrics_artifact(&point_runs));
+    artifacts.insert("flame".into(), flame);
+    artifacts.insert(
+        "report".into(),
+        envelope_json(
+            "espspan-report",
+            serde_json::to_value(&report).expect("report serializes"),
+        ),
+    );
+    Ok(RunResponse {
+        schema_version: SCHEMA_VERSION,
+        workload: req.workload.label().to_string(),
+        engine: report.engine.clone(),
+        frames: req.frames,
+        runs: point_runs,
+        verdict: Verdict {
+            ok: report.consistent,
+            violations: report.violations.clone(),
+        },
+        summary_text: summary,
+        notes: Vec::new(),
+        artifacts,
+    })
+}
+
+fn faults_response(
+    req: &RunRequest,
+    seeds: u64,
+    models: &TrainedModels,
+) -> Result<RunResponse, RequestError> {
+    let engine = req.soc_engine();
+    let seed_list: Vec<u64> = (1..=seeds).collect();
+    let report = CampaignReport::generate(models, &seed_list, req.frames, engine)?;
+    let violations: Vec<String> = report
+        .cases
+        .iter()
+        .filter(|c| c.status == "failed")
+        .map(|c| format!("unabsorbed fault: {} {} seed {}", c.config, c.mode, c.seed))
+        .collect();
+    let campaign = report
+        .to_json()
+        .map_err(|e| RequestError::Run(ExperimentError::Grid(e.to_string())))?;
+    let mut artifacts = BTreeMap::new();
+    artifacts.insert("campaign".into(), campaign);
+    Ok(RunResponse {
+        schema_version: SCHEMA_VERSION,
+        workload: req.workload.label().to_string(),
+        engine: engine_name(engine).to_string(),
+        frames: req.frames,
+        runs: Vec::new(),
+        verdict: Verdict {
+            ok: violations.is_empty(),
+            violations,
+        },
+        summary_text: report.to_string(),
+        notes: Vec::new(),
+        artifacts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// espcheck lint targets
+// ---------------------------------------------------------------------------
+
+/// One linted target and its findings.
+#[derive(Debug, Serialize)]
+pub struct LintTarget {
+    /// What was linted.
+    pub name: String,
+    /// Error findings.
+    pub errors: usize,
+    /// Warning findings.
+    pub warnings: usize,
+    /// The typed diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintTarget {
+    /// Packages a lint report under a target name.
+    pub fn new(name: impl Into<String>, report: Report) -> LintTarget {
+        LintTarget {
+            name: name.into(),
+            errors: report.error_count(),
+            warnings: report.warning_count(),
+            diagnostics: report.diagnostics,
+        }
+    }
+}
+
+/// The espcheck verdict report (`report` artifact of the `check`
+/// workload, enveloped as kind `espcheck-report`).
+#[derive(Debug, Serialize)]
+pub struct EspcheckReport {
+    /// Workspace version that produced the report.
+    pub version: String,
+    /// Linted targets with their findings.
+    pub targets: Vec<LintTarget>,
+    /// Error findings across all targets.
+    pub total_errors: usize,
+    /// Warning findings across all targets.
+    pub total_warnings: usize,
+    /// Whether no target had errors (warnings keep the lint clean).
+    pub clean: bool,
+}
+
+impl EspcheckReport {
+    /// Folds lint targets into the report.
+    pub fn from_targets(targets: Vec<LintTarget>) -> EspcheckReport {
+        let total_errors: usize = targets.iter().map(|t| t.errors).sum();
+        let total_warnings: usize = targets.iter().map(|t| t.warnings).sum();
+        EspcheckReport {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            total_errors,
+            total_warnings,
+            clean: total_errors == 0,
+            targets,
+        }
+    }
+
+    /// Renders the per-target `ok`/`FAIL` lines plus the totals line —
+    /// the espcheck stdout format.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for target in &self.targets {
+            if target.diagnostics.is_empty() {
+                let _ = writeln!(out, "ok   {}", target.name);
+            } else {
+                let _ = writeln!(out, "FAIL {}", target.name);
+                for diag in &target.diagnostics {
+                    let _ = writeln!(out, "  {diag}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "espcheck: {} error(s), {} warning(s) across {} target(s)",
+            self.total_errors,
+            self.total_warnings,
+            self.targets.len()
+        );
+        out
+    }
+
+    /// The enveloped JSON artifact (kind `espcheck-report`).
+    pub fn to_json(&self) -> String {
+        envelope_json(
+            "espcheck-report",
+            serde_json::to_value(self).expect("report serializes"),
+        )
+    }
+}
+
+/// Lints the built-in floorplans and every Fig. 7 application mapping —
+/// the espcheck default target set.
+pub fn lint_builtins() -> Vec<LintTarget> {
+    let mut targets = Vec::new();
+    let soc1 = SocConfigFile::soc1();
+    targets.push(LintTarget::new(
+        "builtin soc1 floorplan",
+        lint_config(&soc1),
+    ));
+    // SoC-2 is assembled programmatically; lint the built artifact.
+    let models = TrainedModels::untrained();
+    let soc2_view = build_soc2(&models)
+        .ok()
+        .map(|soc| FloorplanView::from_soc(&soc));
+    for app in CaseApp::all_fig7_configs() {
+        let name = format!("fig7 {} ({:?})", app.label(), app.soc_id());
+        let dataflow = app.dataflow();
+        let report = match app.soc_id() {
+            SocId::Soc1 => lint_all(&soc1, &dataflow),
+            SocId::Soc2 => match &soc2_view {
+                Some(view) => {
+                    let mut r = lint_dataflow(&dataflow);
+                    r.merge(lint_mapping(view, &dataflow));
+                    r.normalize();
+                    r
+                }
+                None => {
+                    let mut r = Report::new();
+                    r.push(Diagnostic::error(
+                        esp4ml_check::codes::MISSING_REQUIRED_TILE,
+                        "soc2",
+                        "the built-in SoC-2 floorplan failed to build",
+                    ));
+                    r
+                }
+            },
+        };
+        targets.push(LintTarget::new(name, report));
+    }
+    targets
+}
+
+fn check_response(req: &RunRequest) -> Result<RunResponse, RequestError> {
+    let targets = match &req.soc_config {
+        Some(config) => vec![LintTarget::new("request soc_config", lint_config(config))],
+        None => lint_builtins(),
+    };
+    let report = EspcheckReport::from_targets(targets);
+    let violations: Vec<String> = report
+        .targets
+        .iter()
+        .flat_map(|t| t.diagnostics.iter())
+        .filter(|d| d.severity == esp4ml_check::Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    let summary_text = report.render_text();
+    let mut artifacts = BTreeMap::new();
+    artifacts.insert("report".into(), report.to_json());
+    Ok(RunResponse {
+        schema_version: SCHEMA_VERSION,
+        workload: req.workload.label().to_string(),
+        engine: engine_name(req.soc_engine()).to_string(),
+        frames: req.frames,
+        runs: Vec::new(),
+        verdict: Verdict {
+            ok: report.clean,
+            violations,
+        },
+        summary_text,
+        notes: Vec::new(),
+        artifacts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CLI bridge
+// ---------------------------------------------------------------------------
+
+impl crate::HarnessArgs {
+    /// Builds the [`RunRequest`] these command-line options describe
+    /// for `workload` — the bridge that makes every binary a thin
+    /// client of [`execute`]. Loads the `--faults` plan file inline.
+    ///
+    /// # Errors
+    ///
+    /// File or JSON failures loading the fault plan, as a printable
+    /// message (a usage error: exit 2).
+    pub fn to_request(&self, workload: WorkloadKind) -> Result<RunRequest, String> {
+        let configs = if self.all {
+            (0..workload.config_space().len()).collect()
+        } else {
+            self.configs.clone()
+        };
+        Ok(RunRequest {
+            schema_version: SCHEMA_VERSION,
+            workload,
+            configs,
+            modes: self.modes.iter().map(|m| m.label().to_string()).collect(),
+            frames: self.frames,
+            engine: engine_name(self.engine).to_string(),
+            jobs: self.jobs,
+            sanitize: self.sanitize,
+            fault_plan: self.fault_plan()?,
+            soc_config: None,
+            observe: ObserveOpts {
+                trace: self.trace.is_some(),
+                profile: self.profile.is_some(),
+                spans: self.spans.is_some(),
+                sample_every: self.sample_every,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(workload: WorkloadKind) -> RunRequest {
+        let mut r = RunRequest::new(workload);
+        r.frames = 2;
+        r
+    }
+
+    #[test]
+    fn normalization_resolves_engine_aliases_and_defaults() {
+        let mut r = req(WorkloadKind::Profile);
+        r.engine = "event-driven".into();
+        let n = r.normalized();
+        assert_eq!(n.engine, "event");
+        assert_eq!(n.configs, vec![3]);
+        assert_eq!(n.modes, vec!["pipe".to_string(), "p2p".to_string()]);
+        let r2 = req(WorkloadKind::Fig7);
+        assert_eq!(r2.normalized().engine, "event");
+        assert!(r2.normalized().configs.is_empty(), "figures keep empty=all");
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        let mut r = req(WorkloadKind::Fig7);
+        r.schema_version = 99;
+        assert!(r.validate().unwrap_err().contains("schema_version"));
+
+        let mut r = req(WorkloadKind::Fig7);
+        r.engine = "warp".into();
+        assert!(r.validate().unwrap_err().contains("unknown engine"));
+
+        let mut r = req(WorkloadKind::Fig7);
+        r.frames = 0;
+        assert!(r.validate().unwrap_err().contains("frames"));
+
+        let mut r = req(WorkloadKind::Fig7);
+        r.configs = vec![999];
+        assert!(r.validate().unwrap_err().contains("out of range"));
+
+        let mut r = req(WorkloadKind::Fig7);
+        r.modes = vec!["pipe".into()];
+        assert!(r.validate().unwrap_err().contains("fixed by the fig7 grid"));
+
+        let mut r = req(WorkloadKind::Faults { seeds: 0 });
+        assert!(r.validate().unwrap_err().contains("seeds"));
+        r = req(WorkloadKind::Faults { seeds: 2 });
+        assert!(r.validate().is_ok());
+
+        let mut r = req(WorkloadKind::Fig7);
+        r.sanitize = true;
+        r.observe.trace = true;
+        assert!(r.validate().unwrap_err().contains("sanitize"));
+
+        let mut r = req(WorkloadKind::Fig7);
+        r.observe.sample_every = Some(100);
+        assert!(r.validate().unwrap_err().contains("requires trace"));
+
+        // check ignores frames entirely.
+        let mut r = RunRequest::new(WorkloadKind::Check);
+        r.frames = 0;
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_key_ignores_jobs_and_engine_alias() {
+        let a = req(WorkloadKind::Fig7);
+        let mut b = a.clone();
+        b.jobs = 7;
+        assert_eq!(a.cache_key(), b.cache_key());
+        let mut c = a.clone();
+        c.engine = "event-driven".into();
+        assert_eq!(a.cache_key(), c.cache_key());
+        let mut d = a.clone();
+        d.engine = "naive".into();
+        assert_ne!(a.cache_key(), d.cache_key(), "engine is part of the key");
+        let mut e = a.clone();
+        e.frames = 3;
+        assert_ne!(a.cache_key(), e.cache_key());
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_recursively() {
+        use serde::Map;
+        let mut inner = Map::new();
+        inner.insert("zeta".into(), Value::from(1u64));
+        inner.insert("alpha".into(), Value::from(2u64));
+        let mut outer = Map::new();
+        outer.insert("b".into(), Value::Object(inner));
+        outer.insert("a".into(), Value::from("x"));
+        let text = canonical_json(&Value::Object(outer));
+        assert_eq!(text, r#"{"a":"x","b":{"alpha":2,"zeta":1}}"#);
+    }
+
+    #[test]
+    fn admission_flags_broken_config_before_simulation() {
+        let broken = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/broken_dup_tile.json"
+        ))
+        .expect("seeded broken config");
+        let mut r = req(WorkloadKind::Fig7);
+        r.soc_config = Some(SocConfigFile::from_json(&broken).expect("config parses"));
+        let report = admission(&r);
+        assert!(report.has_errors());
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"E0101"), "{codes:?}");
+        let models = TrainedModels::untrained();
+        match execute(&r, &models) {
+            Err(RequestError::Rejected(rep)) => assert!(rep.has_errors()),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_lints_fault_plans_against_the_selected_grid() {
+        use esp4ml_fault::FaultSpec;
+        let mut r = req(WorkloadKind::Fig7);
+        r.fault_plan = Some(FaultPlan::new(1).with(FaultSpec::transient_hang("no-such-device", 0)));
+        let report = admission(&r);
+        assert!(report.has_errors(), "unknown device must be an E06xx error");
+    }
+
+    #[test]
+    fn execute_runs_a_single_fig8_point() {
+        let mut r = req(WorkloadKind::Fig8);
+        r.configs = vec![0];
+        let models = TrainedModels::untrained();
+        let resp = execute(&r, &models).expect("runs");
+        assert_eq!(resp.runs.len(), 1);
+        assert!(resp.verdict.ok);
+        assert!(resp.artifacts.contains_key("metrics"));
+        assert!(
+            !resp.artifacts.contains_key("figure"),
+            "subset runs skip figure assembly"
+        );
+        let metrics = resp.artifacts.get("metrics").unwrap();
+        let value = serde_json::parse_value(metrics).unwrap();
+        let payload =
+            esp4ml::trace::schema::open_envelope(value, "run-metrics").expect("enveloped");
+        assert_eq!(payload.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn execute_is_deterministic_across_engines_and_calls() {
+        let mut r = req(WorkloadKind::Fig8);
+        r.configs = vec![0];
+        let models = TrainedModels::untrained();
+        let a = execute(&r, &models).expect("runs");
+        let b = execute(&r, &models).expect("runs");
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "identical requests, identical bytes"
+        );
+        let mut naive = r.clone();
+        naive.engine = "naive".into();
+        let c = execute(&naive, &models).expect("runs");
+        assert_eq!(
+            a.runs[0].metrics, c.runs[0].metrics,
+            "engines agree on metrics"
+        );
+    }
+
+    #[test]
+    fn check_workload_reports_on_inline_config() {
+        let mut r = RunRequest::new(WorkloadKind::Check);
+        let broken = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/broken_dup_tile.json"
+        ))
+        .expect("seeded broken config");
+        r.soc_config = Some(SocConfigFile::from_json(&broken).expect("config parses"));
+        let models = TrainedModels::untrained();
+        // A broken lint subject is NOT an admission rejection for check:
+        // reporting on it is the job.
+        let resp = execute(&r, &models).expect("check runs");
+        assert!(!resp.verdict.ok);
+        assert!(resp.verdict.violations.iter().any(|v| v.contains("E0101")));
+        assert!(resp.artifacts.contains_key("report"));
+    }
+}

@@ -312,22 +312,32 @@ impl CampaignReport {
             .count()
     }
 
-    /// Serializes the report as pretty JSON.
+    /// Serializes the report as pretty JSON, wrapped in the
+    /// `fault-campaign` schema envelope ([`esp4ml_trace::schema`]).
     ///
     /// # Errors
     ///
     /// Propagates serializer failures.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+        let payload = serde_json::to_value(self)?;
+        Ok(esp4ml_trace::schema::envelope_json(
+            "fault-campaign",
+            payload,
+        ))
     }
 
-    /// Parses a report from JSON.
+    /// Parses a report from enveloped JSON, rejecting unknown schema
+    /// versions per the compatibility rule.
     ///
     /// # Errors
     ///
-    /// Propagates parse failures.
+    /// Propagates parse failures; envelope violations surface as a
+    /// custom serde error.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+        let value = serde_json::parse_value(json)?;
+        let payload = esp4ml_trace::schema::open_envelope(value, "fault-campaign")
+            .map_err(|e| serde_json::Error::from(serde::Error::custom(e)))?;
+        serde_json::from_value(payload)
     }
 }
 

@@ -170,9 +170,11 @@ impl TraceSession {
         &self.span_reports
     }
 
-    /// Serializes every span report as one JSON array.
+    /// Serializes every span report as one enveloped JSON array
+    /// (kind `span-reports`, see [`esp4ml_trace::schema`]).
     pub fn span_reports_json(&self) -> String {
-        serde_json::to_string_pretty(&self.span_reports).expect("span serialization")
+        let payload = serde_json::to_value(&self.span_reports).expect("span serialization");
+        esp4ml_trace::schema::envelope_json("span-reports", payload)
     }
 
     /// Renders every span report as human-readable text.
@@ -185,9 +187,11 @@ impl TraceSession {
         out
     }
 
-    /// Serializes every profile report as one JSON array.
+    /// Serializes every profile report as one enveloped JSON array
+    /// (kind `profile-reports`, see [`esp4ml_trace::schema`]).
     pub fn profiles_json(&self) -> String {
-        serde_json::to_string_pretty(&self.profiles).expect("profile serialization")
+        let payload = serde_json::to_value(&self.profiles).expect("profile serialization");
+        esp4ml_trace::schema::envelope_json("profile-reports", payload)
     }
 
     /// Renders every profile report as human-readable text.

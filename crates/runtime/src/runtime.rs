@@ -323,7 +323,7 @@ impl EspRuntime {
         self.tracer = tracer;
     }
 
-    /// Named counters accumulated across every [`EspRuntime::esp_run`]:
+    /// Named counters accumulated across every [`EspRuntime::run`]:
     /// the same deltas that each run's [`RunMetrics`] reports, summed
     /// behind the generic snapshot/diff API.
     pub fn counters(&self) -> &CounterRegistry {
@@ -456,26 +456,8 @@ impl EspRuntime {
             .dram_read_values(addr, buf.out_values as usize, buf.out_bits)?)
     }
 
-    /// Executes the dataflow over the prepared buffers (`esp_run`).
-    ///
-    /// # Errors
-    ///
-    /// Unknown devices, invalid dataflows, or a simulation timeout.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a typed RunSpec and call EspRuntime::run instead"
-    )]
-    pub fn esp_run(
-        &mut self,
-        dataflow: &Dataflow,
-        buf: &AppBuffers,
-        mode: ExecMode,
-    ) -> Result<RunMetrics, RuntimeError> {
-        self.run(&RunSpec::new(dataflow).mode(mode), buf)
-    }
-
     /// Executes a [`RunSpec`] over the prepared buffers — the typed
-    /// replacement for [`EspRuntime::esp_run`]. A spec-level ioctl
+    /// replacement for the removed `esp_run` shim. A spec-level ioctl
     /// override applies to this run only; a spec-level tracer is
     /// installed on the runtime and SoC as [`EspRuntime::set_tracer`]
     /// would.
@@ -1081,26 +1063,6 @@ mod tests {
         }
         assert_eq!(mb.frames, 4);
         assert!(mb.invocations == 8 && mp.invocations == 8 && m2.invocations == 2);
-        Ok(())
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_esp_run_wrapper_matches_run() -> Result<(), RuntimeError> {
-        let mut rt = two_stage_runtime()?;
-        let df = Dataflow::linear(&[&["x2"], &["x3"]]);
-        let buf = rt.prepare(&df, 2)?;
-        for f in 0..2 {
-            rt.write_frame(&buf, f, &[1; 16])?;
-        }
-        let via_wrapper = rt.esp_run(&df, &buf, ExecMode::Base)?;
-        let mut rt2 = two_stage_runtime()?;
-        let buf2 = rt2.prepare(&df, 2)?;
-        for f in 0..2 {
-            rt2.write_frame(&buf2, f, &[1; 16])?;
-        }
-        let via_spec = rt2.run(&RunSpec::new(&df), &buf2)?;
-        assert_eq!(via_wrapper, via_spec);
         Ok(())
     }
 

@@ -1,0 +1,92 @@
+//! `espserve` — the simulation-as-a-service job server.
+//!
+//! ```text
+//! cargo run --release -p esp4ml-serve --bin espserve -- --addr 127.0.0.1:8080
+//! ```
+//!
+//! See the README for a curl quickstart against the `/v1` API.
+
+use esp4ml_serve::engine::{EngineConfig, JobEngine};
+use esp4ml_serve::{api, http};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+espserve - simulation-as-a-service job server over the unified request API
+
+USAGE:
+    espserve [OPTIONS]
+
+OPTIONS:
+    --addr ADDR        listen address (default 127.0.0.1:8080; port 0 picks a free port)
+    --workers N        simulation worker threads (default 2)
+    --max-queued N     queued-job quota per API key (default 16)
+    --max-running N    concurrent-run quota per API key (default 2)
+    --cache N          result-cache capacity in responses (default 64; 0 disables)
+    -h, --help         print this help
+";
+
+fn main() {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut config = EngineConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = || it.next().ok_or_else(|| format!("{arg} needs a value"));
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--addr" => addr = grab()?,
+                "--workers" => {
+                    config.workers = grab()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                }
+                "--max-queued" => {
+                    config.max_queued_per_tenant =
+                        grab()?.parse().map_err(|e| format!("--max-queued: {e}"))?;
+                }
+                "--max-running" => {
+                    config.max_running_per_tenant =
+                        grab()?.parse().map_err(|e| format!("--max-running: {e}"))?;
+                }
+                "--cache" => {
+                    config.cache_capacity = grab()?.parse().map_err(|e| format!("--cache: {e}"))?;
+                }
+                "-h" | "--help" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown option {other}; see --help")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            eprintln!("espserve: {msg}");
+            std::process::exit(2);
+        }
+    }
+    if config.workers == 0 {
+        // workers: 0 is the manual test mode of the engine; a server
+        // with no workers would accept jobs and never run them.
+        eprintln!("espserve: --workers must be at least 1");
+        std::process::exit(2);
+    }
+    if config.max_running_per_tenant == 0 {
+        eprintln!("espserve: --max-running must be at least 1");
+        std::process::exit(2);
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("espserve: failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+    let engine = Arc::new(JobEngine::new(config.clone()));
+    engine.start();
+    // Machine-greppable so scripts (and the CI smoke job) can discover
+    // the bound port when --addr ends in :0.
+    println!(
+        "espserve: listening on http://{local}/v1 ({} workers)",
+        config.workers
+    );
+    http::serve(listener, move |req| api::route(&engine, &req));
+}

@@ -1,0 +1,250 @@
+//! A minimal HTTP/1.1 server — just enough protocol for the espserve
+//! v1 API, written against the standard library only (the build
+//! environment is offline, so no hyper/axum).
+//!
+//! Scope: request line + headers + `Content-Length` bodies, one
+//! request per connection (`Connection: close` on every response),
+//! bounded header and body sizes. No chunked encoding, no TLS, no
+//! keep-alive — espserve is a lab-bench service, not an edge proxy.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// The first header with `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// The body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json".to_string(),
+            body,
+        }
+    }
+
+    /// A plain-text response (newline appended if missing).
+    pub fn text(status: u16, body: &str) -> HttpResponse {
+        let body = if body.ends_with('\n') {
+            body.to_string()
+        } else {
+            format!("{body}\n")
+        };
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body,
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes the response onto `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// A printable message on malformed or oversized requests.
+pub fn read_request(stream: &mut dyn Read) -> Result<HttpRequest, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_string())?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| "request line missing path".to_string())?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut headers = Vec::new();
+    loop {
+        let mut hline = String::new();
+        reader
+            .read_line(&mut hline)
+            .map_err(|e| format!("read header: {e}"))?;
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err("request head too large".to_string());
+        }
+        let trimmed = hline.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().map_err(|e| format!("bad content-length: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err("request body too large".to_string());
+    }
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    Ok(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(HttpRequest) -> HttpResponse) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => handler(request),
+        Err(msg) => HttpResponse::text(400, &msg),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Accept loop: one thread per connection, forever. The handler must
+/// be `Sync` because connections are served concurrently.
+pub fn serve<H>(listener: TcpListener, handler: H) -> !
+where
+    H: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
+{
+    let handler = std::sync::Arc::new(handler);
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let handler = std::sync::Arc::clone(&handler);
+                std::thread::spawn(move || handle_connection(stream, &*handler));
+            }
+            Err(e) => eprintln!("espserve: accept failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = "POST /v1/jobs?trace=1 HTTP/1.1\r\nHost: x\r\nX-Api-Key: alice\r\n\
+                   Content-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut raw.as_bytes()).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs", "query string stripped");
+        assert_eq!(req.header("x-api-key"), Some("alice"));
+        assert_eq!(req.header("X-API-KEY"), Some("alice"));
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let raw = "GET /v1/healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut raw.as_bytes()).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_short_bodies_and_oversize_claims() {
+        let raw = "POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(read_request(&mut raw.as_bytes()).is_err());
+        let raw = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut raw.as_bytes()).expect_err("too large");
+        assert!(err.contains("too large"));
+    }
+
+    #[test]
+    fn responses_serialize_with_content_length() {
+        let mut out = Vec::new();
+        HttpResponse::json(201, "{\"ok\":true}".to_string())
+            .write_to(&mut out)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

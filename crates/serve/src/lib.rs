@@ -1,0 +1,31 @@
+//! espserve: simulation-as-a-service over the unified request API.
+//!
+//! The ESP4ML experiment harness grew a family of one-shot binaries
+//! (`fig7`, `espprof`, `espfault`, ...) that all reduce to the same
+//! thing: build a [`esp4ml_bench::request::RunRequest`], run it, read
+//! artifacts. This crate puts a long-running job server in front of
+//! that shared core, split into three layers so each is testable
+//! without the ones above it:
+//!
+//! - [`engine`] — the transport-agnostic job engine: priority queues,
+//!   per-tenant quotas, cancellation, worker pool, and a deterministic
+//!   result cache keyed by `RunRequest::cache_key` (sound because the
+//!   simulator is seeded and engine-byte-identical).
+//! - [`http`] — a minimal std-only HTTP/1.1 server (the build is
+//!   offline; no framework crates).
+//! - [`api`] — the versioned `/v1` REST routes mapping HTTP onto the
+//!   engine, with espcheck as the admission filter: requests whose
+//!   configuration fails the lint are rejected with their `E`-codes
+//!   before any simulation runs.
+//!
+//! The `espserve` binary wires the three together; see the README for
+//! a curl quickstart and `DESIGN.md` for the data model and the
+//! cache-soundness argument.
+
+pub mod api;
+pub mod engine;
+pub mod http;
+
+pub use api::{route, JobRequest};
+pub use engine::{EngineConfig, JobEngine, JobState, Priority};
+pub use http::{HttpRequest, HttpResponse};

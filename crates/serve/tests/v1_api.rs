@@ -1,0 +1,416 @@
+//! Contract tests for the espserve v1 HTTP API.
+//!
+//! Most tests drive [`esp4ml_serve::api::route`] directly against an
+//! engine with `workers: 0`, so job execution happens exactly when the
+//! test calls `run_next()` — every state transition is deterministic
+//! and observable. One test goes through a real TCP socket end to end.
+
+use esp4ml::apps::TrainedModels;
+use esp4ml_bench::request::{self, RunRequest, WorkloadKind};
+use esp4ml_serve::api::route;
+use esp4ml_serve::engine::{EngineConfig, JobEngine};
+use esp4ml_serve::http::{HttpRequest, HttpResponse};
+use serde::Value;
+
+const BROKEN_CONFIG: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../configs/broken_dup_tile.json"
+));
+
+fn test_engine() -> JobEngine {
+    JobEngine::new(EngineConfig {
+        workers: 0,
+        max_queued_per_tenant: 3,
+        max_running_per_tenant: 1,
+        cache_capacity: 8,
+    })
+}
+
+fn req(method: &str, path: &str, api_key: &str, body: &str) -> HttpRequest {
+    HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers: vec![("x-api-key".to_string(), api_key.to_string())],
+        body: body.to_string(),
+    }
+}
+
+fn parse(response: &HttpResponse) -> Value {
+    serde_json::parse_value(&response.body)
+        .unwrap_or_else(|e| panic!("body is JSON ({e}): {}", response.body))
+}
+
+/// The golden fig8 single-point submission body.
+fn fig8_body() -> String {
+    r#"{"priority":"normal","request":{"schema_version":1,"workload":{"kind":"fig8"},"configs":[0],"frames":2}}"#
+        .to_string()
+}
+
+#[test]
+fn golden_submit_poll_fetch_flow() {
+    let engine = test_engine();
+    let created = route(&engine, &req("POST", "/v1/jobs", "alice", &fig8_body()));
+    assert_eq!(created.status, 201);
+    let body = parse(&created);
+    assert_eq!(body.get("schema_version").and_then(Value::as_u64), Some(1));
+    assert_eq!(body.get("state").and_then(Value::as_str), Some("queued"));
+    assert_eq!(body.get("cached").and_then(Value::as_bool), Some(false));
+    let id = body.get("job_id").and_then(Value::as_u64).expect("job id");
+
+    let pending = route(&engine, &req("GET", &format!("/v1/jobs/{id}"), "alice", ""));
+    assert_eq!(pending.status, 200);
+    assert_eq!(
+        parse(&pending).get("state").and_then(Value::as_str),
+        Some("queued")
+    );
+    // Artifacts are not available before the job is done.
+    let early = route(
+        &engine,
+        &req(
+            "GET",
+            &format!("/v1/jobs/{id}/artifacts/metrics"),
+            "alice",
+            "",
+        ),
+    );
+    assert_eq!(early.status, 409);
+
+    assert!(engine.run_next());
+
+    let done = parse(&route(
+        &engine,
+        &req("GET", &format!("/v1/jobs/{id}"), "alice", ""),
+    ));
+    assert_eq!(done.get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(done.get("verdict_ok").and_then(Value::as_bool), Some(true));
+    let kinds = done
+        .get("artifacts")
+        .and_then(Value::as_array)
+        .expect("kinds");
+    assert!(kinds.iter().any(|k| k.as_str() == Some("metrics")));
+
+    let metrics = route(
+        &engine,
+        &req(
+            "GET",
+            &format!("/v1/jobs/{id}/artifacts/metrics"),
+            "alice",
+            "",
+        ),
+    );
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.content_type, "application/json");
+    // The artifact is the enveloped run-metrics document, byte-identical
+    // to what the CLI writes for the same request via --metrics.
+    let mut expected = RunRequest::new(WorkloadKind::Fig8);
+    expected.frames = 2;
+    expected.configs = vec![0];
+    let response = request::execute(&expected, &TrainedModels::untrained()).expect("runs");
+    assert_eq!(Some(&metrics.body), response.artifacts.get("metrics"));
+    let envelope = serde_json::parse_value(&metrics.body).expect("valid JSON");
+    esp4ml::trace::schema::open_envelope(envelope, "run-metrics").expect("run-metrics envelope");
+}
+
+#[test]
+fn admission_reject_carries_e_codes_and_runs_nothing() {
+    let engine = test_engine();
+    let body = format!(
+        r#"{{"request":{{"schema_version":1,"workload":{{"kind":"fig8"}},"configs":[0],"frames":2,"soc_config":{BROKEN_CONFIG}}}}}"#
+    );
+    let rejected = route(&engine, &req("POST", "/v1/jobs", "alice", &body));
+    assert_eq!(rejected.status, 422);
+    let parsed = parse(&rejected);
+    let error = parsed.get("error").and_then(Value::as_str).expect("error");
+    assert!(error.contains("nothing was simulated"), "got: {error}");
+    let diags = parsed
+        .get("diagnostics")
+        .and_then(Value::as_array)
+        .expect("diagnostics array");
+    assert!(
+        diags.iter().any(|d| {
+            d.get("code").and_then(Value::as_str) == Some("E0101")
+                && d.get("severity").and_then(Value::as_str) == Some("error")
+        }),
+        "expected an E0101 diagnostic, got: {}",
+        rejected.body
+    );
+    // No job was created and nothing reached the simulator.
+    assert!(!engine.run_next());
+    let health = parse(&route(&engine, &req("GET", "/v1/healthz", "alice", "")));
+    assert_eq!(health.get("queued").and_then(Value::as_u64), Some(0));
+    assert_eq!(health.get("finished").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
+fn cache_hit_resubmission_is_instant_and_byte_identical() {
+    let engine = test_engine();
+    let first = parse(&route(
+        &engine,
+        &req("POST", "/v1/jobs", "alice", &fig8_body()),
+    ));
+    let first_id = first.get("job_id").and_then(Value::as_u64).expect("id");
+    assert!(engine.run_next());
+    // Same job, different tenant, reordered JSON keys, different worker
+    // count — all irrelevant to the cache key.
+    let reordered = r#"{"request":{"frames":2,"jobs":7,"engine":"event-driven","configs":[0],"workload":{"kind":"fig8"},"schema_version":1}}"#;
+    let resubmitted = route(&engine, &req("POST", "/v1/jobs", "bob", reordered));
+    assert_eq!(
+        resubmitted.status, 200,
+        "cache hit, not 201: {}",
+        resubmitted.body
+    );
+    let body = parse(&resubmitted);
+    assert_eq!(body.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(body.get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(
+        body.get("cache_key").and_then(Value::as_str),
+        first.get("cache_key").and_then(Value::as_str),
+        "identical requests share one cache key"
+    );
+    let second_id = body.get("job_id").and_then(Value::as_u64).expect("id");
+    let a = route(
+        &engine,
+        &req(
+            "GET",
+            &format!("/v1/jobs/{first_id}/artifacts/metrics"),
+            "alice",
+            "",
+        ),
+    );
+    let b = route(
+        &engine,
+        &req(
+            "GET",
+            &format!("/v1/jobs/{second_id}/artifacts/metrics"),
+            "bob",
+            "",
+        ),
+    );
+    assert_eq!(a.body, b.body, "cached artifact bytes are identical");
+    assert!(!engine.run_next(), "the cache hit consumed no simulation");
+}
+
+#[test]
+fn cancel_mid_queue_prevents_execution() {
+    let engine = test_engine();
+    let keep = parse(&route(
+        &engine,
+        &req("POST", "/v1/jobs", "alice", &fig8_body()),
+    ));
+    let keep_id = keep.get("job_id").and_then(Value::as_u64).expect("id");
+    let drop_body = fig8_body().replace("\"frames\":2", "\"frames\":3");
+    let cancel_me = parse(&route(
+        &engine,
+        &req("POST", "/v1/jobs", "alice", &drop_body),
+    ));
+    let cancel_id = cancel_me.get("job_id").and_then(Value::as_u64).expect("id");
+
+    let cancelled = route(
+        &engine,
+        &req("DELETE", &format!("/v1/jobs/{cancel_id}"), "alice", ""),
+    );
+    assert_eq!(cancelled.status, 200);
+    assert_eq!(
+        parse(&cancelled).get("state").and_then(Value::as_str),
+        Some("cancelled")
+    );
+    // Only the surviving job runs; the queue is then empty.
+    assert!(engine.run_next());
+    assert!(!engine.run_next());
+    let kept = parse(&route(
+        &engine,
+        &req("GET", &format!("/v1/jobs/{keep_id}"), "alice", ""),
+    ));
+    assert_eq!(kept.get("state").and_then(Value::as_str), Some("done"));
+    let gone = parse(&route(
+        &engine,
+        &req("GET", &format!("/v1/jobs/{cancel_id}"), "alice", ""),
+    ));
+    assert_eq!(gone.get("state").and_then(Value::as_str), Some("cancelled"));
+    // Cancelling a finished job conflicts.
+    let again = route(
+        &engine,
+        &req("DELETE", &format!("/v1/jobs/{cancel_id}"), "alice", ""),
+    );
+    assert_eq!(again.status, 409);
+}
+
+#[test]
+fn queued_quota_returns_429() {
+    let engine = test_engine();
+    for frames in 2..5 {
+        let body = fig8_body().replace("\"frames\":2", &format!("\"frames\":{frames}"));
+        let ok = route(&engine, &req("POST", "/v1/jobs", "alice", &body));
+        assert_eq!(ok.status, 201, "within quota: {}", ok.body);
+    }
+    let over = fig8_body().replace("\"frames\":2", "\"frames\":9");
+    let refused = route(&engine, &req("POST", "/v1/jobs", "alice", &over));
+    assert_eq!(refused.status, 429);
+    let error = parse(&refused);
+    let msg = error.get("error").and_then(Value::as_str).expect("error");
+    assert!(msg.contains("quota"), "got: {msg}");
+    // Another tenant is unaffected.
+    let other = route(&engine, &req("POST", "/v1/jobs", "bob", &over));
+    assert_eq!(other.status, 201);
+}
+
+#[test]
+fn jobs_are_invisible_across_tenants() {
+    let engine = test_engine();
+    let created = parse(&route(
+        &engine,
+        &req("POST", "/v1/jobs", "alice", &fig8_body()),
+    ));
+    let id = created.get("job_id").and_then(Value::as_u64).expect("id");
+    for request in [
+        req("GET", &format!("/v1/jobs/{id}"), "mallory", ""),
+        req(
+            "GET",
+            &format!("/v1/jobs/{id}/artifacts/metrics"),
+            "mallory",
+            "",
+        ),
+        req("DELETE", &format!("/v1/jobs/{id}"), "mallory", ""),
+    ] {
+        assert_eq!(route(&engine, &request).status, 404);
+    }
+}
+
+#[test]
+fn malformed_requests_get_400_with_reasons() {
+    let engine = test_engine();
+    let garbage = route(&engine, &req("POST", "/v1/jobs", "alice", "not json"));
+    assert_eq!(garbage.status, 400);
+    let bad_priority = fig8_body().replace("\"normal\"", "\"urgent\"");
+    let refused = route(&engine, &req("POST", "/v1/jobs", "alice", &bad_priority));
+    assert_eq!(refused.status, 400);
+    assert!(parse(&refused)
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error")
+        .contains("priority"));
+    let bad_engine = fig8_body().replace("\"frames\":2", "\"frames\":2,\"engine\":\"warp\"");
+    let invalid = route(&engine, &req("POST", "/v1/jobs", "alice", &bad_engine));
+    assert_eq!(invalid.status, 400);
+    assert!(parse(&invalid)
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error")
+        .contains("unknown engine"));
+    assert_eq!(
+        route(&engine, &req("GET", "/v1/jobs/nope", "alice", "")).status,
+        400
+    );
+    assert_eq!(
+        route(&engine, &req("GET", "/v2/jobs", "alice", "")).status,
+        404
+    );
+    assert_eq!(
+        route(&engine, &req("PUT", "/v1/jobs", "alice", "")).status,
+        405
+    );
+}
+
+#[test]
+fn healthz_tracks_engine_counters() {
+    let engine = test_engine();
+    let before = parse(&route(&engine, &req("GET", "/v1/healthz", "", "")));
+    assert_eq!(before.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(before.get("queued").and_then(Value::as_u64), Some(0));
+    route(&engine, &req("POST", "/v1/jobs", "alice", &fig8_body()));
+    assert!(engine.run_next());
+    let after = parse(&route(&engine, &req("GET", "/v1/healthz", "", "")));
+    assert_eq!(after.get("queued").and_then(Value::as_u64), Some(0));
+    assert_eq!(after.get("finished").and_then(Value::as_u64), Some(1));
+    assert_eq!(after.get("cache_entries").and_then(Value::as_u64), Some(1));
+}
+
+/// End-to-end over a real socket: the exact bytes a curl client would
+/// exchange, with a live worker thread doing the simulation.
+#[test]
+fn v1_api_over_a_real_tcp_socket() {
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let engine = Arc::new(JobEngine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    }));
+    engine.start();
+    let server_engine = Arc::clone(&engine);
+    std::thread::spawn(move || {
+        esp4ml_serve::http::serve(listener, move |request| route(&server_engine, &request));
+    });
+
+    let exchange = |method: &str, path: &str, body: &str| -> HttpResponse {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nX-Api-Key: ci\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        // Reuse the server-side parser to read the response: the shapes
+        // are close enough (status line is ignored; we re-parse it).
+        use std::io::Read;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("response");
+        let text = String::from_utf8(raw).expect("utf8");
+        let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or("")
+            .to_string();
+        HttpResponse {
+            status,
+            content_type,
+            body: body.to_string(),
+        }
+    };
+
+    let created = exchange("POST", "/v1/jobs", &fig8_body());
+    assert_eq!(created.status, 201, "body: {}", created.body);
+    let id = parse(&created)
+        .get("job_id")
+        .and_then(Value::as_u64)
+        .expect("job id");
+
+    let mut state = String::new();
+    for _ in 0..600 {
+        let status = parse(&exchange("GET", &format!("/v1/jobs/{id}"), ""));
+        state = status
+            .get("state")
+            .and_then(Value::as_str)
+            .expect("state")
+            .to_string();
+        if state == "done" || state == "failed" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert_eq!(state, "done", "job should finish under the worker thread");
+
+    let metrics = exchange("GET", &format!("/v1/jobs/{id}/artifacts/metrics"), "");
+    assert_eq!(metrics.status, 200);
+    let mut expected = RunRequest::new(WorkloadKind::Fig8);
+    expected.frames = 2;
+    expected.configs = vec![0];
+    let response = request::execute(&expected, &TrainedModels::untrained()).expect("runs");
+    assert_eq!(
+        Some(&metrics.body),
+        response.artifacts.get("metrics"),
+        "server artifact is byte-identical to the library run"
+    );
+    engine.stop();
+}

@@ -31,6 +31,8 @@
 //!   end-to-end latency is attributed cycle-exactly to compute, DMA,
 //!   NoC, queueing, and retry spans, with a [`CriticalPath`] report
 //!   that provably agrees with the profiler's bottleneck selection.
+//! - [`schema`]: the versioned `schema_version` envelope wrapped
+//!   around every machine-readable JSON artifact the workspace emits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ mod event;
 mod metrics;
 pub mod perfetto;
 pub mod profile;
+pub mod schema;
 mod sink;
 pub mod span;
 mod timeseries;

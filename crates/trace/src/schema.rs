@@ -1,0 +1,164 @@
+//! Versioned envelope for every machine-readable JSON artifact.
+//!
+//! All JSON the workspace writes for consumption by other programs —
+//! profile reports, span reports, `espcheck`/`espfault`/`espprof`
+//! verdicts, `BENCH_sim_speed.json`, and the run-metrics artifacts
+//! served by `espserve` — is wrapped in one top-level shape:
+//!
+//! ```json
+//! { "schema_version": 1, "kind": "profile-reports", "payload": ... }
+//! ```
+//!
+//! Compatibility rule: consumers MUST reject envelopes whose
+//! `schema_version` they do not know ([`open_envelope`] enforces this),
+//! and producers MUST bump [`SCHEMA_VERSION`] on any breaking change to
+//! a payload shape. Additive payload changes (new optional fields) keep
+//! the version; readers built on the vendored serde stub already ignore
+//! unknown fields and default missing `#[serde(default)]` ones.
+
+use serde::{Map, Value};
+
+/// Version stamped on every enveloped JSON artifact.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wraps a payload in the versioned envelope.
+pub fn envelope(kind: &str, payload: Value) -> Value {
+    let mut map = Map::new();
+    map.insert("schema_version".into(), Value::from(SCHEMA_VERSION));
+    map.insert("kind".into(), Value::from(kind));
+    map.insert("payload".into(), payload);
+    Value::Object(map)
+}
+
+/// Wraps a payload and renders it as pretty-printed JSON (the form
+/// every binary writes to disk).
+pub fn envelope_json(kind: &str, payload: Value) -> String {
+    serde_json::to_string_pretty(&envelope(kind, payload)).expect("envelope serializes")
+}
+
+/// Errors unwrapping an envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The value is not an envelope object at all.
+    NotAnEnvelope,
+    /// The envelope carries an unknown schema version.
+    UnknownVersion {
+        /// The version the producer stamped.
+        found: u64,
+    },
+    /// The envelope's `kind` differs from the one requested.
+    WrongKind {
+        /// The kind the producer stamped.
+        found: String,
+        /// The kind the caller asked for.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::NotAnEnvelope => {
+                write!(
+                    f,
+                    "not a schema envelope (missing schema_version/kind/payload)"
+                )
+            }
+            SchemaError::UnknownVersion { found } => write!(
+                f,
+                "unknown schema_version {found} (this build understands {SCHEMA_VERSION})"
+            ),
+            SchemaError::WrongKind { found, expected } => {
+                write!(f, "envelope kind is {found:?}, expected {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Unwraps an envelope, enforcing the compatibility rule: the version
+/// must be exactly [`SCHEMA_VERSION`] and the kind must match.
+///
+/// # Errors
+///
+/// [`SchemaError`] when the value is not an envelope, the version is
+/// unknown, or the kind differs.
+pub fn open_envelope(value: Value, expected_kind: &str) -> Result<Value, SchemaError> {
+    let Value::Object(map) = value else {
+        return Err(SchemaError::NotAnEnvelope);
+    };
+    let version = map
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or(SchemaError::NotAnEnvelope)?;
+    if version != SCHEMA_VERSION {
+        return Err(SchemaError::UnknownVersion { found: version });
+    }
+    let kind = map
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or(SchemaError::NotAnEnvelope)?;
+    if kind != expected_kind {
+        return Err(SchemaError::WrongKind {
+            found: kind.to_string(),
+            expected: expected_kind.to_string(),
+        });
+    }
+    map.get("payload")
+        .cloned()
+        .ok_or(SchemaError::NotAnEnvelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let wrapped = envelope("demo", Value::from(42u64));
+        assert_eq!(wrapped["schema_version"].as_u64(), Some(SCHEMA_VERSION));
+        assert_eq!(wrapped["kind"].as_str(), Some("demo"));
+        let payload = open_envelope(wrapped, "demo").unwrap();
+        assert_eq!(payload.as_u64(), Some(42));
+    }
+
+    #[test]
+    fn json_form_leads_with_version() {
+        let text = envelope_json("demo", Value::Null);
+        let reparsed = serde_json::parse_value(&text).unwrap();
+        assert_eq!(open_envelope(reparsed, "demo").unwrap(), Value::Null);
+        // Insertion order puts the version first, so even a human
+        // glancing at the file sees the contract immediately.
+        assert!(text.trim_start().starts_with("{\n  \"schema_version\": 1"));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut map = Map::new();
+        map.insert("schema_version".into(), Value::from(99u64));
+        map.insert("kind".into(), Value::from("demo"));
+        map.insert("payload".into(), Value::Null);
+        assert_eq!(
+            open_envelope(Value::Object(map), "demo"),
+            Err(SchemaError::UnknownVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn wrong_kind_and_malformed_are_rejected() {
+        let wrapped = envelope("profile-reports", Value::Null);
+        assert!(matches!(
+            open_envelope(wrapped, "span-reports"),
+            Err(SchemaError::WrongKind { .. })
+        ));
+        assert_eq!(
+            open_envelope(Value::from("nope"), "demo"),
+            Err(SchemaError::NotAnEnvelope)
+        );
+        assert_eq!(
+            open_envelope(Value::Object(Map::new()), "demo"),
+            Err(SchemaError::NotAnEnvelope)
+        );
+    }
+}
