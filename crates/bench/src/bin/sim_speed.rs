@@ -53,7 +53,7 @@ fn measure(
                 jobs: usize|
      -> Result<(Vec<AppRun>, f64), Box<dyn std::error::Error>> {
         let start = Instant::now();
-        let runs = parallel::run_grid(points, models, frames, engine, jobs, false, None)?;
+        let runs = parallel::run_grid(points, models, frames, engine, jobs, false, None, None)?;
         Ok((runs, start.elapsed().as_secs_f64()))
     };
     // `run_grid` clamps the pool to the grid size; report the worker

@@ -63,6 +63,8 @@ pub enum Flag {
     Flame,
     /// `--metrics PATH`
     Metrics,
+    /// `--progress`
+    Progress,
 }
 
 impl Flag {
@@ -89,6 +91,7 @@ impl Flag {
             Flag::Json => "--json",
             Flag::Flame => "--flame",
             Flag::Metrics => "--metrics",
+            Flag::Progress => "--progress",
         }
     }
 
@@ -108,7 +111,7 @@ impl Flag {
             | Flag::Json
             | Flag::Flame
             | Flag::Metrics => Some("PATH"),
-            Flag::Train | Flag::NoTrain | Flag::Sanitize | Flag::All => None,
+            Flag::Train | Flag::NoTrain | Flag::Sanitize | Flag::All | Flag::Progress => None,
         }
     }
 
@@ -136,6 +139,7 @@ impl Flag {
             Flag::Json => "write the machine-readable report JSON",
             Flag::Flame => "write folded flame stacks",
             Flag::Metrics => "write the enveloped run-metrics artifact JSON",
+            Flag::Progress => "print one progress JSON line to stderr per completed unit",
         }
     }
 
@@ -165,6 +169,7 @@ pub const FIGURE_FLAGS: &[Flag] = &[
     Flag::Faults,
     Flag::Config,
     Flag::Metrics,
+    Flag::Progress,
 ];
 
 /// `table1` — the figure set minus `--faults` (the table's platform
@@ -184,6 +189,7 @@ pub const TABLE_FLAGS: &[Flag] = &[
     Flag::Sanitize,
     Flag::Config,
     Flag::Metrics,
+    Flag::Progress,
 ];
 
 /// `espprof` — one configuration across execution modes, profiled.
@@ -194,6 +200,7 @@ pub const ESPPROF_FLAGS: &[Flag] = &[
     Flag::Engine,
     Flag::Json,
     Flag::Metrics,
+    Flag::Progress,
 ];
 
 /// `espspan` — configurations across execution modes, span-assembled.
@@ -206,13 +213,20 @@ pub const ESPSPAN_FLAGS: &[Flag] = &[
     Flag::Json,
     Flag::Flame,
     Flag::Metrics,
+    Flag::Progress,
 ];
 
 /// `espfault` — seeded fault-injection campaigns.
-pub const ESPFAULT_FLAGS: &[Flag] = &[Flag::Frames, Flag::Seeds, Flag::Engine, Flag::Json];
+pub const ESPFAULT_FLAGS: &[Flag] = &[
+    Flag::Frames,
+    Flag::Seeds,
+    Flag::Engine,
+    Flag::Json,
+    Flag::Progress,
+];
 
 /// `espcheck` — the static linter (no simulation flags at all).
-pub const ESPCHECK_FLAGS: &[Flag] = &[Flag::ConfigPath, Flag::Json];
+pub const ESPCHECK_FLAGS: &[Flag] = &[Flag::ConfigPath, Flag::Json, Flag::Progress];
 
 /// `accuracy`/`training` — training-budget flags only.
 pub const TRAINING_FLAGS: &[Flag] = &[Flag::Frames, Flag::Samples, Flag::Epochs];
@@ -413,6 +427,9 @@ pub struct HarnessArgs {
     pub flame: Option<PathBuf>,
     /// Where to write the enveloped run-metrics artifact (`--metrics`).
     pub metrics: Option<PathBuf>,
+    /// Print one progress JSON line to stderr per completed unit
+    /// (`--progress`).
+    pub progress: bool,
 }
 
 impl Default for HarnessArgs {
@@ -438,6 +455,7 @@ impl Default for HarnessArgs {
             json: None,
             flame: None,
             metrics: None,
+            progress: false,
         }
     }
 }
@@ -514,6 +532,7 @@ fn parse_inner(
             Flag::Json => out.json = Some(PathBuf::from(value()?)),
             Flag::Flame => out.flame = Some(PathBuf::from(value()?)),
             Flag::Metrics => out.metrics = Some(PathBuf::from(value()?)),
+            Flag::Progress => out.progress = true,
         }
     }
     validate(spec, &out)?;

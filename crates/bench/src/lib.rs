@@ -44,4 +44,7 @@ pub mod parallel;
 pub mod request;
 
 pub use cli::{CliError, HarnessArgs, HarnessSpec};
-pub use request::{execute, RunRequest, RunResponse, WorkloadKind};
+pub use request::{
+    execute, execute_with_progress, CollectingSink, Progress, ProgressSink, RunRequest,
+    RunResponse, WorkloadKind,
+};

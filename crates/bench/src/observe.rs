@@ -3,14 +3,29 @@
 //! artifacts back onto the output files named on the command line.
 
 use crate::cli::HarnessArgs;
-use crate::request::{self, RequestError, RunResponse, WorkloadKind};
+use crate::request::{self, Progress, ProgressSink, RequestError, RunResponse, WorkloadKind};
+use std::io::Write as _;
 use std::path::PathBuf;
+
+/// The `--progress` sink: one [`Progress`] JSON line to stderr per
+/// completed unit. The line bytes are exactly [`Progress::to_json_line`]
+/// — the same serialization the server stores on its jobs, which is
+/// what makes CLI-vs-server progress comparable byte for byte.
+struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn publish(&self, progress: &Progress) {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{}", progress.to_json_line());
+    }
+}
 
 /// Builds the request these options describe, executes it, and exits
 /// with the binary's historical codes on failure: 2 for usage errors
 /// and admission rejections (typed diagnostics on stderr, nothing
 /// simulated), 1 for run failures. Response notes (sanitizer verdicts,
-/// fault-recovery tallies, ring-buffer drops) go to stderr.
+/// fault-recovery tallies, ring-buffer drops) go to stderr, as do the
+/// `--progress` JSON lines.
 pub fn run_workload(binary: &str, args: &HarnessArgs, workload: WorkloadKind) -> RunResponse {
     let models = args.models();
     let req = match args.to_request(workload) {
@@ -20,7 +35,9 @@ pub fn run_workload(binary: &str, args: &HarnessArgs, workload: WorkloadKind) ->
             std::process::exit(2);
         }
     };
-    match request::execute(&req, &models) {
+    let sink = StderrProgress;
+    let progress: Option<&dyn ProgressSink> = args.progress.then_some(&sink as _);
+    match request::execute_with_progress(&req, &models, progress) {
         Ok(response) => {
             for note in &response.notes {
                 eprintln!("{binary}: {note}");

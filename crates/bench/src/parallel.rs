@@ -12,6 +12,7 @@
 //! events from every run into one timeline, which only makes sense when
 //! the runs execute one after another.
 
+use crate::request::{Progress, ProgressSink};
 use esp4ml::apps::TrainedModels;
 use esp4ml::experiments::{AppRun, ExperimentError, GridPoint};
 use esp4ml::faults::FaultConfig;
@@ -42,10 +43,16 @@ pub fn default_jobs() -> usize {
 /// ([`GridPoint::run_faulted`]) — every worker injects the same plan,
 /// so the grid stays deterministic.
 ///
+/// With `progress` set, one cumulative [`Progress`] snapshot is
+/// published per grid point **in grid order**, regardless of worker
+/// scheduling: workers only publish the contiguous prefix of finished
+/// slots, so the snapshot sequence is byte-identical to a serial run.
+///
 /// # Errors
 ///
 /// The first (in grid order) point that failed to build or run, or whose
 /// sanitizer found violations.
+#[allow(clippy::too_many_arguments)] // mirrors the RunRequest field set
 pub fn run_grid(
     points: &[GridPoint],
     models: &TrainedModels,
@@ -54,6 +61,7 @@ pub fn run_grid(
     jobs: usize,
     sanitize: bool,
     faults: Option<&FaultConfig>,
+    progress: Option<&dyn ProgressSink>,
 ) -> Result<Vec<AppRun>, ExperimentError> {
     let exec = |p: &GridPoint| {
         if sanitize {
@@ -64,13 +72,39 @@ pub fn run_grid(
             p.run(models, frames, engine)
         }
     };
+    let total = points.len() as u64;
+    let publish = |state: &mut PublishState, run: &AppRun| {
+        if let Some(sink) = progress {
+            state.done += 1;
+            state.frames += run.metrics.frames;
+            state.cycles += run.metrics.cycles;
+            sink.publish(&Progress {
+                points_done: state.done,
+                points_total: total,
+                frames_done: state.frames,
+                cycles: state.cycles,
+                label: format!("{} {}", run.label, run.mode.label()),
+            });
+        }
+    };
     let jobs = jobs.min(points.len());
     if jobs <= 1 {
-        return points.iter().map(exec).collect();
+        let mut state = PublishState::default();
+        let mut runs = Vec::with_capacity(points.len());
+        for point in points {
+            let run = exec(point)?;
+            publish(&mut state, &run);
+            runs.push(run);
+        }
+        return Ok(runs);
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<AppRun, ExperimentError>>>> =
         points.iter().map(|_| Mutex::new(None)).collect();
+    // Publisher state shared by all workers: `next` is the first slot
+    // not yet published. Whoever fills a slot advances the contiguous
+    // finished prefix, so snapshots always come out in grid order.
+    let publisher = Mutex::new(PublishState::default());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -78,6 +112,17 @@ pub fn run_grid(
                 let Some(point) = points.get(i) else { break };
                 let result = exec(point);
                 *slots[i].lock().expect("slot lock") = Some(result);
+                let mut state = publisher.lock().expect("publisher lock");
+                while let Some(slot) = slots.get(state.next) {
+                    let filled = slot.lock().expect("slot lock");
+                    match filled.as_ref() {
+                        Some(Ok(run)) => publish(&mut state, run),
+                        // A failed point fails the whole grid; stop
+                        // publishing rather than skip past the error.
+                        Some(Err(_)) | None => break,
+                    }
+                    state.next += 1;
+                }
             });
         }
     });
@@ -91,6 +136,16 @@ pub fn run_grid(
         .collect()
 }
 
+/// Cumulative progress accumulator shared by the serial and parallel
+/// paths of [`run_grid`].
+#[derive(Default)]
+struct PublishState {
+    next: usize,
+    done: u64,
+    frames: u64,
+    cycles: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,8 +156,28 @@ mod tests {
     fn parallel_matches_serial_on_fig8_grid() {
         let models = TrainedModels::untrained();
         let grid = Fig8::grid();
-        let serial = run_grid(&grid, &models, 2, SocEngine::EventDriven, 1, false, None).unwrap();
-        let parallel = run_grid(&grid, &models, 2, SocEngine::EventDriven, 4, false, None).unwrap();
+        let serial = run_grid(
+            &grid,
+            &models,
+            2,
+            SocEngine::EventDriven,
+            1,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
+        let parallel = run_grid(
+            &grid,
+            &models,
+            2,
+            SocEngine::EventDriven,
+            4,
+            false,
+            None,
+            None,
+        )
+        .unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.label, p.label);

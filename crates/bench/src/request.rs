@@ -35,6 +35,7 @@ use esp4ml_runtime::RunMetrics;
 use esp4ml_soc::SocEngine;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Version of the request/response schema (shared with the artifact
 /// envelope — one version covers the whole machine-readable surface).
@@ -122,6 +123,117 @@ impl ObserveOpts {
     /// Whether any observability layer is requested.
     pub fn any(&self) -> bool {
         self.trace || self.profile || self.spans
+    }
+}
+
+/// A point-in-time snapshot of how far a request has executed.
+///
+/// Snapshots are published through a [`ProgressSink`] after each
+/// completed unit of work (a grid point, a profiled mode run, a
+/// campaign case, a lint target), always in the workload's canonical
+/// order. Every field is derived from simulator state that is proven
+/// engine-byte-identical, so the *sequence* of snapshots for a given
+/// [`RunRequest`] is deterministic: identical across the Naive and
+/// EventDriven engines, across serial and parallel grid execution, and
+/// between the CLI `--progress` stream and the server's job progress.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Progress {
+    /// Work units completed so far.
+    pub points_done: u64,
+    /// Total work units this request will execute.
+    pub points_total: u64,
+    /// Frames simulated across the completed units.
+    pub frames_done: u64,
+    /// Simulated cycles accumulated across the completed units.
+    pub cycles: u64,
+    /// Label of the most recently completed unit.
+    pub label: String,
+}
+
+impl Progress {
+    /// Whether this is the final snapshot (every unit completed).
+    pub fn is_final(&self) -> bool {
+        self.points_done == self.points_total
+    }
+
+    /// The canonical one-line JSON form — the exact bytes `--progress`
+    /// prints and the byte-identity surface between CLI and server.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("progress serializes")
+    }
+}
+
+/// Receives [`Progress`] snapshots while a request executes. Published
+/// from grid worker threads, so implementations must be `Sync`.
+pub trait ProgressSink: Sync {
+    /// Called once per completed work unit, in canonical order.
+    fn publish(&self, progress: &Progress);
+}
+
+/// A [`ProgressSink`] that records every snapshot in publication order
+/// — the reference consumer for determinism tests.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    snapshots: Mutex<Vec<Progress>>,
+}
+
+impl CollectingSink {
+    /// An empty collector.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// Every snapshot published so far, in order.
+    pub fn snapshots(&self) -> Vec<Progress> {
+        self.snapshots.lock().expect("progress lock").clone()
+    }
+}
+
+impl ProgressSink for CollectingSink {
+    fn publish(&self, progress: &Progress) {
+        self.snapshots
+            .lock()
+            .expect("progress lock")
+            .push(progress.clone());
+    }
+}
+
+/// Serial-path progress accumulator: counts units off as they complete
+/// and publishes the cumulative snapshot to the sink (no-op without
+/// one). The parallel grid driver has its own prefix-ordered publisher
+/// in [`crate::parallel::run_grid`]; both produce the same sequence.
+struct ProgressTracker<'a> {
+    sink: Option<&'a dyn ProgressSink>,
+    total: u64,
+    done: u64,
+    frames: u64,
+    cycles: u64,
+}
+
+impl<'a> ProgressTracker<'a> {
+    fn new(sink: Option<&'a dyn ProgressSink>, total: u64) -> ProgressTracker<'a> {
+        ProgressTracker {
+            sink,
+            total,
+            done: 0,
+            frames: 0,
+            cycles: 0,
+        }
+    }
+
+    fn advance(&mut self, label: &str, frames: u64, cycles: u64) {
+        self.done += 1;
+        self.frames += frames;
+        self.cycles += cycles;
+        if let Some(sink) = self.sink {
+            sink.publish(&Progress {
+                points_done: self.done,
+                points_total: self.total,
+                frames_done: self.frames,
+                cycles: self.cycles,
+                label: label.to_string(),
+            });
+        }
     }
 }
 
@@ -582,6 +694,22 @@ fn selected_points(req: &RunRequest) -> Vec<GridPoint> {
 /// [`RequestError::Rejected`] when the admission lint finds errors,
 /// [`RequestError::Run`] when the simulation itself fails.
 pub fn execute(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+    execute_with_progress(req, models, None)
+}
+
+/// [`execute`] with a live [`ProgressSink`]: one cumulative snapshot is
+/// published per completed work unit, in the workload's canonical
+/// order. The snapshot sequence is deterministic for a given request —
+/// identical across engines and across serial/parallel execution.
+///
+/// # Errors
+///
+/// Same contract as [`execute`].
+pub fn execute_with_progress(
+    req: &RunRequest,
+    models: &TrainedModels,
+    progress: Option<&dyn ProgressSink>,
+) -> Result<RunResponse, RequestError> {
     let req = req.normalized();
     req.validate_normalized().map_err(RequestError::Invalid)?;
     let report = admission(&req);
@@ -590,12 +718,12 @@ pub fn execute(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, 
     }
     match req.workload {
         WorkloadKind::Fig7 | WorkloadKind::Fig8 | WorkloadKind::Table1 => {
-            figure_response(&req, models)
+            figure_response(&req, models, progress)
         }
-        WorkloadKind::Profile => profile_response(&req, models),
-        WorkloadKind::Spans => spans_response(&req, models),
-        WorkloadKind::Faults { seeds } => faults_response(&req, seeds, models),
-        WorkloadKind::Check => check_response(&req),
+        WorkloadKind::Profile => profile_response(&req, models, progress),
+        WorkloadKind::Spans => spans_response(&req, models, progress),
+        WorkloadKind::Faults { seeds } => faults_response(&req, seeds, models, progress),
+        WorkloadKind::Check => check_response(&req, progress),
     }
 }
 
@@ -682,7 +810,11 @@ fn observe_artifacts(
 /// Runs a figure/table workload: the selected grid points, observed /
 /// sanitized / faulted / parallel exactly as the flags always composed,
 /// plus figure assembly when the whole grid ran.
-fn figure_response(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+fn figure_response(
+    req: &RunRequest,
+    models: &TrainedModels,
+    progress: Option<&dyn ProgressSink>,
+) -> Result<RunResponse, RequestError> {
     let points = selected_points(req);
     let engine = req.soc_engine();
     let full_grid = req.configs.is_empty();
@@ -693,16 +825,23 @@ fn figure_response(req: &RunRequest, models: &TrainedModels) -> Result<RunRespon
     let mut notes = Vec::new();
     let runs: Vec<AppRun> = if let Some(mut session) = session_for(&req.observe) {
         // Observed runs are serial: the collectors are single-stream.
+        let mut tracker = ProgressTracker::new(progress, points.len() as u64);
         let mut runs = Vec::new();
         for point in &points {
-            runs.push(AppRun::execute_traced_on(
+            let run = AppRun::execute_traced_on(
                 &point.app,
                 models,
                 req.frames,
                 point.mode,
                 engine,
                 &mut session,
-            )?);
+            )?;
+            tracker.advance(
+                &format!("{} {}", run.label, run.mode.label()),
+                run.metrics.frames,
+                run.metrics.cycles,
+            );
+            runs.push(run);
         }
         observe_artifacts(&req.observe, &session, &mut artifacts, &mut notes);
         runs
@@ -715,6 +854,7 @@ fn figure_response(req: &RunRequest, models: &TrainedModels) -> Result<RunRespon
             req.effective_jobs(),
             req.sanitize,
             faults.as_ref(),
+            progress,
         )?
     };
     if req.sanitize {
@@ -851,9 +991,14 @@ fn profile_violations(runs: &[ProfiledRun]) -> Vec<String> {
     violations
 }
 
-fn profile_response(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+fn profile_response(
+    req: &RunRequest,
+    models: &TrainedModels,
+    progress: Option<&dyn ProgressSink>,
+) -> Result<RunResponse, RequestError> {
     let all = CaseApp::all_fig7_configs();
     let engine = req.soc_engine();
+    let mut tracker = ProgressTracker::new(progress, (req.configs.len() * req.modes.len()) as u64);
     let mut runs = Vec::new();
     let mut app_runs = Vec::new();
     let mut labels = Vec::new();
@@ -866,6 +1011,11 @@ fn profile_response(req: &RunRequest, models: &TrainedModels) -> Result<RunRespo
             let mut session = TraceSession::profiled(None);
             let run =
                 AppRun::execute_traced_on(&app, models, req.frames, mode, engine, &mut session)?;
+            tracker.advance(
+                &format!("{} {}", app.label(), mode.label()),
+                run.metrics.frames,
+                run.metrics.cycles,
+            );
             let profile = session.profiles().first().cloned().ok_or_else(|| {
                 RequestError::Run(ExperimentError::Grid(
                     "profiled run produced no profile report".into(),
@@ -997,9 +1147,14 @@ fn span_violations(runs: &[SpannedRun]) -> Vec<String> {
     violations
 }
 
-fn spans_response(req: &RunRequest, models: &TrainedModels) -> Result<RunResponse, RequestError> {
+fn spans_response(
+    req: &RunRequest,
+    models: &TrainedModels,
+    progress: Option<&dyn ProgressSink>,
+) -> Result<RunResponse, RequestError> {
     let all = CaseApp::all_fig7_configs();
     let engine = req.soc_engine();
+    let mut tracker = ProgressTracker::new(progress, (req.configs.len() * req.modes.len()) as u64);
     let mut runs = Vec::new();
     let mut app_runs = Vec::new();
     let mut labels = Vec::new();
@@ -1015,6 +1170,11 @@ fn spans_response(req: &RunRequest, models: &TrainedModels) -> Result<RunRespons
             let mut session = TraceSession::spanned(None, true);
             let run =
                 AppRun::execute_traced_on(&app, models, req.frames, mode, engine, &mut session)?;
+            tracker.advance(
+                &format!("{} {}", app.label(), mode.label()),
+                run.metrics.frames,
+                run.metrics.cycles,
+            );
             let report = session.span_reports().first().cloned().ok_or_else(|| {
                 RequestError::Run(ExperimentError::Grid(
                     "spanned run produced no span report".into(),
@@ -1088,10 +1248,21 @@ fn faults_response(
     req: &RunRequest,
     seeds: u64,
     models: &TrainedModels,
+    progress: Option<&dyn ProgressSink>,
 ) -> Result<RunResponse, RequestError> {
     let engine = req.soc_engine();
     let seed_list: Vec<u64> = (1..=seeds).collect();
     let report = CampaignReport::generate(models, &seed_list, req.frames, engine)?;
+    // The campaign generator is a single call; progress is published
+    // per case in the report's deterministic order once it returns.
+    let mut tracker = ProgressTracker::new(progress, report.cases.len() as u64);
+    for case in &report.cases {
+        tracker.advance(
+            &format!("{} {} seed {}", case.config, case.mode, case.seed),
+            report.frames,
+            case.cycles,
+        );
+    }
     let violations: Vec<String> = report
         .cases
         .iter()
@@ -1254,11 +1425,19 @@ pub fn lint_builtins() -> Vec<LintTarget> {
     targets
 }
 
-fn check_response(req: &RunRequest) -> Result<RunResponse, RequestError> {
+fn check_response(
+    req: &RunRequest,
+    progress: Option<&dyn ProgressSink>,
+) -> Result<RunResponse, RequestError> {
     let targets = match &req.soc_config {
         Some(config) => vec![LintTarget::new("request soc_config", lint_config(config))],
         None => lint_builtins(),
     };
+    // Lint targets simulate nothing, so frames/cycles stay zero.
+    let mut tracker = ProgressTracker::new(progress, targets.len() as u64);
+    for target in &targets {
+        tracker.advance(&target.name, 0, 0);
+    }
     let report = EspcheckReport::from_targets(targets);
     let violations: Vec<String> = report
         .targets
@@ -1489,6 +1668,74 @@ mod tests {
             a.runs[0].metrics, c.runs[0].metrics,
             "engines agree on metrics"
         );
+    }
+
+    /// The progress line sequence for a request, as published bytes.
+    fn progress_lines(r: &RunRequest, models: &TrainedModels) -> Vec<String> {
+        let sink = CollectingSink::new();
+        execute_with_progress(r, models, Some(&sink)).expect("runs");
+        sink.snapshots()
+            .iter()
+            .map(Progress::to_json_line)
+            .collect()
+    }
+
+    #[test]
+    fn progress_snapshots_are_monotonic_and_end_at_totals() {
+        let r = req(WorkloadKind::Fig8);
+        let models = TrainedModels::untrained();
+        let sink = CollectingSink::new();
+        execute_with_progress(&r, &models, Some(&sink)).expect("runs");
+        let snaps = sink.snapshots();
+        assert_eq!(snaps.len(), 6, "one snapshot per fig8 grid point");
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.points_done, i as u64 + 1);
+            assert_eq!(s.points_total, 6);
+            assert_eq!(s.frames_done, (i as u64 + 1) * r.frames);
+            if i > 0 {
+                assert!(s.cycles > snaps[i - 1].cycles, "cycles accumulate");
+            }
+        }
+        let last = snaps.last().unwrap();
+        assert!(last.is_final());
+        assert!(!snaps[0].is_final());
+    }
+
+    #[test]
+    fn progress_sequence_is_byte_identical_across_engines_and_jobs() {
+        let models = TrainedModels::untrained();
+        let mut r = req(WorkloadKind::Fig8);
+        r.jobs = 1;
+        let serial = progress_lines(&r, &models);
+        r.jobs = 4;
+        let parallel = progress_lines(&r, &models);
+        assert_eq!(serial, parallel, "parallel publishes in grid order");
+        r.engine = "naive".into();
+        let naive = progress_lines(&r, &models);
+        assert_eq!(serial, naive, "engines publish identical snapshots");
+    }
+
+    #[test]
+    fn progress_covers_every_workload_kind() {
+        let models = TrainedModels::untrained();
+        for workload in [
+            WorkloadKind::Profile,
+            WorkloadKind::Spans,
+            WorkloadKind::Faults { seeds: 1 },
+            WorkloadKind::Check,
+        ] {
+            let r = req(workload);
+            let sink = CollectingSink::new();
+            execute_with_progress(&r, &models, Some(&sink)).expect("runs");
+            let snaps = sink.snapshots();
+            assert!(!snaps.is_empty(), "{workload:?} publishes progress");
+            let last = snaps.last().unwrap();
+            assert!(last.is_final(), "{workload:?} ends at totals");
+            assert!(
+                snaps.iter().all(|s| s.points_total == last.points_total),
+                "{workload:?} totals are stable"
+            );
+        }
     }
 
     #[test]

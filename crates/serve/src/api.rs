@@ -7,7 +7,12 @@
 //! | `GET /v1/jobs/{id}` | job status snapshot |
 //! | `GET /v1/jobs/{id}/artifacts/{kind}` | one artifact body |
 //! | `DELETE /v1/jobs/{id}` | cancel (200 queued, 202 running, 409 finished) |
-//! | `GET /v1/healthz` | engine health counters |
+//! | `GET /v1/healthz` | engine health, enveloped (kind `healthz`) |
+//! | `GET /v1/metrics` | Prometheus text exposition of the service metrics |
+//!
+//! `GET /v1/jobs/{id}?wait_ms=N` long-polls: the response is held until
+//! the job's state or progress changes (or `N` ms elapse), so pollers
+//! see every transition without a tight loop.
 //!
 //! The tenant is the `X-Api-Key` header (default `anonymous`); quotas
 //! and job visibility are scoped to it. Every JSON body carries
@@ -18,9 +23,15 @@ use crate::engine::{
     ArtifactResult, CancelOutcome, JobEngine, JobState, JobStatus, Priority, SubmitError,
 };
 use crate::http::{HttpRequest, HttpResponse};
+use esp4ml::trace::schema::envelope_json;
 use esp4ml_bench::request::{RunRequest, SCHEMA_VERSION};
 use serde::{Deserialize, Map, Value};
 use serde_json::json;
+use std::time::Duration;
+
+/// Upper bound on one `wait_ms` long-poll hold; longer waits must
+/// re-poll (keeps a dead client from pinning a thread for minutes).
+pub const MAX_WAIT_MS: u64 = 30_000;
 
 /// The body of `POST /v1/jobs`.
 #[derive(Debug, Clone, Deserialize)]
@@ -74,6 +85,15 @@ fn status_value(status: &JobStatus) -> Value {
         "verdict_ok".to_string(),
         status.verdict_ok.map(Value::from).unwrap_or(Value::Null),
     );
+    map.insert(
+        "progress".to_string(),
+        status
+            .progress
+            .as_ref()
+            .and_then(|p| serde_json::to_value(p).ok())
+            .unwrap_or(Value::Null),
+    );
+    map.insert("version".to_string(), Value::from(status.version));
     Value::Object(map)
 }
 
@@ -140,7 +160,19 @@ fn submit(engine: &JobEngine, req: &HttpRequest) -> HttpResponse {
 }
 
 fn job_status(engine: &JobEngine, req: &HttpRequest, id: u64) -> HttpResponse {
-    match engine.job(&tenant(req), id) {
+    let tenant = tenant(req);
+    let status = match req.query_param("wait_ms") {
+        None => engine.job(&tenant, id),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => {
+                engine.wait_for_update(&tenant, id, Duration::from_millis(ms.min(MAX_WAIT_MS)))
+            }
+            Err(_) => {
+                return HttpResponse::json(400, error_body(&format!("bad wait_ms value {raw}")))
+            }
+        },
+    };
+    match status {
         Some(status) => HttpResponse::json(200, encode(&status_value(&status))),
         None => HttpResponse::json(404, error_body(&format!("no such job {id}"))),
     }
@@ -219,42 +251,80 @@ fn healthz(engine: &JobEngine) -> HttpResponse {
     let health = engine.health();
     HttpResponse::json(
         200,
-        encode(&json!({
-            "schema_version": SCHEMA_VERSION,
-            "status": "ok",
-            "queued": health.queued,
-            "running": health.running,
-            "finished": health.finished,
-            "cache_entries": health.cache_entries,
-            "workers": health.workers,
-        })),
+        envelope_json(
+            "healthz",
+            json!({
+                "status": "ok",
+                "queued": health.queued,
+                "running": health.running,
+                "finished": health.finished,
+                "cache_entries": health.cache_entries,
+                "workers": health.workers,
+                "uptime_secs": health.uptime_secs,
+                "version": health.version,
+                "cache_hits": health.cache_hits,
+                "cache_misses": health.cache_misses,
+                "cache_evictions": health.cache_evictions,
+            }),
+        ),
     )
 }
 
+fn metrics(engine: &JobEngine) -> HttpResponse {
+    HttpResponse {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+        body: engine.render_metrics(),
+    }
+}
+
 /// Routes one parsed request to the engine and encodes the response.
+///
+/// Every request increments `espserve_http_requests_total` labeled by
+/// the matched route *pattern* (`/v1/jobs/{id}`, not the literal path
+/// — literal ids would make the label set unbounded), method and
+/// response status.
 pub fn route(engine: &JobEngine, req: &HttpRequest) -> HttpResponse {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["v1", "healthz"]) => healthz(engine),
-        ("POST", ["v1", "jobs"]) => submit(engine, req),
-        ("GET", ["v1", "jobs", id]) => match id.parse() {
-            Ok(id) => job_status(engine, req, id),
-            Err(_) => HttpResponse::json(400, error_body(&format!("bad job id {id}"))),
-        },
-        ("GET", ["v1", "jobs", id, "artifacts", kind]) => match id.parse() {
-            Ok(id) => job_artifact(engine, req, id, kind),
-            Err(_) => HttpResponse::json(400, error_body(&format!("bad job id {id}"))),
-        },
-        ("DELETE", ["v1", "jobs", id]) => match id.parse() {
-            Ok(id) => cancel(engine, req, id),
-            Err(_) => HttpResponse::json(400, error_body(&format!("bad job id {id}"))),
-        },
-        ("POST" | "DELETE", ["v1", "healthz"]) | ("DELETE" | "PUT", ["v1", "jobs"]) => {
-            HttpResponse::json(405, error_body("method not allowed"))
-        }
-        _ => HttpResponse::json(
-            404,
-            error_body(&format!("no route for {} {}", req.method, req.path)),
+    let (pattern, response) = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => ("/v1/healthz", healthz(engine)),
+        ("GET", ["v1", "metrics"]) => ("/v1/metrics", metrics(engine)),
+        ("POST", ["v1", "jobs"]) => ("/v1/jobs", submit(engine, req)),
+        ("GET", ["v1", "jobs", id]) => (
+            "/v1/jobs/{id}",
+            match id.parse() {
+                Ok(id) => job_status(engine, req, id),
+                Err(_) => HttpResponse::json(400, error_body(&format!("bad job id {id}"))),
+            },
         ),
-    }
+        ("GET", ["v1", "jobs", id, "artifacts", kind]) => (
+            "/v1/jobs/{id}/artifacts/{kind}",
+            match id.parse() {
+                Ok(id) => job_artifact(engine, req, id, kind),
+                Err(_) => HttpResponse::json(400, error_body(&format!("bad job id {id}"))),
+            },
+        ),
+        ("DELETE", ["v1", "jobs", id]) => (
+            "/v1/jobs/{id}",
+            match id.parse() {
+                Ok(id) => cancel(engine, req, id),
+                Err(_) => HttpResponse::json(400, error_body(&format!("bad job id {id}"))),
+            },
+        ),
+        ("POST" | "DELETE", ["v1", "healthz"]) | ("DELETE" | "PUT", ["v1", "jobs"]) => (
+            "other",
+            HttpResponse::json(405, error_body("method not allowed")),
+        ),
+        _ => (
+            "other",
+            HttpResponse::json(
+                404,
+                error_body(&format!("no route for {} {}", req.method, req.path)),
+            ),
+        ),
+    };
+    engine
+        .metrics()
+        .incr_http(pattern, &req.method, response.status);
+    response
 }

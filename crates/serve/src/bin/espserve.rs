@@ -7,6 +7,7 @@
 //! See the README for a curl quickstart against the `/v1` API.
 
 use esp4ml_serve::engine::{EngineConfig, JobEngine};
+use esp4ml_serve::log::{LogLevel, Logger};
 use esp4ml_serve::{api, http};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -23,12 +24,16 @@ OPTIONS:
     --max-queued N     queued-job quota per API key (default 16)
     --max-running N    concurrent-run quota per API key (default 2)
     --cache N          result-cache capacity in responses (default 64; 0 disables)
+    --log-level LEVEL  stderr log threshold: debug, info, warn, error, off (default info)
+    --log-json         one JSON object per log line instead of key=value text
     -h, --help         print this help
 ";
 
 fn main() {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut config = EngineConfig::default();
+    let mut log_level = LogLevel::Info;
+    let mut log_json = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut grab = || it.next().ok_or_else(|| format!("{arg} needs a value"));
@@ -49,6 +54,11 @@ fn main() {
                 "--cache" => {
                     config.cache_capacity = grab()?.parse().map_err(|e| format!("--cache: {e}"))?;
                 }
+                "--log-level" => {
+                    log_level =
+                        LogLevel::from_name(&grab()?).map_err(|e| format!("--log-level: {e}"))?;
+                }
+                "--log-json" => log_json = true,
                 "-h" | "--help" => {
                     print!("{USAGE}");
                     std::process::exit(0);
@@ -80,7 +90,8 @@ fn main() {
         }
     };
     let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
-    let engine = Arc::new(JobEngine::new(config.clone()));
+    let logger = Logger::stderr(log_level, log_json);
+    let engine = Arc::new(JobEngine::with_logger(config.clone(), logger.clone()));
     engine.start();
     // Machine-greppable so scripts (and the CI smoke job) can discover
     // the bound port when --addr ends in :0.
@@ -88,5 +99,5 @@ fn main() {
         "espserve: listening on http://{local}/v1 ({} workers)",
         config.workers
     );
-    http::serve(listener, move |req| api::route(&engine, &req));
+    http::serve(listener, move |req| api::route(&engine, &req), logger);
 }

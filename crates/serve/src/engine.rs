@@ -10,13 +10,16 @@
 //! equal keys produce byte-equal responses. A cache hit therefore
 //! returns a job that is `done` before any worker touches it.
 
+use crate::log::Logger;
+use crate::metrics::{self, ServeMetrics};
 use esp4ml::apps::TrainedModels;
-use esp4ml_bench::request::{self, RequestError, RunRequest, RunResponse};
+use esp4ml_bench::request::{self, Progress, ProgressSink, RequestError, RunRequest, RunResponse};
 use esp4ml_check::Report;
+use serde_json::json;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Scheduling priority: jobs drain high → normal → low, FIFO within a
 /// class.
@@ -181,6 +184,12 @@ pub struct JobStatus {
     pub artifacts: Vec<String>,
     /// The workload verdict (`ok` flag), when done.
     pub verdict_ok: Option<bool>,
+    /// Latest progress snapshot (absent before the first unit
+    /// completes, and always absent for cache hits — nothing ran).
+    pub progress: Option<Progress>,
+    /// Change counter: bumped on every state or progress transition.
+    /// Long-polls wait for it to move past the value they last saw.
+    pub version: u64,
 }
 
 /// Outcome of a cancellation attempt.
@@ -209,6 +218,16 @@ pub struct EngineHealth {
     pub cache_entries: usize,
     /// Worker threads configured.
     pub workers: usize,
+    /// Whole seconds since the engine was created (monotonic clock).
+    pub uptime_secs: u64,
+    /// Workspace crate version serving the API.
+    pub version: &'static str,
+    /// Cumulative submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Cumulative executed jobs that had to simulate.
+    pub cache_misses: u64,
+    /// Cumulative cached responses dropped by the capacity bound.
+    pub cache_evictions: u64,
 }
 
 /// Fetching an artifact from a job.
@@ -235,6 +254,13 @@ struct Job {
     cancel_requested: bool,
     error: Option<String>,
     response: Option<Arc<RunResponse>>,
+    /// Every progress snapshot published so far, in order (bounded by
+    /// the request's work-unit count).
+    progress: Vec<Progress>,
+    /// Bumped on every observable change (state or progress); the
+    /// long-poll wait key.
+    version: u64,
+    queued_at: Instant,
 }
 
 struct EngineState {
@@ -251,14 +277,27 @@ struct EngineState {
 pub struct JobEngine {
     state: Mutex<EngineState>,
     ready: Condvar,
+    /// Woken on job state/progress changes — separate from `ready` so
+    /// long-polls never steal wakeups meant for idle workers.
+    watch: Condvar,
     models: TrainedModels,
     config: EngineConfig,
     shutdown: AtomicBool,
+    metrics: ServeMetrics,
+    logger: Logger,
+    started: Instant,
 }
 
 impl JobEngine {
-    /// A fresh engine with untrained (deterministic) models.
+    /// A fresh engine with untrained (deterministic) models and
+    /// logging disabled (tests and embedders opt in via
+    /// [`JobEngine::with_logger`]).
     pub fn new(config: EngineConfig) -> JobEngine {
+        JobEngine::with_logger(config, Logger::disabled())
+    }
+
+    /// A fresh engine emitting lifecycle events through `logger`.
+    pub fn with_logger(config: EngineConfig, logger: Logger) -> JobEngine {
         JobEngine {
             state: Mutex::new(EngineState {
                 next_id: 1,
@@ -268,15 +307,45 @@ impl JobEngine {
                 cache_order: VecDeque::new(),
             }),
             ready: Condvar::new(),
+            watch: Condvar::new(),
             models: TrainedModels::untrained(),
             config,
             shutdown: AtomicBool::new(false),
+            metrics: ServeMetrics::new(),
+            logger,
+            started: Instant::now(),
         }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The service metrics registry.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The lifecycle logger.
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// Renders `/v1/metrics`: the accumulated registry plus the
+    /// point-in-time queue-depth and running gauges.
+    pub fn render_metrics(&self) -> String {
+        let (queue_depth, running) = {
+            let st = self.state.lock().expect("engine lock");
+            let depths = [st.queues[0].len(), st.queues[1].len(), st.queues[2].len()];
+            let running = st
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Running)
+                .count();
+            (depths, running)
+        };
+        self.metrics.render(queue_depth, running)
     }
 
     /// Spawns the configured worker threads. Threads exit when
@@ -308,9 +377,25 @@ impl JobEngine {
         request: &RunRequest,
     ) -> Result<SubmitOutcome, SubmitError> {
         let normalized = request.normalized();
-        normalized.validate().map_err(SubmitError::Invalid)?;
+        if let Err(msg) = normalized.validate() {
+            self.metrics.incr_tenant(tenant, "invalid");
+            self.logger.warn(
+                "job.invalid",
+                &[("tenant", json!(tenant)), ("error", json!(msg.clone()))],
+            );
+            return Err(SubmitError::Invalid(msg));
+        }
         let report = request::admission(&normalized);
         if report.has_errors() {
+            self.metrics.incr_tenant(tenant, "rejected");
+            self.logger.warn(
+                "job.admission_rejected",
+                &[
+                    ("tenant", json!(tenant)),
+                    ("errors", json!(report.error_count())),
+                    ("workload", json!(normalized.workload.label())),
+                ],
+            );
             return Err(SubmitError::Rejected(report));
         }
         let cache_key = normalized.cache_key();
@@ -330,7 +415,23 @@ impl JobEngine {
                     cancel_requested: false,
                     error: None,
                     response: Some(resp),
+                    progress: Vec::new(),
+                    version: 1,
+                    queued_at: Instant::now(),
                 },
+            );
+            drop(st);
+            self.metrics.incr(metrics::JOBS_SUBMITTED);
+            self.metrics.incr(metrics::CACHE_HITS);
+            self.metrics.incr_tenant(tenant, "admitted");
+            self.metrics.incr_finished("done");
+            self.logger.info(
+                "job.cache_hit",
+                &[
+                    ("job_id", json!(id)),
+                    ("tenant", json!(tenant)),
+                    ("cache_key", json!(cache_key)),
+                ],
             );
             return Ok(SubmitOutcome {
                 id,
@@ -345,6 +446,16 @@ impl JobEngine {
             .filter(|j| j.tenant == tenant && j.state == JobState::Queued)
             .count();
         if queued >= self.config.max_queued_per_tenant {
+            drop(st);
+            self.metrics.incr_tenant(tenant, "quota_exceeded");
+            self.logger.warn(
+                "job.quota_exceeded",
+                &[
+                    ("tenant", json!(tenant)),
+                    ("queued", json!(queued)),
+                    ("limit", json!(self.config.max_queued_per_tenant)),
+                ],
+            );
             return Err(SubmitError::QuotaExceeded {
                 queued,
                 limit: self.config.max_queued_per_tenant,
@@ -358,16 +469,31 @@ impl JobEngine {
                 tenant: tenant.to_string(),
                 priority,
                 state: JobState::Queued,
-                request: normalized,
+                request: normalized.clone(),
                 cache_key,
                 cached: false,
                 cancel_requested: false,
                 error: None,
                 response: None,
+                progress: Vec::new(),
+                version: 1,
+                queued_at: Instant::now(),
             },
         );
         st.queues[priority.index()].push_back(id);
         drop(st);
+        self.metrics.incr(metrics::JOBS_SUBMITTED);
+        self.metrics.incr_tenant(tenant, "admitted");
+        self.logger.info(
+            "job.submitted",
+            &[
+                ("job_id", json!(id)),
+                ("tenant", json!(tenant)),
+                ("priority", json!(priority.name())),
+                ("workload", json!(normalized.workload.label())),
+                ("cache_key", json!(cache_key)),
+            ],
+        );
         self.ready.notify_one();
         Ok(SubmitOutcome {
             id,
@@ -404,30 +530,55 @@ impl JobEngine {
     /// path — worker threads just call it in a loop — so tests can
     /// drive the engine deterministically with `workers: 0`.
     pub fn run_next(&self) -> bool {
-        let (id, request) = {
+        let (id, tenant, cache_key, request) = {
             let mut st = self.state.lock().expect("engine lock");
             let Some(id) = self.next_runnable(&mut st) else {
                 return false;
             };
             let job = st.jobs.get_mut(&id).expect("queued job exists");
             job.state = JobState::Running;
-            (id, job.request.clone())
+            job.version += 1;
+            let queue_wait = job.queued_at.elapsed();
+            let info = (id, job.tenant.clone(), job.cache_key, job.request.clone());
+            drop(st);
+            self.metrics.incr(metrics::JOBS_STARTED);
+            self.metrics.incr(metrics::CACHE_MISSES);
+            self.metrics
+                .observe_queue_wait_ms(queue_wait.as_millis() as u64);
+            self.logger.info(
+                "job.started",
+                &[
+                    ("job_id", json!(info.0)),
+                    ("tenant", json!(info.1.clone())),
+                    ("queue_wait_ms", json!(queue_wait.as_millis() as u64)),
+                ],
+            );
+            self.watch.notify_all();
+            info
         };
-        let result = request::execute(&request, &self.models);
+        let sink = JobProgressSink { engine: self, id };
+        let run_started = Instant::now();
+        let result = request::execute_with_progress(&request, &self.models, Some(&sink));
+        let run_ms = run_started.elapsed().as_millis() as u64;
+        self.metrics.observe_run_duration_ms(run_ms);
         let mut st = self.state.lock().expect("engine lock");
         let cache_capacity = self.config.cache_capacity;
+        let mut evictions = 0u64;
         let job = st.jobs.get_mut(&id).expect("running job exists");
+        let result_name;
         if job.cancel_requested {
             // The submitter walked away mid-run: discard the result
             // (don't even cache it — a cancelled job must leave no
             // observable artifacts).
             job.state = JobState::Cancelled;
+            result_name = "cancelled";
         } else {
             match result {
                 Ok(response) => {
                     let response = Arc::new(response);
                     job.state = JobState::Done;
                     job.response = Some(Arc::clone(&response));
+                    result_name = "done";
                     let key = job.cache_key;
                     if cache_capacity > 0 && !st.cache.contains_key(&key) {
                         st.cache.insert(key, response);
@@ -435,12 +586,14 @@ impl JobEngine {
                         while st.cache.len() > cache_capacity {
                             if let Some(old) = st.cache_order.pop_front() {
                                 st.cache.remove(&old);
+                                evictions += 1;
                             }
                         }
                     }
                 }
                 Err(e) => {
                     job.state = JobState::Failed;
+                    result_name = "failed";
                     job.error = Some(match e {
                         RequestError::Invalid(msg) => msg,
                         RequestError::Rejected(report) => format!(
@@ -452,8 +605,47 @@ impl JobEngine {
                 }
             }
         }
+        let job = st.jobs.get_mut(&id).expect("running job exists");
+        job.version += 1;
+        let error = job.error.clone();
+        let verdict_ok = job.response.as_ref().map(|r| r.verdict.ok);
         drop(st);
+        for _ in 0..evictions {
+            self.metrics.incr(metrics::CACHE_EVICTIONS);
+        }
+        self.metrics.incr_finished(result_name);
+        match result_name {
+            "failed" => self.logger.error(
+                "job.worker_error",
+                &[
+                    ("job_id", json!(id)),
+                    ("tenant", json!(tenant)),
+                    ("run_ms", json!(run_ms)),
+                    ("error", json!(error.unwrap_or_default())),
+                ],
+            ),
+            "cancelled" => self.logger.info(
+                "job.cancelled",
+                &[
+                    ("job_id", json!(id)),
+                    ("tenant", json!(tenant)),
+                    ("run_ms", json!(run_ms)),
+                    ("discarded", json!(true)),
+                ],
+            ),
+            _ => self.logger.info(
+                "job.finished",
+                &[
+                    ("job_id", json!(id)),
+                    ("tenant", json!(tenant)),
+                    ("cache_key", json!(cache_key)),
+                    ("run_ms", json!(run_ms)),
+                    ("verdict_ok", json!(verdict_ok.unwrap_or(false))),
+                ],
+            ),
+        }
         self.ready.notify_all();
+        self.watch.notify_all();
         true
     }
 
@@ -477,7 +669,11 @@ impl JobEngine {
         if job.tenant != tenant {
             return None;
         }
-        Some(JobStatus {
+        Some(Self::snapshot(id, job))
+    }
+
+    fn snapshot(id: u64, job: &Job) -> JobStatus {
+        JobStatus {
             id,
             tenant: job.tenant.clone(),
             priority: job.priority,
@@ -492,7 +688,55 @@ impl JobEngine {
                 .map(|r| r.artifacts.keys().cloned().collect())
                 .unwrap_or_default(),
             verdict_ok: job.response.as_ref().map(|r| r.verdict.ok),
-        })
+            progress: job.progress.last().cloned(),
+            version: job.version,
+        }
+    }
+
+    /// Every progress snapshot a job has published, in publication
+    /// order — the byte-identity surface against a CLI `--progress`
+    /// run of the same request. `None` for unknown/foreign jobs.
+    pub fn progress_history(&self, tenant: &str, id: u64) -> Option<Vec<Progress>> {
+        let st = self.state.lock().expect("engine lock");
+        let job = st.jobs.get(&id)?;
+        if job.tenant != tenant {
+            return None;
+        }
+        Some(job.progress.clone())
+    }
+
+    /// Long-poll: blocks until the job's state or progress changes
+    /// from the snapshot taken at entry, or `timeout` elapses, and
+    /// returns the (possibly unchanged) latest snapshot. Terminal jobs
+    /// return immediately. `None` for unknown/foreign jobs.
+    pub fn wait_for_update(&self, tenant: &str, id: u64, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("engine lock");
+        let entry_version = {
+            let job = st.jobs.get(&id)?;
+            if job.tenant != tenant {
+                return None;
+            }
+            if job.state.is_terminal() {
+                return Some(Self::snapshot(id, job));
+            }
+            job.version
+        };
+        loop {
+            let job = st.jobs.get(&id).expect("jobs are never removed");
+            if job.version != entry_version || job.state.is_terminal() {
+                return Some(Self::snapshot(id, job));
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Some(Self::snapshot(id, job));
+            };
+            let (guard, _) = self.watch.wait_timeout(st, remaining).expect("engine lock");
+            st = guard;
+        }
     }
 
     /// The full response of a `done` job.
@@ -537,7 +781,9 @@ impl JobEngine {
             JobState::Queued => {
                 let class = job.priority.index();
                 st.queues[class].retain(|&q| q != id);
-                st.jobs.get_mut(&id).expect("job exists").state = JobState::Cancelled;
+                let job = st.jobs.get_mut(&id).expect("job exists");
+                job.state = JobState::Cancelled;
+                job.version += 1;
                 CancelOutcome::Cancelled
             }
             JobState::Running => {
@@ -546,6 +792,19 @@ impl JobEngine {
             }
             _ => CancelOutcome::AlreadyFinished,
         };
+        drop(st);
+        if outcome == CancelOutcome::Cancelled {
+            self.metrics.incr_finished("cancelled");
+            self.logger.info(
+                "job.cancelled",
+                &[
+                    ("job_id", json!(id)),
+                    ("tenant", json!(tenant)),
+                    ("discarded", json!(false)),
+                ],
+            );
+            self.watch.notify_all();
+        }
         Some(outcome)
     }
 
@@ -569,7 +828,32 @@ impl JobEngine {
             finished,
             cache_entries: st.cache.len(),
             workers: self.config.workers,
+            uptime_secs: self.started.elapsed().as_secs(),
+            version: env!("CARGO_PKG_VERSION"),
+            cache_hits: self.metrics.counter(metrics::CACHE_HITS),
+            cache_misses: self.metrics.counter(metrics::CACHE_MISSES),
+            cache_evictions: self.metrics.counter(metrics::CACHE_EVICTIONS),
         }
+    }
+}
+
+/// The per-job [`ProgressSink`] workers publish through: each snapshot
+/// is appended to the job's history and bumps its version, waking any
+/// long-poll.
+struct JobProgressSink<'a> {
+    engine: &'a JobEngine,
+    id: u64,
+}
+
+impl ProgressSink for JobProgressSink<'_> {
+    fn publish(&self, progress: &Progress) {
+        let mut st = self.engine.state.lock().expect("engine lock");
+        if let Some(job) = st.jobs.get_mut(&self.id) {
+            job.progress.push(progress.clone());
+            job.version += 1;
+        }
+        drop(st);
+        self.engine.watch.notify_all();
     }
 }
 
@@ -725,6 +1009,138 @@ mod tests {
             other => panic!("expected rejection, got {other:?}"),
         }
         assert_eq!(engine.health().queued, 0, "no job slots consumed");
+    }
+
+    #[test]
+    fn cache_evicts_in_insertion_order_and_counts() {
+        let engine = JobEngine::new(EngineConfig {
+            workers: 0,
+            max_queued_per_tenant: 8,
+            max_running_per_tenant: 1,
+            cache_capacity: 2,
+        });
+        // Three distinct requests (frames differ) fill the cache past
+        // its bound; `cache_order` evicts the oldest insertion first.
+        for frames in [2, 3, 4] {
+            let mut r = small_request();
+            r.frames = frames;
+            engine
+                .submit("alice", Priority::Normal, &r)
+                .expect("submits");
+            assert!(engine.run_next());
+        }
+        let health = engine.health();
+        assert_eq!(health.cache_entries, 2, "capacity bound holds");
+        assert_eq!(health.cache_evictions, 1, "exactly one eviction");
+        assert_eq!(engine.metrics().counter(metrics::CACHE_EVICTIONS), 1);
+        // The oldest entry (frames=2) is gone: resubmitting it queues a
+        // real run. The two newer entries still hit.
+        let mut oldest = small_request();
+        oldest.frames = 2;
+        let out = engine
+            .submit("alice", Priority::Normal, &oldest)
+            .expect("submits");
+        assert!(!out.cached, "evicted entry must re-simulate");
+        for frames in [3, 4] {
+            let mut r = small_request();
+            r.frames = frames;
+            let out = engine.submit("bob", Priority::Normal, &r).expect("submits");
+            assert!(out.cached, "newer entries survive eviction");
+        }
+    }
+
+    #[test]
+    fn progress_history_is_monotonic_and_reaches_totals() {
+        let engine = test_engine();
+        let out = engine
+            .submit("alice", Priority::Normal, &small_request())
+            .expect("submits");
+        assert!(engine.run_next());
+        let history = engine.progress_history("alice", out.id).expect("visible");
+        assert!(!history.is_empty(), "at least one snapshot per run");
+        let total = history.len() as u64;
+        for (i, p) in history.iter().enumerate() {
+            assert_eq!(p.points_done, i as u64 + 1, "one snapshot per unit");
+            assert_eq!(p.points_total, total, "totals are stable");
+        }
+        let last = history.last().expect("non-empty");
+        assert!(last.is_final(), "final snapshot covers the whole grid");
+        let status = engine.job("alice", out.id).expect("visible");
+        assert_eq!(status.progress.as_ref(), Some(last));
+        // A cache hit never ran, so it has no progress history.
+        let hit = engine
+            .submit("bob", Priority::Normal, &small_request())
+            .expect("submits");
+        assert!(hit.cached);
+        assert!(engine
+            .progress_history("bob", hit.id)
+            .expect("visible")
+            .is_empty());
+    }
+
+    #[test]
+    fn long_poll_wakes_on_cancellation() {
+        let engine = Arc::new(test_engine());
+        let out = engine
+            .submit("alice", Priority::Normal, &small_request())
+            .expect("submits");
+        let id = out.id;
+        let waiter = Arc::clone(&engine);
+        let poller = std::thread::spawn(move || {
+            waiter.wait_for_update("alice", id, Duration::from_secs(10))
+        });
+        // Whether the poller is already parked or not when the cancel
+        // lands, it must return the cancelled snapshot well before its
+        // ten-second timeout.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(engine.cancel("alice", id), Some(CancelOutcome::Cancelled));
+        let status = poller.join().expect("poller thread").expect("visible");
+        assert_eq!(status.state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn long_poll_times_out_on_an_idle_job() {
+        let engine = test_engine();
+        let out = engine
+            .submit("alice", Priority::Normal, &small_request())
+            .expect("submits");
+        let status = engine
+            .wait_for_update("alice", out.id, Duration::from_millis(10))
+            .expect("visible");
+        assert_eq!(status.state, JobState::Queued, "unchanged after timeout");
+        assert!(engine
+            .wait_for_update("mallory", out.id, Duration::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn server_progress_matches_a_direct_cli_run() {
+        let engine = test_engine();
+        let out = engine
+            .submit("alice", Priority::Normal, &small_request())
+            .expect("submits");
+        assert!(engine.run_next());
+        let server: Vec<String> = engine
+            .progress_history("alice", out.id)
+            .expect("visible")
+            .iter()
+            .map(Progress::to_json_line)
+            .collect();
+        // The same request run the way the CLI does, with a collecting
+        // sink standing in for --progress stderr lines.
+        let sink = request::CollectingSink::new();
+        request::execute_with_progress(
+            &small_request().normalized(),
+            &TrainedModels::untrained(),
+            Some(&sink),
+        )
+        .expect("runs");
+        let cli: Vec<String> = sink
+            .snapshots()
+            .iter()
+            .map(Progress::to_json_line)
+            .collect();
+        assert_eq!(server, cli, "server and CLI progress are byte-identical");
     }
 
     #[test]

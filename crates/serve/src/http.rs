@@ -7,6 +7,8 @@
 //! bounded header and body sizes. No chunked encoding, no TLS, no
 //! keep-alive — espserve is a lab-bench service, not an edge proxy.
 
+use crate::log::{Logger, RateLimited};
+use serde_json::json;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 
@@ -22,6 +24,8 @@ pub struct HttpRequest {
     pub method: String,
     /// Path with any query string stripped.
     pub path: String,
+    /// Raw query string after `?` (empty when absent), undecoded.
+    pub query: String,
     /// `(lowercased-name, value)` pairs in arrival order.
     pub headers: Vec<(String, String)>,
     /// The body (empty without `Content-Length`).
@@ -36,6 +40,16 @@ impl HttpRequest {
             .iter()
             .find(|(k, _)| *k == want)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The first `name=value` query parameter, if any. Values are
+    /// returned as-is (the v1 API only uses numeric parameters, so no
+    /// percent-decoding is needed).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -130,7 +144,10 @@ pub fn read_request(stream: &mut dyn Read) -> Result<HttpRequest, String> {
     let target = parts
         .next()
         .ok_or_else(|| "request line missing path".to_string())?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut headers = Vec::new();
     loop {
         let mut hline = String::new();
@@ -166,6 +183,7 @@ pub fn read_request(stream: &mut dyn Read) -> Result<HttpRequest, String> {
     Ok(HttpRequest {
         method,
         path,
+        query,
         headers,
         body,
     })
@@ -182,18 +200,36 @@ fn handle_connection(mut stream: TcpStream, handler: &dyn Fn(HttpRequest) -> Htt
 
 /// Accept loop: one thread per connection, forever. The handler must
 /// be `Sync` because connections are served concurrently.
-pub fn serve<H>(listener: TcpListener, handler: H) -> !
+///
+/// Accept failures are logged through `logger`, rate-limited by error
+/// kind ([`RateLimited`]'s power-of-two policy) — a wedged socket (FD
+/// exhaustion, say) fails thousands of times a second and must not
+/// turn the log into a firehose of identical lines.
+pub fn serve<H>(listener: TcpListener, handler: H, logger: Logger) -> !
 where
     H: Fn(HttpRequest) -> HttpResponse + Send + Sync + 'static,
 {
     let handler = std::sync::Arc::new(handler);
+    let accept_errors = RateLimited::new();
     loop {
         match listener.accept() {
             Ok((stream, _addr)) => {
                 let handler = std::sync::Arc::clone(&handler);
                 std::thread::spawn(move || handle_connection(stream, &*handler));
             }
-            Err(e) => eprintln!("espserve: accept failed: {e}"),
+            Err(e) => {
+                let key = format!("{:?}", e.kind());
+                if let Some(suppressed) = accept_errors.check(&key) {
+                    logger.error(
+                        "http.accept_failed",
+                        &[
+                            ("error", json!(e.to_string())),
+                            ("suppressed", json!(suppressed)),
+                            ("total", json!(accept_errors.count(&key))),
+                        ],
+                    );
+                }
+            }
         }
     }
 }
@@ -208,7 +244,10 @@ mod tests {
                    Content-Length: 7\r\n\r\n{\"a\":1}";
         let req = read_request(&mut raw.as_bytes()).expect("parses");
         assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/v1/jobs", "query string stripped");
+        assert_eq!(req.path, "/v1/jobs", "query string split off the path");
+        assert_eq!(req.query, "trace=1");
+        assert_eq!(req.query_param("trace"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.header("x-api-key"), Some("alice"));
         assert_eq!(req.header("X-API-KEY"), Some("alice"));
         assert_eq!(req.body, "{\"a\":1}");

@@ -25,7 +25,11 @@
 pub mod api;
 pub mod engine;
 pub mod http;
+pub mod log;
+pub mod metrics;
 
 pub use api::{route, JobRequest};
 pub use engine::{EngineConfig, JobEngine, JobState, Priority};
 pub use http::{HttpRequest, HttpResponse};
+pub use log::{LogLevel, Logger};
+pub use metrics::ServeMetrics;

@@ -1,0 +1,319 @@
+//! Structured, leveled logging for the job server.
+//!
+//! Every job lifecycle transition and server event goes through one
+//! [`Logger`] as a single line: either `key=value` text for humans or
+//! a one-line JSON object (`--log-json`) for log shippers. Lines carry
+//! an `event` name (`job.submitted`, `job.finished`, ...) plus typed
+//! fields, so a stream of them is machine-parseable without regexes.
+//!
+//! [`RateLimited`] suppresses repeated identical errors (the accept
+//! loop under FD exhaustion can fail thousands of times per second)
+//! by count, not wall clock, so suppression is deterministic: a key's
+//! 1st, 2nd, 4th, 8th, ... occurrences are logged, each carrying how
+//! many were dropped since the last emission.
+
+use serde::{Map, Value};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Minimum severity a [`Logger`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Everything, including per-request chatter.
+    Debug,
+    /// Lifecycle transitions (the default).
+    Info,
+    /// Suspicious but recoverable conditions.
+    Warn,
+    /// Failures.
+    Error,
+    /// Nothing at all.
+    Off,
+}
+
+impl LogLevel {
+    /// Parses the command-line name.
+    ///
+    /// # Errors
+    ///
+    /// A printable message on unknown names.
+    pub fn from_name(name: &str) -> Result<LogLevel, String> {
+        match name {
+            "debug" => Ok(LogLevel::Debug),
+            "info" => Ok(LogLevel::Info),
+            "warn" => Ok(LogLevel::Warn),
+            "error" => Ok(LogLevel::Error),
+            "off" => Ok(LogLevel::Off),
+            other => Err(format!(
+                "unknown log level {other}; expected debug, info, warn, error or off"
+            )),
+        }
+    }
+
+    /// The name as written in log lines and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+            LogLevel::Off => "off",
+        }
+    }
+}
+
+/// Where rendered log lines go. Implementations must be safe to share
+/// across the worker pool and the accept loop.
+pub trait LogSink: Send + Sync {
+    /// Writes one already-rendered line (no trailing newline).
+    fn write_line(&self, line: &str);
+}
+
+/// The production sink: one line to stderr per event.
+pub struct StderrSink;
+
+impl LogSink for StderrSink {
+    fn write_line(&self, line: &str) {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}
+
+/// A test sink that records every line in order.
+#[derive(Default)]
+pub struct BufferSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Every line written so far, in order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("log buffer lock").clone()
+    }
+}
+
+impl LogSink for BufferSink {
+    fn write_line(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("log buffer lock")
+            .push(line.to_string());
+    }
+}
+
+/// A leveled, structured logger. Cheap to clone: the sink is shared
+/// behind an [`Arc`].
+#[derive(Clone)]
+pub struct Logger {
+    level: LogLevel,
+    json: bool,
+    sink: Arc<dyn LogSink>,
+}
+
+impl Logger {
+    /// A logger writing to stderr.
+    pub fn stderr(level: LogLevel, json: bool) -> Logger {
+        Logger {
+            level,
+            json,
+            sink: Arc::new(StderrSink),
+        }
+    }
+
+    /// A logger writing to the returned shared buffer (for tests).
+    pub fn buffered(level: LogLevel, json: bool) -> (Logger, Arc<BufferSink>) {
+        let sink = Arc::new(BufferSink::new());
+        (
+            Logger {
+                level,
+                json,
+                sink: Arc::clone(&sink) as Arc<dyn LogSink>,
+            },
+            sink,
+        )
+    }
+
+    /// A logger that drops everything.
+    pub fn disabled() -> Logger {
+        Logger {
+            level: LogLevel::Off,
+            json: false,
+            sink: Arc::new(StderrSink),
+        }
+    }
+
+    /// The configured minimum level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Logs one event at `level` with its fields, if the level passes
+    /// the threshold. Field order is preserved in both output modes.
+    pub fn log(&self, level: LogLevel, event: &str, fields: &[(&str, Value)]) {
+        if level < self.level || self.level == LogLevel::Off || level == LogLevel::Off {
+            return;
+        }
+        let line = if self.json {
+            let mut map = Map::new();
+            map.insert("level".into(), Value::from(level.name()));
+            map.insert("event".into(), Value::from(event));
+            for (key, value) in fields {
+                map.insert((*key).to_string(), value.clone());
+            }
+            serde_json::to_string(&Value::Object(map)).expect("log line serializes")
+        } else {
+            use std::fmt::Write as _;
+            let mut out = format!("{:<5} {event}", level.name().to_uppercase());
+            for (key, value) in fields {
+                match value {
+                    Value::String(s) => {
+                        let _ = write!(out, " {key}={s:?}");
+                    }
+                    other => {
+                        let _ = write!(
+                            out,
+                            " {key}={}",
+                            serde_json::to_string(other).expect("field serializes")
+                        );
+                    }
+                }
+            }
+            out
+        };
+        self.sink.write_line(&line);
+    }
+
+    /// [`LogLevel::Debug`] shorthand.
+    pub fn debug(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(LogLevel::Debug, event, fields);
+    }
+
+    /// [`LogLevel::Info`] shorthand.
+    pub fn info(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(LogLevel::Info, event, fields);
+    }
+
+    /// [`LogLevel::Warn`] shorthand.
+    pub fn warn(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(LogLevel::Warn, event, fields);
+    }
+
+    /// [`LogLevel::Error`] shorthand.
+    pub fn error(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(LogLevel::Error, event, fields);
+    }
+}
+
+/// Count-based suppression of repeated identical events.
+///
+/// Each key is logged on its 1st, 2nd, 4th, 8th, ... occurrence
+/// (powers of two), with the number of suppressed occurrences since
+/// the last emission. Counting instead of timing keeps the policy
+/// deterministic — the same error sequence always logs the same lines.
+#[derive(Default)]
+pub struct RateLimited {
+    counts: Mutex<HashMap<String, u64>>,
+}
+
+impl RateLimited {
+    /// A fresh limiter with no history.
+    pub fn new() -> RateLimited {
+        RateLimited::default()
+    }
+
+    /// Records one occurrence of `key`. `Some(suppressed)` when this
+    /// occurrence should be logged (`suppressed` = occurrences dropped
+    /// since the last logged one), `None` when it should be dropped.
+    pub fn check(&self, key: &str) -> Option<u64> {
+        let mut counts = self.counts.lock().expect("rate limit lock");
+        let count = counts.entry(key.to_string()).or_insert(0);
+        *count += 1;
+        if count.is_power_of_two() {
+            // Since the previous power of two: count/2 total, of which
+            // one (the previous emission) was logged.
+            Some(if *count <= 2 { 0 } else { *count / 2 - 1 })
+        } else {
+            None
+        }
+    }
+
+    /// Total occurrences recorded for `key`.
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts
+            .lock()
+            .expect("rate limit lock")
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn levels_gate_output() {
+        let (logger, sink) = Logger::buffered(LogLevel::Warn, false);
+        logger.info("dropped", &[]);
+        logger.warn("kept", &[]);
+        logger.error("kept.too", &[("code", json!(7))]);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("WARN  kept"), "{:?}", lines[0]);
+        assert!(lines[1].contains("code=7"), "{:?}", lines[1]);
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let (logger, sink) = Logger::buffered(LogLevel::Off, false);
+        logger.error("still.dropped", &[]);
+        assert!(sink.lines().is_empty());
+    }
+
+    #[test]
+    fn json_lines_are_parseable_with_stable_fields() {
+        let (logger, sink) = Logger::buffered(LogLevel::Info, true);
+        logger.info(
+            "job.submitted",
+            &[("job_id", json!(3)), ("tenant", json!("alice"))],
+        );
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        let v = serde_json::parse_value(&lines[0]).expect("valid JSON");
+        assert_eq!(v["level"].as_str(), Some("info"));
+        assert_eq!(v["event"].as_str(), Some("job.submitted"));
+        assert_eq!(v["job_id"].as_u64(), Some(3));
+        assert_eq!(v["tenant"].as_str(), Some("alice"));
+    }
+
+    #[test]
+    fn rate_limiter_logs_powers_of_two_only() {
+        let limiter = RateLimited::new();
+        let decisions: Vec<Option<u64>> = (0..9).map(|_| limiter.check("x")).collect();
+        assert_eq!(
+            decisions,
+            vec![
+                Some(0), // 1st
+                Some(0), // 2nd
+                None,
+                Some(1), // 4th: one dropped (the 3rd)
+                None,
+                None,
+                None,
+                Some(3), // 8th: three dropped (5th-7th)
+                None,
+            ]
+        );
+        assert_eq!(limiter.count("x"), 9);
+        // Distinct keys are limited independently.
+        assert_eq!(limiter.check("y"), Some(0));
+    }
+}

@@ -27,9 +27,13 @@ fn test_engine() -> JobEngine {
 }
 
 fn req(method: &str, path: &str, api_key: &str, body: &str) -> HttpRequest {
+    // Split a query string off the path the way http::read_request does,
+    // so tests can exercise e.g. `/v1/jobs/1?wait_ms=50`.
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     HttpRequest {
         method: method.to_string(),
         path: path.to_string(),
+        query: query.to_string(),
         headers: vec![("x-api-key".to_string(), api_key.to_string())],
         body: body.to_string(),
     }
@@ -137,8 +141,9 @@ fn admission_reject_carries_e_codes_and_runs_nothing() {
     // No job was created and nothing reached the simulator.
     assert!(!engine.run_next());
     let health = parse(&route(&engine, &req("GET", "/v1/healthz", "alice", "")));
-    assert_eq!(health.get("queued").and_then(Value::as_u64), Some(0));
-    assert_eq!(health.get("finished").and_then(Value::as_u64), Some(0));
+    let payload = health.get("payload").expect("healthz envelope payload");
+    assert_eq!(payload.get("queued").and_then(Value::as_u64), Some(0));
+    assert_eq!(payload.get("finished").and_then(Value::as_u64), Some(0));
 }
 
 #[test]
@@ -315,14 +320,188 @@ fn malformed_requests_get_400_with_reasons() {
 fn healthz_tracks_engine_counters() {
     let engine = test_engine();
     let before = parse(&route(&engine, &req("GET", "/v1/healthz", "", "")));
-    assert_eq!(before.get("status").and_then(Value::as_str), Some("ok"));
-    assert_eq!(before.get("queued").and_then(Value::as_u64), Some(0));
+    // Healthz is wrapped in the standard artifact envelope.
+    assert_eq!(
+        before.get("schema_version").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(before.get("kind").and_then(Value::as_str), Some("healthz"));
+    let payload = before.get("payload").expect("payload");
+    assert_eq!(payload.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(payload.get("queued").and_then(Value::as_u64), Some(0));
+    assert_eq!(payload.get("cache_hits").and_then(Value::as_u64), Some(0));
+    assert_eq!(
+        payload.get("version").and_then(Value::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(payload.get("uptime_secs").and_then(Value::as_u64).is_some());
     route(&engine, &req("POST", "/v1/jobs", "alice", &fig8_body()));
     assert!(engine.run_next());
     let after = parse(&route(&engine, &req("GET", "/v1/healthz", "", "")));
-    assert_eq!(after.get("queued").and_then(Value::as_u64), Some(0));
-    assert_eq!(after.get("finished").and_then(Value::as_u64), Some(1));
-    assert_eq!(after.get("cache_entries").and_then(Value::as_u64), Some(1));
+    let payload = after.get("payload").expect("payload");
+    assert_eq!(payload.get("queued").and_then(Value::as_u64), Some(0));
+    assert_eq!(payload.get("finished").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        payload.get("cache_entries").and_then(Value::as_u64),
+        Some(1)
+    );
+    // The run was a cache miss; a resubmission is a hit, and healthz's
+    // counters agree with /v1/metrics (both read ServeMetrics).
+    assert_eq!(payload.get("cache_misses").and_then(Value::as_u64), Some(1));
+    route(&engine, &req("POST", "/v1/jobs", "bob", &fig8_body()));
+    let hit = parse(&route(&engine, &req("GET", "/v1/healthz", "", "")));
+    let payload = hit.get("payload").expect("payload");
+    assert_eq!(payload.get("cache_hits").and_then(Value::as_u64), Some(1));
+}
+
+/// The `/v1/metrics` contract: after a known flow (one executed job,
+/// one cached resubmit, one admission reject, one cancel) every counter
+/// has an exact value, the exposition text is well-formed, and the
+/// cache counters agree with `/v1/healthz`.
+#[test]
+fn metrics_contract_counts_every_flow() {
+    let engine = test_engine();
+    // 1. A job that actually simulates.
+    let created = route(&engine, &req("POST", "/v1/jobs", "alice", &fig8_body()));
+    assert_eq!(created.status, 201);
+    assert!(engine.run_next());
+    // 2. The identical request again: a cache hit.
+    let hit = route(&engine, &req("POST", "/v1/jobs", "bob", &fig8_body()));
+    assert_eq!(hit.status, 200);
+    // 3. An admission reject (broken SoC config).
+    let broken = format!(
+        r#"{{"request":{{"schema_version":1,"workload":{{"kind":"fig8"}},"configs":[0],"frames":2,"soc_config":{BROKEN_CONFIG}}}}}"#
+    );
+    assert_eq!(
+        route(&engine, &req("POST", "/v1/jobs", "alice", &broken)).status,
+        422
+    );
+    // 4. A queued job cancelled before it runs.
+    let body = fig8_body().replace("\"frames\":2", "\"frames\":3");
+    let doomed = parse(&route(&engine, &req("POST", "/v1/jobs", "alice", &body)));
+    let doomed_id = doomed.get("job_id").and_then(Value::as_u64).expect("id");
+    assert_eq!(
+        route(
+            &engine,
+            &req("DELETE", &format!("/v1/jobs/{doomed_id}"), "alice", "")
+        )
+        .status,
+        200
+    );
+
+    let metrics = route(&engine, &req("GET", "/v1/metrics", "", ""));
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.content_type.starts_with("text/plain"),
+        "Prometheus exposition is text: {}",
+        metrics.content_type
+    );
+    let text = &metrics.body;
+    // Flat counters (rendered through the trace CounterRegistry).
+    assert!(text.contains("espserve_jobs_submitted 3\n"), "{text}");
+    assert!(text.contains("espserve_jobs_started 1\n"), "{text}");
+    assert!(text.contains("espserve_cache_hits 1\n"), "{text}");
+    assert!(text.contains("espserve_cache_misses 1\n"), "{text}");
+    // Per-tenant admission outcomes.
+    assert!(text.contains("espserve_tenant_jobs_total{tenant=\"alice\",outcome=\"admitted\"} 2"));
+    assert!(text.contains("espserve_tenant_jobs_total{tenant=\"alice\",outcome=\"rejected\"} 1"));
+    assert!(text.contains("espserve_tenant_jobs_total{tenant=\"bob\",outcome=\"admitted\"} 1"));
+    // Terminal results: the executed job and the cache hit are both
+    // `done`; the cancel is its own result.
+    assert!(text.contains("espserve_jobs_finished_total{result=\"done\"} 2"));
+    assert!(text.contains("espserve_jobs_finished_total{result=\"cancelled\"} 1"));
+    // HTTP requests by route pattern × method × status. The /v1/metrics
+    // scrape itself is counted after its body is rendered, so it does
+    // not appear in its own exposition.
+    assert!(text.contains(
+        "espserve_http_requests_total{route=\"/v1/jobs\",method=\"POST\",status=\"201\"} 2"
+    ));
+    assert!(text.contains(
+        "espserve_http_requests_total{route=\"/v1/jobs\",method=\"POST\",status=\"200\"} 1"
+    ));
+    assert!(text.contains(
+        "espserve_http_requests_total{route=\"/v1/jobs\",method=\"POST\",status=\"422\"} 1"
+    ));
+    assert!(text.contains(
+        "espserve_http_requests_total{route=\"/v1/jobs/{id}\",method=\"DELETE\",status=\"200\"} 1"
+    ));
+    // Exactly one simulation ran: one observation in each duration
+    // histogram, with the cumulative +Inf bucket equal to the count.
+    assert!(text.contains("# TYPE espserve_job_run_duration_ms histogram"));
+    assert!(text.contains("espserve_job_run_duration_ms_count 1"));
+    assert!(text.contains("espserve_job_run_duration_ms_bucket{le=\"+Inf\"} 1"));
+    assert!(text.contains("espserve_job_queue_wait_ms_count 1"));
+    // Nothing queued or running at scrape time.
+    assert!(text.contains("espserve_queue_depth{priority=\"normal\"} 0"));
+    assert!(text.contains("espserve_jobs_running 0"));
+    // The healthz cache counters read the same registry.
+    let health = parse(&route(&engine, &req("GET", "/v1/healthz", "", "")));
+    let payload = health.get("payload").expect("payload");
+    assert_eq!(payload.get("cache_hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(payload.get("cache_misses").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        payload.get("cache_evictions").and_then(Value::as_u64),
+        Some(0)
+    );
+}
+
+/// Progress and long-polling through the HTTP surface: `wait_ms` on a
+/// queued job times out unchanged, a terminal job answers immediately,
+/// and the final snapshot's `points_done` equals its `points_total`.
+#[test]
+fn job_status_reports_progress_and_long_polls() {
+    let engine = test_engine();
+    let created = parse(&route(
+        &engine,
+        &req("POST", "/v1/jobs", "alice", &fig8_body()),
+    ));
+    let id = created.get("job_id").and_then(Value::as_u64).expect("id");
+    let queued = route(
+        &engine,
+        &req("GET", &format!("/v1/jobs/{id}?wait_ms=1"), "alice", ""),
+    );
+    assert_eq!(queued.status, 200);
+    let body = parse(&queued);
+    assert_eq!(body.get("state").and_then(Value::as_str), Some("queued"));
+    assert!(matches!(body.get("progress"), Some(Value::Null)));
+    let entry_version = body
+        .get("version")
+        .and_then(Value::as_u64)
+        .expect("version");
+
+    assert!(engine.run_next());
+    // Terminal jobs return immediately even with the maximum hold.
+    let done = parse(&route(
+        &engine,
+        &req("GET", &format!("/v1/jobs/{id}?wait_ms=30000"), "alice", ""),
+    ));
+    assert_eq!(done.get("state").and_then(Value::as_str), Some("done"));
+    assert!(
+        done.get("version")
+            .and_then(Value::as_u64)
+            .expect("version")
+            > entry_version,
+        "every transition bumps the version"
+    );
+    let progress = done.get("progress").expect("progress");
+    let points_done = progress
+        .get("points_done")
+        .and_then(Value::as_u64)
+        .expect("points_done");
+    assert!(points_done > 0);
+    assert_eq!(
+        progress.get("points_total").and_then(Value::as_u64),
+        Some(points_done),
+        "final progress covers the whole grid"
+    );
+    assert_eq!(
+        route(
+            &engine,
+            &req("GET", &format!("/v1/jobs/{id}?wait_ms=soon"), "alice", "")
+        )
+        .status,
+        400
+    );
 }
 
 /// End-to-end over a real socket: the exact bytes a curl client would
@@ -342,7 +521,11 @@ fn v1_api_over_a_real_tcp_socket() {
     engine.start();
     let server_engine = Arc::clone(&engine);
     std::thread::spawn(move || {
-        esp4ml_serve::http::serve(listener, move |request| route(&server_engine, &request));
+        esp4ml_serve::http::serve(
+            listener,
+            move |request| route(&server_engine, &request),
+            esp4ml_serve::log::Logger::disabled(),
+        );
     });
 
     let exchange = |method: &str, path: &str, body: &str| -> HttpResponse {

@@ -153,6 +153,42 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Cumulative bucket counts as `(upper_bound, cumulative_count)`
+    /// pairs, one per occupied bucket, in ascending bound order — the
+    /// shape a Prometheus histogram's `_bucket{le=…}` series wants.
+    /// Every pair's count includes all samples at or below the bound,
+    /// so the sequence is non-decreasing and the last entry equals
+    /// [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cumulative = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cumulative += n;
+            out.push((bucket_high(idx), cumulative));
+        }
+        out
+    }
+
+    /// Renders the histogram in the Prometheus text exposition format:
+    /// `# HELP`/`# TYPE histogram` headers, one cumulative
+    /// `_bucket{le="…"}` sample per occupied bucket plus the mandatory
+    /// `le="+Inf"` bucket, then the exact `_sum` and `_count`. `name`
+    /// must already be a valid Prometheus metric name (see
+    /// [`prometheus_name`](crate::prometheus_name)).
+    pub fn render_prometheus(&self, name: &str, help: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (bound, cumulative) in self.cumulative_buckets() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+        out
+    }
+
     /// One-line summary: `count=… mean=… p50=… p90=… p99=… max=…`.
     pub fn summary(&self) -> String {
         format!(
@@ -235,6 +271,44 @@ mod tests {
         assert_eq!(h.quantile(1.0), 1000);
         assert_eq!(h.min(), 1000);
         assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let h = from_samples(&[1, 1, 5, 900, 900, 900, 70_000]);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().map(|&(_, c)| c), Some(h.count()));
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "bounds ascend");
+            assert!(pair[0].1 <= pair[1].1, "counts are cumulative");
+        }
+        // Each cumulative count is exactly the samples <= the bound.
+        for &(bound, cumulative) in &buckets {
+            let exact = [1u64, 1, 5, 900, 900, 900, 70_000]
+                .iter()
+                .filter(|&&s| s <= bound)
+                .count() as u64;
+            assert_eq!(cumulative, exact, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_has_cumulative_buckets_and_exact_sum() {
+        let h = from_samples(&[2, 2, 7]);
+        let text = h.render_prometheus("job_run_ms", "Job run duration.");
+        assert_eq!(
+            text,
+            "# HELP job_run_ms Job run duration.\n\
+             # TYPE job_run_ms histogram\n\
+             job_run_ms_bucket{le=\"2\"} 2\n\
+             job_run_ms_bucket{le=\"7\"} 3\n\
+             job_run_ms_bucket{le=\"+Inf\"} 3\n\
+             job_run_ms_sum 11\n\
+             job_run_ms_count 3\n"
+        );
+        let empty = Histogram::new().render_prometheus("x", "Empty.");
+        assert!(empty.contains("x_bucket{le=\"+Inf\"} 0\n"));
+        assert!(empty.contains("x_count 0\n"));
     }
 
     #[test]
