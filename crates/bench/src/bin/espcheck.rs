@@ -1,7 +1,7 @@
 //! `espcheck` — the static SoC/dataflow linter: checks floorplan
-//! configurations, dataflows and their mappings for the whole class of
-//! mistakes that otherwise surface as a hung simulation or a wrong
-//! figure, without simulating a single cycle.
+//! configurations, dataflows, mappings and multi-tenant deployments for
+//! the whole class of mistakes that otherwise surface as a hung
+//! simulation or a wrong figure, without simulating a single cycle.
 //!
 //! ```text
 //! # Lint the built-in SoC-1/SoC-2 floorplans and every Fig. 7 dataflow:
@@ -10,23 +10,37 @@
 //! # Lint configuration files, with a machine-readable report:
 //! cargo run --release -p esp4ml-bench --bin espcheck -- \
 //!     --config configs/soc1.json --json espcheck.json
+//!
+//! # Statically admit a multi-tenant deployment (co-residency, union-CDG
+//! # deadlock, NoC bandwidth feasibility — the E07xx family):
+//! cargo run --release -p esp4ml-bench --bin espcheck -- \
+//!     --deployment configs/deploy_ok.json --json deploy.json
+//!
+//! # Document any stable diagnostic code:
+//! cargo run --release -p esp4ml-bench --bin espcheck -- --explain E0703
 //! ```
 //!
 //! Every finding is a typed diagnostic with a stable code (`E0101`
-//! duplicate tile, `E0301` unmapped device, `E0304` PLM overflow, …),
-//! a location, and a fix hint — see `DESIGN.md` for the full registry.
-//! The exit status is 0 when no *errors* were found (warnings don't
-//! fail the lint), 1 on error findings, 2 on usage errors.
+//! duplicate tile, `E0301` unmapped device, `E0304` PLM overflow,
+//! `E0703` cross-tenant deadlock, …), a location, and a fix hint — see
+//! `DESIGN.md` for the full registry, or `--explain CODE` for any one
+//! entry. The exit status is 0 when no *errors* were found (warnings
+//! don't fail the lint), 1 on error findings, 2 on usage errors.
 //!
 //! The same lint runs as the `espserve` admission filter: every job's
-//! attached SoC configuration and fault plan pass through it before a
-//! single cycle is simulated.
+//! attached SoC configuration, fault plan and deployment pass through
+//! it before a single cycle is simulated — the diagnostics a rejected
+//! deployment submission gets back over HTTP are the same typed
+//! findings this binary prints.
 
 use esp4ml::check::lint_config;
+use esp4ml::deploy::{lint_deployment, Deployment};
 use esp4ml::soc_config::SocConfigFile;
 use esp4ml_bench::cli::{self, HarnessSpec, ESPCHECK_FLAGS};
 use esp4ml_bench::request::{lint_builtins, EspcheckReport, LintTarget};
+use esp4ml_check::bw::BandwidthAnalysis;
 use esp4ml_check::{Diagnostic, Report};
+use serde::Serialize;
 use std::path::PathBuf;
 
 /// Lints one configuration file from disk.
@@ -61,23 +75,132 @@ fn lint_file(path: &PathBuf) -> LintTarget {
     }
 }
 
+/// One analyzed deployment in the `espcheck-deployment` JSON artifact.
+#[derive(Debug, Serialize)]
+struct DeploymentTarget {
+    /// What was analyzed.
+    name: String,
+    /// Error findings.
+    errors: usize,
+    /// Warning findings.
+    warnings: usize,
+    /// The typed diagnostics, normalized — byte-identical to the
+    /// `diagnostics` array an espserve 422 carries for the same file.
+    diagnostics: Vec<Diagnostic>,
+    /// The static bandwidth picture (per-link utilization, per-tenant
+    /// slowdown bounds); absent when no tenant could be modelled.
+    bandwidth: Option<BandwidthAnalysis>,
+}
+
+/// Analyzes one deployment file from disk.
+fn lint_deployment_file(path: &PathBuf) -> DeploymentTarget {
+    let name = format!("deployment {}", path.display());
+    let parse_failure = |msg: String| {
+        let mut report = Report::new();
+        report.push(
+            Diagnostic::error(
+                esp4ml_check::codes::DEPLOYMENT_MALFORMED,
+                path.display().to_string(),
+                msg,
+            )
+            .with_hint("see configs/deploy_ok.json for the deployment schema"),
+        );
+        DeploymentTarget {
+            name: name.clone(),
+            errors: report.error_count(),
+            warnings: 0,
+            diagnostics: report.diagnostics,
+            bandwidth: None,
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return parse_failure(format!("cannot read deployment file: {e}")),
+    };
+    let deployment = match Deployment::from_json(&text) {
+        Ok(d) => d,
+        Err(e) => return parse_failure(format!("deployment does not parse: {e}")),
+    };
+    let analysis = lint_deployment(&deployment);
+    DeploymentTarget {
+        name,
+        errors: analysis.report.error_count(),
+        warnings: analysis.report.warning_count(),
+        diagnostics: analysis.report.diagnostics,
+        bandwidth: analysis.bandwidth,
+    }
+}
+
+/// The `espcheck-deployment` JSON artifact body.
+#[derive(Debug, Serialize)]
+struct DeploymentReport {
+    /// Workspace version that produced the report.
+    version: String,
+    /// Analyzed deployments, in command-line order.
+    deployments: Vec<DeploymentTarget>,
+}
+
 fn main() {
     let spec = HarnessSpec::new(
         "espcheck",
-        "statically lint SoC floorplans, dataflows and mappings",
+        "statically lint SoC floorplans, dataflows, mappings and deployments",
         ESPCHECK_FLAGS,
     );
     let args =
         cli::parse(&spec, std::env::args().skip(1)).unwrap_or_else(|e| cli::exit_on_error(e));
-    let targets = if args.config_paths.is_empty() {
+    if let Some(code) = &args.explain {
+        match esp4ml_check::codes::explain(code) {
+            Some((summary, explanation)) => {
+                println!("{code}: {summary}\n\n{explanation}");
+                return;
+            }
+            None => {
+                eprintln!(
+                    "unknown diagnostic code {code}; the registry is listed in DESIGN.md \
+                     (families E01xx-E07xx)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let deployments: Vec<DeploymentTarget> =
+        args.deployments.iter().map(lint_deployment_file).collect();
+    let targets = if args.config_paths.is_empty() && !deployments.is_empty() {
+        Vec::new()
+    } else if args.config_paths.is_empty() {
         lint_builtins()
     } else {
         args.config_paths.iter().map(lint_file).collect()
     };
-    let report = EspcheckReport::from_targets(targets);
+    // Deployments render through the same ok/FAIL target lines, so the
+    // text output reads identically whatever was linted.
+    let mut all_targets = targets;
+    for d in &deployments {
+        let mut report = Report::new();
+        for diag in &d.diagnostics {
+            report.push(diag.clone());
+        }
+        all_targets.push(LintTarget::new(d.name.clone(), report));
+    }
+    let report = EspcheckReport::from_targets(all_targets);
     print!("{}", report.render_text());
     if let Some(path) = &args.json {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
+        // With deployments in play the artifact is the deployment
+        // report (diagnostics + bandwidth analysis); otherwise the
+        // classic espcheck report.
+        let body = if deployments.is_empty() {
+            report.to_json()
+        } else {
+            let payload = DeploymentReport {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                deployments,
+            };
+            esp4ml::trace::schema::envelope_json(
+                "espcheck-deployment",
+                serde_json::to_value(&payload).expect("report serializes"),
+            )
+        };
+        if let Err(e) = std::fs::write(path, body) {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }

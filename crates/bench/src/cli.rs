@@ -65,6 +65,10 @@ pub enum Flag {
     Metrics,
     /// `--progress`
     Progress,
+    /// `--deployment DEPLOY.json`
+    Deployment,
+    /// `--explain CODE`
+    Explain,
 }
 
 impl Flag {
@@ -92,6 +96,8 @@ impl Flag {
             Flag::Flame => "--flame",
             Flag::Metrics => "--metrics",
             Flag::Progress => "--progress",
+            Flag::Deployment => "--deployment",
+            Flag::Explain => "--explain",
         }
     }
 
@@ -104,6 +110,8 @@ impl Flag {
             Flag::Mode => Some("base|pipe|p2p"),
             Flag::Config => Some("IDX"),
             Flag::Faults => Some("PLAN.json"),
+            Flag::Deployment => Some("DEPLOY.json"),
+            Flag::Explain => Some("CODE"),
             Flag::Trace
             | Flag::Profile
             | Flag::Spans
@@ -140,6 +148,8 @@ impl Flag {
             Flag::Flame => "write folded flame stacks",
             Flag::Metrics => "write the enveloped run-metrics artifact JSON",
             Flag::Progress => "print one progress JSON line to stderr per completed unit",
+            Flag::Deployment => "statically analyze a multi-tenant deployment file (E07xx)",
+            Flag::Explain => "print the documentation for a stable diagnostic code and exit",
         }
     }
 
@@ -226,7 +236,13 @@ pub const ESPFAULT_FLAGS: &[Flag] = &[
 ];
 
 /// `espcheck` — the static linter (no simulation flags at all).
-pub const ESPCHECK_FLAGS: &[Flag] = &[Flag::ConfigPath, Flag::Json, Flag::Progress];
+pub const ESPCHECK_FLAGS: &[Flag] = &[
+    Flag::ConfigPath,
+    Flag::Deployment,
+    Flag::Explain,
+    Flag::Json,
+    Flag::Progress,
+];
 
 /// `accuracy`/`training` — training-budget flags only.
 pub const TRAINING_FLAGS: &[Flag] = &[Flag::Frames, Flag::Samples, Flag::Epochs];
@@ -430,6 +446,10 @@ pub struct HarnessArgs {
     /// Print one progress JSON line to stderr per completed unit
     /// (`--progress`).
     pub progress: bool,
+    /// Deployment files to analyze (`--deployment`, repeatable).
+    pub deployments: Vec<PathBuf>,
+    /// Diagnostic code to document and exit (`--explain CODE`).
+    pub explain: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -456,6 +476,8 @@ impl Default for HarnessArgs {
             flame: None,
             metrics: None,
             progress: false,
+            deployments: Vec::new(),
+            explain: None,
         }
     }
 }
@@ -533,6 +555,8 @@ fn parse_inner(
             Flag::Flame => out.flame = Some(PathBuf::from(value()?)),
             Flag::Metrics => out.metrics = Some(PathBuf::from(value()?)),
             Flag::Progress => out.progress = true,
+            Flag::Deployment => out.deployments.push(PathBuf::from(value()?)),
+            Flag::Explain => out.explain = Some(value()?),
         }
     }
     validate(spec, &out)?;
@@ -889,5 +913,21 @@ mod tests {
         );
         assert!(a.configs.is_empty());
         assert!(parse_spec(&spec, &["--frames", "4"]).is_err());
+    }
+
+    #[test]
+    fn espcheck_spec_takes_deployment_and_explain() {
+        let spec = HarnessSpec::new("espcheck", "c", ESPCHECK_FLAGS);
+        let a = parse_spec(&spec, &["--deployment", "d.json", "--deployment", "e.json"]).unwrap();
+        assert_eq!(
+            a.deployments,
+            vec![PathBuf::from("d.json"), PathBuf::from("e.json")]
+        );
+        let a = parse_spec(&spec, &["--explain", "E0703"]).unwrap();
+        assert_eq!(a.explain.as_deref(), Some("E0703"));
+        assert!(parse_spec(&spec, &["--explain"]).is_err());
+        // Figure harnesses do not take deployment flags.
+        let fig = HarnessSpec::new("fig7", "f", FIGURE_FLAGS);
+        assert!(parse_spec(&fig, &["--deployment", "d.json"]).is_err());
     }
 }

@@ -22,6 +22,7 @@ use crate::cli::engine_name;
 use crate::{chart, parallel};
 use esp4ml::apps::{build_soc2, CaseApp, SocId, TrainedModels};
 use esp4ml::check::{lint_all, lint_config, lint_dataflow, lint_mapping, FloorplanView};
+use esp4ml::deploy::{self, Deployment};
 use esp4ml::experiments::{AppRun, ExperimentError, Fig7, Fig8, GridPoint, Table1};
 use esp4ml::faults::{lint_fault_plan, CampaignReport, FaultConfig};
 use esp4ml::soc_config::SocConfigFile;
@@ -65,6 +66,10 @@ pub enum WorkloadKind {
     /// `espcheck`: statically lint the request's `soc_config` (or the
     /// built-in floorplans and Fig. 7 mappings) without simulating.
     Check,
+    /// `espcheck --deployment`: statically admit the request's
+    /// multi-tenant `deployment` (`E07xx`), then validate the static
+    /// bandwidth model against per-tenant solo simulation runs.
+    Deployment,
 }
 
 impl WorkloadKind {
@@ -78,6 +83,7 @@ impl WorkloadKind {
             WorkloadKind::Spans => "spans",
             WorkloadKind::Faults { .. } => "faults",
             WorkloadKind::Check => "check",
+            WorkloadKind::Deployment => "deployment",
         }
     }
 
@@ -93,7 +99,9 @@ impl WorkloadKind {
                 .iter()
                 .map(|c| c.label())
                 .collect(),
-            WorkloadKind::Faults { .. } | WorkloadKind::Check => Vec::new(),
+            WorkloadKind::Faults { .. } | WorkloadKind::Check | WorkloadKind::Deployment => {
+                Vec::new()
+            }
         }
     }
 }
@@ -277,6 +285,11 @@ pub struct RunRequest {
     /// configuration has errors never reach the simulator).
     #[serde(default)]
     pub soc_config: Option<SocConfigFile>,
+    /// The multi-tenant deployment for the `deployment` workload.
+    /// Admission runs the full `E07xx` analysis; infeasible
+    /// deployments are rejected before a single cycle is simulated.
+    #[serde(default)]
+    pub deployment: Option<Deployment>,
     /// Observability toggles.
     #[serde(default)]
     pub observe: ObserveOpts,
@@ -417,6 +430,7 @@ impl RunRequest {
             sanitize: false,
             fault_plan: None,
             soc_config: None,
+            deployment: None,
             observe: ObserveOpts::default(),
         }
     }
@@ -446,6 +460,13 @@ impl RunRequest {
             out.frames = 0;
         }
         out
+    }
+
+    /// The attached deployment, required by the `deployment` workload.
+    fn required_deployment(&self) -> Result<&Deployment, String> {
+        self.deployment
+            .as_ref()
+            .ok_or_else(|| "the deployment workload needs a deployment attachment".to_string())
     }
 
     /// Validates a normalized request; the error string is the message
@@ -487,7 +508,33 @@ impl RunRequest {
                     .into(),
             );
         }
+        if self.deployment.is_some() && !matches!(self.workload, WorkloadKind::Deployment) {
+            return Err(format!(
+                "a deployment attachment is not meaningful for the {} workload",
+                self.workload.label()
+            ));
+        }
         match self.workload {
+            WorkloadKind::Deployment => {
+                self.required_deployment()?;
+                if !self.configs.is_empty() || !self.modes.is_empty() {
+                    return Err(
+                        "configs/modes are not meaningful for the deployment workload; \
+                         tenants carry their own mappings and modes"
+                            .into(),
+                    );
+                }
+                if self.soc_config.is_some() {
+                    return Err("soc_config is not meaningful for the deployment workload; \
+                         the deployment carries its own floorplan"
+                        .into());
+                }
+                if self.fault_plan.is_some() || self.sanitize || self.observe.any() {
+                    return Err("fault_plan/sanitize/observe are not meaningful for the \
+                         deployment workload"
+                        .into());
+                }
+            }
             WorkloadKind::Faults { .. } | WorkloadKind::Check => {
                 if !self.configs.is_empty() || !self.modes.is_empty() {
                     return Err(format!(
@@ -651,6 +698,12 @@ pub fn admission(req: &RunRequest) -> Report {
             report.merge(lint_config(config));
         }
     }
+    if let Some(deployment) = &req.deployment {
+        // The full E07xx multi-tenant analysis IS the admission filter:
+        // lease conflicts, composed PLM overflow, union-CDG deadlock
+        // and bandwidth infeasibility all block the simulator.
+        report.merge(deploy::lint_deployment(deployment).report);
+    }
     if let Some(plan) = &req.fault_plan {
         let mut hosted: Vec<String> = selected_points(&req)
             .iter()
@@ -724,6 +777,7 @@ pub fn execute_with_progress(
         WorkloadKind::Spans => spans_response(&req, models, progress),
         WorkloadKind::Faults { seeds } => faults_response(&req, seeds, models, progress),
         WorkloadKind::Check => check_response(&req, progress),
+        WorkloadKind::Deployment => deployment_response(&req, progress),
     }
 }
 
@@ -1466,6 +1520,122 @@ fn check_response(
 }
 
 // ---------------------------------------------------------------------------
+// deployment validation
+// ---------------------------------------------------------------------------
+
+/// The espdeploy verdict report (`report` artifact of the `deployment`
+/// workload, enveloped as kind `espdeploy-report`). An admitted
+/// deployment is re-analyzed for its structured bandwidth picture, then
+/// every tenant is run solo through the simulator to check that the
+/// static demand model over-approximates measured traffic.
+#[derive(Debug, Clone, Serialize)]
+pub struct EspdeployReport {
+    /// Workspace version that produced the report.
+    pub version: String,
+    /// Deployment name.
+    pub deployment: String,
+    /// Tenant names, in declaration order.
+    pub tenants: Vec<String>,
+    /// Canonical engine name.
+    pub engine: String,
+    /// Warnings that survived admission (errors cannot reach here).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The static per-link utilization and per-tenant slowdown bounds.
+    pub bandwidth: Option<esp4ml_check::bw::BandwidthAnalysis>,
+    /// The static-versus-simulated conservativeness validation.
+    pub validation: deploy::DeploymentValidation,
+    /// Whether the static model dominated the simulator everywhere.
+    pub conservative: bool,
+}
+
+fn deployment_response(
+    req: &RunRequest,
+    progress: Option<&dyn ProgressSink>,
+) -> Result<RunResponse, RequestError> {
+    let deployment = req
+        .required_deployment()
+        .map_err(|e| RequestError::Invalid(e.to_string()))?;
+    let engine = req.soc_engine();
+    let analysis = deploy::lint_deployment(deployment);
+    let validation = deploy::validate_against_simulator(deployment, req.frames, engine)
+        .map_err(|e| RequestError::Run(ExperimentError::Grid(e.to_string())))?;
+    let mut tracker = ProgressTracker::new(progress, validation.tenants.len() as u64);
+    for t in &validation.tenants {
+        tracker.advance(&t.tenant, t.frames, t.cycles);
+    }
+    let mut violations = Vec::new();
+    for t in &validation.tenants {
+        if !t.conservative {
+            violations.push(format!(
+                "tenant {}: measured link traffic exceeds the static demand model",
+                t.tenant
+            ));
+        }
+    }
+    if !validation.bounds_conservative {
+        violations.push(
+            "a measured slowdown bound exceeds its static counterpart; \
+             the static model is not an over-approximation"
+                .to_string(),
+        );
+    }
+    let conservative = validation.conservative();
+    let mut summary = format!(
+        "deployment {}: {} tenant(s) admitted; static demand model {} \
+         the simulator over {} frame(s) per tenant ({})\n",
+        deployment.name,
+        deployment.tenants.len(),
+        if conservative {
+            "dominates"
+        } else {
+            "UNDERESTIMATES"
+        },
+        validation.frames,
+        validation.engine,
+    );
+    if let Some(bw) = &analysis.bandwidth {
+        for bound in &bw.tenants {
+            summary.push_str(&format!(
+                "  tenant {}: worst-case slowdown bound {:.3}x\n",
+                bound.name, bound.slowdown_bound
+            ));
+        }
+    }
+    let report = EspdeployReport {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        deployment: deployment.name.clone(),
+        tenants: deployment.tenants.iter().map(|t| t.name.clone()).collect(),
+        engine: engine_name(engine).to_string(),
+        diagnostics: analysis.report.diagnostics.clone(),
+        bandwidth: analysis.bandwidth,
+        validation,
+        conservative,
+    };
+    let mut artifacts = BTreeMap::new();
+    artifacts.insert(
+        "report".into(),
+        envelope_json(
+            "espdeploy-report",
+            serde_json::to_value(&report).expect("report serializes"),
+        ),
+    );
+    Ok(RunResponse {
+        schema_version: SCHEMA_VERSION,
+        workload: req.workload.label().to_string(),
+        engine: engine_name(engine).to_string(),
+        frames: req.frames,
+        runs: Vec::new(),
+        verdict: Verdict {
+            ok: conservative,
+            violations,
+        },
+        summary_text: summary,
+        notes: Vec::new(),
+        artifacts,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // CLI bridge
 // ---------------------------------------------------------------------------
 
@@ -1495,6 +1665,7 @@ impl crate::HarnessArgs {
             sanitize: self.sanitize,
             fault_plan: self.fault_plan()?,
             soc_config: None,
+            deployment: None,
             observe: ObserveOpts {
                 trace: self.trace.is_some(),
                 profile: self.profile.is_some(),
@@ -1736,6 +1907,78 @@ mod tests {
                 "{workload:?} totals are stable"
             );
         }
+    }
+
+    /// A two-tenant deployment of disjoint soc1 pipelines.
+    fn feasible_deployment() -> Deployment {
+        let tenant = |name: &str, stages: &[&[&str]]| esp4ml::deploy::TenantSpec {
+            name: name.to_string(),
+            stages: stages
+                .iter()
+                .map(|s| s.iter().map(|d| d.to_string()).collect())
+                .collect(),
+            mode: "p2p".to_string(),
+            frame_rate_hz: 30.0,
+            routing: esp4ml_check::cdg::Routing::Xy,
+            shared_devices: Vec::new(),
+        };
+        Deployment {
+            name: "smoke".to_string(),
+            soc: SocConfigFile::soc1(),
+            tenants: vec![
+                tenant("vision", &[&["nv0"], &["cl0"]]),
+                tenant("denoise", &[&["denoiser"], &["cl_de"]]),
+            ],
+        }
+    }
+
+    #[test]
+    fn deployment_workload_requires_and_gates_the_attachment() {
+        let r = req(WorkloadKind::Deployment);
+        assert!(r.validate().unwrap_err().contains("deployment attachment"));
+        let mut r = req(WorkloadKind::Fig7);
+        r.deployment = Some(feasible_deployment());
+        assert!(r.validate().unwrap_err().contains("not meaningful"));
+        let mut r = req(WorkloadKind::Deployment);
+        r.deployment = Some(feasible_deployment());
+        assert!(r.validate().is_ok());
+        r.soc_config = Some(SocConfigFile::soc1());
+        assert!(r.validate().unwrap_err().contains("soc_config"));
+    }
+
+    #[test]
+    fn deployment_admission_rejects_lease_conflicts_before_simulating() {
+        let mut d = feasible_deployment();
+        // Both tenants now claim cl0 without declaring it shared.
+        d.tenants[1].stages[1] = vec!["cl0".to_string()];
+        let mut r = req(WorkloadKind::Deployment);
+        r.deployment = Some(d);
+        let report = admission(&r);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"E0701"), "{codes:?}");
+        let models = TrainedModels::untrained();
+        match execute(&r, &models) {
+            Err(RequestError::Rejected(rep)) => assert!(rep.has_errors()),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deployment_workload_validates_conservatively_and_publishes_progress() {
+        let mut r = req(WorkloadKind::Deployment);
+        r.deployment = Some(feasible_deployment());
+        let models = TrainedModels::untrained();
+        let sink = CollectingSink::new();
+        let resp = execute_with_progress(&r, &models, Some(&sink)).expect("runs");
+        assert!(resp.verdict.ok, "{:?}", resp.verdict.violations);
+        assert!(resp.artifacts.contains_key("report"));
+        let value = serde_json::parse_value(resp.artifacts.get("report").unwrap()).unwrap();
+        let payload =
+            esp4ml::trace::schema::open_envelope(value, "espdeploy-report").expect("enveloped");
+        assert_eq!(payload["conservative"], Value::from(true));
+        let snaps = sink.snapshots();
+        assert_eq!(snaps.len(), 2, "one snapshot per tenant");
+        assert!(snaps.last().unwrap().is_final());
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Static NoC bandwidth-feasibility analysis for multi-tenant
+//! deployments.
+//!
+//! The model is deliberately simple and *conservative*: each tenant
+//! declares, per directed link and plane, how many flits one of its
+//! frames pushes over that link (an over-approximation derived from
+//! stage widths, burst sizes and message framing — see
+//! `esp4ml::deploy`). Multiplying by the tenant's frame-rate target
+//! gives a static flits/s demand; summing over tenants and dividing by
+//! the link capacity (one flit per cycle per directed link per plane)
+//! gives a utilization. A utilization above 1.0 is infeasible
+//! (`E0704`): no schedule can move more than one flit per cycle over a
+//! physical channel.
+//!
+//! For feasible deployments the same numbers bound cross-tenant
+//! interference. On a work-conserving link, the service rate left for
+//! tenant *t* is at least `capacity - demand_others`, so the worst-case
+//! slowdown of *t* on link *l* is at most
+//! `1 / (1 - utilization_others(l))`, and over the whole NoC at most
+//! the maximum over the links *t* uses. The bound is sound because
+//! every quantity in it over-approximates the real demand — see the
+//! "deployment analysis" section of DESIGN.md for the full argument.
+//!
+//! Everything here is pure data math; no simulator types appear.
+
+use crate::cdg::Link;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One tenant's static demand on one directed link of one plane.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LinkDemand {
+    /// Plane display name (`"dma-req"` / `"dma-rsp"`).
+    pub plane: String,
+    /// The directed link.
+    pub link: Link,
+    /// Over-approximated flits one frame of this tenant pushes over the
+    /// link.
+    pub flits_per_frame: f64,
+}
+
+/// One tenant's complete static demand profile.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantDemand {
+    /// Tenant name (unique within the deployment).
+    pub name: String,
+    /// The tenant's frame-rate target in frames per second.
+    pub frame_rate_hz: f64,
+    /// Per-link per-plane flits-per-frame demands. Duplicate
+    /// `(plane, link)` entries are summed.
+    pub demands: Vec<LinkDemand>,
+}
+
+/// The utilization of one directed link under the composed deployment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LinkUtilization {
+    /// Plane display name.
+    pub plane: String,
+    /// The directed link.
+    pub link: Link,
+    /// Summed demand in flits per second.
+    pub flits_per_sec: f64,
+    /// Demand over capacity; above 1.0 the deployment is infeasible.
+    pub utilization: f64,
+    /// Per-tenant shares of `flits_per_sec`, keyed by tenant name.
+    pub by_tenant: BTreeMap<String, f64>,
+}
+
+/// The worst-case interference bound for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantBound {
+    /// Tenant name.
+    pub name: String,
+    /// Worst-case slowdown factor versus running alone: the maximum of
+    /// `1 / (1 - utilization_others)` over the links the tenant uses.
+    /// `1.0` means no contention; infinity serializes as `null` and
+    /// means some link the tenant needs is already saturated by the
+    /// others.
+    pub slowdown_bound: f64,
+    /// The `(plane, link)` attaining the bound, if the tenant uses any
+    /// link at all.
+    pub bottleneck: Option<(String, Link)>,
+}
+
+/// The composed bandwidth picture of a deployment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BandwidthAnalysis {
+    /// Link capacity used for the analysis, in flits per second.
+    pub capacity_flits_per_sec: f64,
+    /// Every link with non-zero demand, most utilized first (ties
+    /// broken by plane then link for determinism).
+    pub links: Vec<LinkUtilization>,
+    /// Per-tenant slowdown bounds, in input order.
+    pub tenants: Vec<TenantBound>,
+}
+
+impl BandwidthAnalysis {
+    /// Links whose utilization exceeds 1.0 (+epsilon for float noise).
+    pub fn saturated(&self) -> impl Iterator<Item = &LinkUtilization> {
+        self.links.iter().filter(|l| l.utilization > 1.0 + 1e-9)
+    }
+}
+
+/// Composes per-tenant demands into per-link utilizations and
+/// per-tenant worst-case slowdown bounds.
+///
+/// `capacity_flits_per_sec` is the per-directed-link per-plane capacity
+/// (clock frequency × flits per cycle; see
+/// `esp4ml_noc::LINK_CAPACITY_FLITS_PER_CYCLE`).
+pub fn analyze(tenants: &[TenantDemand], capacity_flits_per_sec: f64) -> BandwidthAnalysis {
+    let mut totals: BTreeMap<(String, Link), BTreeMap<String, f64>> = BTreeMap::new();
+    for tenant in tenants {
+        for d in &tenant.demands {
+            *totals
+                .entry((d.plane.clone(), d.link))
+                .or_default()
+                .entry(tenant.name.clone())
+                .or_insert(0.0) += d.flits_per_frame * tenant.frame_rate_hz;
+        }
+    }
+    let mut links: Vec<LinkUtilization> = totals
+        .into_iter()
+        .map(|((plane, link), by_tenant)| {
+            let flits_per_sec: f64 = by_tenant.values().sum();
+            LinkUtilization {
+                plane,
+                link,
+                flits_per_sec,
+                utilization: flits_per_sec / capacity_flits_per_sec,
+                by_tenant,
+            }
+        })
+        .collect();
+    // BTreeMap iteration already yields (plane, link) order; re-sort by
+    // utilization (descending) with that order as the tiebreak so the
+    // report leads with the hottest links and stays deterministic.
+    links.sort_by(|a, b| {
+        b.utilization
+            .partial_cmp(&a.utilization)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (&a.plane, a.link).cmp(&(&b.plane, b.link)))
+    });
+
+    let bounds = tenants
+        .iter()
+        .map(|tenant| {
+            let mut worst: Option<(f64, (String, Link))> = None;
+            for lu in &links {
+                let own = lu.by_tenant.get(&tenant.name).copied().unwrap_or(0.0);
+                if own <= 0.0 {
+                    continue;
+                }
+                let others = (lu.flits_per_sec - own) / capacity_flits_per_sec;
+                let slowdown = if others >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / (1.0 - others)
+                };
+                if worst.as_ref().is_none_or(|(w, _)| slowdown > *w) {
+                    worst = Some((slowdown, (lu.plane.clone(), lu.link)));
+                }
+            }
+            match worst {
+                Some((slowdown, at)) => TenantBound {
+                    name: tenant.name.clone(),
+                    slowdown_bound: slowdown,
+                    bottleneck: Some(at),
+                },
+                None => TenantBound {
+                    name: tenant.name.clone(),
+                    slowdown_bound: 1.0,
+                    bottleneck: None,
+                },
+            }
+        })
+        .collect();
+
+    BandwidthAnalysis {
+        capacity_flits_per_sec,
+        links,
+        tenants: bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(plane: &str, link: Link, flits: f64) -> LinkDemand {
+        LinkDemand {
+            plane: plane.to_string(),
+            link,
+            flits_per_frame: flits,
+        }
+    }
+
+    const L: Link = ((0, 0), (1, 0));
+
+    #[test]
+    fn utilization_sums_tenants_on_a_shared_link() {
+        let tenants = vec![
+            TenantDemand {
+                name: "a".into(),
+                frame_rate_hz: 10.0,
+                demands: vec![demand("dma-req", L, 30.0)],
+            },
+            TenantDemand {
+                name: "b".into(),
+                frame_rate_hz: 5.0,
+                demands: vec![demand("dma-req", L, 40.0)],
+            },
+        ];
+        let analysis = analyze(&tenants, 1000.0);
+        assert_eq!(analysis.links.len(), 1);
+        let lu = &analysis.links[0];
+        assert!((lu.flits_per_sec - 500.0).abs() < 1e-9);
+        assert!((lu.utilization - 0.5).abs() < 1e-9);
+        assert_eq!(analysis.saturated().count(), 0);
+        // a sees b's 200 flits/s: slowdown 1/(1-0.2) = 1.25.
+        let a = &analysis.tenants[0];
+        assert!((a.slowdown_bound - 1.25).abs() < 1e-9, "{a:?}");
+        // b sees a's 300 flits/s: slowdown 1/(1-0.3).
+        let b = &analysis.tenants[1];
+        assert!((b.slowdown_bound - 1.0 / 0.7).abs() < 1e-9, "{b:?}");
+    }
+
+    #[test]
+    fn oversubscribed_link_is_saturated_and_bound_is_infinite() {
+        let tenants = vec![
+            TenantDemand {
+                name: "hog".into(),
+                frame_rate_hz: 100.0,
+                demands: vec![demand("dma-rsp", L, 20.0)],
+            },
+            TenantDemand {
+                name: "victim".into(),
+                frame_rate_hz: 1.0,
+                demands: vec![demand("dma-rsp", L, 1.0)],
+            },
+        ];
+        let analysis = analyze(&tenants, 1000.0);
+        assert_eq!(analysis.saturated().count(), 1);
+        let victim = analysis.tenants.iter().find(|t| t.name == "victim");
+        assert!(victim.unwrap().slowdown_bound.is_infinite());
+    }
+
+    #[test]
+    fn lone_tenant_has_unit_bound() {
+        let tenants = vec![TenantDemand {
+            name: "solo".into(),
+            frame_rate_hz: 30.0,
+            demands: vec![demand("dma-req", L, 100.0)],
+        }];
+        let analysis = analyze(&tenants, 1_000_000.0);
+        assert!((analysis.tenants[0].slowdown_bound - 1.0).abs() < 1e-12);
+        assert!(analysis.tenants[0].bottleneck.is_some());
+    }
+
+    #[test]
+    fn duplicate_demand_entries_accumulate() {
+        let tenants = vec![TenantDemand {
+            name: "a".into(),
+            frame_rate_hz: 1.0,
+            demands: vec![demand("dma-req", L, 10.0), demand("dma-req", L, 15.0)],
+        }];
+        let analysis = analyze(&tenants, 100.0);
+        assert!((analysis.links[0].flits_per_sec - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenant_with_no_demand_has_no_bottleneck() {
+        let tenants = vec![TenantDemand {
+            name: "idle".into(),
+            frame_rate_hz: 30.0,
+            demands: vec![],
+        }];
+        let analysis = analyze(&tenants, 1000.0);
+        assert_eq!(analysis.tenants[0].slowdown_bound, 1.0);
+        assert!(analysis.tenants[0].bottleneck.is_none());
+    }
+}

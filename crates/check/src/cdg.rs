@@ -17,6 +17,7 @@
 //! directed coordinate pair, a route is the link sequence a packet
 //! occupies in order.
 
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A mesh coordinate as a plain `(x, y)` tuple.
@@ -24,6 +25,37 @@ pub type Node = (u8, u8);
 
 /// A directed physical channel from one router to a neighbor.
 pub type Link = (Node, Node);
+
+/// A dimension-order routing discipline. Each discipline is acyclic on
+/// its own; *mixing* them in one deployment is what can close a
+/// cross-tenant channel-dependency cycle (`E0703`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Routing {
+    /// X first, then Y — what the mesh simulator implements.
+    #[default]
+    Xy,
+    /// Y first, then X — analyzer-only (see `W0706`).
+    Yx,
+}
+
+impl Routing {
+    /// The link sequence of this discipline's route from `src` to `dst`.
+    pub fn route(self, src: Node, dst: Node) -> Vec<Link> {
+        match self {
+            Routing::Xy => xy_route(src, dst),
+            Routing::Yx => yx_route(src, dst),
+        }
+    }
+
+    /// Lower-case display name (`"xy"` / `"yx"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Routing::Xy => "xy",
+            Routing::Yx => "yx",
+        }
+    }
+}
 
 /// The link sequence of a dimension-order (XY) route from `src` to
 /// `dst`: first along x, then along y. Empty when `src == dst`.
@@ -39,6 +71,24 @@ pub fn xy_route(src: Node, dst: Node) -> Vec<Link> {
         let ny = if dst.1 > y { y + 1 } else { y - 1 };
         links.push(((x, y), (x, ny)));
         y = ny;
+    }
+    links
+}
+
+/// The link sequence of the transposed dimension-order (YX) route from
+/// `src` to `dst`: first along y, then along x. Empty when `src == dst`.
+pub fn yx_route(src: Node, dst: Node) -> Vec<Link> {
+    let mut links = Vec::new();
+    let (mut x, mut y) = src;
+    while y != dst.1 {
+        let ny = if dst.1 > y { y + 1 } else { y - 1 };
+        links.push(((x, y), (x, ny)));
+        y = ny;
+    }
+    while x != dst.0 {
+        let nx = if dst.0 > x { x + 1 } else { x - 1 };
+        links.push(((x, y), (nx, y)));
+        x = nx;
     }
     links
 }
@@ -96,6 +146,15 @@ pub fn find_cycle(routes: &[Vec<Link>]) -> Option<Vec<Link>> {
 /// [`find_cycle`].
 pub fn xy_routes(flows: &[(Node, Node)]) -> Vec<Vec<Link>> {
     flows.iter().map(|&(s, d)| xy_route(s, d)).collect()
+}
+
+/// The union route set of flows that each carry their own routing
+/// discipline — the multi-tenant generalization of [`xy_routes`]. The
+/// CDG of the union is what decides cross-tenant deadlock freedom:
+/// analyzing each tenant alone misses cycles that only composition
+/// closes.
+pub fn union_routes(flows: &[(Node, Node, Routing)]) -> Vec<Vec<Link>> {
+    flows.iter().map(|&(s, d, r)| r.route(s, d)).collect()
 }
 
 /// Renders a link as `(x,y)->(x,y)` for diagnostics.
@@ -160,5 +219,46 @@ mod tests {
     fn single_route_has_no_cycle() {
         let routes = vec![xy_route((0, 0), (3, 2))];
         assert!(find_cycle(&routes).is_none());
+    }
+
+    #[test]
+    fn yx_route_goes_y_then_x() {
+        let r = yx_route((0, 0), (2, 1));
+        assert_eq!(
+            r,
+            vec![((0, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (2, 1)),]
+        );
+        assert!(yx_route((3, 3), (3, 3)).is_empty());
+    }
+
+    #[test]
+    fn yx_flows_alone_are_deadlock_free() {
+        // Dense all-to-all YX on a 4x4 mesh: one discipline is acyclic.
+        let mut flows = Vec::new();
+        for sx in 0..4u8 {
+            for sy in 0..4u8 {
+                for dx in 0..4u8 {
+                    for dy in 0..4u8 {
+                        if (sx, sy) != (dx, dy) {
+                            flows.push(((sx, sy), (dx, dy), Routing::Yx));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(find_cycle(&union_routes(&flows)).is_none());
+    }
+
+    #[test]
+    fn mixed_disciplines_close_a_union_cycle() {
+        // Each tenant alone is acyclic (pure XY / pure YX); the union
+        // closes the canonical four-turn cycle around the unit square.
+        let xy_flows = vec![((0, 0), (1, 1), Routing::Xy), ((1, 1), (0, 0), Routing::Xy)];
+        let yx_flows = vec![((1, 0), (0, 1), Routing::Yx), ((0, 1), (1, 0), Routing::Yx)];
+        assert!(find_cycle(&union_routes(&xy_flows)).is_none());
+        assert!(find_cycle(&union_routes(&yx_flows)).is_none());
+        let union: Vec<_> = xy_flows.iter().chain(&yx_flows).copied().collect();
+        let cycle = find_cycle(&union_routes(&union)).expect("composition closes a cycle");
+        assert_eq!(cycle.len(), 4);
     }
 }

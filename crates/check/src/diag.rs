@@ -160,9 +160,17 @@ impl Report {
     }
 
     /// Renders the findings one per line (with hints indented below).
+    ///
+    /// Rendering always works on a normalized view — sorted by
+    /// (code, severity, location, …) and de-duplicated — so the output
+    /// is byte-stable regardless of emission order. Deployment reports
+    /// aggregate findings across K tenants; without this, map iteration
+    /// order would leak into the bytes.
     pub fn render_text(&self) -> String {
+        let mut view = self.clone();
+        view.normalize();
         let mut out = String::new();
-        for d in &self.diagnostics {
+        for d in &view.diagnostics {
             out.push_str(&d.to_string());
             out.push('\n');
         }
@@ -208,6 +216,26 @@ mod tests {
         assert_eq!(r.error_count(), 1);
         assert_eq!(r.warning_count(), 1);
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn render_is_byte_stable_across_emission_orders() {
+        let a = Diagnostic::error(codes::LEASE_CONFLICT, "device x", "leased twice");
+        let b = Diagnostic::error(codes::UNION_CDG_CYCLE, "plane dma-req", "cycle");
+        let c = Diagnostic::warning(codes::ROUTING_UNSUPPORTED, "tenant t", "yx");
+        let mut fwd = Report::new();
+        for d in [a.clone(), b.clone(), c.clone(), b.clone()] {
+            fwd.push(d);
+        }
+        let mut rev = Report::new();
+        for d in [c, b.clone(), b, a] {
+            rev.push(d);
+        }
+        assert_eq!(fwd.render_text(), rev.render_text());
+        // Duplicates render once.
+        assert_eq!(fwd.render_text().matches("E0703").count(), 1);
+        // Rendering does not mutate the report itself.
+        assert_eq!(fwd.diagnostics.len(), 4);
     }
 
     #[test]

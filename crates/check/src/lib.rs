@@ -16,13 +16,17 @@
 //! * [`Diagnostic`] / [`Severity`] / [`Report`] — the data model.
 //! * [`codes`] — the stable error-code registry (`E0101`, …).
 //! * [`cdg`] — channel-dependency-graph deadlock analysis for wormhole
-//!   routes.
+//!   routes, single-tenant and union (multi-tenant) alike.
+//! * [`bw`] — static NoC bandwidth-feasibility math: per-link
+//!   utilization from composed tenant demands and the per-tenant
+//!   worst-case slowdown bound.
 //! * [`SanitizerConfig`] — which runtime invariants the sanitizer
 //!   enforces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bw;
 pub mod cdg;
 pub mod codes;
 mod diag;

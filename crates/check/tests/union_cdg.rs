@@ -1,0 +1,128 @@
+//! Property tests of the union channel-dependency-graph analyzer.
+//!
+//! The multi-tenant deadlock check ([`cdg::find_cycle`] over
+//! [`cdg::union_routes`]) must flag *exactly* the route sets whose
+//! composed CDG has a cycle. The oracle here is a deliberately naive
+//! recursive three-color DFS over a dependency graph built
+//! independently from the same routes — a different traversal, a
+//! different data layout, the same mathematical question.
+
+use esp4ml_check::cdg::{self, Link, Node, Routing};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Naive recursive cycle oracle: white/grey/black DFS over the link
+/// dependency relation (consecutive links of any route depend on each
+/// other, in order).
+fn oracle_has_cycle(routes: &[Vec<Link>]) -> bool {
+    let mut deps: BTreeMap<Link, BTreeSet<Link>> = BTreeMap::new();
+    for route in routes {
+        for pair in route.windows(2) {
+            deps.entry(pair[0]).or_default().insert(pair[1]);
+            deps.entry(pair[1]).or_default();
+        }
+    }
+    fn visit(
+        node: Link,
+        deps: &BTreeMap<Link, BTreeSet<Link>>,
+        grey: &mut BTreeSet<Link>,
+        black: &mut BTreeSet<Link>,
+    ) -> bool {
+        if black.contains(&node) {
+            return false;
+        }
+        if !grey.insert(node) {
+            return true;
+        }
+        if let Some(succs) = deps.get(&node) {
+            for &next in succs {
+                if visit(next, deps, grey, black) {
+                    return true;
+                }
+            }
+        }
+        grey.remove(&node);
+        black.insert(node);
+        false
+    }
+    let keys: Vec<Link> = deps.keys().copied().collect();
+    let mut grey = BTreeSet::new();
+    let mut black = BTreeSet::new();
+    keys.into_iter()
+        .any(|k| visit(k, &deps, &mut grey, &mut black))
+}
+
+/// Checks a reported cycle really is one: every link's successor in the
+/// returned sequence (cyclically) is a dependency some route induces.
+fn is_real_cycle(cycle: &[Link], routes: &[Vec<Link>]) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    let mut deps: BTreeSet<(Link, Link)> = BTreeSet::new();
+    for route in routes {
+        for pair in route.windows(2) {
+            deps.insert((pair[0], pair[1]));
+        }
+    }
+    (0..cycle.len()).all(|i| deps.contains(&(cycle[i], cycle[(i + 1) % cycle.len()])))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analyzer agrees with the naive oracle on random multi-tenant
+    /// route sets over meshes up to 5×5, and any cycle it reports is a
+    /// genuine dependency cycle of the union CDG.
+    #[test]
+    fn analyzer_matches_naive_oracle(
+        cols in 2u8..=5,
+        rows in 2u8..=5,
+        seed_flows in proptest::collection::vec(
+            (0u8..5, 0u8..5, 0u8..5, 0u8..5, proptest::bool::ANY), 1..16),
+    ) {
+        // Each flow stands in for one tenant's traffic: endpoints
+        // folded into the mesh, a per-flow routing discipline.
+        let flows: Vec<(Node, Node, Routing)> = seed_flows
+            .into_iter()
+            .map(|(sx, sy, dx, dy, yx)| {
+                let routing = if yx { Routing::Yx } else { Routing::Xy };
+                (((sx % cols), (sy % rows)), ((dx % cols), (dy % rows)), routing)
+            })
+            .collect();
+        let routes = cdg::union_routes(&flows);
+        let verdict = cdg::find_cycle(&routes);
+        prop_assert_eq!(
+            verdict.is_some(),
+            oracle_has_cycle(&routes),
+            "analyzer and oracle disagree on flows {:?}",
+            flows
+        );
+        if let Some(cycle) = verdict {
+            prop_assert!(
+                is_real_cycle(&cycle, &routes),
+                "reported cycle {:?} is not a dependency cycle",
+                cycle
+            );
+        }
+    }
+
+    /// A single dimension-order discipline is always deadlock-free, no
+    /// matter the flows — the classical Dally/Seitz guarantee the
+    /// analyzer must never contradict.
+    #[test]
+    fn single_discipline_is_always_acyclic(
+        cols in 2u8..=5,
+        rows in 2u8..=5,
+        yx in proptest::bool::ANY,
+        seed_flows in proptest::collection::vec((0u8..5, 0u8..5, 0u8..5, 0u8..5), 1..24),
+    ) {
+        let routing = if yx { Routing::Yx } else { Routing::Xy };
+        let flows: Vec<(Node, Node, Routing)> = seed_flows
+            .into_iter()
+            .map(|(sx, sy, dx, dy)| (((sx % cols), (sy % rows)), ((dx % cols), (dy % rows)), routing))
+            .collect();
+        let routes = cdg::union_routes(&flows);
+        prop_assert!(cdg::find_cycle(&routes).is_none());
+        prop_assert!(!oracle_has_cycle(&routes));
+    }
+}

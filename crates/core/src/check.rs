@@ -31,7 +31,7 @@ use esp4ml_soc::Soc;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Words needed to pack `values` 16-bit values four to a 64-bit word.
-fn words_for(values: u64) -> u64 {
+pub(crate) fn words_for(values: u64) -> u64 {
     values.div_ceil(4)
 }
 

@@ -50,6 +50,7 @@
 
 pub mod apps;
 pub mod check;
+pub mod deploy;
 pub mod error;
 pub mod experiments;
 pub mod faults;

@@ -56,7 +56,7 @@ pub use coord::Coord;
 pub use error::NocError;
 pub use flit::{Flit, FlitKind};
 pub use heatmap::{LinkLoad, NocHeatmap, PlaneHeatmap};
-pub use mesh::{Mesh, MeshConfig};
+pub use mesh::{Mesh, MeshConfig, LINK_CAPACITY_FLITS_PER_CYCLE};
 pub use packet::{MsgKind, Packet};
 pub use plane::Plane;
 pub use router::{Port, Router, RouterConfig};

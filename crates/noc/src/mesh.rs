@@ -17,6 +17,13 @@ fn trace_coord(c: Coord) -> TileCoord {
     TileCoord::new(c.x, c.y)
 }
 
+/// Capacity of one directed physical link on one plane: every link
+/// moves at most one flit per cycle, so a plane's per-link bandwidth in
+/// flits/s is exactly the clock frequency. Static feasibility analyses
+/// (espcheck `--deployment`) compare summed demand against
+/// `clock_hz * LINK_CAPACITY_FLITS_PER_CYCLE`.
+pub const LINK_CAPACITY_FLITS_PER_CYCLE: u64 = 1;
+
 /// Configuration of a mesh NoC instance.
 ///
 /// The defaults match the ESP NoC as instantiated by the ESP4ML flow:
@@ -374,6 +381,32 @@ impl Mesh {
         self.check_bounds(coord).expect("coordinate in bounds");
         let i = self.tile_index(coord);
         &mut self.routers[i]
+    }
+
+    /// Read-only access to the router at `coord` (e.g. to read its
+    /// per-link flit counters without a heatmap snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is outside the mesh.
+    pub fn router(&self, coord: Coord) -> &Router {
+        self.check_bounds(coord).expect("coordinate in bounds");
+        let i = self.tile_index(coord);
+        &self.routers[i]
+    }
+
+    /// Flits forwarded over the directed physical link `from -> to` on
+    /// `plane` so far — the counter kept by `from`'s router on the
+    /// output port facing `to`. `None` when the coordinates are not
+    /// mesh neighbors (or are out of bounds).
+    pub fn directed_link_flits(&self, plane: Plane, from: Coord, to: Coord) -> Option<u64> {
+        if self.check_bounds(from).is_err() || self.check_bounds(to).is_err() {
+            return None;
+        }
+        let port = Port::ALL
+            .into_iter()
+            .find(|p| p.step(from) == Some(to) && *p != Port::Local)?;
+        Some(self.router(from).link_flits(plane, port))
     }
 
     /// Free flit slots in the injection queue of `(coord, plane)`.
