@@ -43,6 +43,8 @@ pub enum Flag {
     Engine,
     /// `--jobs N`
     Jobs,
+    /// `--fork-prefix`
+    ForkPrefix,
     /// `--sanitize`
     Sanitize,
     /// `--faults PLAN.json`
@@ -86,6 +88,7 @@ impl Flag {
             Flag::SampleEvery => "--sample-every",
             Flag::Engine => "--engine",
             Flag::Jobs => "--jobs",
+            Flag::ForkPrefix => "--fork-prefix",
             Flag::Sanitize => "--sanitize",
             Flag::Faults => "--faults",
             Flag::Config | Flag::ConfigPath => "--config",
@@ -119,7 +122,12 @@ impl Flag {
             | Flag::Json
             | Flag::Flame
             | Flag::Metrics => Some("PATH"),
-            Flag::Train | Flag::NoTrain | Flag::Sanitize | Flag::All | Flag::Progress => None,
+            Flag::Train
+            | Flag::NoTrain
+            | Flag::ForkPrefix
+            | Flag::Sanitize
+            | Flag::All
+            | Flag::Progress => None,
         }
     }
 
@@ -137,6 +145,9 @@ impl Flag {
             Flag::SampleEvery => "with --trace, sample the SoC counters every CYCLES cycles",
             Flag::Engine => "simulation engine",
             Flag::Jobs => "worker threads for grid execution",
+            Flag::ForkPrefix => {
+                "fork points sharing a config prefix from one warm snapshot (same results, faster)"
+            }
             Flag::Sanitize => "audit every run with the runtime invariant sanitizer",
             Flag::Faults => "install the fault plan on every run's SoC (recovery armed)",
             Flag::Config => "configuration/grid-point index to run (repeatable; default: all)",
@@ -175,6 +186,7 @@ pub const FIGURE_FLAGS: &[Flag] = &[
     Flag::SampleEvery,
     Flag::Engine,
     Flag::Jobs,
+    Flag::ForkPrefix,
     Flag::Sanitize,
     Flag::Faults,
     Flag::Config,
@@ -196,6 +208,7 @@ pub const TABLE_FLAGS: &[Flag] = &[
     Flag::SampleEvery,
     Flag::Engine,
     Flag::Jobs,
+    Flag::ForkPrefix,
     Flag::Sanitize,
     Flag::Config,
     Flag::Metrics,
@@ -420,6 +433,9 @@ pub struct HarnessArgs {
     pub engine: SocEngine,
     /// Worker threads for grid execution (ignored when tracing).
     pub jobs: usize,
+    /// Fork grid points sharing a config prefix from one warm snapshot
+    /// (`--fork-prefix`); byte-identical results, less wall clock.
+    pub fork_prefix: bool,
     /// Run every grid point with the runtime invariant sanitizer armed
     /// (`esp4ml_soc::SanitizerConfig::all`); any violation fails the
     /// harness with the typed diagnostics.
@@ -465,6 +481,7 @@ impl Default for HarnessArgs {
             sample_every: None,
             engine: SocEngine::default(),
             jobs: parallel::default_jobs(),
+            fork_prefix: false,
             sanitize: false,
             faults: None,
             configs: Vec::new(),
@@ -544,6 +561,7 @@ fn parse_inner(
             Flag::SampleEvery => out.sample_every = Some(number()?),
             Flag::Engine => out.engine = engine_from_str(&value()?)?,
             Flag::Jobs => out.jobs = number()? as usize,
+            Flag::ForkPrefix => out.fork_prefix = true,
             Flag::Sanitize => out.sanitize = true,
             Flag::Faults => out.faults = Some(PathBuf::from(value()?)),
             Flag::Config => out.configs.push(number()? as usize),
@@ -752,6 +770,18 @@ mod tests {
         assert_eq!(a.engine, SocEngine::EventDriven);
         assert!(parse_figure(&["--engine", "warp"]).is_err());
         assert!(parse_figure(&["--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn fork_prefix_option() {
+        assert!(!parse_figure(&[]).unwrap().fork_prefix);
+        assert!(parse_figure(&["--fork-prefix"]).unwrap().fork_prefix);
+        // Composes with the other grid-execution switches.
+        let a = parse_figure(&["--fork-prefix", "--jobs", "2", "--sanitize"]).unwrap();
+        assert!(a.fork_prefix && a.sanitize);
+        // espfault forks unconditionally, so its spec does not take it.
+        let spec = HarnessSpec::new("espfault", "f", ESPFAULT_FLAGS);
+        assert!(parse_spec(&spec, &["--fork-prefix"]).is_err());
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl Error for AllocError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContigAlloc {
     base: u64,
     size: u64,

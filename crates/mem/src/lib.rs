@@ -37,7 +37,9 @@ mod paging;
 mod plm;
 
 pub use alloc::{AllocError, ContigAlloc, ContigHandle};
-pub use cache::{CacheAccess, CacheConfig, CacheStats, CachedDram, Llc};
-pub use dram::{Dram, DramConfig, DramStats};
-pub use paging::{PageTable, PagingError, Tlb, TlbStats};
+pub use cache::{
+    CacheAccess, CacheConfig, CacheStats, CachedDram, CachedDramState, LineState, Llc, LlcState,
+};
+pub use dram::{Dram, DramConfig, DramState, DramStats};
+pub use paging::{PageTable, PagingError, Tlb, TlbState, TlbStats};
 pub use plm::{Plm, PlmConfig, PlmError};

@@ -12,7 +12,9 @@
 //!
 //! `GET /v1/jobs/{id}?wait_ms=N` long-polls: the response is held until
 //! the job's state or progress changes (or `N` ms elapse), so pollers
-//! see every transition without a tight loop.
+//! see every transition without a tight loop. Any numeric `N` is
+//! accepted — values past [`MAX_WAIT_MS`] (even past `u64::MAX`) clamp
+//! to it, never 400 — and `wait_ms=0` answers immediately.
 //!
 //! The tenant is the `X-Api-Key` header (default `anonymous`); quotas
 //! and job visibility are scoped to it. Every JSON body carries
@@ -166,6 +168,13 @@ fn job_status(engine: &JobEngine, req: &HttpRequest, id: u64) -> HttpResponse {
         Some(raw) => match raw.parse::<u64>() {
             Ok(ms) => {
                 engine.wait_for_update(&tenant, id, Duration::from_millis(ms.min(MAX_WAIT_MS)))
+            }
+            // Any all-digit value is a valid wait: one past `u64::MAX`
+            // is still just "longer than MAX_WAIT_MS", so overflow
+            // clamps like every other oversized value instead of
+            // 400ing. Only non-numeric input is malformed.
+            Err(_) if !raw.is_empty() && raw.bytes().all(|b| b.is_ascii_digit()) => {
+                engine.wait_for_update(&tenant, id, Duration::from_millis(MAX_WAIT_MS))
             }
             Err(_) => {
                 return HttpResponse::json(400, error_body(&format!("bad wait_ms value {raw}")))

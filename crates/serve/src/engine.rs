@@ -21,6 +21,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// A `Duration` in whole milliseconds as `u64`, saturating at
+/// `u64::MAX` — `as u64` on the `u128` from [`Duration::as_millis`]
+/// silently truncates, which would report a wrapped-around (tiny)
+/// wait after a pathological clock jump.
+fn saturating_millis(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
 /// Scheduling priority: jobs drain high → normal → low, FIFO within a
 /// class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +124,8 @@ pub struct EngineConfig {
     /// Maximum jobs of one tenant simulating concurrently; further
     /// jobs stay queued until one finishes.
     pub max_running_per_tenant: usize,
-    /// Result-cache capacity in responses (oldest evicted first).
+    /// Result-cache capacity in responses (least-recently-used evicted
+    /// first; a cache hit counts as a use).
     pub cache_capacity: usize,
 }
 
@@ -401,6 +410,13 @@ impl JobEngine {
         let cache_key = normalized.cache_key();
         let mut st = self.state.lock().expect("engine lock");
         if let Some(resp) = st.cache.get(&cache_key).cloned() {
+            // A hit refreshes recency: move the key to the back of the
+            // eviction order so a hot entry outlives cold ones (LRU,
+            // not insertion order).
+            if let Some(pos) = st.cache_order.iter().position(|k| *k == cache_key) {
+                st.cache_order.remove(pos);
+                st.cache_order.push_back(cache_key);
+            }
             let id = st.next_id;
             st.next_id += 1;
             st.jobs.insert(
@@ -544,13 +560,13 @@ impl JobEngine {
             self.metrics.incr(metrics::JOBS_STARTED);
             self.metrics.incr(metrics::CACHE_MISSES);
             self.metrics
-                .observe_queue_wait_ms(queue_wait.as_millis() as u64);
+                .observe_queue_wait_ms(saturating_millis(queue_wait));
             self.logger.info(
                 "job.started",
                 &[
                     ("job_id", json!(info.0)),
                     ("tenant", json!(info.1.clone())),
-                    ("queue_wait_ms", json!(queue_wait.as_millis() as u64)),
+                    ("queue_wait_ms", json!(saturating_millis(queue_wait))),
                 ],
             );
             self.watch.notify_all();
@@ -559,7 +575,7 @@ impl JobEngine {
         let sink = JobProgressSink { engine: self, id };
         let run_started = Instant::now();
         let result = request::execute_with_progress(&request, &self.models, Some(&sink));
-        let run_ms = run_started.elapsed().as_millis() as u64;
+        let run_ms = saturating_millis(run_started.elapsed());
         self.metrics.observe_run_duration_ms(run_ms);
         let mut st = self.state.lock().expect("engine lock");
         let cache_capacity = self.config.cache_capacity;
@@ -1012,7 +1028,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_evicts_in_insertion_order_and_counts() {
+    fn cache_evicts_least_recently_used_and_counts() {
         let engine = JobEngine::new(EngineConfig {
             workers: 0,
             max_queued_per_tenant: 8,
@@ -1020,7 +1036,8 @@ mod tests {
             cache_capacity: 2,
         });
         // Three distinct requests (frames differ) fill the cache past
-        // its bound; `cache_order` evicts the oldest insertion first.
+        // its bound; with no hits in between, the least-recently-used
+        // entry is the oldest insertion.
         for frames in [2, 3, 4] {
             let mut r = small_request();
             r.frames = frames;
@@ -1047,6 +1064,53 @@ mod tests {
             let out = engine.submit("bob", Priority::Normal, &r).expect("submits");
             assert!(out.cached, "newer entries survive eviction");
         }
+    }
+
+    /// The regression the LRU fix closes: a cache hit must refresh the
+    /// entry's recency, so inserting past capacity evicts the entry
+    /// that was never hit — not the hot one that merely arrived first.
+    #[test]
+    fn cache_hit_promotes_entry_over_unhit_one() {
+        let engine = JobEngine::new(EngineConfig {
+            workers: 0,
+            max_queued_per_tenant: 8,
+            max_running_per_tenant: 1,
+            cache_capacity: 2,
+        });
+        let request = |frames| {
+            let mut r = small_request();
+            r.frames = frames;
+            r
+        };
+        // Insertion order: frames=2, then frames=3.
+        for frames in [2, 3] {
+            engine
+                .submit("alice", Priority::Normal, &request(frames))
+                .expect("submits");
+            assert!(engine.run_next());
+        }
+        // Hit the older entry — under pure insertion-order eviction
+        // this would not save it.
+        let hit = engine
+            .submit("bob", Priority::Normal, &request(2))
+            .expect("submits");
+        assert!(hit.cached, "warm-up hit");
+        // Insert past capacity: the unhit frames=3 entry must go.
+        engine
+            .submit("alice", Priority::Normal, &request(4))
+            .expect("submits");
+        assert!(engine.run_next());
+        let health = engine.health();
+        assert_eq!(health.cache_entries, 2, "capacity bound holds");
+        assert_eq!(health.cache_evictions, 1, "exactly one eviction");
+        let promoted = engine
+            .submit("bob", Priority::Normal, &request(2))
+            .expect("submits");
+        assert!(promoted.cached, "the hit entry survived the eviction");
+        let unhit = engine
+            .submit("bob", Priority::Normal, &request(3))
+            .expect("submits");
+        assert!(!unhit.cached, "the unhit entry was the LRU victim");
     }
 
     #[test]

@@ -75,8 +75,8 @@ proptest! {
         );
     }
 
-    /// The worker count and the `event-driven` alias never influence
-    /// the key; every semantic field does.
+    /// The worker count, prefix forking and the `event-driven` alias
+    /// never influence the key; every semantic field does.
     #[test]
     fn cache_key_tracks_semantics_only(
         frames in 1u64..32,
@@ -87,9 +87,12 @@ proptest! {
 
         let mut jobs_differ = base.clone();
         jobs_differ.jobs = jobs;
+        let mut fork_differ = base.clone();
+        fork_differ.fork_prefix = true;
         let mut alias = base.clone();
         alias.engine = "event-driven".to_string();
         prop_assert_eq!(base.cache_key(), jobs_differ.cache_key());
+        prop_assert_eq!(base.cache_key(), fork_differ.cache_key());
         prop_assert_eq!(base.cache_key(), alias.cache_key());
 
         let mut other_frames = base.clone();

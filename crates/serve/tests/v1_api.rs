@@ -504,6 +504,70 @@ fn job_status_reports_progress_and_long_polls() {
     );
 }
 
+/// The `wait_ms` contract: any numeric value is accepted — oversized
+/// ones (even past `u64::MAX`) clamp to the server bound instead of
+/// 400ing — `wait_ms=0` answers immediately, and only non-numeric
+/// input is rejected.
+#[test]
+fn wait_ms_clamps_overflow_and_zero_answers_immediately() {
+    let engine = test_engine();
+    let created = parse(&route(
+        &engine,
+        &req("POST", "/v1/jobs", "alice", &fig8_body()),
+    ));
+    let id = created.get("job_id").and_then(Value::as_u64).expect("id");
+
+    // wait_ms=0 on a *queued* job: no state change is coming (no
+    // workers), so only a zero-duration hold lets this return at all.
+    let started = std::time::Instant::now();
+    let zero = route(
+        &engine,
+        &req("GET", &format!("/v1/jobs/{id}?wait_ms=0"), "alice", ""),
+    );
+    assert_eq!(zero.status, 200);
+    assert_eq!(
+        parse(&zero).get("state").and_then(Value::as_str),
+        Some("queued")
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "wait_ms=0 must answer immediately, not hold the poll"
+    );
+
+    assert!(engine.run_next());
+    // On the terminal job every numeric value answers instantly, so the
+    // oversized ones only have to prove they don't 400: exactly
+    // u64::MAX, one past it, and a value far beyond any integer width.
+    for oversized in [
+        "18446744073709551615",
+        "18446744073709551616",
+        "99999999999999999999999999999999",
+    ] {
+        let resp = route(
+            &engine,
+            &req(
+                "GET",
+                &format!("/v1/jobs/{id}?wait_ms={oversized}"),
+                "alice",
+                "",
+            ),
+        );
+        assert_eq!(resp.status, 200, "wait_ms={oversized} must clamp, not 400");
+        assert_eq!(
+            parse(&resp).get("state").and_then(Value::as_str),
+            Some("done")
+        );
+    }
+    // Only non-numeric input is malformed.
+    for bad in ["", "-1", "1e3", "10s"] {
+        let resp = route(
+            &engine,
+            &req("GET", &format!("/v1/jobs/{id}?wait_ms={bad}"), "alice", ""),
+        );
+        assert_eq!(resp.status, 400, "wait_ms={bad:?} must be rejected");
+    }
+}
+
 /// End-to-end over a real socket: the exact bytes a curl client would
 /// exchange, with a live worker thread doing the simulation.
 #[test]

@@ -1,5 +1,6 @@
 //! Named counters with a snapshot/diff API.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A registry of named `u64` metrics.
@@ -10,7 +11,7 @@ use std::collections::BTreeMap;
 /// dotted names by convention (`soc.dram_reads`, `noc.flit_hops`,
 /// `runtime.invocations`) — and are captured together by
 /// [`snapshot`](CounterRegistry::snapshot).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterRegistry {
     values: BTreeMap<String, u64>,
 }
@@ -100,7 +101,7 @@ pub fn prometheus_name(name: &str) -> String {
 }
 
 /// An immutable point-in-time capture of a [`CounterRegistry`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     values: BTreeMap<String, u64>,
 }

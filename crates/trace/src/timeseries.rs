@@ -1,10 +1,11 @@
 //! Counter time-series sampling (flat CSV / JSON export).
 
 use crate::counters::CounterSnapshot;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One sampled row: a counter snapshot at a cycle.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SampleRow {
     /// Simulated cycle of the sample.
     pub cycle: u64,
@@ -17,7 +18,7 @@ pub struct SampleRow {
 /// The driver (e.g. `Soc::tick`) checks [`due`](CounterSeries::due)
 /// and calls [`record`](CounterSeries::record); this struct only
 /// stores and exports.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSeries {
     every: u64,
     rows: Vec<SampleRow>,
